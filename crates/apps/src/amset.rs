@@ -1,0 +1,308 @@
+//! Ambit-accelerated bitvector sets (paper Section 8.3).
+//!
+//! A set over domain `0..N` is an `N`-bit vector resident in Ambit memory;
+//! union/intersection/difference execute as in-DRAM bulk bitwise
+//! operations. Inserts and lookups are constant-time CPU accesses, exactly
+//! as for the software [`BitSet`](crate::BitSet) — only the bulk set
+//! algebra changes.
+
+use ambit_core::{AmbitError, AmbitMemory, BitVectorHandle, BitwiseOp, OpReceipt};
+
+/// Handle to one set stored in Ambit memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AmbitSetHandle(BitVectorHandle);
+
+/// An arena of same-domain sets resident in one Ambit device.
+///
+/// # Examples
+///
+/// ```
+/// use ambit_apps::AmbitSetArena;
+/// use ambit_core::AmbitMemory;
+/// use ambit_dram::{AapMode, DramGeometry, TimingParams};
+///
+/// let mem = AmbitMemory::new(
+///     DramGeometry::tiny(),
+///     TimingParams::ddr3_1600(),
+///     AapMode::Overlapped,
+/// );
+/// let mut arena = AmbitSetArena::new(mem, 100);
+/// let a = arena.new_set()?;
+/// let b = arena.new_set()?;
+/// arena.insert(a, 7)?;
+/// arena.insert(b, 7)?;
+/// arena.insert(b, 9)?;
+/// let out = arena.new_set()?;
+/// arena.intersection(out, a, b)?;
+/// assert_eq!(arena.elements(out)?, vec![7]);
+/// # Ok::<(), ambit_core::AmbitError>(())
+/// ```
+#[derive(Debug)]
+pub struct AmbitSetArena {
+    mem: AmbitMemory,
+    domain: usize,
+    /// One scratch vector for difference (holds the complement operand).
+    scratch: Option<BitVectorHandle>,
+}
+
+impl AmbitSetArena {
+    /// Creates an arena whose sets cover `0..domain`.
+    ///
+    /// Each set occupies `domain` bits rounded up to whole DRAM rows.
+    pub fn new(mem: AmbitMemory, domain: usize) -> Self {
+        assert!(domain > 0, "empty domain");
+        AmbitSetArena {
+            mem,
+            domain,
+            scratch: None,
+        }
+    }
+
+    /// The set domain `N`.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// The underlying Ambit memory (timing/energy accounting).
+    pub fn memory(&self) -> &AmbitMemory {
+        &self.mem
+    }
+
+    /// Allocates an empty set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::OutOfMemory`] when the device is full.
+    pub fn new_set(&mut self) -> Result<AmbitSetHandle, AmbitError> {
+        let h = self.mem.alloc(self.padded_bits())?;
+        Ok(AmbitSetHandle(h))
+    }
+
+    /// Inserts `value` (a CPU bit write).
+    ///
+    /// # Errors
+    ///
+    /// Propagates handle errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the domain.
+    pub fn insert(&mut self, set: AmbitSetHandle, value: usize) -> Result<(), AmbitError> {
+        assert!(value < self.domain, "value {value} outside domain {}", self.domain);
+        let mut bits = self.mem.peek_bits(set.0)?;
+        bits[value] = true;
+        self.mem.poke_bits(set.0, &bits)
+    }
+
+    /// Membership test (a CPU bit read).
+    ///
+    /// # Errors
+    ///
+    /// Propagates handle errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the domain.
+    pub fn contains(&self, set: AmbitSetHandle, value: usize) -> Result<bool, AmbitError> {
+        assert!(value < self.domain, "value {value} outside domain {}", self.domain);
+        Ok(self.mem.peek_bits(set.0)?[value])
+    }
+
+    /// Bulk-loads a set from an element list (workload setup; backdoor).
+    ///
+    /// # Errors
+    ///
+    /// Propagates handle errors.
+    pub fn load(&mut self, set: AmbitSetHandle, elements: &[usize]) -> Result<(), AmbitError> {
+        let mut bits = vec![false; self.padded_bits()];
+        for &v in elements {
+            assert!(v < self.domain, "value {v} outside domain {}", self.domain);
+            bits[v] = true;
+        }
+        self.mem.poke_bits(set.0, &bits)
+    }
+
+    /// `dst = a ∪ b`, in DRAM (one bulk OR).
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver/controller errors.
+    pub fn union(
+        &mut self,
+        dst: AmbitSetHandle,
+        a: AmbitSetHandle,
+        b: AmbitSetHandle,
+    ) -> Result<OpReceipt, AmbitError> {
+        self.mem.bitwise(BitwiseOp::Or, a.0, Some(b.0), dst.0)
+    }
+
+    /// `dst = a ∩ b`, in DRAM (one bulk AND).
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver/controller errors.
+    pub fn intersection(
+        &mut self,
+        dst: AmbitSetHandle,
+        a: AmbitSetHandle,
+        b: AmbitSetHandle,
+    ) -> Result<OpReceipt, AmbitError> {
+        self.mem.bitwise(BitwiseOp::And, a.0, Some(b.0), dst.0)
+    }
+
+    /// `dst = a \ b`, in DRAM (bulk NOT of `b` into scratch, then AND).
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver/controller errors.
+    pub fn difference(
+        &mut self,
+        dst: AmbitSetHandle,
+        a: AmbitSetHandle,
+        b: AmbitSetHandle,
+    ) -> Result<OpReceipt, AmbitError> {
+        let scratch = match self.scratch {
+            Some(s) => s,
+            None => {
+                let s = self.mem.alloc(self.padded_bits())?;
+                self.scratch = Some(s);
+                s
+            }
+        };
+        let mut receipt = self.mem.bitwise(BitwiseOp::Not, b.0, None, scratch)?;
+        let and = self.mem.bitwise(BitwiseOp::And, a.0, Some(scratch), dst.0)?;
+        receipt.absorb(&and);
+        Ok(receipt)
+    }
+
+    /// Number of elements (CPU popcount over the vector, masked to the
+    /// domain — complement bits in the row padding never leak in).
+    ///
+    /// # Errors
+    ///
+    /// Propagates handle errors.
+    pub fn len(&self, set: AmbitSetHandle) -> Result<usize, AmbitError> {
+        Ok(self.mem.peek_bits(set.0)?[..self.domain]
+            .iter()
+            .filter(|&&b| b)
+            .count())
+    }
+
+    /// Elements in ascending order (CPU scan).
+    ///
+    /// # Errors
+    ///
+    /// Propagates handle errors.
+    pub fn elements(&self, set: AmbitSetHandle) -> Result<Vec<usize>, AmbitError> {
+        Ok(self.mem.peek_bits(set.0)?[..self.domain]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect())
+    }
+
+    fn padded_bits(&self) -> usize {
+        let row = self.mem.row_bits();
+        self.domain.div_ceil(row) * row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ambit_dram::{AapMode, DramGeometry, TimingParams};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::BTreeSet;
+
+    fn arena(domain: usize) -> AmbitSetArena {
+        let mem = AmbitMemory::new(
+            DramGeometry::tiny(),
+            TimingParams::ddr3_1600(),
+            AapMode::Overlapped,
+        );
+        AmbitSetArena::new(mem, domain)
+    }
+
+    #[test]
+    fn insert_contains_roundtrip() {
+        let mut a = arena(200);
+        let s = a.new_set().unwrap();
+        assert!(!a.contains(s, 42).unwrap());
+        a.insert(s, 42).unwrap();
+        assert!(a.contains(s, 42).unwrap());
+        assert_eq!(a.len(s).unwrap(), 1);
+    }
+
+    #[test]
+    fn set_algebra_matches_reference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let domain = 300;
+        let xs: BTreeSet<usize> = (0..80).map(|_| rng.gen_range(0..domain)).collect();
+        let ys: BTreeSet<usize> = (0..80).map(|_| rng.gen_range(0..domain)).collect();
+
+        let mut a = arena(domain);
+        let sx = a.new_set().unwrap();
+        let sy = a.new_set().unwrap();
+        a.load(sx, &xs.iter().copied().collect::<Vec<_>>()).unwrap();
+        a.load(sy, &ys.iter().copied().collect::<Vec<_>>()).unwrap();
+
+        let u = a.new_set().unwrap();
+        a.union(u, sx, sy).unwrap();
+        assert_eq!(
+            a.elements(u).unwrap(),
+            xs.union(&ys).copied().collect::<Vec<_>>()
+        );
+
+        let i = a.new_set().unwrap();
+        a.intersection(i, sx, sy).unwrap();
+        assert_eq!(
+            a.elements(i).unwrap(),
+            xs.intersection(&ys).copied().collect::<Vec<_>>()
+        );
+
+        let d = a.new_set().unwrap();
+        a.difference(d, sx, sy).unwrap();
+        assert_eq!(
+            a.elements(d).unwrap(),
+            xs.difference(&ys).copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn difference_padding_does_not_leak() {
+        // NOT sets the padding bits beyond the domain; difference and len
+        // must mask them.
+        let mut a = arena(10);
+        let x = a.new_set().unwrap();
+        let y = a.new_set().unwrap();
+        a.load(x, &[1, 2, 3]).unwrap();
+        a.load(y, &[2]).unwrap();
+        let d = a.new_set().unwrap();
+        a.difference(d, x, y).unwrap();
+        assert_eq!(a.elements(d).unwrap(), vec![1, 3]);
+        assert_eq!(a.len(d).unwrap(), 2);
+    }
+
+    #[test]
+    fn union_costs_one_bulk_or() {
+        let mut a = arena(100);
+        let x = a.new_set().unwrap();
+        let y = a.new_set().unwrap();
+        let d = a.new_set().unwrap();
+        let receipt = a.union(d, x, y).unwrap();
+        assert_eq!(receipt.aaps, 4, "one chunk × 4 AAPs for OR");
+    }
+
+    #[test]
+    fn multiway_union_accumulates() {
+        let mut a = arena(64);
+        let acc = a.new_set().unwrap();
+        for i in 0..5 {
+            let s = a.new_set().unwrap();
+            a.load(s, &[i * 10]).unwrap();
+            a.union(acc, acc, s).unwrap();
+        }
+        assert_eq!(a.elements(acc).unwrap(), vec![0, 10, 20, 30, 40]);
+    }
+}

@@ -1,0 +1,332 @@
+//! Bulk bit-serial arithmetic built entirely from Ambit's bitwise
+//! primitives — the direction the paper's conclusion gestures at ("enable
+//! better design of other applications to take advantage of such
+//! operations") and that follow-on work (SIMDRAM, MICRO'21) developed
+//! fully.
+//!
+//! Integers live *vertically*: lane `l`'s bit `i` sits at position `l` of
+//! bit-slice `i` (LSB first). A ripple-carry adder is then `w` rounds of
+//!
+//! ```text
+//! sum_i  = a_i ⊕ b_i ⊕ carry        (two bulk XORs)
+//! carry' = maj(a_i, b_i, carry)     (one native triple-row activation!)
+//! ```
+//!
+//! computed across *all lanes at once* — thousands of additions per round,
+//! with the carry step costing a single TRA program because majority is
+//! what the DRAM physically computes.
+
+use ambit_core::{AmbitError, AmbitMemory, BitVectorHandle, BitwiseOp, OpReceipt};
+
+/// A vector of `lanes` unsigned integers of `width` bits each, stored
+/// bit-sliced (slice 0 = LSB) in Ambit memory.
+#[derive(Debug, Clone)]
+pub struct BitSlicedVector {
+    slices: Vec<BitVectorHandle>,
+    lanes: usize,
+    width: usize,
+    padded: usize,
+}
+
+impl BitSlicedVector {
+    /// Allocates a zeroed vector of `lanes` integers of `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns out-of-memory when the device cannot hold the slices.
+    pub fn alloc(mem: &mut AmbitMemory, lanes: usize, width: usize) -> Result<Self, AmbitError> {
+        assert!(width > 0 && width <= 32, "width in 1..=32");
+        assert!(lanes > 0, "at least one lane");
+        let row = mem.row_bits();
+        let padded = lanes.div_ceil(row) * row;
+        let slices = (0..width)
+            .map(|_| mem.alloc(padded))
+            .collect::<Result<_, _>>()?;
+        Ok(BitSlicedVector {
+            slices,
+            lanes,
+            width,
+            padded,
+        })
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Integer width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Loads lane values (host write; values must fit in `width` bits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or oversized values.
+    pub fn write(&self, mem: &mut AmbitMemory, values: &[u32]) -> Result<(), AmbitError> {
+        assert_eq!(values.len(), self.lanes, "lane count mismatch");
+        for (i, &h) in self.slices.iter().enumerate() {
+            let bits: Vec<bool> = (0..self.padded)
+                .map(|l| {
+                    l < self.lanes && {
+                        let v = values[l];
+                        assert!(
+                            self.width == 32 || v < (1 << self.width),
+                            "value {v} exceeds {} bits",
+                            self.width
+                        );
+                        v >> i & 1 == 1
+                    }
+                })
+                .collect();
+            mem.poke_bits(h, &bits)?;
+        }
+        Ok(())
+    }
+
+    /// Reads all lane values back (host read).
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    pub fn read(&self, mem: &AmbitMemory) -> Result<Vec<u32>, AmbitError> {
+        let mut out = vec![0u32; self.lanes];
+        for (i, &h) in self.slices.iter().enumerate() {
+            let bits = mem.peek_bits(h)?;
+            for (l, v) in out.iter_mut().enumerate() {
+                if bits[l] {
+                    *v |= 1 << i;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Lane-wise addition: `self + other`, entirely in DRAM. Returns the
+    /// result vector (same width; overflow wraps) and the operation
+    /// receipt. Cost: per bit position, 2 XOR programs + 1 TRA-majority
+    /// program (the carry) — all lanes in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::SizeMismatch`] on shape mismatch and
+    /// propagates driver errors.
+    pub fn add(
+        &self,
+        mem: &mut AmbitMemory,
+        other: &BitSlicedVector,
+    ) -> Result<(BitSlicedVector, OpReceipt), AmbitError> {
+        if self.width != other.width || self.lanes != other.lanes {
+            return Err(AmbitError::SizeMismatch {
+                left_bits: self.width * self.lanes,
+                right_bits: other.width * other.lanes,
+            });
+        }
+        let result = BitSlicedVector::alloc(mem, self.lanes, self.width)?;
+        let carry = mem.alloc(self.padded)?;
+        let next_carry = mem.alloc(self.padded)?;
+        let tmp = mem.alloc(self.padded)?;
+
+        let mut total = mem.bitwise(BitwiseOp::InitZero, carry, None, carry)?;
+        for i in 0..self.width {
+            let a = self.slices[i];
+            let b = other.slices[i];
+            // sum_i = a ^ b ^ carry
+            total.absorb(&mem.bitwise(BitwiseOp::Xor, a, Some(b), tmp)?);
+            total.absorb(&mem.bitwise(BitwiseOp::Xor, tmp, Some(carry), result.slices[i])?);
+            // carry' = maj(a, b, carry): one native TRA program.
+            total.absorb(&mem.bitwise_maj3(a, b, carry, next_carry)?);
+            total.absorb(&mem.bitwise(BitwiseOp::Copy, next_carry, None, carry)?);
+        }
+        Ok((result, total))
+    }
+
+    /// Lane-wise subtraction `self − other` (two's complement: a + !b + 1,
+    /// implemented by seeding the carry with ones). Overflow wraps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::SizeMismatch`] on shape mismatch and
+    /// propagates driver errors.
+    pub fn sub(
+        &self,
+        mem: &mut AmbitMemory,
+        other: &BitSlicedVector,
+    ) -> Result<(BitSlicedVector, OpReceipt), AmbitError> {
+        if self.width != other.width || self.lanes != other.lanes {
+            return Err(AmbitError::SizeMismatch {
+                left_bits: self.width * self.lanes,
+                right_bits: other.width * other.lanes,
+            });
+        }
+        let result = BitSlicedVector::alloc(mem, self.lanes, self.width)?;
+        let carry = mem.alloc(self.padded)?;
+        let next_carry = mem.alloc(self.padded)?;
+        let not_b = mem.alloc(self.padded)?;
+        let tmp = mem.alloc(self.padded)?;
+
+        // carry starts at 1 (the +1 of two's complement).
+        let mut total = mem.bitwise(BitwiseOp::InitOne, carry, None, carry)?;
+        for i in 0..self.width {
+            let a = self.slices[i];
+            total.absorb(&mem.bitwise(BitwiseOp::Not, other.slices[i], None, not_b)?);
+            total.absorb(&mem.bitwise(BitwiseOp::Xor, a, Some(not_b), tmp)?);
+            total.absorb(&mem.bitwise(BitwiseOp::Xor, tmp, Some(carry), result.slices[i])?);
+            total.absorb(&mem.bitwise_maj3(a, not_b, carry, next_carry)?);
+            total.absorb(&mem.bitwise(BitwiseOp::Copy, next_carry, None, carry)?);
+        }
+        Ok((result, total))
+    }
+
+    /// Lane-wise increment by a constant `k` (repeated halving: adds the
+    /// constant's set bits with the same adder dataflow, using an
+    /// in-memory constant vector).
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    pub fn add_constant(
+        &self,
+        mem: &mut AmbitMemory,
+        k: u32,
+    ) -> Result<(BitSlicedVector, OpReceipt), AmbitError> {
+        let constant = BitSlicedVector::alloc(mem, self.lanes, self.width)?;
+        constant.write(mem, &vec![k & mask(self.width); self.lanes])?;
+        self.add(mem, &constant)
+    }
+}
+
+fn mask(width: usize) -> u32 {
+    if width == 32 {
+        u32::MAX
+    } else {
+        (1 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ambit_dram::{AapMode, DramGeometry, TimingParams};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn memory() -> AmbitMemory {
+        AmbitMemory::new(
+            DramGeometry {
+                subarrays_per_bank: 4,
+                rows_per_subarray: 128,
+                ..DramGeometry::tiny()
+            },
+            TimingParams::ddr3_1600(),
+            AapMode::Overlapped,
+        )
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut mem = memory();
+        let v = BitSlicedVector::alloc(&mut mem, 50, 12).unwrap();
+        let values: Vec<u32> = (0..50).map(|i| (i * 37 + 5) % 4096).collect();
+        v.write(&mut mem, &values).unwrap();
+        assert_eq!(v.read(&mem).unwrap(), values);
+    }
+
+    #[test]
+    fn vector_addition_matches_scalar() {
+        let mut mem = memory();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let lanes = 100;
+        let width = 10;
+        let a_vals: Vec<u32> = (0..lanes).map(|_| rng.gen_range(0..1024)).collect();
+        let b_vals: Vec<u32> = (0..lanes).map(|_| rng.gen_range(0..1024)).collect();
+        let a = BitSlicedVector::alloc(&mut mem, lanes, width).unwrap();
+        let b = BitSlicedVector::alloc(&mut mem, lanes, width).unwrap();
+        a.write(&mut mem, &a_vals).unwrap();
+        b.write(&mut mem, &b_vals).unwrap();
+        let (sum, receipt) = a.add(&mut mem, &b).unwrap();
+        let got = sum.read(&mem).unwrap();
+        for l in 0..lanes {
+            assert_eq!(got[l], (a_vals[l] + b_vals[l]) & 1023, "lane {l}");
+        }
+        assert!(receipt.aaps > 0);
+        // Sources unmodified.
+        assert_eq!(a.read(&mem).unwrap(), a_vals);
+        assert_eq!(b.read(&mem).unwrap(), b_vals);
+    }
+
+    #[test]
+    fn addition_wraps_on_overflow() {
+        let mut mem = memory();
+        let a = BitSlicedVector::alloc(&mut mem, 4, 8).unwrap();
+        let b = BitSlicedVector::alloc(&mut mem, 4, 8).unwrap();
+        a.write(&mut mem, &[250, 255, 0, 128]).unwrap();
+        b.write(&mut mem, &[10, 1, 0, 128]).unwrap();
+        let (sum, _) = a.add(&mut mem, &b).unwrap();
+        assert_eq!(sum.read(&mem).unwrap(), vec![4, 0, 0, 0]);
+    }
+
+    #[test]
+    fn subtraction_matches_wrapping_scalar() {
+        let mut mem = memory();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let lanes = 64;
+        let width = 9;
+        let a_vals: Vec<u32> = (0..lanes).map(|_| rng.gen_range(0..512)).collect();
+        let b_vals: Vec<u32> = (0..lanes).map(|_| rng.gen_range(0..512)).collect();
+        let a = BitSlicedVector::alloc(&mut mem, lanes, width).unwrap();
+        let b = BitSlicedVector::alloc(&mut mem, lanes, width).unwrap();
+        a.write(&mut mem, &a_vals).unwrap();
+        b.write(&mut mem, &b_vals).unwrap();
+        let (diff, _) = a.sub(&mut mem, &b).unwrap();
+        let got = diff.read(&mem).unwrap();
+        for l in 0..lanes {
+            assert_eq!(got[l], a_vals[l].wrapping_sub(b_vals[l]) & 511, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn add_constant_increments_every_lane() {
+        let mut mem = memory();
+        let v = BitSlicedVector::alloc(&mut mem, 10, 6).unwrap();
+        v.write(&mut mem, &[0, 1, 2, 3, 4, 5, 60, 61, 62, 63]).unwrap();
+        let (out, _) = v.add_constant(&mut mem, 5).unwrap();
+        assert_eq!(
+            out.read(&mem).unwrap(),
+            vec![5, 6, 7, 8, 9, 10, 1, 2, 3, 4] // wraps at 64
+        );
+    }
+
+    #[test]
+    fn adder_cost_scales_with_width_not_lanes() {
+        let mut mem = memory();
+        let lanes = mem.row_bits(); // one chunk per slice
+        let a4 = BitSlicedVector::alloc(&mut mem, lanes, 4).unwrap();
+        let b4 = BitSlicedVector::alloc(&mut mem, lanes, 4).unwrap();
+        let (_, r4) = a4.add(&mut mem, &b4).unwrap();
+        let a8 = BitSlicedVector::alloc(&mut mem, lanes, 8).unwrap();
+        let b8 = BitSlicedVector::alloc(&mut mem, lanes, 8).unwrap();
+        let (_, r8) = a8.add(&mut mem, &b8).unwrap();
+        // Per-bit cost is fixed; doubling width roughly doubles AAPs.
+        let per_bit4 = r4.aaps as f64 / 4.0;
+        let per_bit8 = r8.aaps as f64 / 8.0;
+        assert!((per_bit4 - per_bit8).abs() < 1.0, "{per_bit4} vs {per_bit8}");
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut mem = memory();
+        let a = BitSlicedVector::alloc(&mut mem, 10, 8).unwrap();
+        let b = BitSlicedVector::alloc(&mut mem, 10, 9).unwrap();
+        assert!(matches!(
+            a.add(&mut mem, &b),
+            Err(AmbitError::SizeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,239 @@
+//! BitFunnel-style document filtering (paper Section 8.4.1, after Goodwin
+//! et al., SIGIR'17).
+//!
+//! Documents are represented as Bloom-filter signatures; the index stores
+//! the signatures *bit-sliced*: slice `r` is a bitvector over documents
+//! whose signature has bit `r` set. A conjunctive query maps its terms to
+//! signature bit positions and ANDs the corresponding slices — documents
+//! remaining set are candidates (Bloom semantics: no false negatives).
+//! With Ambit, each slice AND is one bulk in-DRAM operation across
+//! thousands of documents at once.
+
+use ambit_core::{AmbitMemory, BitVectorHandle, BitwiseOp, OpReceipt};
+
+/// Number of signature bits each term sets (Bloom hash count).
+const HASHES_PER_TERM: usize = 3;
+
+fn term_positions(term: &str, signature_bits: usize) -> [usize; HASHES_PER_TERM] {
+    // FNV-1a with three different offsets — deterministic and portable.
+    let mut out = [0; HASHES_PER_TERM];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ (k as u64).wrapping_mul(0x9e37_79b9);
+        for b in term.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        *slot = (h % signature_bits as u64) as usize;
+    }
+    out
+}
+
+/// A bit-sliced Bloom signature index resident in Ambit memory.
+#[derive(Debug)]
+pub struct DocumentIndex {
+    mem: AmbitMemory,
+    /// One slice per signature bit: `slices[r]` has bit `d` set iff
+    /// document `d`'s signature contains bit `r`.
+    slices: Vec<BitVectorHandle>,
+    scratch: BitVectorHandle,
+    result: BitVectorHandle,
+    capacity_docs: usize,
+    doc_count: usize,
+    signature_bits: usize,
+    /// Kept for verification: the terms of each document.
+    docs: Vec<Vec<String>>,
+}
+
+impl DocumentIndex {
+    /// Creates an index for up to `capacity_docs` documents with
+    /// `signature_bits`-bit Bloom signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device lacks capacity for the slices.
+    pub fn new(mut mem: AmbitMemory, capacity_docs: usize, signature_bits: usize) -> Self {
+        assert!(signature_bits >= HASHES_PER_TERM, "signature too small");
+        let row_bits = mem.row_bits();
+        let padded = capacity_docs.div_ceil(row_bits) * row_bits;
+        let slices = (0..signature_bits)
+            .map(|_| mem.alloc(padded).expect("device capacity"))
+            .collect();
+        let scratch = mem.alloc(padded).expect("device capacity");
+        let result = mem.alloc(padded).expect("device capacity");
+        DocumentIndex {
+            mem,
+            slices,
+            scratch,
+            result,
+            capacity_docs,
+            doc_count: 0,
+            signature_bits,
+            docs: Vec::new(),
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.doc_count
+    }
+
+    /// Returns `true` if no documents are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.doc_count == 0
+    }
+
+    /// Indexes a document (a bag of terms); returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is full.
+    pub fn add_document<S: AsRef<str>>(&mut self, terms: &[S]) -> usize {
+        assert!(self.doc_count < self.capacity_docs, "index full");
+        let id = self.doc_count;
+        self.doc_count += 1;
+        for term in terms {
+            for pos in term_positions(term.as_ref(), self.signature_bits) {
+                let h = self.slices[pos];
+                let mut bits = self.mem.peek_bits(h).expect("slice");
+                bits[id] = true;
+                self.mem.poke_bits(h, &bits).expect("slice");
+            }
+        }
+        self.docs
+            .push(terms.iter().map(|t| t.as_ref().to_string()).collect());
+        id
+    }
+
+    /// Conjunctive query: returns candidate document ids (superset of the
+    /// true matches — Bloom filters admit false positives, never false
+    /// negatives) and the in-DRAM receipt for the slice ANDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` is empty.
+    pub fn query<S: AsRef<str>>(&mut self, terms: &[S]) -> (Vec<usize>, OpReceipt) {
+        assert!(!terms.is_empty(), "query needs at least one term");
+        let mut positions: Vec<usize> = terms
+            .iter()
+            .flat_map(|t| term_positions(t.as_ref(), self.signature_bits))
+            .collect();
+        positions.sort_unstable();
+        positions.dedup();
+
+        let first = self.slices[positions[0]];
+        let mut receipt = self
+            .mem
+            .bitwise(BitwiseOp::Copy, first, None, self.result)
+            .expect("copy");
+        for &pos in &positions[1..] {
+            let r = self
+                .mem
+                .bitwise(BitwiseOp::And, self.result, Some(self.slices[pos]), self.result)
+                .expect("and");
+            receipt.absorb(&r);
+        }
+        let _ = self.scratch; // reserved for future phrase queries
+        let bits = self.mem.peek_bits(self.result).expect("result");
+        let candidates = bits[..self.doc_count]
+            .iter()
+            .enumerate()
+            .filter_map(|(d, &b)| b.then_some(d))
+            .collect();
+        (candidates, receipt)
+    }
+
+    /// Exact (term-list) matches, for verifying Bloom semantics in tests.
+    pub fn exact_matches<S: AsRef<str>>(&self, terms: &[S]) -> Vec<usize> {
+        self.docs
+            .iter()
+            .enumerate()
+            .filter(|(_, doc)| {
+                terms
+                    .iter()
+                    .all(|t| doc.iter().any(|d| d == t.as_ref()))
+            })
+            .map(|(d, _)| d)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ambit_dram::{AapMode, DramGeometry, TimingParams};
+
+    fn index(docs: usize, bits: usize) -> DocumentIndex {
+        let mem = AmbitMemory::new(
+            DramGeometry {
+                banks: 2,
+                subarrays_per_bank: 8,
+                rows_per_subarray: 512,
+                row_bytes: 64,
+                ..DramGeometry::tiny()
+            },
+            TimingParams::ddr3_1600(),
+            AapMode::Overlapped,
+        );
+        DocumentIndex::new(mem, docs, bits)
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut idx = index(64, 128);
+        let corpus: Vec<Vec<&str>> = vec![
+            vec!["dram", "bitwise", "accelerator"],
+            vec!["dram", "refresh", "retention"],
+            vec!["cache", "coherence", "protocol"],
+            vec!["bitwise", "bloom", "search"],
+        ];
+        for doc in &corpus {
+            idx.add_document(doc);
+        }
+        for query in [vec!["dram"], vec!["bitwise"], vec!["dram", "bitwise"]] {
+            let (candidates, _) = idx.query(&query);
+            let exact = idx.exact_matches(&query);
+            for d in &exact {
+                assert!(
+                    candidates.contains(d),
+                    "query {query:?}: document {d} missing (false negative)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selective_query_narrows_candidates() {
+        let mut idx = index(64, 256);
+        for i in 0..40 {
+            let filler = format!("term{i}");
+            idx.add_document(&[filler.as_str(), "common"]);
+        }
+        idx.add_document(&["rare", "common"]);
+        let (candidates, _) = idx.query(&["rare"]);
+        assert!(candidates.contains(&40));
+        assert!(
+            candidates.len() <= 5,
+            "rare term should prune the corpus: {candidates:?}"
+        );
+        let (all, _) = idx.query(&["common"]);
+        assert_eq!(all.len(), 41);
+    }
+
+    #[test]
+    fn query_cost_scales_with_terms() {
+        let mut idx = index(64, 256);
+        idx.add_document(&["alpha", "beta", "gamma"]);
+        let (_, one) = idx.query(&["alpha"]);
+        let (_, three) = idx.query(&["alpha", "beta", "gamma"]);
+        assert!(three.aaps > one.aaps, "more terms, more slice ANDs");
+    }
+
+    #[test]
+    #[should_panic(expected = "index full")]
+    fn capacity_enforced() {
+        let mut idx = index(2, 64);
+        idx.add_document(&["a"]);
+        idx.add_document(&["b"]);
+        idx.add_document(&["c"]);
+    }
+}

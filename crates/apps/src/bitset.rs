@@ -1,0 +1,258 @@
+//! A software bitvector set — the paper's "Bitset" baseline (Section 8.3):
+//! a set over domain `1..=N` stored as an `N`-bit vector, with word-wide
+//! union/intersection/difference as a 128-bit-SIMD-optimized CPU would
+//! execute them.
+
+/// A fixed-domain set of `usize` values in `0..domain`, one bit each.
+///
+/// # Examples
+///
+/// ```
+/// use ambit_apps::BitSet;
+///
+/// let mut a = BitSet::new(100);
+/// a.insert(3);
+/// a.insert(97);
+/// let mut b = BitSet::new(100);
+/// b.insert(97);
+/// assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![97]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    domain: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set over `0..domain`.
+    pub fn new(domain: usize) -> Self {
+        BitSet {
+            words: vec![0; domain.div_ceil(64)],
+            domain,
+        }
+    }
+
+    /// The domain size `N`.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Bytes of memory the bitvector occupies (for cost models).
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Inserts `value`; returns `true` if newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the domain.
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(value < self.domain, "value {value} outside domain {}", self.domain);
+        let mask = 1u64 << (value % 64);
+        let word = &mut self.words[value / 64];
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Removes `value`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the domain.
+    pub fn remove(&mut self, value: usize) -> bool {
+        assert!(value < self.domain, "value {value} outside domain {}", self.domain);
+        let mask = 1u64 << (value % 64);
+        let word = &mut self.words[value / 64];
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// Membership test (constant time — the bitvector's advantage over
+    /// trees for insert/lookup, as the paper notes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the domain.
+    pub fn contains(&self, value: usize) -> bool {
+        assert!(value < self.domain, "value {value} outside domain {}", self.domain);
+        self.words[value / 64] >> (value % 64) & 1 == 1
+    }
+
+    /// Number of elements (popcount over the vector).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Union: scans both entire bitvectors regardless of population — the
+    /// trade-off the paper's Figure 12 explores.
+    ///
+    /// # Panics
+    ///
+    /// Panics on domain mismatch.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Intersection of two sets over the same domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on domain mismatch.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Elements of `self` not in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on domain mismatch.
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        self.zip(other, |a, b| a & !b)
+    }
+
+    /// In-place union (used for m-way accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on domain mismatch.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.domain, other.domain, "domain mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(i * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// The raw words (LSB-first), e.g. for loading into Ambit memory.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn zip(&self, other: &BitSet, f: impl Fn(u64, u64) -> u64) -> BitSet {
+        assert_eq!(self.domain, other.domain, "domain mismatch");
+        BitSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            domain: self.domain,
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to the maximum element + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let values: Vec<usize> = iter.into_iter().collect();
+        let domain = values.iter().max().map_or(0, |m| m + 1);
+        let mut set = BitSet::new(domain.max(1));
+        for v in values {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(200);
+        assert!(s.insert(0));
+        assert!(s.insert(199));
+        assert!(!s.insert(0), "duplicate");
+        assert!(s.contains(0) && s.contains(199) && !s.contains(100));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_panics() {
+        BitSet::new(10).contains(10);
+    }
+
+    #[test]
+    fn set_algebra_matches_btreeset() {
+        let a_vals: BTreeSet<usize> = [1, 5, 9, 63, 64, 65, 120].into();
+        let b_vals: BTreeSet<usize> = [5, 64, 99, 120, 121].into();
+        let mut a = BitSet::new(128);
+        let mut b = BitSet::new(128);
+        for &v in &a_vals {
+            a.insert(v);
+        }
+        for &v in &b_vals {
+            b.insert(v);
+        }
+        let got: Vec<usize> = a.union(&b).iter().collect();
+        assert_eq!(got, a_vals.union(&b_vals).copied().collect::<Vec<_>>());
+        let got: Vec<usize> = a.intersection(&b).iter().collect();
+        assert_eq!(got, a_vals.intersection(&b_vals).copied().collect::<Vec<_>>());
+        let got: Vec<usize> = a.difference(&b).iter().collect();
+        assert_eq!(got, a_vals.difference(&b_vals).copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn union_with_accumulates() {
+        let mut acc = BitSet::new(64);
+        for i in 0..4 {
+            let mut s = BitSet::new(64);
+            s.insert(i * 16);
+            acc.union_with(&s);
+        }
+        assert_eq!(acc.len(), 4);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut s = BitSet::new(1000);
+        let values = [0, 1, 63, 64, 512, 999];
+        for &v in &values {
+            s.insert(v);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), values.to_vec());
+    }
+
+    #[test]
+    fn from_iterator_sizes_domain() {
+        let s: BitSet = [3usize, 17, 9].into_iter().collect();
+        assert_eq!(s.domain(), 18);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn bytes_reflect_domain() {
+        assert_eq!(BitSet::new(512 * 1024).bytes(), 64 * 1024);
+    }
+}

@@ -1,0 +1,653 @@
+//! BitWeaving(-V): fast predicate scans on bit-sliced columns — the
+//! paper's Section 8.2 (Figure 11), after Li & Patel (SIGMOD'13).
+//!
+//! A column of `b`-bit integers is stored *vertically*: slice `j` holds bit
+//! `j` (MSB first) of every value, packed contiguously. The predicate
+//! `c1 <= v <= c2` is evaluated with only bitwise operations over the
+//! slices, processing one bit position of every row in parallel:
+//!
+//! ```text
+//! for j in MSB..LSB:               // v < c, column-wide
+//!     lt |= eq & !v_j   (when c_j = 1)
+//!     eq &= (c_j ? v_j : !v_j)
+//! ```
+//!
+//! The baseline executes this with 128-bit SIMD; Ambit executes the same
+//! dataflow as bulk in-DRAM operations (the slices are row-aligned
+//! bitvectors), leaving only the final `count(*)` popcount on the CPU.
+
+use ambit_core::{AmbitMemory, BitVectorHandle, BitwiseOp, OpReceipt};
+use ambit_sys::SystemConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A column predicate over unsigned integers, evaluated slice-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// `val < c`
+    Lt(u32),
+    /// `val <= c`
+    Le(u32),
+    /// `val > c`
+    Gt(u32),
+    /// `val >= c`
+    Ge(u32),
+    /// `val == c`
+    Eq(u32),
+    /// `val != c`
+    Ne(u32),
+    /// `c1 <= val <= c2`
+    Between(u32, u32),
+}
+
+impl Predicate {
+    /// Evaluates the predicate on one value (the naive reference).
+    pub fn matches(&self, v: u32) -> bool {
+        match *self {
+            Predicate::Lt(c) => v < c,
+            Predicate::Le(c) => v <= c,
+            Predicate::Gt(c) => v > c,
+            Predicate::Ge(c) => v >= c,
+            Predicate::Eq(c) => v == c,
+            Predicate::Ne(c) => v != c,
+            Predicate::Between(c1, c2) => v >= c1 && v <= c2,
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Predicate::Lt(c) => write!(f, "val < {c}"),
+            Predicate::Le(c) => write!(f, "val <= {c}"),
+            Predicate::Gt(c) => write!(f, "val > {c}"),
+            Predicate::Ge(c) => write!(f, "val >= {c}"),
+            Predicate::Eq(c) => write!(f, "val == {c}"),
+            Predicate::Ne(c) => write!(f, "val != {c}"),
+            Predicate::Between(c1, c2) => write!(f, "{c1} <= val <= {c2}"),
+        }
+    }
+}
+
+/// A bit-sliced (vertical) column of unsigned integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSlicedColumn {
+    /// Number of rows (values).
+    rows: usize,
+    /// Bits per value.
+    bits: usize,
+    /// `slices[j][w]`: word `w` of the bit-`j` slice; `j = 0` is the MSB.
+    slices: Vec<Vec<u64>>,
+}
+
+impl BitSlicedColumn {
+    /// Builds the vertical layout from row-major `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value needs more than `bits` bits or `bits` is 0
+    /// or > 64.
+    pub fn from_values(values: &[u32], bits: usize) -> Self {
+        assert!(bits > 0 && bits <= 32, "bits per value in 1..=32");
+        let words = values.len().div_ceil(64);
+        let mut slices = vec![vec![0u64; words]; bits];
+        for (row, &v) in values.iter().enumerate() {
+            assert!(
+                bits == 32 || v < (1 << bits),
+                "value {v} does not fit in {bits} bits"
+            );
+            for (j, slice) in slices.iter_mut().enumerate() {
+                // Slice 0 is the most significant bit.
+                if v >> (bits - 1 - j) & 1 == 1 {
+                    slice[row / 64] |= 1 << (row % 64);
+                }
+            }
+        }
+        BitSlicedColumn {
+            rows: values.len(),
+            bits,
+            slices,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bits per value.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The packed slice for bit `j` (0 = MSB).
+    pub fn slice(&self, j: usize) -> &[u64] {
+        &self.slices[j]
+    }
+
+    /// Total bytes of the vertical layout (the scan's working set).
+    pub fn bytes(&self) -> usize {
+        self.bits * self.rows.div_ceil(64) * 8
+    }
+
+    /// One BitWeaving pass: computes the packed `(v < c, v == c)` vectors
+    /// by walking the slices MSB-first (Li & Patel's core recurrence).
+    pub fn lt_eq_slices(&self, c: u32) -> (Vec<u64>, Vec<u64>) {
+        let words = self.rows.div_ceil(64);
+        let mut lt = vec![0u64; words];
+        let mut eq = vec![u64::MAX; words];
+        for j in 0..self.bits {
+            let slice = &self.slices[j];
+            let c_bit = c >> (self.bits - 1 - j) & 1 == 1;
+            for w in 0..words {
+                let v = slice[w];
+                if c_bit {
+                    lt[w] |= eq[w] & !v;
+                    eq[w] &= v;
+                } else {
+                    eq[w] &= !v;
+                }
+            }
+        }
+        (lt, eq)
+    }
+
+    fn mask_tail(&self, out: &mut [u64]) {
+        if !self.rows.is_multiple_of(64) {
+            let words = self.rows.div_ceil(64);
+            out[words - 1] &= (1u64 << (self.rows % 64)) - 1;
+        }
+    }
+
+    /// Software (SIMD-style) evaluation of any [`Predicate`]; returns the
+    /// packed result bitvector. This is both the baseline implementation
+    /// and the reference the Ambit path is checked against.
+    pub fn scan(&self, predicate: Predicate) -> Vec<u64> {
+        let words = self.rows.div_ceil(64);
+        let mut out = vec![0u64; words];
+        match predicate {
+            Predicate::Lt(c) => {
+                let (lt, _) = self.lt_eq_slices(c);
+                out.copy_from_slice(&lt);
+            }
+            Predicate::Le(c) => {
+                let (lt, eq) = self.lt_eq_slices(c);
+                for w in 0..words {
+                    out[w] = lt[w] | eq[w];
+                }
+            }
+            Predicate::Gt(c) => {
+                let (lt, eq) = self.lt_eq_slices(c);
+                for w in 0..words {
+                    out[w] = !(lt[w] | eq[w]);
+                }
+            }
+            Predicate::Ge(c) => {
+                let (lt, _) = self.lt_eq_slices(c);
+                for w in 0..words {
+                    out[w] = !lt[w];
+                }
+            }
+            Predicate::Eq(c) => {
+                let (_, eq) = self.lt_eq_slices(c);
+                out.copy_from_slice(&eq);
+            }
+            Predicate::Ne(c) => {
+                let (_, eq) = self.lt_eq_slices(c);
+                for w in 0..words {
+                    out[w] = !eq[w];
+                }
+            }
+            Predicate::Between(c1, c2) => {
+                let (lt1, _) = self.lt_eq_slices(c1);
+                let (lt2, eq2) = self.lt_eq_slices(c2);
+                for w in 0..words {
+                    out[w] = !lt1[w] & (lt2[w] | eq2[w]);
+                }
+            }
+        }
+        self.mask_tail(&mut out);
+        out
+    }
+
+    /// Software evaluation of `c1 <= v <= c2` (the Figure 11 predicate).
+    pub fn scan_between(&self, c1: u32, c2: u32) -> Vec<u64> {
+        self.scan(Predicate::Between(c1, c2))
+    }
+}
+
+/// Handles for the column's slices and scratch vectors in Ambit memory.
+#[derive(Debug)]
+pub struct AmbitColumn {
+    slices: Vec<BitVectorHandle>,
+    rows: usize,
+    bits: usize,
+    padded: usize,
+}
+
+impl AmbitColumn {
+    /// Loads a bit-sliced column into Ambit memory (workload setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device lacks capacity.
+    pub fn load(mem: &mut AmbitMemory, column: &BitSlicedColumn) -> Self {
+        let row_bits = mem.row_bits();
+        let padded = column.rows().div_ceil(row_bits) * row_bits;
+        let slices = (0..column.bits())
+            .map(|j| {
+                let h = mem.alloc(padded).expect("device capacity");
+                let words = column.slice(j);
+                let bits: Vec<bool> = (0..padded)
+                    .map(|i| i < column.rows() && (words[i / 64] >> (i % 64)) & 1 == 1)
+                    .collect();
+                mem.poke_bits(h, &bits).expect("load slice");
+                h
+            })
+            .collect();
+        AmbitColumn {
+            slices,
+            rows: column.rows(),
+            bits: column.bits(),
+            padded,
+        }
+    }
+
+    /// One in-DRAM BitWeaving pass: leaves the packed `(v < c, v == c)`
+    /// vectors in `lt`/`eq`, sharing the `not_v`/`tmp` scratch handles.
+    #[allow(clippy::too_many_arguments)] // a pass is naturally (c, lt, eq, scratch×2, acc)
+    fn lt_eq_pass(
+        &self,
+        mem: &mut AmbitMemory,
+        c: u32,
+        lt: BitVectorHandle,
+        eq: BitVectorHandle,
+        not_v: BitVectorHandle,
+        tmp: BitVectorHandle,
+        total: &mut Option<OpReceipt>,
+    ) {
+        let run = |mem: &mut AmbitMemory,
+                   op: BitwiseOp,
+                   a: BitVectorHandle,
+                   b: Option<BitVectorHandle>,
+                   d: BitVectorHandle,
+                   total: &mut Option<OpReceipt>| {
+            let r = mem.bitwise(op, a, b, d).expect("bulk op");
+            match total {
+                Some(t) => t.absorb(&r),
+                None => *total = Some(r),
+            }
+        };
+        run(mem, BitwiseOp::InitZero, lt, None, lt, total);
+        run(mem, BitwiseOp::InitOne, eq, None, eq, total);
+        for j in 0..self.bits {
+            let v = self.slices[j];
+            let c_bit = c >> (self.bits - 1 - j) & 1 == 1;
+            run(mem, BitwiseOp::Not, v, None, not_v, total);
+            if c_bit {
+                run(mem, BitwiseOp::And, eq, Some(not_v), tmp, total);
+                run(mem, BitwiseOp::Or, lt, Some(tmp), lt, total);
+                run(mem, BitwiseOp::And, eq, Some(v), eq, total);
+            } else {
+                run(mem, BitwiseOp::And, eq, Some(not_v), eq, total);
+            }
+        }
+    }
+
+    /// Evaluates any [`Predicate`] entirely with bulk in-DRAM operations.
+    /// Returns the predicate match count and the controller receipt
+    /// spanning the whole scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device lacks capacity for the scratch vectors.
+    pub fn scan(&self, mem: &mut AmbitMemory, predicate: Predicate) -> (usize, OpReceipt) {
+        let (count, receipt, _) = self.scan_with_result(mem, predicate);
+        (count, receipt)
+    }
+
+    /// As [`scan`](Self::scan), but also returns the handle of the packed
+    /// result bitvector left in Ambit memory — so multi-column engines can
+    /// AND partial results without a round trip (see
+    /// [`AmbitTable`](crate::table::AmbitTable)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device lacks capacity for the scratch vectors.
+    pub fn scan_with_result(
+        &self,
+        mem: &mut AmbitMemory,
+        predicate: Predicate,
+    ) -> (usize, OpReceipt, BitVectorHandle) {
+        let padded = self.padded;
+        let alloc = |mem: &mut AmbitMemory| mem.alloc(padded).expect("capacity");
+        let lt1 = alloc(mem);
+        let eq1 = alloc(mem);
+        let not_v = alloc(mem);
+        let tmp = alloc(mem);
+        let out = alloc(mem);
+
+        let mut total: Option<OpReceipt> = None;
+        let run = |mem: &mut AmbitMemory,
+                   op: BitwiseOp,
+                   a: BitVectorHandle,
+                   b: Option<BitVectorHandle>,
+                   d: BitVectorHandle,
+                   total: &mut Option<OpReceipt>| {
+            let r = mem.bitwise(op, a, b, d).expect("bulk op");
+            match total {
+                Some(t) => t.absorb(&r),
+                None => *total = Some(r),
+            }
+        };
+
+        match predicate {
+            Predicate::Lt(c) => {
+                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total);
+                run(mem, BitwiseOp::Copy, lt1, None, out, &mut total);
+            }
+            Predicate::Le(c) => {
+                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total);
+                run(mem, BitwiseOp::Or, lt1, Some(eq1), out, &mut total);
+            }
+            Predicate::Gt(c) => {
+                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total);
+                run(mem, BitwiseOp::Nor, lt1, Some(eq1), out, &mut total);
+            }
+            Predicate::Ge(c) => {
+                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total);
+                run(mem, BitwiseOp::Not, lt1, None, out, &mut total);
+            }
+            Predicate::Eq(c) => {
+                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total);
+                run(mem, BitwiseOp::Copy, eq1, None, out, &mut total);
+            }
+            Predicate::Ne(c) => {
+                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total);
+                run(mem, BitwiseOp::Not, eq1, None, out, &mut total);
+            }
+            Predicate::Between(c1, c2) => {
+                let lt2 = alloc(mem);
+                let eq2 = alloc(mem);
+                self.lt_eq_pass(mem, c1, lt1, eq1, not_v, tmp, &mut total);
+                self.lt_eq_pass(mem, c2, lt2, eq2, not_v, tmp, &mut total);
+                // out = !lt1 & (lt2 | eq2)
+                run(mem, BitwiseOp::Or, lt2, Some(eq2), tmp, &mut total);
+                run(mem, BitwiseOp::Not, lt1, None, not_v, &mut total);
+                run(mem, BitwiseOp::And, tmp, Some(not_v), out, &mut total);
+            }
+        }
+
+        let receipt = total.expect("at least one op ran");
+        // count(*): CPU popcount over the logical rows only.
+        let bits = mem.peek_bits(out).expect("result");
+        let count = bits[..self.rows].iter().filter(|&&b| b).count();
+        (count, receipt, out)
+    }
+
+    /// Evaluates `c1 <= v <= c2` in DRAM (the Figure 11 predicate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device lacks capacity for the scratch vectors.
+    pub fn scan_between(&self, mem: &mut AmbitMemory, c1: u32, c2: u32) -> (usize, OpReceipt) {
+        self.scan(mem, Predicate::Between(c1, c2))
+    }
+}
+
+/// Parameters of one Figure 11 data point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitWeavingWorkload {
+    /// Rows in the table (paper: 1 M – 8 M).
+    pub rows: usize,
+    /// Bits per column value (paper: 4 – 32 in steps of 4).
+    pub bits: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BitWeavingWorkload {
+    /// Generates the column values and a predicate selecting ~⅓ of rows.
+    pub fn generate(&self) -> (Vec<u32>, u32, u32) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let max = if self.bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.bits) - 1
+        };
+        let values: Vec<u32> = (0..self.rows).map(|_| rng.gen_range(0..=max)).collect();
+        let c1 = max / 3;
+        let c2 = 2 * (max / 3);
+        (values, c1, c2)
+    }
+}
+
+/// Outcome of one Figure 11 data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitWeavingResult {
+    /// Baseline (SIMD CPU) scan time, seconds.
+    pub baseline_s: f64,
+    /// Ambit scan time (in-DRAM ops + CPU count), seconds.
+    pub ambit_s: f64,
+    /// Cross-checked predicate match count.
+    pub matches: usize,
+}
+
+impl BitWeavingResult {
+    /// Speedup of Ambit over the baseline (the y-axis of Figure 11).
+    pub fn speedup(&self) -> f64 {
+        self.baseline_s / self.ambit_s
+    }
+}
+
+/// Runs one Figure 11 data point: functional execution of both paths
+/// (cross-checked) plus timing.
+///
+/// # Panics
+///
+/// Panics if the two paths disagree on the match count.
+pub fn run_bitweaving(
+    config: &SystemConfig,
+    mut mem: AmbitMemory,
+    workload: &BitWeavingWorkload,
+) -> BitWeavingResult {
+    let (values, c1, c2) = workload.generate();
+    let column = BitSlicedColumn::from_values(&values, workload.bits);
+
+    // Reference / baseline functional result.
+    let reference = column.scan_between(c1, c2);
+    let ref_count = reference.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+
+    // Baseline timing: one streaming pass over the vertical layout plus
+    // the fused predicate compute (~4 word-ops per slice word) and count.
+    let col_bytes = column.bytes();
+    let result_bytes = workload.rows.div_ceil(8);
+    let baseline_s = config.stream_time_s(col_bytes + result_bytes, 4 * col_bytes, col_bytes)
+        + config.popcount_time_s(result_bytes, col_bytes);
+
+    // Ambit execution.
+    let acol = AmbitColumn::load(&mut mem, &column);
+    let (count, receipt) = acol.scan_between(&mut mem, c1, c2);
+    assert_eq!(count, ref_count, "Ambit scan disagrees with reference");
+    let ambit_s = receipt.latency_ps() as f64 * 1e-12
+        + config.popcount_time_s(result_bytes, col_bytes);
+
+    BitWeavingResult {
+        baseline_s,
+        ambit_s,
+        matches: count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ambit_dram::{AapMode, DramGeometry, TimingParams};
+
+    fn small_mem() -> AmbitMemory {
+        AmbitMemory::new(
+            DramGeometry {
+                banks: 4,
+                subarrays_per_bank: 4,
+                rows_per_subarray: 128,
+                row_bytes: 256,
+                ..DramGeometry::tiny()
+            },
+            TimingParams::ddr3_1600(),
+            AapMode::Overlapped,
+        )
+    }
+
+    #[test]
+    fn vertical_layout_roundtrips_bits() {
+        let values = vec![0b1011u32, 0b0000, 0b1111, 0b0100];
+        let col = BitSlicedColumn::from_values(&values, 4);
+        // MSB slice: values with bit 3 set → rows 0, 2.
+        assert_eq!(col.slice(0)[0], 0b0101);
+        // LSB slice: rows with odd values → rows 0, 2.
+        assert_eq!(col.slice(3)[0], 0b0101);
+        assert_eq!(col.rows(), 4);
+        assert_eq!(col.bits(), 4);
+    }
+
+    #[test]
+    fn software_scan_matches_naive_filter() {
+        let w = BitWeavingWorkload {
+            rows: 3000,
+            bits: 9,
+            seed: 3,
+        };
+        let (values, c1, c2) = w.generate();
+        let col = BitSlicedColumn::from_values(&values, w.bits);
+        let got = col.scan_between(c1, c2);
+        for (row, &v) in values.iter().enumerate() {
+            let expect = v >= c1 && v <= c2;
+            let bit = got[row / 64] >> (row % 64) & 1 == 1;
+            assert_eq!(bit, expect, "row {row} value {v} range [{c1}, {c2}]");
+        }
+    }
+
+    #[test]
+    fn scan_edge_constants() {
+        let values: Vec<u32> = (0..128).collect();
+        let col = BitSlicedColumn::from_values(&values, 8);
+        // Full range selects everything.
+        let all = col.scan_between(0, 255);
+        assert_eq!(all.iter().map(|w| w.count_ones()).sum::<u32>(), 128);
+        // Empty range (c1 > max value present in column's selected window).
+        let none = col.scan_between(200, 255);
+        assert_eq!(none.iter().map(|w| w.count_ones()).sum::<u32>(), 0);
+        // Point query.
+        let one = col.scan_between(77, 77);
+        assert_eq!(one.iter().map(|w| w.count_ones()).sum::<u32>(), 1);
+    }
+
+    #[test]
+    fn ambit_scan_matches_software_scan() {
+        let w = BitWeavingWorkload {
+            rows: 4000,
+            bits: 6,
+            seed: 11,
+        };
+        let r = run_bitweaving(&SystemConfig::gem5_calibrated(), small_mem(), &w);
+        // ~1/3 selectivity.
+        assert!(
+            (r.matches as f64 / 4000.0 - 0.33).abs() < 0.1,
+            "selectivity {}",
+            r.matches
+        );
+    }
+
+    #[test]
+    fn speedup_increases_with_bits_per_column() {
+        // Paper: "the performance improvement of Ambit increases with
+        // increasing number of bits per column". Needs paper-scale rows:
+        // Ambit's advantage is the 8 KB row width.
+        let cfg = SystemConfig::gem5_calibrated();
+        let module = || AmbitMemory::ddr3_module();
+        let narrow = run_bitweaving(
+            &cfg,
+            module(),
+            &BitWeavingWorkload { rows: 512 * 1024, bits: 4, seed: 1 },
+        );
+        let wide = run_bitweaving(
+            &cfg,
+            module(),
+            &BitWeavingWorkload { rows: 512 * 1024, bits: 16, seed: 1 },
+        );
+        assert!(
+            wide.speedup() > narrow.speedup(),
+            "wide {} vs narrow {}",
+            wide.speedup(),
+            narrow.speedup()
+        );
+        assert!(wide.speedup() > 1.0, "Ambit wins at 16 bits: {}", wide.speedup());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_values_rejected() {
+        BitSlicedColumn::from_values(&[16], 4);
+    }
+
+    #[test]
+    fn all_predicates_match_naive_in_software() {
+        let w = BitWeavingWorkload { rows: 2000, bits: 10, seed: 21 };
+        let (values, _, _) = w.generate();
+        let col = BitSlicedColumn::from_values(&values, w.bits);
+        let preds = [
+            Predicate::Lt(300),
+            Predicate::Le(300),
+            Predicate::Gt(300),
+            Predicate::Ge(300),
+            Predicate::Eq(values[7]),
+            Predicate::Ne(values[7]),
+            Predicate::Between(100, 700),
+        ];
+        for p in preds {
+            let got = col.scan(p);
+            for (row, &v) in values.iter().enumerate() {
+                let bit = got[row / 64] >> (row % 64) & 1 == 1;
+                assert_eq!(bit, p.matches(v), "{p} row {row} value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_predicates_match_in_dram() {
+        let w = BitWeavingWorkload { rows: 1500, bits: 8, seed: 22 };
+        let (values, _, _) = w.generate();
+        let col = BitSlicedColumn::from_values(&values, w.bits);
+        let preds = [
+            Predicate::Lt(100),
+            Predicate::Le(100),
+            Predicate::Gt(100),
+            Predicate::Ge(100),
+            Predicate::Eq(values[3]),
+            Predicate::Ne(values[3]),
+            Predicate::Between(64, 192),
+        ];
+        for p in preds {
+            let mut mem = small_mem();
+            let acol = AmbitColumn::load(&mut mem, &col);
+            let (count, _) = acol.scan(&mut mem, p);
+            let expect = values.iter().filter(|&&v| p.matches(v)).count();
+            assert_eq!(count, expect, "{p}");
+        }
+    }
+
+    #[test]
+    fn complementary_predicates_partition_the_column() {
+        let w = BitWeavingWorkload { rows: 1000, bits: 6, seed: 23 };
+        let (values, _, _) = w.generate();
+        let col = BitSlicedColumn::from_values(&values, w.bits);
+        let mut mem = small_mem();
+        let acol = AmbitColumn::load(&mut mem, &col);
+        let (lt, _) = acol.scan(&mut mem, Predicate::Lt(30));
+        let (ge, _) = acol.scan(&mut mem, Predicate::Ge(30));
+        assert_eq!(lt + ge, 1000, "Lt and Ge partition every row");
+        let (eq, _) = acol.scan(&mut mem, Predicate::Eq(30));
+        let (ne, _) = acol.scan(&mut mem, Predicate::Ne(30));
+        assert_eq!(eq + ne, 1000);
+    }
+}

@@ -1,0 +1,330 @@
+//! Bit-parallel DNA read pre-alignment filtering (paper Section 8.4.4,
+//! in the spirit of Shifted Hamming Distance / GateKeeper).
+//!
+//! Bases are 2-bit encoded into two bitplanes (`hi`, `lo`). For a read
+//! against a reference window, the per-position mismatch vector is
+//!
+//! ```text
+//! mismatch = (read.hi ^ ref.hi) | (read.lo ^ ref.lo)
+//! ```
+//!
+//! computed with bulk XOR/OR. A filter accepts a candidate location when
+//! the mismatch popcount is within the edit threshold for at least one
+//! small shift of the read — cheap bitwise work that discards most
+//! candidate locations before expensive alignment.
+
+use ambit_core::{AmbitMemory, BitVectorHandle, BitwiseOp, OpReceipt};
+
+/// A DNA base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Base {
+    /// Adenine.
+    A,
+    /// Cytosine.
+    C,
+    /// Guanine.
+    G,
+    /// Thymine.
+    T,
+}
+
+impl Base {
+    /// 2-bit encoding: `(hi, lo)`.
+    pub fn encode(self) -> (bool, bool) {
+        match self {
+            Base::A => (false, false),
+            Base::C => (false, true),
+            Base::G => (true, false),
+            Base::T => (true, true),
+        }
+    }
+
+    /// Parses one ASCII base.
+    ///
+    /// # Panics
+    ///
+    /// Panics on characters other than `ACGT` (case-insensitive).
+    pub fn from_char(c: char) -> Base {
+        match c.to_ascii_uppercase() {
+            'A' => Base::A,
+            'C' => Base::C,
+            'G' => Base::G,
+            'T' => Base::T,
+            other => panic!("not a DNA base: {other:?}"),
+        }
+    }
+}
+
+/// Parses a sequence string into bases.
+///
+/// # Panics
+///
+/// Panics on non-ACGT characters.
+pub fn parse_sequence(s: &str) -> Vec<Base> {
+    s.chars().map(Base::from_char).collect()
+}
+
+/// The two bitplanes of a 2-bit-encoded sequence window, resident in
+/// Ambit memory.
+#[derive(Debug, Clone, Copy)]
+struct Planes {
+    hi: BitVectorHandle,
+    lo: BitVectorHandle,
+}
+
+/// A pre-alignment filter comparing reads against a reference window
+/// using bulk in-DRAM bitwise operations.
+#[derive(Debug)]
+pub struct DnaFilter {
+    mem: AmbitMemory,
+    reference: Vec<Base>,
+    window: usize,
+    padded: usize,
+    read_planes: Planes,
+    ref_planes: Planes,
+    scratch: Planes,
+    mismatch: BitVectorHandle,
+}
+
+impl DnaFilter {
+    /// Creates a filter for `window`-base comparisons against `reference`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is shorter than the window or the device
+    /// lacks capacity.
+    pub fn new(mut mem: AmbitMemory, reference: Vec<Base>, window: usize) -> Self {
+        assert!(reference.len() >= window, "reference shorter than window");
+        let row = mem.row_bits();
+        let padded = window.div_ceil(row) * row;
+        let alloc = |mem: &mut AmbitMemory| mem.alloc(padded).expect("capacity");
+        let read_planes = Planes { hi: alloc(&mut mem), lo: alloc(&mut mem) };
+        let ref_planes = Planes { hi: alloc(&mut mem), lo: alloc(&mut mem) };
+        let scratch = Planes { hi: alloc(&mut mem), lo: alloc(&mut mem) };
+        let mismatch = alloc(&mut mem);
+        DnaFilter {
+            mem,
+            reference,
+            window,
+            padded,
+            read_planes,
+            ref_planes,
+            scratch,
+            mismatch,
+        }
+    }
+
+    /// The comparison window length in bases.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    fn load_planes(&mut self, planes: Planes, bases: &[Base]) {
+        let mut hi = vec![false; self.padded];
+        let mut lo = vec![false; self.padded];
+        for (i, b) in bases.iter().enumerate().take(self.window) {
+            let (h, l) = b.encode();
+            hi[i] = h;
+            lo[i] = l;
+        }
+        self.mem.poke_bits(planes.hi, &hi).expect("plane");
+        self.mem.poke_bits(planes.lo, &lo).expect("plane");
+    }
+
+    /// Counts base mismatches between `read` and the reference at
+    /// `position`, entirely with bulk bitwise operations (plus the final
+    /// CPU popcount). Positions beyond the read length count as matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit the reference at `position`.
+    pub fn mismatches_at(&mut self, read: &[Base], position: usize) -> (usize, OpReceipt) {
+        assert!(
+            position + self.window <= self.reference.len(),
+            "window at {position} exceeds reference"
+        );
+        let window = self.window.min(read.len());
+        let ref_slice: Vec<Base> = self.reference[position..position + self.window].to_vec();
+        self.load_planes(self.read_planes, read);
+        self.load_planes(self.ref_planes, &ref_slice);
+
+        // mismatch = (r.hi ^ g.hi) | (r.lo ^ g.lo)
+        let mut receipt = self
+            .mem
+            .bitwise(
+                BitwiseOp::Xor,
+                self.read_planes.hi,
+                Some(self.ref_planes.hi),
+                self.scratch.hi,
+            )
+            .expect("xor hi");
+        receipt.absorb(
+            &self
+                .mem
+                .bitwise(
+                    BitwiseOp::Xor,
+                    self.read_planes.lo,
+                    Some(self.ref_planes.lo),
+                    self.scratch.lo,
+                )
+                .expect("xor lo"),
+        );
+        receipt.absorb(
+            &self
+                .mem
+                .bitwise(
+                    BitwiseOp::Or,
+                    self.scratch.hi,
+                    Some(self.scratch.lo),
+                    self.mismatch,
+                )
+                .expect("or"),
+        );
+        let bits = self.mem.peek_bits(self.mismatch).expect("mismatch");
+        let count = bits[..window].iter().filter(|&&b| b).count();
+        (count, receipt)
+    }
+
+    /// Shifted-Hamming-Distance-style filter: accepts `position` if some
+    /// shift in `-max_shift..=max_shift` brings the mismatch count within
+    /// `threshold`. Returns `(accepted, best_mismatches)`.
+    pub fn filter(
+        &mut self,
+        read: &[Base],
+        position: usize,
+        max_shift: usize,
+        threshold: usize,
+    ) -> (bool, usize) {
+        let mut best = usize::MAX;
+        for shift in 0..=2 * max_shift {
+            let offset = position as isize - max_shift as isize + shift as isize;
+            if offset < 0 || offset as usize + self.window > self.reference.len() {
+                continue;
+            }
+            let (mis, _) = self.mismatches_at(read, offset as usize);
+            best = best.min(mis);
+            if best <= threshold {
+                return (true, best);
+            }
+        }
+        (best <= threshold, best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ambit_dram::{AapMode, DramGeometry, TimingParams};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn mem() -> AmbitMemory {
+        AmbitMemory::new(
+            DramGeometry::tiny(),
+            TimingParams::ddr3_1600(),
+            AapMode::Overlapped,
+        )
+    }
+
+    fn random_seq(n: usize, seed: u64) -> Vec<Base> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| match rng.gen_range(0..4) {
+                0 => Base::A,
+                1 => Base::C,
+                2 => Base::G,
+                _ => Base::T,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encoding_is_injective() {
+        let codes: Vec<(bool, bool)> =
+            [Base::A, Base::C, Base::G, Base::T].iter().map(|b| b.encode()).collect();
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4);
+    }
+
+    #[test]
+    fn exact_match_has_zero_mismatches() {
+        let reference = random_seq(96, 1);
+        let read = reference[16..48].to_vec();
+        let mut f = DnaFilter::new(mem(), reference, 32);
+        let (mis, _) = f.mismatches_at(&read, 16);
+        assert_eq!(mis, 0);
+    }
+
+    #[test]
+    fn mismatch_count_matches_naive_comparison() {
+        let reference = random_seq(128, 2);
+        let read = random_seq(32, 3);
+        let mut f = DnaFilter::new(mem(), reference.clone(), 32);
+        for pos in [0, 17, 96] {
+            let (got, _) = f.mismatches_at(&read, pos);
+            let expect = read
+                .iter()
+                .zip(&reference[pos..pos + 32])
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(got, expect, "position {pos}");
+        }
+    }
+
+    #[test]
+    fn point_mutations_count_exactly() {
+        let reference = random_seq(64, 4);
+        let mut read = reference[0..32].to_vec();
+        // Flip three bases to something different.
+        for &i in &[3usize, 15, 28] {
+            read[i] = match read[i] {
+                Base::A => Base::C,
+                Base::C => Base::G,
+                Base::G => Base::T,
+                Base::T => Base::A,
+            };
+        }
+        let mut f = DnaFilter::new(mem(), reference, 32);
+        let (mis, _) = f.mismatches_at(&read, 0);
+        assert_eq!(mis, 3);
+    }
+
+    #[test]
+    fn filter_recovers_shifted_reads() {
+        let reference = random_seq(256, 5);
+        // A read taken from offset 100 but tested at candidate position 98:
+        // plain comparison fails, the shifted filter recovers it.
+        let read = reference[100..132].to_vec();
+        let mut f = DnaFilter::new(mem(), reference, 32);
+        let (direct, _) = f.mismatches_at(&read, 98);
+        assert!(direct > 3, "misaligned comparison looks bad: {direct}");
+        let (accepted, best) = f.filter(&read, 98, 3, 2);
+        assert!(accepted, "shifted filter finds the true locus");
+        assert_eq!(best, 0);
+    }
+
+    #[test]
+    fn filter_rejects_random_reads() {
+        let reference = random_seq(256, 6);
+        let read = random_seq(32, 7);
+        let mut f = DnaFilter::new(mem(), reference, 32);
+        let (accepted, best) = f.filter(&read, 100, 2, 2);
+        assert!(!accepted, "random read passed with {best} mismatches");
+    }
+
+    #[test]
+    fn parse_sequence_roundtrip() {
+        let seq = parse_sequence("ACGTacgt");
+        assert_eq!(seq.len(), 8);
+        assert_eq!(seq[0], Base::A);
+        assert_eq!(seq[7], Base::T);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a DNA base")]
+    fn bad_base_rejected() {
+        parse_sequence("ACGX");
+    }
+}

@@ -1,0 +1,364 @@
+//! The set-operation study of the paper's Section 8.3 (Figure 12):
+//! red-black trees vs SIMD bitsets vs Ambit-accelerated bitvectors for
+//! m-way union, intersection, and difference.
+//!
+//! All three implementations run *functionally* on the same generated
+//! workload and are cross-checked element-for-element; execution time is
+//! then modelled per implementation:
+//!
+//! * **RB-tree** — node visits are counted by the instrumented tree during
+//!   the actual run and converted to time with the tiered random-access
+//!   latency of the CPU model (trees are pointer-chasing structures);
+//! * **Bitset** — a streaming kernel over `(m+1)·N/8` bytes, bandwidth-
+//!   tiered by working set (the 128-bit-SIMD baseline);
+//! * **Ambit** — the makespan reported by the Ambit controller for the
+//!   `(m−1)` in-DRAM bulk operations (sets are memory-resident; the result
+//!   remains in memory, as in the paper's benchmark).
+
+use ambit_core::AmbitMemory;
+use ambit_sys::SystemConfig;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::amset::AmbitSetArena;
+use crate::bitset::BitSet;
+use crate::rbtree::RbTree;
+
+/// Which set operation Figure 12 evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetOperation {
+    /// m-way union.
+    Union,
+    /// m-way intersection.
+    Intersection,
+    /// Left-fold difference: `s1 \ s2 \ … \ sm`.
+    Difference,
+}
+
+impl SetOperation {
+    /// All three operations in figure order.
+    pub const ALL: [SetOperation; 3] = [
+        SetOperation::Union,
+        SetOperation::Intersection,
+        SetOperation::Difference,
+    ];
+}
+
+impl std::fmt::Display for SetOperation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SetOperation::Union => "union",
+            SetOperation::Intersection => "intersection",
+            SetOperation::Difference => "difference",
+        })
+    }
+}
+
+/// Workload parameters (paper: m = 15 input sets, N = 512 k domain,
+/// e ∈ {4 … 1 k} elements per set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetWorkload {
+    /// Number of input sets.
+    pub m: usize,
+    /// Domain size N (elements are in `0..domain`).
+    pub domain: usize,
+    /// Elements actually present in each input set.
+    pub elements_per_set: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl SetWorkload {
+    /// The paper's Figure 12 configuration for a given `e`.
+    pub fn figure12(elements_per_set: usize) -> Self {
+        SetWorkload {
+            m: 15,
+            domain: 512 * 1024,
+            elements_per_set,
+            seed: 0x5e7_0b5,
+        }
+    }
+
+    /// Generates the m input element lists. To keep intersections
+    /// non-trivially populated (as any meaningful benchmark does), half of
+    /// each set is drawn from a small shared pool and half uniformly.
+    pub fn generate(&self) -> Vec<Vec<usize>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut universe: Vec<usize> = (0..self.domain).collect();
+        universe.shuffle(&mut rng);
+        let shared: Vec<usize> = universe[..self.elements_per_set.div_ceil(2)].to_vec();
+        (0..self.m)
+            .map(|i| {
+                let mut set: Vec<usize> = shared.clone();
+                let start = self.elements_per_set * (i + 1);
+                for &v in universe[start..].iter() {
+                    if set.len() >= self.elements_per_set {
+                        break;
+                    }
+                    if !shared.contains(&v) {
+                        set.push(v);
+                    }
+                }
+                set.sort_unstable();
+                set.dedup();
+                set
+            })
+            .collect()
+    }
+}
+
+/// Measured/modelled outcome for one (workload, operation) point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetOpResult {
+    /// Modelled RB-tree time, seconds.
+    pub rbtree_s: f64,
+    /// Modelled bitset (SIMD baseline) time, seconds.
+    pub bitset_s: f64,
+    /// Ambit in-DRAM makespan, seconds.
+    pub ambit_s: f64,
+    /// Size of the (cross-checked) result set.
+    pub result_len: usize,
+}
+
+impl SetOpResult {
+    /// Times normalized to the RB-tree baseline, `(rb, bitset, ambit)` —
+    /// the y-axis of Figure 12.
+    pub fn normalized(&self) -> (f64, f64, f64) {
+        (
+            1.0,
+            self.bitset_s / self.rbtree_s,
+            self.ambit_s / self.rbtree_s,
+        )
+    }
+}
+
+/// Runs one Figure 12 data point: functional execution of all three
+/// implementations (with cross-checking) plus time modelling.
+///
+/// `mem` supplies the Ambit device; the arena is rebuilt per call.
+///
+/// # Panics
+///
+/// Panics if the three implementations disagree on the result set — that
+/// would be a correctness bug, not a workload property.
+pub fn run_setop(
+    config: &SystemConfig,
+    mem: AmbitMemory,
+    workload: &SetWorkload,
+    op: SetOperation,
+) -> SetOpResult {
+    let inputs = workload.generate();
+
+    // ---------- RB-tree (instrumented functional run) ----------
+    let trees: Vec<RbTree<usize>> = inputs
+        .iter()
+        .map(|set| set.iter().copied().collect())
+        .collect();
+    for t in &trees {
+        t.reset_visits();
+    }
+    let rb_result: RbTree<usize> = match op {
+        SetOperation::Union => {
+            let mut out = RbTree::new();
+            for t in &trees {
+                for &k in t.iter() {
+                    out.insert(k);
+                }
+            }
+            out
+        }
+        SetOperation::Intersection => {
+            let mut out = RbTree::new();
+            'outer: for &k in trees[0].iter() {
+                for t in &trees[1..] {
+                    if !t.contains(&k) {
+                        continue 'outer;
+                    }
+                }
+                out.insert(k);
+            }
+            out
+        }
+        SetOperation::Difference => {
+            let mut out = RbTree::new();
+            'outer: for &k in trees[0].iter() {
+                for t in &trees[1..] {
+                    if t.contains(&k) {
+                        continue 'outer;
+                    }
+                }
+                out.insert(k);
+            }
+            out
+        }
+    };
+    let total_visits: u64 =
+        trees.iter().map(|t| t.visits()).sum::<u64>() + rb_result.visits();
+    // ~40 B per node (key + color + three links).
+    let tree_bytes = (workload.m * workload.elements_per_set + rb_result.len()) * 40;
+    let rbtree_s = config.random_access_time_s(total_visits as usize, tree_bytes);
+
+    // ---------- Bitset (functional + stream model) ----------
+    let mut bitsets: Vec<BitSet> = inputs
+        .iter()
+        .map(|set| {
+            let mut b = BitSet::new(workload.domain);
+            for &v in set {
+                b.insert(v);
+            }
+            b
+        })
+        .collect();
+    let first = bitsets.remove(0);
+    let bs_result = bitsets.iter().fold(first, |acc, b| match op {
+        SetOperation::Union => acc.union(b),
+        SetOperation::Intersection => acc.intersection(b),
+        SetOperation::Difference => acc.difference(b),
+    });
+    let vec_bytes = workload.domain.div_ceil(8);
+    let bytes_moved = (workload.m + 1) * vec_bytes;
+    let bitset_s = config.stream_time_s(bytes_moved, bytes_moved, bytes_moved);
+
+    // ---------- Ambit (functional run on the simulated device) ----------
+    let mut arena = AmbitSetArena::new(mem, workload.domain);
+    let handles: Vec<_> = inputs
+        .iter()
+        .map(|set| {
+            let h = arena.new_set().expect("device capacity");
+            arena.load(h, set).expect("load");
+            h
+        })
+        .collect();
+    let out = arena.new_set().expect("device capacity");
+    let mut start_ps = None;
+    let mut end_ps = 0;
+    // Left-fold: out = ((s1 op s2) op s3) …
+    let mut acc = handles[0];
+    for &h in &handles[1..] {
+        let receipt = match op {
+            SetOperation::Union => arena.union(out, acc, h),
+            SetOperation::Intersection => arena.intersection(out, acc, h),
+            SetOperation::Difference => arena.difference(out, acc, h),
+        }
+        .expect("in-DRAM set op");
+        start_ps.get_or_insert(receipt.start_ps);
+        end_ps = receipt.end_ps;
+        acc = out;
+    }
+    let ambit_s = (end_ps - start_ps.unwrap_or(0)) as f64 * 1e-12;
+
+    // ---------- cross-check ----------
+    let rb_elems: Vec<usize> = rb_result.iter().copied().collect();
+    let bs_elems: Vec<usize> = bs_result.iter().collect();
+    let am_elems = arena.elements(out).expect("read result");
+    assert_eq!(rb_elems, bs_elems, "{op}: RB-tree and bitset disagree");
+    assert_eq!(rb_elems, am_elems, "{op}: RB-tree and Ambit disagree");
+
+    SetOpResult {
+        rbtree_s,
+        bitset_s,
+        ambit_s,
+        result_len: rb_elems.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ambit_dram::{AapMode, DramGeometry, TimingParams};
+
+    fn small_mem() -> AmbitMemory {
+        AmbitMemory::new(
+            DramGeometry {
+                subarrays_per_bank: 4,
+                rows_per_subarray: 64,
+                row_bytes: 1024,
+                ..DramGeometry::tiny()
+            },
+            TimingParams::ddr3_1600(),
+            AapMode::Overlapped,
+        )
+    }
+
+    fn small_workload(e: usize) -> SetWorkload {
+        SetWorkload {
+            m: 5,
+            domain: 16 * 1024,
+            elements_per_set: e,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn workload_generation_is_deterministic_and_sized() {
+        let w = small_workload(50);
+        let a = w.generate();
+        let b = w.generate();
+        assert_eq!(a, b, "same seed, same workload");
+        assert_eq!(a.len(), 5);
+        for set in &a {
+            assert_eq!(set.len(), 50);
+            assert!(set.windows(2).all(|p| p[0] < p[1]), "sorted unique");
+            assert!(set.iter().all(|&v| v < w.domain));
+        }
+    }
+
+    #[test]
+    fn sets_share_elements_so_intersection_is_nonempty() {
+        let w = small_workload(40);
+        let r = run_setop(
+            &SystemConfig::gem5_calibrated(),
+            small_mem(),
+            &w,
+            SetOperation::Intersection,
+        );
+        assert!(r.result_len >= 10, "shared pool keeps intersections alive");
+    }
+
+    #[test]
+    fn all_ops_cross_check_and_produce_times() {
+        let w = small_workload(30);
+        for op in SetOperation::ALL {
+            let r = run_setop(&SystemConfig::gem5_calibrated(), small_mem(), &w, op);
+            assert!(r.rbtree_s > 0.0 && r.bitset_s > 0.0 && r.ambit_s > 0.0, "{op}");
+        }
+    }
+
+    #[test]
+    fn rbtree_time_grows_with_elements() {
+        let cfg = SystemConfig::gem5_calibrated();
+        let small = run_setop(&cfg, small_mem(), &small_workload(10), SetOperation::Union);
+        let large = run_setop(&cfg, small_mem(), &small_workload(200), SetOperation::Union);
+        assert!(large.rbtree_s > 3.0 * small.rbtree_s);
+        // While bitset cost is independent of population.
+        assert!((large.bitset_s - small.bitset_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure12_crossover_shape() {
+        // Paper: RB-tree wins at tiny e; Ambit wins from e ≈ 64 up.
+        let cfg = SystemConfig::gem5_calibrated();
+        let w = SetWorkload::figure12(4);
+        let mem = AmbitMemory::ddr3_module();
+        let tiny_e = run_setop(&cfg, mem, &w, SetOperation::Intersection);
+        assert!(
+            tiny_e.rbtree_s < tiny_e.ambit_s || tiny_e.rbtree_s < tiny_e.bitset_s,
+            "RB-tree is competitive at e = 4"
+        );
+
+        let w = SetWorkload::figure12(1024);
+        let mem = AmbitMemory::ddr3_module();
+        let big_e = run_setop(&cfg, mem, &w, SetOperation::Intersection);
+        assert!(
+            big_e.ambit_s < big_e.rbtree_s,
+            "Ambit wins at e = 1k: ambit {} vs rb {}",
+            big_e.ambit_s,
+            big_e.rbtree_s
+        );
+        assert!(
+            big_e.ambit_s < big_e.bitset_s,
+            "Ambit beats the SIMD bitset everywhere"
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! A multi-column scan engine on bit-sliced storage — the direction of
+//! WideTable (Li & Patel, VLDB'14), which the paper's introduction cites
+//! as "an entire database designed around BitWeaving". Conjunctive
+//! predicates evaluate column by column; the per-column result bitvectors
+//! combine with bulk ANDs, which is exactly where Ambit slots in.
+
+use ambit_core::{AmbitMemory, BitwiseOp, OpReceipt};
+
+use crate::bitweaving::{AmbitColumn, BitSlicedColumn, Predicate};
+
+/// A table of bit-sliced integer columns.
+#[derive(Debug)]
+pub struct BitWeavingTable {
+    columns: Vec<BitSlicedColumn>,
+    names: Vec<String>,
+    rows: usize,
+}
+
+/// One conjunct of a query: a predicate on a named column.
+#[derive(Debug, Clone)]
+pub struct ColumnPredicate {
+    /// Column name.
+    pub column: String,
+    /// The predicate.
+    pub predicate: Predicate,
+}
+
+impl BitWeavingTable {
+    /// Creates an empty table with `rows` rows.
+    pub fn new(rows: usize) -> Self {
+        BitWeavingTable {
+            columns: Vec::new(),
+            names: Vec::new(),
+            rows,
+        }
+    }
+
+    /// Adds a column from row-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count differs from the table's row count, the
+    /// name is duplicated, or values exceed `bits`.
+    pub fn add_column(&mut self, name: &str, values: &[u32], bits: usize) -> &mut Self {
+        assert_eq!(values.len(), self.rows, "column length mismatch");
+        assert!(
+            !self.names.iter().any(|n| n == name),
+            "duplicate column {name}"
+        );
+        self.columns.push(BitSlicedColumn::from_values(values, bits));
+        self.names.push(name.to_string());
+        self
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    fn column(&self, name: &str) -> &BitSlicedColumn {
+        let idx = self
+            .names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("no column named {name}"));
+        &self.columns[idx]
+    }
+
+    /// Software execution of `select count(*) where p1 AND p2 AND …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown column or empty predicate list.
+    pub fn count_where(&self, predicates: &[ColumnPredicate]) -> usize {
+        assert!(!predicates.is_empty(), "query needs at least one predicate");
+        let words = self.rows.div_ceil(64);
+        let mut acc = vec![u64::MAX; words];
+        for p in predicates {
+            let result = self.column(&p.column).scan(p.predicate);
+            for w in 0..words {
+                acc[w] &= result[w];
+            }
+        }
+        if !self.rows.is_multiple_of(64) {
+            acc[words - 1] &= (1u64 << (self.rows % 64)) - 1;
+        }
+        acc.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `select value, count(*) group by column` for a low-cardinality
+    /// column: one equality scan per distinct value, each a pure bitwise
+    /// pass — the group-by idiom of bit-sliced engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown column or a column wider than 16 bits (the
+    /// scan-per-value strategy only makes sense for low cardinality).
+    pub fn group_count(&self, column: &str) -> Vec<(u32, usize)> {
+        let col = self.column(column);
+        assert!(
+            col.bits() <= 16,
+            "group_count is for low-cardinality columns (≤16 bits)"
+        );
+        let max = (1u32 << col.bits()) - 1;
+        (0..=max)
+            .filter_map(|v| {
+                let result = col.scan(Predicate::Eq(v));
+                let count: usize = result.iter().map(|w| w.count_ones() as usize).sum();
+                (count > 0).then_some((v, count))
+            })
+            .collect()
+    }
+
+    /// Naive row-at-a-time reference (for testing): evaluates every
+    /// predicate on every row.
+    pub fn count_where_naive(&self, predicates: &[ColumnPredicate]) -> usize {
+        (0..self.rows)
+            .filter(|&row| {
+                predicates.iter().all(|p| {
+                    let col = self.column(&p.column);
+                    let mut v = 0u32;
+                    for j in 0..col.bits() {
+                        let bit = col.slice(j)[row / 64] >> (row % 64) & 1;
+                        v |= (bit as u32) << (col.bits() - 1 - j);
+                    }
+                    p.predicate.matches(v)
+                })
+            })
+            .count()
+    }
+}
+
+/// The same table resident in Ambit memory: per-column slice handles plus
+/// an accumulator for conjunctive queries.
+#[derive(Debug)]
+pub struct AmbitTable {
+    columns: Vec<AmbitColumn>,
+    names: Vec<String>,
+    rows: usize,
+}
+
+impl AmbitTable {
+    /// Loads every column of `table` into Ambit memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device lacks capacity.
+    pub fn load(mem: &mut AmbitMemory, table: &BitWeavingTable) -> Self {
+        let columns = table
+            .columns
+            .iter()
+            .map(|c| AmbitColumn::load(mem, c))
+            .collect();
+        AmbitTable {
+            columns,
+            names: table.names.clone(),
+            rows: table.rows,
+        }
+    }
+
+    /// In-DRAM execution of `select count(*) where p1 AND p2 AND …`:
+    /// each per-column predicate runs as an in-DRAM scan, the partial
+    /// results AND together with bulk operations, and the final count is
+    /// a CPU popcount.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown columns, empty predicates, or device capacity.
+    pub fn count_where(
+        &self,
+        mem: &mut AmbitMemory,
+        predicates: &[ColumnPredicate],
+    ) -> (usize, OpReceipt) {
+        assert!(!predicates.is_empty(), "query needs at least one predicate");
+        let mut receipt: Option<OpReceipt> = None;
+        let mut acc: Option<ambit_core::BitVectorHandle> = None;
+
+        for p in predicates {
+            let idx = self
+                .names
+                .iter()
+                .position(|n| n == &p.column)
+                .unwrap_or_else(|| panic!("no column named {}", p.column));
+            let (_, scan_receipt, result) =
+                self.columns[idx].scan_with_result(mem, p.predicate);
+            match &mut receipt {
+                Some(r) => r.absorb(&scan_receipt),
+                None => receipt = Some(scan_receipt),
+            }
+            acc = Some(match acc {
+                None => result,
+                Some(acc_h) => {
+                    let r = mem
+                        .bitwise(BitwiseOp::And, acc_h, Some(result), acc_h)
+                        .expect("and");
+                    receipt.as_mut().expect("set above").absorb(&r);
+                    acc_h
+                }
+            });
+        }
+
+        let acc = acc.expect("at least one predicate");
+        let bits = mem.peek_bits(acc).expect("result");
+        let count = bits[..self.rows].iter().filter(|&&b| b).count();
+        (count, receipt.expect("at least one scan"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ambit_dram::{AapMode, DramGeometry, TimingParams};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_table(rows: usize, seed: u64) -> BitWeavingTable {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let age: Vec<u32> = (0..rows).map(|_| rng.gen_range(0..100)).collect();
+        let income: Vec<u32> = (0..rows).map(|_| rng.gen_range(0..4096)).collect();
+        let region: Vec<u32> = (0..rows).map(|_| rng.gen_range(0..8)).collect();
+        let mut t = BitWeavingTable::new(rows);
+        t.add_column("age", &age, 7)
+            .add_column("income", &income, 12)
+            .add_column("region", &region, 3);
+        t
+    }
+
+    fn query() -> Vec<ColumnPredicate> {
+        vec![
+            ColumnPredicate { column: "age".into(), predicate: Predicate::Between(18, 65) },
+            ColumnPredicate { column: "income".into(), predicate: Predicate::Ge(1000) },
+            ColumnPredicate { column: "region".into(), predicate: Predicate::Eq(3) },
+        ]
+    }
+
+    #[test]
+    fn software_scan_matches_naive() {
+        let t = sample_table(3000, 1);
+        assert_eq!(t.count_where(&query()), t.count_where_naive(&query()));
+    }
+
+    #[test]
+    fn single_predicate_queries() {
+        let t = sample_table(1000, 2);
+        let q = vec![ColumnPredicate {
+            column: "region".into(),
+            predicate: Predicate::Lt(4),
+        }];
+        let count = t.count_where(&q);
+        assert_eq!(count, t.count_where_naive(&q));
+        // Uniform over 8 regions: about half.
+        assert!((count as f64 / 1000.0 - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn ambit_table_matches_software() {
+        let t = sample_table(2000, 3);
+        let mut mem = AmbitMemory::new(
+            DramGeometry {
+                banks: 2,
+                subarrays_per_bank: 4,
+                rows_per_subarray: 128,
+                row_bytes: 256,
+                ..DramGeometry::tiny()
+            },
+            TimingParams::ddr3_1600(),
+            AapMode::Overlapped,
+        );
+        let at = AmbitTable::load(&mut mem, &t);
+        let (count, receipt) = at.count_where(&mut mem, &query());
+        assert_eq!(count, t.count_where_naive(&query()));
+        assert!(receipt.aaps > 0);
+    }
+
+    #[test]
+    fn conjunction_narrows_monotonically() {
+        let t = sample_table(2000, 4);
+        let q = query();
+        let c1 = t.count_where(&q[..1]);
+        let c2 = t.count_where(&q[..2]);
+        let c3 = t.count_where(&q);
+        assert!(c1 >= c2 && c2 >= c3);
+        assert!(c3 > 0, "query should select something at 2000 rows");
+    }
+
+    #[test]
+    fn group_count_partitions_the_table() {
+        let t = sample_table(2000, 6);
+        let groups = t.group_count("region");
+        let total: usize = groups.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 2000, "every row belongs to exactly one group");
+        assert_eq!(groups.len(), 8, "uniform over 8 regions at 2000 rows");
+        for &(v, count) in &groups {
+            let q = vec![ColumnPredicate {
+                column: "region".into(),
+                predicate: Predicate::Eq(v),
+            }];
+            assert_eq!(count, t.count_where_naive(&q), "group {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "low-cardinality")]
+    fn group_count_rejects_wide_columns() {
+        let mut t = BitWeavingTable::new(4);
+        t.add_column("wide", &[0, 1, 2, 3], 20);
+        t.group_count("wide");
+    }
+
+    #[test]
+    #[should_panic(expected = "no column named")]
+    fn unknown_column_panics() {
+        let t = sample_table(100, 5);
+        t.count_where(&[ColumnPredicate {
+            column: "salary".into(),
+            predicate: Predicate::Lt(1),
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_column_panics() {
+        let mut t = BitWeavingTable::new(4);
+        t.add_column("a", &[0, 1, 2, 3], 2);
+        t.add_column("a", &[0, 1, 2, 3], 2);
+    }
+}

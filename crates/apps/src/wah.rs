@@ -1,0 +1,522 @@
+//! WAH (Word-Aligned Hybrid) compressed bitvectors — the compression used
+//! by FastBit, one of the bitmap-index systems the paper names in
+//! Section 8.1 (Wu et al., SSDBM'02 is reference [111]).
+//!
+//! WAH splits a bitvector into 31-bit groups and encodes them as 32-bit
+//! words: a *literal* word stores 31 raw bits; a *fill* word run-length
+//! encodes consecutive all-zero or all-one groups. Bitwise AND/OR run
+//! directly on the compressed form.
+//!
+//! In the Ambit context this is the interesting CPU-side counterpoint:
+//! compression makes sparse bitmaps cheap for the CPU but is opaque to
+//! in-DRAM row operations (Ambit computes on uncompressed rows). The
+//! `compressed_bitmaps` harness quantifies that trade-off.
+
+/// A WAH-compressed bitvector over a fixed-length domain.
+///
+/// # Examples
+///
+/// ```
+/// use ambit_apps::WahBitmap;
+///
+/// let mut a = WahBitmap::new(100_000);
+/// a.set(5);
+/// a.set(99_999);
+/// let b = WahBitmap::from_indices(100_000, &[5, 70_000]);
+/// let and = a.and(&b);
+/// assert_eq!(and.iter_ones().collect::<Vec<_>>(), vec![5]);
+/// // Sparse data compresses to a handful of words.
+/// assert!(a.compressed_words() < 20);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WahBitmap {
+    /// Encoded words. Bit 31 set = fill word: bit 30 is the fill value,
+    /// bits 0..30 the run length in 31-bit groups. Bit 31 clear = literal:
+    /// bits 0..31 are 31 payload bits.
+    words: Vec<u32>,
+    /// Logical length in bits.
+    bits: usize,
+}
+
+const GROUP: usize = 31;
+const FILL_FLAG: u32 = 1 << 31;
+const FILL_VALUE: u32 = 1 << 30;
+const LITERAL_MASK: u32 = (1 << 31) - 1;
+const MAX_RUN: u32 = (1 << 30) - 1;
+
+impl WahBitmap {
+    /// Creates an all-zero bitmap of `bits` bits.
+    pub fn new(bits: usize) -> Self {
+        let groups = bits.div_ceil(GROUP);
+        let mut bitmap = WahBitmap { words: Vec::new(), bits };
+        let mut remaining = groups as u32;
+        while remaining > 0 {
+            let run = remaining.min(MAX_RUN);
+            bitmap.words.push(FILL_FLAG | run);
+            remaining -= run;
+        }
+        if groups == 0 {
+            bitmap.words.clear();
+        }
+        bitmap
+    }
+
+    /// Builds a bitmap with the given bit indices set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_indices(bits: usize, indices: &[usize]) -> Self {
+        let mut sorted = indices.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let groups = bits.div_ceil(GROUP);
+        let mut words = Vec::new();
+        let mut idx = 0;
+        let mut group = 0usize;
+        while group < groups {
+            // How many consecutive all-zero groups from here?
+            let next_set_group = sorted
+                .get(idx)
+                .map(|&i| {
+                    assert!(i < bits, "index {i} out of range {bits}");
+                    i / GROUP
+                })
+                .unwrap_or(groups);
+            if next_set_group > group {
+                let mut run = (next_set_group - group) as u32;
+                while run > 0 {
+                    let r = run.min(MAX_RUN);
+                    words.push(FILL_FLAG | r);
+                    run -= r;
+                }
+                group = next_set_group;
+                continue;
+            }
+            // Literal group.
+            let mut literal = 0u32;
+            while idx < sorted.len() && sorted[idx] / GROUP == group {
+                literal |= 1 << (sorted[idx] % GROUP);
+                idx += 1;
+            }
+            words.push(literal);
+            group += 1;
+        }
+        let mut bitmap = WahBitmap { words, bits };
+        bitmap.coalesce();
+        bitmap
+    }
+
+    /// Builds a bitmap from a plain bool slice.
+    pub fn from_bools(data: &[bool]) -> Self {
+        let indices: Vec<usize> = data
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect();
+        WahBitmap::from_indices(data.len(), &indices)
+    }
+
+    /// Logical length in bits.
+    pub fn len_bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Number of encoded 32-bit words (the compressed size).
+    pub fn compressed_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Compressed size in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Sets bit `index` (rebuilds the affected encoding region — WAH is an
+    /// append/scan-friendly format, not an update-friendly one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, index: usize) {
+        assert!(index < self.bits, "index {index} out of range {}", self.bits);
+        let mut ones: Vec<usize> = self.iter_ones().collect();
+        match ones.binary_search(&index) {
+            Ok(_) => {}
+            Err(pos) => {
+                ones.insert(pos, index);
+                *self = WahBitmap::from_indices(self.bits, &ones);
+            }
+        }
+    }
+
+    /// Tests bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.bits, "index {index} out of range {}", self.bits);
+        let target_group = index / GROUP;
+        let mut group = 0usize;
+        for &w in &self.words {
+            if w & FILL_FLAG != 0 {
+                let run = (w & MAX_RUN) as usize;
+                if target_group < group + run {
+                    return w & FILL_VALUE != 0;
+                }
+                group += run;
+            } else {
+                if group == target_group {
+                    return w >> (index % GROUP) & 1 == 1;
+                }
+                group += 1;
+            }
+        }
+        false
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        let mut count = 0;
+        let mut group = 0usize;
+        let total_groups = self.bits.div_ceil(GROUP);
+        for &w in &self.words {
+            if w & FILL_FLAG != 0 {
+                let run = (w & MAX_RUN) as usize;
+                if w & FILL_VALUE != 0 {
+                    // Only count bits within the logical length.
+                    for g in group..group + run {
+                        count += self.group_width(g, total_groups);
+                    }
+                }
+                group += run;
+            } else {
+                count += (w & LITERAL_MASK).count_ones() as usize;
+                group += 1;
+            }
+        }
+        count
+    }
+
+    fn group_width(&self, group: usize, total_groups: usize) -> usize {
+        if group + 1 == total_groups && !self.bits.is_multiple_of(GROUP) {
+            self.bits % GROUP
+        } else {
+            GROUP
+        }
+    }
+
+    /// Iterates over set-bit indices in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut out = Vec::new();
+        let mut group = 0usize;
+        let total_groups = self.bits.div_ceil(GROUP);
+        for &w in &self.words {
+            if w & FILL_FLAG != 0 {
+                let run = (w & MAX_RUN) as usize;
+                if w & FILL_VALUE != 0 {
+                    for g in group..group + run {
+                        let width = self.group_width(g, total_groups);
+                        for b in 0..width {
+                            out.push(g * GROUP + b);
+                        }
+                    }
+                }
+                group += run;
+            } else {
+                for b in 0..GROUP {
+                    if w >> b & 1 == 1 {
+                        let i = group * GROUP + b;
+                        if i < self.bits {
+                            out.push(i);
+                        }
+                    }
+                }
+                group += 1;
+            }
+        }
+        out.into_iter()
+    }
+
+    /// Compressed-domain AND: walks both encodings without decompressing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn and(&self, other: &WahBitmap) -> WahBitmap {
+        self.merge(other, |a, b| a & b)
+    }
+
+    /// Compressed-domain OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn or(&self, other: &WahBitmap) -> WahBitmap {
+        self.merge(other, |a, b| a | b)
+    }
+
+    fn merge(&self, other: &WahBitmap, f: impl Fn(u32, u32) -> u32) -> WahBitmap {
+        assert_eq!(self.bits, other.bits, "length mismatch");
+        let mut out_words = Vec::new();
+        let mut cur_a = Cursor::new(&self.words);
+        let mut cur_b = Cursor::new(&other.words);
+        let total_groups = self.bits.div_ceil(GROUP);
+        let mut group = 0usize;
+        while group < total_groups {
+            let (ga, ra) = cur_a.peek();
+            let (gb, rb) = cur_b.peek();
+            match (ga, gb) {
+                (Word::Fill(va), Word::Fill(vb)) => {
+                    let run = ra.min(rb).min(total_groups - group);
+                    let value = f(if va { LITERAL_MASK } else { 0 }, if vb { LITERAL_MASK } else { 0 });
+                    push_groups(&mut out_words, value, run);
+                    cur_a.advance(run);
+                    cur_b.advance(run);
+                    group += run;
+                }
+                (a_word, b_word) => {
+                    let la = match a_word {
+                        Word::Fill(v) => if v { LITERAL_MASK } else { 0 },
+                        Word::Literal(l) => l,
+                    };
+                    let lb = match b_word {
+                        Word::Fill(v) => if v { LITERAL_MASK } else { 0 },
+                        Word::Literal(l) => l,
+                    };
+                    push_groups(&mut out_words, f(la, lb) & LITERAL_MASK, 1);
+                    cur_a.advance(1);
+                    cur_b.advance(1);
+                    group += 1;
+                }
+            }
+        }
+        let mut out = WahBitmap {
+            words: out_words,
+            bits: self.bits,
+        };
+        out.coalesce();
+        out
+    }
+
+    /// Merges adjacent fills and converts all-zero/all-one literals into
+    /// fills (canonical form).
+    fn coalesce(&mut self) {
+        let mut out: Vec<u32> = Vec::with_capacity(self.words.len());
+        for &w in &self.words {
+            let (value, run) = if w & FILL_FLAG != 0 {
+                (w & FILL_VALUE != 0, w & MAX_RUN)
+            } else if w & LITERAL_MASK == 0 {
+                (false, 1)
+            } else if w & LITERAL_MASK == LITERAL_MASK {
+                (true, 1)
+            } else {
+                out.push(w);
+                continue;
+            };
+            if run == 0 {
+                continue;
+            }
+            if let Some(&last) = out.last() {
+                if last & FILL_FLAG != 0
+                    && (last & FILL_VALUE != 0) == value
+                    && (last & MAX_RUN) + run <= MAX_RUN
+                {
+                    *out.last_mut().expect("nonempty") = (last & !MAX_RUN) | ((last & MAX_RUN) + run);
+                    continue;
+                }
+            }
+            out.push(FILL_FLAG | if value { FILL_VALUE } else { 0 } | run);
+        }
+        self.words = out;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Word {
+    Fill(bool),
+    Literal(u32),
+}
+
+#[derive(Debug)]
+struct Cursor<'a> {
+    words: &'a [u32],
+    index: usize,
+    /// Groups already consumed from the current fill word.
+    consumed: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(words: &'a [u32]) -> Self {
+        Cursor { words, index: 0, consumed: 0 }
+    }
+
+    /// Current word kind and how many groups remain in it (fills may span
+    /// many groups; literals always report 1). Past the end: zero fill.
+    fn peek(&self) -> (Word, usize) {
+        match self.words.get(self.index) {
+            None => (Word::Fill(false), usize::MAX),
+            Some(&w) if w & FILL_FLAG != 0 => (
+                Word::Fill(w & FILL_VALUE != 0),
+                (w & MAX_RUN) as usize - self.consumed,
+            ),
+            Some(&w) => (Word::Literal(w & LITERAL_MASK), 1),
+        }
+    }
+
+    fn advance(&mut self, groups: usize) {
+        let mut left = groups;
+        while left > 0 {
+            match self.words.get(self.index) {
+                None => return,
+                Some(&w) if w & FILL_FLAG != 0 => {
+                    let remaining = (w & MAX_RUN) as usize - self.consumed;
+                    if left < remaining {
+                        self.consumed += left;
+                        return;
+                    }
+                    left -= remaining;
+                    self.index += 1;
+                    self.consumed = 0;
+                }
+                Some(_) => {
+                    left -= 1;
+                    self.index += 1;
+                }
+            }
+        }
+    }
+}
+
+fn push_groups(out: &mut Vec<u32>, literal_value: u32, run: usize) {
+    if literal_value == 0 || literal_value == LITERAL_MASK {
+        let value_bit = if literal_value == LITERAL_MASK { FILL_VALUE } else { 0 };
+        let mut left = run as u32;
+        while left > 0 {
+            let r = left.min(MAX_RUN);
+            out.push(FILL_FLAG | value_bit | r);
+            left -= r;
+        }
+    } else {
+        for _ in 0..run {
+            out.push(literal_value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn empty_bitmap_is_one_fill() {
+        let b = WahBitmap::new(1_000_000);
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.compressed_words(), 1, "one fill word covers everything");
+        assert!(!b.get(999_999));
+    }
+
+    #[test]
+    fn sparse_bitmaps_compress_well() {
+        let b = WahBitmap::from_indices(512 * 1024, &[17, 100_000, 400_000]);
+        assert!(b.compressed_words() <= 7, "{} words", b.compressed_words());
+        assert_eq!(b.count_ones(), 3);
+        assert!(b.get(17) && b.get(100_000) && b.get(400_000));
+        assert!(!b.get(18));
+    }
+
+    #[test]
+    fn dense_runs_compress_to_fills() {
+        let all: Vec<usize> = (0..31 * 100).collect();
+        let b = WahBitmap::from_indices(31 * 200, &all);
+        assert!(b.compressed_words() <= 3, "{} words", b.compressed_words());
+        assert_eq!(b.count_ones(), 3100);
+    }
+
+    #[test]
+    fn roundtrip_random_bitmaps() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for density in [0.001, 0.05, 0.5, 0.95] {
+            let bits = 10_007; // not group aligned
+            let data: Vec<bool> = (0..bits).map(|_| rng.gen_bool(density)).collect();
+            let b = WahBitmap::from_bools(&data);
+            assert_eq!(b.len_bits(), bits);
+            assert_eq!(
+                b.count_ones(),
+                data.iter().filter(|&&x| x).count(),
+                "density {density}"
+            );
+            let ones: Vec<usize> = b.iter_ones().collect();
+            let expect: Vec<usize> = data
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &x)| x.then_some(i))
+                .collect();
+            assert_eq!(ones, expect, "density {density}");
+        }
+    }
+
+    #[test]
+    fn compressed_and_or_match_plain() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let bits = 5000;
+        let da: Vec<bool> = (0..bits).map(|_| rng.gen_bool(0.02)).collect();
+        let db: Vec<bool> = (0..bits).map(|_| rng.gen_bool(0.3)).collect();
+        let a = WahBitmap::from_bools(&da);
+        let b = WahBitmap::from_bools(&db);
+
+        let and = a.and(&b);
+        let or = a.or(&b);
+        for i in 0..bits {
+            assert_eq!(and.get(i), da[i] && db[i], "and bit {i}");
+            assert_eq!(or.get(i), da[i] || db[i], "or bit {i}");
+        }
+        assert_eq!(
+            and.count_ones(),
+            (0..bits).filter(|&i| da[i] && db[i]).count()
+        );
+    }
+
+    #[test]
+    fn fill_fill_fast_path() {
+        // Two mostly-empty bitmaps AND in O(compressed) — exercised by the
+        // long fills either side of the literals.
+        let a = WahBitmap::from_indices(1 << 20, &[500_000]);
+        let b = WahBitmap::from_indices(1 << 20, &[500_000, 900_000]);
+        let and = a.and(&b);
+        assert_eq!(and.iter_ones().collect::<Vec<_>>(), vec![500_000]);
+        assert!(and.compressed_words() < 10);
+    }
+
+    #[test]
+    fn set_updates_in_place() {
+        let mut b = WahBitmap::new(1000);
+        b.set(0);
+        b.set(999);
+        b.set(999); // idempotent
+        assert_eq!(b.count_ones(), 2);
+        assert!(b.get(0) && b.get(999));
+    }
+
+    #[test]
+    fn or_of_complementary_halves_is_full() {
+        let bits = 31 * 8;
+        let lo: Vec<usize> = (0..bits / 2).collect();
+        let hi: Vec<usize> = (bits / 2..bits).collect();
+        let a = WahBitmap::from_indices(bits, &lo);
+        let b = WahBitmap::from_indices(bits, &hi);
+        let or = a.or(&b);
+        assert_eq!(or.count_ones(), bits);
+        // A full bitmap coalesces back down to a single fill word.
+        assert_eq!(or.compressed_words(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_bounds_checked() {
+        WahBitmap::new(10).get(10);
+    }
+}

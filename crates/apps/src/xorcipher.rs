@@ -1,0 +1,199 @@
+//! Bulk XOR encryption in DRAM (paper Section 8.4.3).
+//!
+//! Stream/one-time-pad ciphers reduce to `ciphertext = plaintext ⊕
+//! keystream` over large buffers — exactly the bulk XOR Ambit accelerates.
+//! This module implements an in-memory XOR cipher with a deterministic
+//! keystream generator, encrypting entire buffers with in-DRAM operations.
+
+use ambit_core::{AmbitError, AmbitMemory, BitVectorHandle, BitwiseOp, OpReceipt};
+
+/// Expands a 64-bit key into a keystream of `bits` bits (xorshift64*).
+/// Not cryptographically secure — it stands in for a real keystream so the
+/// data path (the bulk XOR) can be exercised end to end.
+pub fn keystream(key: u64, bits: usize) -> Vec<bool> {
+    assert_ne!(key, 0, "xorshift key must be nonzero");
+    let mut state = key;
+    let mut out = Vec::with_capacity(bits);
+    while out.len() < bits {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let word = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        for b in 0..64 {
+            if out.len() == bits {
+                break;
+            }
+            out.push(word >> b & 1 == 1);
+        }
+    }
+    out
+}
+
+/// An XOR cipher operating on buffers resident in Ambit memory.
+#[derive(Debug)]
+pub struct XorCipher {
+    mem: AmbitMemory,
+    key_handle: BitVectorHandle,
+    buffer_bits: usize,
+}
+
+impl XorCipher {
+    /// Creates a cipher for buffers of `buffer_bits` bits, loading the
+    /// expanded keystream into Ambit memory once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device lacks capacity or `key` is zero.
+    pub fn new(mut mem: AmbitMemory, key: u64, buffer_bits: usize) -> Self {
+        let row = mem.row_bits();
+        let padded = buffer_bits.div_ceil(row) * row;
+        let key_handle = mem.alloc(padded).expect("capacity");
+        let mut ks = keystream(key, buffer_bits);
+        ks.resize(padded, false);
+        mem.poke_bits(key_handle, &ks).expect("load keystream");
+        XorCipher {
+            mem,
+            key_handle,
+            buffer_bits,
+        }
+    }
+
+    /// Buffer size in bits.
+    pub fn buffer_bits(&self) -> usize {
+        self.buffer_bits
+    }
+
+    /// Allocates a buffer co-located with the keystream.
+    ///
+    /// # Errors
+    ///
+    /// Returns an out-of-memory error when the device is full.
+    pub fn alloc_buffer(&mut self) -> Result<BitVectorHandle, AmbitError> {
+        let row = self.mem.row_bits();
+        self.mem.alloc(self.buffer_bits.div_ceil(row) * row)
+    }
+
+    /// Loads plaintext bytes into a buffer (host write).
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds the buffer.
+    pub fn load(&mut self, buffer: BitVectorHandle, data: &[u8]) -> Result<(), AmbitError> {
+        assert!(data.len() * 8 <= self.buffer_bits, "data exceeds buffer");
+        let padded = self.mem.len_bits(buffer)?;
+        let bits: Vec<bool> = (0..padded)
+            .map(|i| i < data.len() * 8 && data[i / 8] >> (i % 8) & 1 == 1)
+            .collect();
+        self.mem.poke_bits(buffer, &bits)
+    }
+
+    /// Reads a buffer back as bytes (host read).
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    pub fn read(&self, buffer: BitVectorHandle, len: usize) -> Result<Vec<u8>, AmbitError> {
+        let bits = self.mem.peek_bits(buffer)?;
+        Ok((0..len)
+            .map(|byte| {
+                (0..8).fold(0u8, |acc, b| {
+                    acc | (bits[byte * 8 + b] as u8) << b
+                })
+            })
+            .collect())
+    }
+
+    /// Encrypts (or decrypts — XOR is an involution) `src` into `dst` with
+    /// one bulk in-DRAM XOR against the keystream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver/controller errors.
+    pub fn apply(
+        &mut self,
+        src: BitVectorHandle,
+        dst: BitVectorHandle,
+    ) -> Result<OpReceipt, AmbitError> {
+        self.mem.bitwise(BitwiseOp::Xor, src, Some(self.key_handle), dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ambit_dram::{AapMode, DramGeometry, TimingParams};
+
+    fn cipher(bits: usize) -> XorCipher {
+        let mem = AmbitMemory::new(
+            DramGeometry::tiny(),
+            TimingParams::ddr3_1600(),
+            AapMode::Overlapped,
+        );
+        XorCipher::new(mem, 0xdead_beef_cafe_f00d, bits)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut c = cipher(1024);
+        let plain: Vec<u8> = (0..128).map(|i| (i * 7 + 13) as u8).collect();
+        let src = c.alloc_buffer().unwrap();
+        let enc = c.alloc_buffer().unwrap();
+        let dec = c.alloc_buffer().unwrap();
+        c.load(src, &plain).unwrap();
+        c.apply(src, enc).unwrap();
+        let ciphertext = c.read(enc, 128).unwrap();
+        assert_ne!(ciphertext, plain, "keystream actually changed the data");
+        c.apply(enc, dec).unwrap();
+        assert_eq!(c.read(dec, 128).unwrap(), plain, "XOR is an involution");
+    }
+
+    #[test]
+    fn ciphertext_matches_software_xor() {
+        let mut c = cipher(512);
+        let plain: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        let src = c.alloc_buffer().unwrap();
+        let enc = c.alloc_buffer().unwrap();
+        c.load(src, &plain).unwrap();
+        c.apply(src, enc).unwrap();
+        let got = c.read(enc, 64).unwrap();
+        let ks = keystream(0xdead_beef_cafe_f00d, 512);
+        for (byte, &g) in got.iter().enumerate() {
+            let mut expect = plain[byte];
+            for b in 0..8 {
+                if ks[byte * 8 + b] {
+                    expect ^= 1 << b;
+                }
+            }
+            assert_eq!(g, expect, "byte {byte}");
+        }
+    }
+
+    #[test]
+    fn keystream_is_deterministic_and_balanced() {
+        let a = keystream(42, 4096);
+        let b = keystream(42, 4096);
+        assert_eq!(a, b);
+        let ones = a.iter().filter(|&&x| x).count();
+        assert!((ones as f64 - 2048.0).abs() < 200.0, "{ones} ones of 4096");
+        assert_ne!(keystream(43, 64), keystream(42, 64));
+    }
+
+    #[test]
+    fn bulk_xor_uses_figure8c_cost() {
+        let mut c = cipher(100); // single row-sized chunk
+        let src = c.alloc_buffer().unwrap();
+        let enc = c.alloc_buffer().unwrap();
+        let r = c.apply(src, enc).unwrap();
+        assert_eq!((r.aaps, r.aps), (5, 2), "xor = 5 AAPs + 2 APs per chunk");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_key_rejected() {
+        keystream(0, 8);
+    }
+}

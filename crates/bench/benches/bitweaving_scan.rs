@@ -1,0 +1,49 @@
+//! Criterion bench: BitWeaving predicate scans — the software (SIMD-style)
+//! scan versus the functional Ambit device executing the same dataflow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ambit_apps::bitweaving::{AmbitColumn, BitSlicedColumn, BitWeavingWorkload};
+use ambit_core::AmbitMemory;
+use ambit_dram::{AapMode, DramGeometry, TimingParams};
+
+fn bench_scans(c: &mut Criterion) {
+    let rows = 256 * 1024;
+    let mut group = c.benchmark_group("bitweaving_scan");
+    group.sample_size(10);
+    for bits in [8usize, 16] {
+        let workload = BitWeavingWorkload { rows, bits, seed: 5 };
+        let (values, c1, c2) = workload.generate();
+        let column = BitSlicedColumn::from_values(&values, bits);
+        group.throughput(Throughput::Elements(rows as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("software", bits),
+            &column,
+            |bench, column| {
+                bench.iter(|| black_box(column.scan_between(c1, c2)));
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("ambit_functional", bits),
+            &column,
+            |bench, column| {
+                bench.iter(|| {
+                    let mut mem = AmbitMemory::new(
+                        DramGeometry::ddr3_module(),
+                        TimingParams::ddr3_1600(),
+                        AapMode::Overlapped,
+                    );
+                    let acol = AmbitColumn::load(&mut mem, column);
+                    black_box(acol.scan_between(&mut mem, c1, c2).0)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scans);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: simulator throughput of the functional Ambit device
+//! executing each bulk bitwise command program on one 8 KB row pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ambit_core::{AmbitController, BitwiseOp, RowAddress};
+use ambit_dram::{AapMode, BankId, BitRow, DramGeometry, TimingParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_bulk_ops(c: &mut Criterion) {
+    let geometry = DramGeometry::ddr3_module();
+    let bits = geometry.row_bits();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let a = BitRow::random(bits, &mut rng);
+    let b = BitRow::random(bits, &mut rng);
+
+    let mut group = c.benchmark_group("bulk_ops");
+    group.throughput(Throughput::Bytes(geometry.row_bytes as u64));
+    group.sample_size(30);
+    for op in BitwiseOp::FIGURE9_OPS {
+        group.bench_with_input(BenchmarkId::from_parameter(op), &op, |bench, &op| {
+            let mut ctrl =
+                AmbitController::new(geometry, TimingParams::ddr3_1600(), AapMode::Overlapped);
+            let bank = BankId::zero();
+            ctrl.poke_data(bank, 0, 0, &a).unwrap();
+            ctrl.poke_data(bank, 0, 1, &b).unwrap();
+            let src2 = (op.source_count() == 2).then_some(RowAddress::D(1));
+            bench.iter(|| {
+                let receipt = ctrl
+                    .execute(op, bank, 0, RowAddress::D(0), src2, RowAddress::D(2))
+                    .unwrap();
+                black_box(receipt.latency_ps());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_raw_majority(c: &mut Criterion) {
+    // The inner loop of TRA: word-parallel majority over an 8 KB row.
+    let bits = 8192 * 8;
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let a = BitRow::random(bits, &mut rng);
+    let b = BitRow::random(bits, &mut rng);
+    let cc = BitRow::random(bits, &mut rng);
+    let mut group = c.benchmark_group("bitrow");
+    group.throughput(Throughput::Bytes(8192));
+    group.bench_function("majority_8kb", |bench| {
+        bench.iter(|| black_box(BitRow::majority(&a, &b, &cc)));
+    });
+    group.bench_function("and_8kb", |bench| {
+        bench.iter(|| black_box(a.and(&b)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk_ops, bench_raw_majority);
+criterion_main!(benches);

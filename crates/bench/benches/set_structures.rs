@@ -1,0 +1,112 @@
+//! Criterion bench: the real (host-executed) set data structures backing
+//! Figure 12 — red-black tree vs bitset — plus the Ambit functional path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ambit_apps::{AmbitSetArena, BitSet, RbTree};
+use ambit_core::AmbitMemory;
+use ambit_dram::{AapMode, DramGeometry, TimingParams};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const DOMAIN: usize = 64 * 1024;
+
+fn elements(e: usize, seed: u64) -> Vec<usize> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out: Vec<usize> = (0..e).map(|_| rng.gen_range(0..DOMAIN)).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_insert");
+    group.sample_size(20);
+    for e in [256usize, 4096] {
+        let elems = elements(e, 1);
+        group.bench_with_input(BenchmarkId::new("rbtree", e), &elems, |bench, elems| {
+            bench.iter(|| {
+                let mut t = RbTree::new();
+                for &k in elems {
+                    t.insert(k);
+                }
+                black_box(t.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bitset", e), &elems, |bench, elems| {
+            bench.iter(|| {
+                let mut s = BitSet::new(DOMAIN);
+                for &k in elems {
+                    s.insert(k);
+                }
+                black_box(s.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_union(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_union_m15");
+    group.sample_size(10);
+    let e = 1024;
+    let sets: Vec<Vec<usize>> = (0..15).map(|i| elements(e, i as u64)).collect();
+
+    let trees: Vec<RbTree<usize>> = sets.iter().map(|s| s.iter().copied().collect()).collect();
+    group.bench_function("rbtree", |bench| {
+        bench.iter(|| {
+            let mut out = RbTree::new();
+            for t in &trees {
+                for &k in t.iter() {
+                    out.insert(k);
+                }
+            }
+            black_box(out.len())
+        });
+    });
+
+    let bitsets: Vec<BitSet> = sets
+        .iter()
+        .map(|s| {
+            let mut b = BitSet::new(DOMAIN);
+            for &k in s {
+                b.insert(k);
+            }
+            b
+        })
+        .collect();
+    group.bench_function("bitset", |bench| {
+        bench.iter(|| {
+            let mut acc = BitSet::new(DOMAIN);
+            for b in &bitsets {
+                acc.union_with(b);
+            }
+            black_box(acc.len())
+        });
+    });
+
+    group.bench_function("ambit_functional", |bench| {
+        bench.iter(|| {
+            let mem = AmbitMemory::new(
+                DramGeometry::ddr3_module(),
+                TimingParams::ddr3_1600(),
+                AapMode::Overlapped,
+            );
+            let mut arena = AmbitSetArena::new(mem, DOMAIN);
+            let out = arena.new_set().unwrap();
+            let mut acc = out;
+            for s in &sets {
+                let h = arena.new_set().unwrap();
+                arena.load(h, s).unwrap();
+                arena.union(out, acc, h).unwrap();
+                acc = out;
+            }
+            black_box(arena.len(out).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_union);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: Monte Carlo TRA reliability trials per second (the
+//! Table 2 engine) and the transient sense-amplifier simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ambit_circuit::{run_monte_carlo, CircuitParams, SenseAmp};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let params = CircuitParams::ddr3_55nm();
+    let mut group = c.benchmark_group("tra_monte_carlo");
+    group.sample_size(20);
+    for level in [0.05, 0.15, 0.25] {
+        group.throughput(Throughput::Elements(1000));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("pm{:.0}pct", level * 100.0)),
+            &level,
+            |bench, &level| {
+                let mut rng = ChaCha8Rng::seed_from_u64(9);
+                bench.iter(|| black_box(run_monte_carlo(&params, level, 1000, &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sense_amp_transient(c: &mut Criterion) {
+    let params = CircuitParams::ddr3_55nm();
+    let amp = SenseAmp::new(params);
+    let mut group = c.benchmark_group("sense_amp");
+    group.sample_size(20);
+    for (name, dev) in [("tra_k2", params.tra_deviation_ideal(2)), ("tiny_5mv", 0.005)] {
+        group.bench_function(name, |bench| {
+            bench.iter(|| black_box(amp.sense(dev)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monte_carlo, bench_sense_amp_transient);
+criterion_main!(benches);

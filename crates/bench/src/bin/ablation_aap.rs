@@ -1,0 +1,50 @@
+//! Ablation (Section 5.3): the split row decoder's overlapped AAP
+//! (tRAS + 4 ns + tRP = 49 ns) versus the naive serial AAP
+//! (2·tRAS + tRP = 80 ns), and its effect on every operation's latency
+//! and throughput.
+
+use ambit_bench::{cell, compare_line, Report};
+use ambit_core::{AmbitConfig, BitwiseOp};
+use ambit_dram::{AapMode, TimingParams};
+
+fn main() {
+    let timing = TimingParams::ddr3_1600();
+    println!("== AAP primitive latency (DDR3-1600, 8-8-8) ==");
+    compare_line("naive AAP (2*tRAS + tRP)", "80 ns", format!("{} ns", timing.aap_naive_ps() / 1000));
+    compare_line(
+        "split-decoder AAP (tRAS + 4ns + tRP)",
+        "49 ns",
+        format!("{} ns", timing.aap_overlapped_ps() / 1000),
+    );
+
+    let naive = AmbitConfig {
+        mode: AapMode::Naive,
+        ..AmbitConfig::ddr3_module()
+    };
+    let fast = AmbitConfig::ddr3_module();
+
+    let mut report = Report::new(
+        "Per-operation latency and throughput, naive vs split-decoder AAP",
+        &["op", "naive (ns)", "overlapped (ns)", "naive GOps/s", "overlapped GOps/s", "gain"],
+    );
+    for op in BitwiseOp::FIGURE9_OPS {
+        let ln = naive.op_latency_ps(op).expect("standard op") as f64 / 1000.0;
+        let lf = fast.op_latency_ps(op).expect("standard op") as f64 / 1000.0;
+        let tn = naive.throughput_gops(op).expect("standard op");
+        let tf = fast.throughput_gops(op).expect("standard op");
+        report.row(&[
+            cell(op),
+            format!("{ln:.0}"),
+            format!("{lf:.0}"),
+            format!("{tn:.1}"),
+            format!("{tf:.1}"),
+            format!("{:.2}x", tf / tn),
+        ]);
+    }
+    report.print();
+
+    let gain = fast.mean_throughput_gops().expect("ops")
+        / naive.mean_throughput_gops().expect("ops");
+    println!("\nmean throughput gain from the split row decoder: {gain:.2}x");
+    println!("(the paper quotes the primitive-level gain, 80 ns -> 49 ns = 1.63x)");
+}

@@ -1,0 +1,90 @@
+//! Ablation (Section 5.2): program-level copy elimination. Accumulations
+//! (k-way AND/OR) executed naively materialize every intermediate in a
+//! data row; the fold compiler keeps the accumulator in the designated
+//! rows. This harness executes both versions on the device and compares.
+
+use ambit_bench::{cell, Report};
+use ambit_core::{compile_fold, fold_savings, AmbitController, BitwiseOp, RowAddress};
+use ambit_dram::{AapMode, BankId, BitRow, DramGeometry, TimingParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn controller() -> AmbitController {
+    AmbitController::new(
+        DramGeometry::ddr3_module(),
+        TimingParams::ddr3_1600(),
+        AapMode::Overlapped,
+    )
+}
+
+fn main() {
+    let bank = BankId::zero();
+    let bits = DramGeometry::ddr3_module().row_bits();
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+
+    let mut report = Report::new(
+        "k-way OR accumulation: naive programs vs fold compilation (one 8 KB row set)",
+        &["k", "naive AAPs", "fold AAPs+APs", "naive (ns)", "fold (ns)", "speedup", "energy saved"],
+    );
+
+    for k in [3usize, 5, 7, 15] {
+        let data: Vec<BitRow> = (0..k).map(|_| BitRow::random(bits, &mut rng)).collect();
+
+        // Naive: copy + (k−1) standard ORs through a data-row accumulator.
+        let mut naive = controller();
+        for (i, d) in data.iter().enumerate() {
+            naive.poke_data(bank, 0, i, d).unwrap();
+        }
+        let mut naive_receipt = naive
+            .execute(BitwiseOp::Copy, bank, 0, RowAddress::D(0), None, RowAddress::D(100))
+            .unwrap();
+        for i in 1..k {
+            let r = naive
+                .execute(
+                    BitwiseOp::Or,
+                    bank,
+                    0,
+                    RowAddress::D(100),
+                    Some(RowAddress::D(i)),
+                    RowAddress::D(100),
+                )
+                .unwrap();
+            naive_receipt.absorb(&r);
+        }
+
+        // Fold: accumulator lives in T0 across steps.
+        let mut fold = controller();
+        for (i, d) in data.iter().enumerate() {
+            fold.poke_data(bank, 0, i, d).unwrap();
+        }
+        let srcs: Vec<RowAddress> = (0..k).map(RowAddress::D).collect();
+        let program = compile_fold(BitwiseOp::Or, &srcs, RowAddress::D(100)).unwrap();
+        let fold_receipt = fold.run_program(bank, 0, &program).unwrap();
+
+        assert_eq!(
+            naive.peek_data(bank, 0, 100).unwrap(),
+            fold.peek_data(bank, 0, 100).unwrap(),
+            "k={k}: fold result must match"
+        );
+
+        let (naive_aaps, fold_aaps, fold_aps) = fold_savings(k);
+        report.row(&[
+            cell(k),
+            cell(naive_aaps + 1), // +1 for the initial copy
+            format!("{fold_aaps}+{fold_aps}"),
+            format!("{:.0}", naive_receipt.latency_ps() as f64 / 1000.0),
+            format!("{:.0}", fold_receipt.latency_ps() as f64 / 1000.0),
+            format!("{:.2}x", naive_receipt.latency_ps() as f64 / fold_receipt.latency_ps() as f64),
+            format!(
+                "{:.0}%",
+                100.0 * (1.0 - fold_receipt.energy_nj / naive_receipt.energy_nj)
+            ),
+        ]);
+    }
+    report.print();
+    println!(
+        "\nthis is the paper's Section 5.2 remark made concrete: dead intermediate\n\
+         stores never leave the designated rows, saving both AAPs and energy.\n\
+         A bitmap index's 7-day weekly OR is the k=7 row."
+    );
+}

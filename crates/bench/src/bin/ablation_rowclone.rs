@@ -1,0 +1,77 @@
+//! Ablation (Section 3.4): RowClone copy mechanisms. Ambit's operand
+//! staging depends on RowClone-FPM; this harness quantifies what PSM or
+//! plain controller copies would cost instead — the reason the driver
+//! works so hard to co-locate operands in one subarray.
+
+use ambit_bench::{cell, Report};
+use ambit_core::{AmbitConfig, BitwiseOp};
+use ambit_dram::rowclone::{copy_fpm, copy_psm, copy_via_controller};
+use ambit_dram::{
+    AapMode, BankId, BitRow, CommandTimer, DramDevice, DramGeometry, RowLocation, TimingParams,
+};
+
+fn main() {
+    let geometry = DramGeometry::ddr3_module();
+    let mut device = DramDevice::new(geometry);
+    let mut timer = CommandTimer::new(TimingParams::ddr3_1600(), AapMode::Naive);
+
+    let bits = geometry.row_bits();
+    let src = RowLocation::in_bank0(0, 10);
+    device.poke(src, BitRow::from_fn(bits, |i| i % 7 == 0));
+
+    let fpm = copy_fpm(&mut device, &mut timer, src, RowLocation::in_bank0(0, 11))
+        .expect("fpm copy");
+    let psm_dst = RowLocation {
+        bank: BankId { channel: 0, rank: 0, bank: 1 },
+        subarray: 0,
+        row: 10,
+    };
+    let psm = copy_psm(&mut device, &mut timer, src, psm_dst).expect("psm copy");
+    let ctrl = copy_via_controller(&mut device, &mut timer, src, RowLocation::in_bank0(1, 10))
+        .expect("controller copy");
+
+    let mut report = Report::new(
+        "RowClone copy mechanisms: one 8 KB row copy (DDR3-1600)",
+        &["mechanism", "latency (ns)", "vs FPM"],
+    );
+    for (name, out) in [("RowClone-FPM", fpm), ("RowClone-PSM", psm), ("controller", ctrl)] {
+        report.row(&[
+            cell(name),
+            format!("{:.0}", out.latency_ps as f64 / 1000.0),
+            format!("{:.1}x", out.latency_ps as f64 / fpm.latency_ps as f64),
+        ]);
+    }
+    report.print();
+    println!("\npaper: RowClone-FPM ≈ 80 ns; PSM is 'significantly slower' (internal-bus serial)");
+
+    // What an AND would cost if its three staging copies used each
+    // mechanism (the final AAP onto B12 is common).
+    let and_aaps = 4.0; // Figure 8a
+    let overlapped = TimingParams::ddr3_1600().aap_overlapped_ps() as f64;
+    let mut cost = Report::new(
+        "Bulk AND cost if operand staging used each copy mechanism",
+        &["staging", "AND latency (ns)", "slowdown"],
+    );
+    let native = and_aaps * overlapped;
+    for (name, copy_ps) in [
+        ("FPM (Ambit, in-subarray)", overlapped),
+        ("PSM (cross-bank)", psm.latency_ps as f64),
+        ("controller (no RowClone)", ctrl.latency_ps as f64),
+    ] {
+        let total = 3.0 * copy_ps + overlapped;
+        cost.row(&[
+            cell(name),
+            format!("{:.0}", total / 1000.0),
+            format!("{:.1}x", total / native),
+        ]);
+    }
+    cost.print();
+
+    let eight_banks = AmbitConfig::ddr3_module()
+        .throughput_gops(BitwiseOp::And)
+        .expect("standard op");
+    println!(
+        "\nwith FPM staging, the 8-bank module sustains {eight_banks:.0} GOps/s of AND \
+         — the co-location requirement (Section 5.4.2) is what protects this"
+    );
+}

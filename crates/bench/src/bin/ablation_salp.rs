@@ -1,0 +1,63 @@
+//! Ablation: subarray-level parallelism (SALP, Kim et al. ISCA'12). The
+//! paper's introduction names "the memory-level parallelism across
+//! multiple DRAM arrays ... (i.e., number of banks or subarrays)" as
+//! Ambit's scaling lever; the base design exploits banks. This harness
+//! measures what adding SALP buys: chunks mapped to different subarrays of
+//! the *same* bank overlap in time.
+
+use ambit_bench::{cell, Report};
+use ambit_core::{AmbitConfig, AmbitMemory, BitwiseOp};
+use ambit_dram::{AapMode, DramGeometry, TimingParams};
+
+/// Measures the makespan of one bulk AND over `chunks` rows on a 1-bank
+/// device with `subarrays` subarrays, with/without SALP.
+fn measure(subarrays: usize, chunks: usize, salp: bool) -> u64 {
+    let geometry = DramGeometry {
+        banks: 1,
+        subarrays_per_bank: subarrays,
+        rows_per_subarray: 1024,
+        row_bytes: 1024,
+        ..DramGeometry::tiny()
+    };
+    let mut mem = AmbitMemory::new(geometry, TimingParams::ddr3_1600(), AapMode::Overlapped);
+    mem.set_salp(salp);
+    let bits = chunks * mem.row_bits();
+    let a = mem.alloc(bits).expect("capacity");
+    let b = mem.alloc(bits).expect("capacity");
+    let d = mem.alloc(bits).expect("capacity");
+    let receipt = mem.bitwise(BitwiseOp::And, a, Some(b), d).expect("and");
+    receipt.latency_ps()
+}
+
+fn main() {
+    let mut report = Report::new(
+        "Bulk AND over 16 rows on ONE bank: baseline vs SALP (measured makespan)",
+        &["subarrays", "baseline (ns)", "SALP (ns)", "speedup"],
+    );
+    for subarrays in [1usize, 2, 4, 8, 16] {
+        let base = measure(subarrays, 16, false);
+        let salp = measure(subarrays, 16, true);
+        report.row(&[
+            cell(subarrays),
+            format!("{:.0}", base as f64 / 1000.0),
+            format!("{:.0}", salp as f64 / 1000.0),
+            format!("{:.2}x", base as f64 / salp as f64),
+        ]);
+    }
+    report.print();
+
+    let module = AmbitConfig::ddr3_module();
+    let salp_cfg = AmbitConfig::with_salp(8, 16);
+    println!(
+        "\nanalytic steady state: 8-bank module {:.0} GOps/s AND; with 16-subarray SALP \
+         {:.0} GOps/s ({}x)",
+        module.throughput_gops(BitwiseOp::And).expect("op"),
+        salp_cfg.throughput_gops(BitwiseOp::And).expect("op"),
+        salp_cfg.banks / module.banks,
+    );
+    println!(
+        "SALP needs the isolation hardware of [59] (and footnote 3 notes tension with\n\
+         Ambit-NOT's sense-amp changes) — which is why the paper leaves it as headroom\n\
+         rather than claiming it."
+    );
+}

@@ -1,0 +1,89 @@
+//! Study: compressed (WAH/FastBit-style) bitmap indices vs Ambit.
+//!
+//! The paper's bitmap-index systems (FastBit, Oracle) often store
+//! bitmaps WAH-compressed. Compression helps the CPU on *sparse* bitmaps
+//! (less data to stream) but is opaque to in-DRAM row operations — Ambit
+//! computes on uncompressed rows at constant cost. This harness maps the
+//! crossover: at what density does each approach win?
+
+use ambit_bench::{cell, fmt_time, Report};
+use ambit_apps::WahBitmap;
+use ambit_core::{AmbitConfig, BitwiseOp};
+use ambit_sys::SystemConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let config = SystemConfig::gem5_calibrated();
+    let ambit = AmbitConfig::ddr3_module();
+    let bits = 8 * 1024 * 1024; // one 8 M-bit bitmap (1 MB uncompressed)
+    let mut rng = ChaCha8Rng::seed_from_u64(0xc0de);
+
+    let mut report = Report::new(
+        "AND of two 8 Mbit bitmaps: WAH-compressed CPU vs plain CPU vs Ambit",
+        &[
+            "density",
+            "WAH bytes",
+            "ratio",
+            "CPU WAH",
+            "CPU plain",
+            "Ambit",
+            "winner",
+        ],
+    );
+
+    for density in [0.0001f64, 0.001, 0.01, 0.05, 0.2, 0.5] {
+        // Build two random bitmaps at this density and compress them.
+        let da: Vec<bool> = (0..bits).map(|_| rng.gen_bool(density)).collect();
+        let db: Vec<bool> = (0..bits).map(|_| rng.gen_bool(density)).collect();
+        let wa = WahBitmap::from_bools(&da);
+        let wb = WahBitmap::from_bools(&db);
+        let and = wa.and(&wb); // functional check input
+        assert_eq!(
+            and.count_ones(),
+            (0..bits).filter(|&i| da[i] && db[i]).count()
+        );
+
+        let compressed_bytes = wa.compressed_bytes() + wb.compressed_bytes();
+        let plain_bytes = 3 * bits / 8; // read two + write one
+
+        // CPU on compressed data: stream both compressed inputs + output.
+        let out_bytes = and.compressed_bytes();
+        let wah_time = config.stream_time_s(
+            compressed_bytes + out_bytes,
+            compressed_bytes + out_bytes,
+            compressed_bytes,
+        );
+        // CPU on plain data: stream 3 × 1 MB.
+        let plain_time = config.stream_time_s(plain_bytes, plain_bytes, plain_bytes);
+        // Ambit: density-independent row operations.
+        let ambit_time = (bits / 8) as f64
+            / (ambit.throughput_bytes_per_s(BitwiseOp::And).expect("op"));
+
+        let winner = if ambit_time < wah_time.min(plain_time) {
+            "Ambit"
+        } else if wah_time < plain_time {
+            "WAH"
+        } else {
+            "plain"
+        };
+        report.row(&[
+            format!("{:.2}%", density * 100.0),
+            cell(wa.compressed_bytes()),
+            format!("{:.1}x", (bits / 8) as f64 / wa.compressed_bytes() as f64),
+            fmt_time(wah_time),
+            fmt_time(plain_time),
+            fmt_time(ambit_time),
+            cell(winner),
+        ]);
+    }
+    report.print();
+
+    println!(
+        "\nreading the table: WAH wins only for very sparse bitmaps (large compression\n\
+         ratios shrink the CPU's traffic below even Ambit's in-DRAM cost); once density\n\
+         reaches a fraction of a percent the compressed size approaches the plain size\n\
+         and Ambit's constant-cost row operations dominate. This is why in-DRAM bitmap\n\
+         systems trade compression for raw row alignment."
+    );
+}

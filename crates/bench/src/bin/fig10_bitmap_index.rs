@@ -1,0 +1,63 @@
+//! Figure 10: end-to-end bitmap-index query time, baseline vs Ambit, for
+//! u ∈ {8 M, 16 M} users and w ∈ {2, 3, 4} weeks.
+//!
+//! The Ambit path executes the full query functionally on the simulated
+//! device (the printed counts are cross-checked against the software
+//! reference inside `run_bitmap_index`).
+
+use ambit_bench::{cell, compare_line, fmt_ratio, fmt_time, quick_mode, Report};
+use ambit_apps::bitmap_index::{
+    run_bitmap_index, run_bitmap_index_optimized, BitmapIndexWorkload,
+};
+use ambit_core::AmbitMemory;
+use ambit_sys::SystemConfig;
+
+fn main() {
+    let config = SystemConfig::gem5_calibrated();
+    let users: Vec<usize> = if quick_mode() {
+        vec![1 << 20]
+    } else {
+        vec![8 * 1024 * 1024, 16 * 1024 * 1024]
+    };
+    let weeks = [2usize, 3, 4];
+    // Paper bar annotations, by (u, w) in the same order.
+    let paper_speedups = [[5.4, 6.1, 6.3], [5.7, 6.2, 6.6]];
+
+    let mut report = Report::new(
+        "Figure 10: bitmap index query execution time",
+        &["users", "weeks", "baseline", "Ambit", "Ambit+fold", "speedup", "paper", "active-every-week"],
+    );
+    let mut speedups = Vec::new();
+    for (ui, &u) in users.iter().enumerate() {
+        for (wi, &w) in weeks.iter().enumerate() {
+            let workload = BitmapIndexWorkload::figure10(u, w);
+            let result = run_bitmap_index(&config, AmbitMemory::ddr3_module(), &workload);
+            let folded =
+                run_bitmap_index_optimized(&config, AmbitMemory::ddr3_module(), &workload);
+            assert_eq!(result.answer, folded.answer);
+            let paper = paper_speedups
+                .get(ui)
+                .and_then(|row| row.get(wi))
+                .copied()
+                .unwrap_or(f64::NAN);
+            report.row(&[
+                format!("{}M", u / (1024 * 1024)),
+                cell(w),
+                fmt_time(result.baseline_s),
+                fmt_time(result.ambit_s),
+                fmt_time(folded.ambit_s),
+                fmt_ratio(result.speedup()),
+                if paper.is_nan() { "-".into() } else { fmt_ratio(paper) },
+                cell(result.answer.active_every_week),
+            ]);
+            speedups.push(result.speedup());
+        }
+    }
+    report.print();
+    report.write_csv_if_requested("fig10_bitmap_index").expect("csv");
+
+    let mean = speedups.iter().product::<f64>().powf(1.0 / speedups.len() as f64);
+    println!();
+    compare_line("mean end-to-end speedup", "6.0x", fmt_ratio(mean));
+    println!("  (answers are cross-checked against the software reference inside the run)");
+}

@@ -1,0 +1,61 @@
+//! Figure 11: speedup of Ambit over the SIMD baseline for BitWeaving
+//! column scans (`select count(*) where c1 <= val <= c2`), sweeping bits
+//! per column b ∈ {4..32} and row count r ∈ {1 M..8 M}.
+//!
+//! The paper's two observations to look for in the output:
+//! 1. speedup grows with b (the CPU bitcount amortizes), and
+//! 2. at fixed b, speedup jumps when r·b/8 stops fitting in the 2 MB L2.
+
+use ambit_bench::{cell, compare_line, fmt_ratio, quick_mode, Report};
+use ambit_apps::bitweaving::{run_bitweaving, BitWeavingWorkload};
+use ambit_core::AmbitMemory;
+use ambit_sys::SystemConfig;
+
+fn main() {
+    let config = SystemConfig::gem5_calibrated();
+    let (bits_sweep, row_sweep): (Vec<usize>, Vec<usize>) = if quick_mode() {
+        (vec![4, 16, 32], vec![1 << 20, 8 << 20])
+    } else {
+        (
+            vec![4, 8, 12, 16, 20, 24, 28, 32],
+            vec![1 << 20, 2 << 20, 4 << 20, 8 << 20],
+        )
+    };
+
+    let mut headers: Vec<String> = vec!["b".into()];
+    headers.extend(row_sweep.iter().map(|r| format!("r={}M", r >> 20)));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut report = Report::new(
+        "Figure 11: Ambit speedup over SIMD baseline for BitWeaving scans",
+        &header_refs,
+    );
+
+    let mut all = Vec::new();
+    for &b in &bits_sweep {
+        let mut row = vec![cell(b)];
+        for &r in &row_sweep {
+            let result = run_bitweaving(
+                &config,
+                AmbitMemory::ddr3_module(),
+                &BitWeavingWorkload { rows: r, bits: b, seed: 0xb17 },
+            );
+            row.push(fmt_ratio(result.speedup()));
+            all.push((b, r, result.speedup()));
+        }
+        report.row(&row);
+    }
+    report.print();
+    report.write_csv_if_requested("fig11_bitweaving").expect("csv");
+
+    let mean = all.iter().map(|&(_, _, s)| s).product::<f64>().powf(1.0 / all.len() as f64);
+    let max = all.iter().map(|&(_, _, s)| s).fold(0.0f64, f64::max);
+    let min = all.iter().map(|&(_, _, s)| s).fold(f64::MAX, f64::min);
+    println!();
+    compare_line("speedup range", "1.8x - 11.8x", format!("{min:.1}x - {max:.1}x"));
+    compare_line("mean speedup", "7.0x", fmt_ratio(mean));
+    println!("  working-set crossover: watch the jump in a row once r*b/8 exceeds 2 MB L2");
+    for &b in &bits_sweep {
+        let boundary = 2 * 1024 * 1024 * 8 / b;
+        println!("    b={b:2}: L2 crossover at r ≈ {:.1} M rows", boundary as f64 / 1e6);
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 12: set union/intersection/difference — red-black tree vs SIMD
+//! bitset vs Ambit, m = 15 input sets over a 512 k domain, sweeping the
+//! population e of each input set.
+//!
+//! All three implementations run functionally and are cross-checked
+//! element-for-element inside `run_setop`; the printed numbers are
+//! execution times normalized to the RB-tree baseline (the y-axis of the
+//! paper's figure — lower is better).
+
+use ambit_bench::{cell, fmt_time, quick_mode, Report};
+use ambit_apps::{run_setop, SetOperation, SetWorkload};
+use ambit_core::AmbitMemory;
+use ambit_sys::SystemConfig;
+
+fn main() {
+    let config = SystemConfig::gem5_calibrated();
+    let populations: Vec<usize> = if quick_mode() {
+        vec![4, 64, 1024]
+    } else {
+        vec![4, 16, 64, 256, 1024]
+    };
+
+    for op in SetOperation::ALL {
+        let mut report = Report::new(
+            format!("Figure 12 ({op}): execution time normalized to RB-tree (m=15, N=512k)"),
+            &["e", "RB-tree", "Bitset", "Ambit", "RB abs", "Bitset abs", "Ambit abs", "|result|"],
+        );
+        for &e in &populations {
+            let workload = SetWorkload::figure12(e);
+            let result = run_setop(&config, AmbitMemory::ddr3_module(), &workload, op);
+            let (rb, bs, am) = result.normalized();
+            report.row(&[
+                cell(e),
+                format!("{rb:.2}"),
+                format!("{bs:.2}"),
+                format!("{am:.3}"),
+                fmt_time(result.rbtree_s),
+                fmt_time(result.bitset_s),
+                fmt_time(result.ambit_s),
+                cell(result.result_len),
+            ]);
+        }
+        report.print();
+        report
+            .write_csv_if_requested(&format!("fig12_set_ops_{op}"))
+            .expect("csv");
+    }
+
+    println!("\npaper shape to verify in the tables above:");
+    println!("  - at e = 4: RB-tree beats both bitvector variants (except near-union cases)");
+    println!("  - Bitset/RB-tree normalized time falls as e grows (paper annotations 153/88/30/8)");
+    println!("  - from e >= 64, Ambit is the fastest; paper reports ~3x over RB-tree on average");
+}

@@ -1,0 +1,62 @@
+//! Figure 9: raw throughput of bulk bitwise operations on Skylake,
+//! GTX 745, HMC 2.0, Ambit (8-bank DDR3 module), and Ambit-3D.
+//!
+//! Also prints the Section 7 headline ratios and a bank-count sweep (the
+//! "memory-level parallelism" scaling claim).
+
+use ambit_bench::{cell, compare_line, fmt_ratio, Report};
+use ambit_core::{AmbitConfig, BitwiseOp};
+use ambit_sys::machines::{figure9_machines, AmbitMachine, BandwidthMachine, BitwiseMachine};
+
+fn main() {
+    let machines = figure9_machines();
+    let mut report = Report::new(
+        "Figure 9: throughput of bulk bitwise operations (GOps/s, 8-bit ops)",
+        &["op", "Skylake", "GTX 745", "HMC 2.0", "Ambit", "Ambit-3D"],
+    );
+    for op in BitwiseOp::FIGURE9_OPS {
+        let mut row = vec![cell(op)];
+        for m in &machines {
+            row.push(format!("{:.1}", m.throughput_gops(op)));
+        }
+        report.row(&row);
+    }
+    let mut mean_row = vec![cell("mean")];
+    for m in &machines {
+        mean_row.push(format!("{:.1}", m.mean_throughput_gops()));
+    }
+    report.row(&mean_row);
+    report.print();
+    report.write_csv_if_requested("fig9_throughput").expect("csv");
+
+    println!("\nSection 7 headline comparisons (mean across the 7 ops):");
+    let ambit = AmbitMachine::module().mean_throughput_gops();
+    let ambit3d = AmbitMachine::three_d().mean_throughput_gops();
+    let sky = BandwidthMachine::skylake().mean_throughput_gops();
+    let gpu = BandwidthMachine::gtx745().mean_throughput_gops();
+    let hmc = BandwidthMachine::hmc2().mean_throughput_gops();
+    compare_line("Ambit vs Skylake", "44.9x", fmt_ratio(ambit / sky));
+    compare_line("Ambit vs GTX 745", "32.0x", fmt_ratio(ambit / gpu));
+    compare_line("Ambit vs HMC 2.0", "2.4x", fmt_ratio(ambit / hmc));
+    compare_line("Ambit-3D vs HMC 2.0", "9.7x", fmt_ratio(ambit3d / hmc));
+    compare_line("HMC 2.0 vs Skylake", "18.5x", fmt_ratio(hmc / sky));
+    compare_line("HMC 2.0 vs GTX 745", "13.1x", fmt_ratio(hmc / gpu));
+
+    // Bank-level parallelism sweep: Ambit throughput scales linearly with
+    // the number of banks (Section 1, "advantages of our implementation").
+    let mut sweep = Report::new(
+        "Ambit AND throughput vs bank count (linear MLP scaling)",
+        &["banks", "GOps/s"],
+    );
+    for banks in [1, 2, 4, 8, 16] {
+        let cfg = AmbitConfig {
+            banks,
+            ..AmbitConfig::ddr3_module()
+        };
+        sweep.row(&[
+            cell(banks),
+            format!("{:.1}", cfg.throughput_gops(BitwiseOp::And).expect("standard op")),
+        ]);
+    }
+    sweep.print();
+}

@@ -1,0 +1,221 @@
+//! Charge-sharing analysis for multi-cell activations.
+//!
+//! When an ACTIVATE raises several wordlines, every raised cell's capacitor
+//! is connected to the bitline (or bitline-bar for an n-wordline) while the
+//! sense amplifier is still disabled. Charge redistributes; the resulting
+//! bitline voltage is the capacitance-weighted mean of the participating
+//! capacitors and the precharged bitline. This module computes that voltage
+//! exactly for arbitrary per-cell capacitances and voltages — the general
+//! form of the paper's Equation 1 — plus the exponential settling transient
+//! through the access transistors.
+
+use crate::params::CircuitParams;
+
+/// One capacitor participating in charge sharing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedCell {
+    /// Capacitance in farads.
+    pub capacitance: f64,
+    /// Pre-activation voltage in volts.
+    pub voltage: f64,
+}
+
+impl SharedCell {
+    /// A fully charged cell at the given parameters' VDD (optionally scaled).
+    pub fn charged(params: &CircuitParams) -> Self {
+        SharedCell {
+            capacitance: params.c_cell,
+            voltage: params.vdd,
+        }
+    }
+
+    /// A fully empty cell.
+    pub fn empty(params: &CircuitParams) -> Self {
+        SharedCell {
+            capacitance: params.c_cell,
+            voltage: 0.0,
+        }
+    }
+}
+
+/// Result of a charge-sharing event on one bitline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargeShareResult {
+    /// Final shared voltage of bitline + cells, volts.
+    pub v_final: f64,
+    /// Deviation from the comparison (reference) voltage, volts. Positive
+    /// means the sense amplifier will drive the bitline to VDD.
+    pub deviation: f64,
+}
+
+/// Computes the charge-sharing outcome for `cells` dumped onto a bitline of
+/// capacitance `c_bitline` precharged to `v_precharge`, compared against a
+/// reference voltage `v_reference` (the other bitline's precharge level).
+///
+/// # Panics
+///
+/// Panics if `cells` is empty or any capacitance is non-positive.
+pub fn share_charge(
+    cells: &[SharedCell],
+    c_bitline: f64,
+    v_precharge: f64,
+    v_reference: f64,
+) -> ChargeShareResult {
+    assert!(!cells.is_empty(), "charge sharing requires at least one cell");
+    let mut q = c_bitline * v_precharge;
+    let mut c = c_bitline;
+    for cell in cells {
+        assert!(cell.capacitance > 0.0, "capacitance must be positive");
+        q += cell.capacitance * cell.voltage;
+        c += cell.capacitance;
+    }
+    let v_final = q / c;
+    ChargeShareResult {
+        v_final,
+        deviation: v_final - v_reference,
+    }
+}
+
+/// Convenience: ideal triple-row-activation deviation with `k` charged cells
+/// out of three identical ones — must agree with
+/// [`CircuitParams::tra_deviation_ideal`] (paper Equation 1).
+pub fn tra_share(params: &CircuitParams, k: usize) -> ChargeShareResult {
+    assert!(k <= 3, "k out of range");
+    let cells: Vec<SharedCell> = (0..3)
+        .map(|i| {
+            if i < k {
+                SharedCell::charged(params)
+            } else {
+                SharedCell::empty(params)
+            }
+        })
+        .collect();
+    share_charge(
+        &cells,
+        params.c_bitline,
+        params.v_precharge(),
+        params.v_precharge(),
+    )
+}
+
+/// Voltage of the bitline `t` seconds into the charge-sharing phase,
+/// modelling the RC settling through the access transistors:
+///
+/// `v(t) = v_final + (v_precharge − v_final)·exp(−t/τ)`, with
+/// `τ = R_access · C_parallel` (cells in parallel with the bitline).
+pub fn settle_voltage(
+    params: &CircuitParams,
+    cells: &[SharedCell],
+    v_final: f64,
+    t_seconds: f64,
+) -> f64 {
+    let c_cells: f64 = cells.iter().map(|c| c.capacitance).sum();
+    // Series combination of the cell group and bitline capacitances.
+    let c_eq = c_cells * params.c_bitline / (c_cells + params.c_bitline);
+    let tau = params.r_access / cells.len() as f64 * c_eq;
+    v_final + (params.v_precharge() - v_final) * (-t_seconds / tau).exp()
+}
+
+/// Time for the charge-sharing transient to settle within `fraction`
+/// (e.g. 0.01 for 1 %) of its final value, in seconds.
+pub fn settle_time(params: &CircuitParams, cells: &[SharedCell], fraction: f64) -> f64 {
+    assert!(fraction > 0.0 && fraction < 1.0, "fraction in (0, 1)");
+    let c_cells: f64 = cells.iter().map(|c| c.capacitance).sum();
+    let c_eq = c_cells * params.c_bitline / (c_cells + params.c_bitline);
+    let tau = params.r_access / cells.len() as f64 * c_eq;
+    -tau * fraction.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> CircuitParams {
+        CircuitParams::ddr3_55nm()
+    }
+
+    #[test]
+    fn tra_share_matches_equation1_for_all_k() {
+        let params = p();
+        for k in 0..=3 {
+            let got = tra_share(&params, k).deviation;
+            let expect = params.tra_deviation_ideal(k);
+            assert!(
+                (got - expect).abs() < 1e-12,
+                "k={k}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_charged_cell_gives_standard_activation_deviation() {
+        // Classic single-cell charge sharing: δ = Cc/(Cc+Cb)·VDD/2.
+        let params = p();
+        let r = share_charge(
+            &[SharedCell::charged(&params)],
+            params.c_bitline,
+            params.v_precharge(),
+            params.v_precharge(),
+        );
+        let expect = params.c_cell / (params.c_cell + params.c_bitline) * params.vdd / 2.0;
+        assert!((r.deviation - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_is_conserved() {
+        let params = p();
+        let cells = [
+            SharedCell { capacitance: 20e-15, voltage: 1.2 },
+            SharedCell { capacitance: 25e-15, voltage: 0.0 },
+            SharedCell { capacitance: 22e-15, voltage: 1.1 },
+        ];
+        let r = share_charge(&cells, params.c_bitline, 0.6, 0.6);
+        let q_before: f64 =
+            cells.iter().map(|c| c.capacitance * c.voltage).sum::<f64>() + params.c_bitline * 0.6;
+        let c_total: f64 =
+            cells.iter().map(|c| c.capacitance).sum::<f64>() + params.c_bitline;
+        assert!((r.v_final * c_total - q_before).abs() < 1e-24);
+    }
+
+    #[test]
+    fn deviation_shrinks_with_more_cells_sharing() {
+        // Issue 1 of Section 3.2: TRA deviation (k=2 of 3) is smaller than a
+        // single-cell activation's deviation.
+        let params = p();
+        let single = share_charge(
+            &[SharedCell::charged(&params)],
+            params.c_bitline,
+            params.v_precharge(),
+            params.v_precharge(),
+        );
+        let tra = tra_share(&params, 2);
+        assert!(tra.deviation < single.deviation);
+        assert!(tra.deviation > 0.0);
+    }
+
+    #[test]
+    fn settling_is_monotonic_and_converges() {
+        let params = p();
+        let cells = vec![SharedCell::charged(&params); 3];
+        let v_final = tra_share(&params, 3).v_final;
+        let early = settle_voltage(&params, &cells, v_final, 0.1e-9);
+        let late = settle_voltage(&params, &cells, v_final, 5e-9);
+        assert!(early < late, "rising toward v_final");
+        assert!((late - v_final).abs() < 0.01 * (v_final - params.v_precharge()).abs() + 1e-6);
+    }
+
+    #[test]
+    fn settle_time_is_subnanosecond_to_nanoseconds() {
+        // Charge sharing settles quickly relative to tRCD (~13 ns).
+        let params = p();
+        let cells = vec![SharedCell::charged(&params); 3];
+        let t = settle_time(&params, &cells, 0.01);
+        assert!(t > 1e-11 && t < 5e-9, "settle time {t} s");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn empty_cell_list_panics() {
+        share_charge(&[], 77e-15, 0.6, 0.6);
+    }
+}

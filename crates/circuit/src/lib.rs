@@ -1,0 +1,49 @@
+//! # ambit-circuit — analog models for triple-row activation
+//!
+//! The Ambit paper (Section 6) validates triple-row activation (TRA) with
+//! SPICE simulations of a 55 nm DDR3 sense amplifier under process
+//! variation. This crate is the equivalent analysis built from first
+//! principles:
+//!
+//! * [`charge`] — exact charge-sharing arithmetic (the general form of the
+//!   paper's Equation 1) plus RC settling transients;
+//! * [`SenseAmp`] — a forward-Euler transient simulation of the
+//!   cross-coupled inverter latch with square-law MOSFETs;
+//! * [`variation`] — a calibrated per-component process-variation model
+//!   (cell/bitline capacitance, stored and precharge voltages, sense-amp
+//!   offset);
+//! * [`montecarlo`] — the Table 2 experiment: TRA failure rates across
+//!   ±0–25 % variation, plus the adversarial worst-case margin (paper:
+//!   reliable to ±6 %).
+//!
+//! # Example
+//!
+//! ```
+//! use ambit_circuit::{CircuitParams, SenseAmp};
+//!
+//! let params = CircuitParams::ddr3_55nm();
+//! // TRA with 2 of 3 cells charged: positive deviation → senses 1.
+//! let deviation = params.tra_deviation_ideal(2);
+//! let outcome = SenseAmp::new(params).sense(deviation);
+//! assert!(outcome.sensed_one);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod charge;
+mod leakage;
+pub mod montecarlo;
+mod params;
+mod sense_amp;
+mod transistor;
+pub mod variation;
+
+pub use montecarlo::{
+    run_monte_carlo, table2_sweep, worst_case_margin, worst_case_ok, MonteCarloResult,
+};
+pub use leakage::LeakageModel;
+pub use params::CircuitParams;
+pub use sense_amp::{LatchMismatch, SenseAmp, SenseOutcome};
+pub use transistor::Mosfet;
+pub use variation::{TraInstance, VariationModel};

@@ -1,0 +1,193 @@
+//! Monte Carlo and worst-case reliability analysis of triple-row
+//! activation — the reproduction of the paper's Section 6 / Table 2.
+
+use rand::Rng;
+
+use crate::params::CircuitParams;
+use crate::variation::{TraInstance, VariationModel};
+
+/// Result of a Monte Carlo TRA reliability run at one variation level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloResult {
+    /// The ±variation level simulated (e.g. 0.10 for ±10 %).
+    pub level: f64,
+    /// Number of TRA trials.
+    pub trials: u64,
+    /// Trials whose sensed value differed from the correct majority.
+    pub failures: u64,
+}
+
+impl MonteCarloResult {
+    /// Failure rate in [0, 1].
+    pub fn failure_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.trials as f64
+        }
+    }
+
+    /// Failure rate as a percentage, as printed in the paper's Table 2.
+    pub fn failure_percent(&self) -> f64 {
+        self.failure_rate() * 100.0
+    }
+}
+
+/// Runs `trials` TRA simulations at ±`level` variation with uniformly
+/// random cell-value patterns, counting sensing failures.
+///
+/// This mirrors the paper's experiment: 100 000 iterations per level, all
+/// subarray components varied.
+pub fn run_monte_carlo(
+    params: &CircuitParams,
+    level: f64,
+    trials: u64,
+    rng: &mut impl Rng,
+) -> MonteCarloResult {
+    let model = VariationModel::at_level(level);
+    let mut failures = 0;
+    for _ in 0..trials {
+        let values = [rng.gen::<bool>(), rng.gen::<bool>(), rng.gen::<bool>()];
+        let expected = values.iter().filter(|&&b| b).count() >= 2;
+        let inst = TraInstance::sample(params, &model, values, rng);
+        let (sensed, _) = inst.evaluate();
+        if sensed != expected {
+            failures += 1;
+        }
+    }
+    MonteCarloResult {
+        level,
+        trials,
+        failures,
+    }
+}
+
+/// Sweeps the paper's Table 2 levels (±0 % … ±25 %) and returns one result
+/// per level.
+pub fn table2_sweep(
+    params: &CircuitParams,
+    trials_per_level: u64,
+    rng: &mut impl Rng,
+) -> Vec<MonteCarloResult> {
+    [0.0, 0.05, 0.10, 0.15, 0.20, 0.25]
+        .iter()
+        .map(|&level| run_monte_carlo(params, level, trials_per_level, rng))
+        .collect()
+}
+
+/// Returns `true` if TRA senses correctly even when *every* component sits
+/// at its adversarial ±`level` corner, for both failure-prone patterns
+/// (two-charged and one-charged).
+pub fn worst_case_ok(params: &CircuitParams, level: f64) -> bool {
+    let model = VariationModel::at_level(level);
+    let k2 = TraInstance::worst_case(params, &model, [true, true, false]);
+    let k1 = TraInstance::worst_case(params, &model, [true, false, false]);
+    let (s2, _) = k2.evaluate();
+    let (s1, _) = k1.evaluate();
+    s2 && !s1
+}
+
+/// Binary-searches the largest variation level at which the worst case
+/// still senses correctly. The paper reports ±6 % for its SPICE setup.
+pub fn worst_case_margin(params: &CircuitParams) -> f64 {
+    let mut lo = 0.0;
+    let mut hi = 0.5;
+    for _ in 0..48 {
+        let mid = (lo + hi) / 2.0;
+        if worst_case_ok(params, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn p() -> CircuitParams {
+        CircuitParams::ddr3_55nm()
+    }
+
+    #[test]
+    fn worst_case_margin_near_paper_6_percent() {
+        let margin = worst_case_margin(&p());
+        assert!(
+            (0.05..=0.09).contains(&margin),
+            "worst-case margin {margin:.3} should be near the paper's 0.06"
+        );
+    }
+
+    #[test]
+    fn table2_zero_and_five_percent_have_no_failures() {
+        let params = p();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for level in [0.0, 0.05] {
+            let r = run_monte_carlo(&params, level, 20_000, &mut rng);
+            assert_eq!(r.failures, 0, "level {level}: paper reports 0.00 %");
+        }
+    }
+
+    #[test]
+    fn table2_ten_percent_failures_are_rare_but_nonzero_shape() {
+        // Paper: 0.29 % at ±10 %. Accept the same order of magnitude.
+        let params = p();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let r = run_monte_carlo(&params, 0.10, 100_000, &mut rng);
+        assert!(
+            r.failure_percent() < 1.0,
+            "±10 %: {:.2} % should be well under 1 %",
+            r.failure_percent()
+        );
+    }
+
+    #[test]
+    fn table2_failure_rate_is_monotone_in_level() {
+        let params = p();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let sweep = table2_sweep(&params, 20_000, &mut rng);
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].failure_rate() >= pair[0].failure_rate(),
+                "failure rate should not decrease: {pair:?}"
+            );
+        }
+        // And the ±25 % rate is substantial (paper: 26.19 %).
+        let last = sweep.last().unwrap();
+        assert!(
+            last.failure_percent() > 10.0,
+            "±25 %: {:.1} %",
+            last.failure_percent()
+        );
+    }
+
+    #[test]
+    fn table2_fifteen_percent_in_single_digit_band() {
+        // Paper: 6.01 % at ±15 %.
+        let params = p();
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let r = run_monte_carlo(&params, 0.15, 50_000, &mut rng);
+        assert!(
+            (1.0..15.0).contains(&r.failure_percent()),
+            "±15 %: {:.2} %",
+            r.failure_percent()
+        );
+    }
+
+    #[test]
+    fn failure_rate_helpers() {
+        let r = MonteCarloResult {
+            level: 0.1,
+            trials: 200,
+            failures: 3,
+        };
+        assert!((r.failure_rate() - 0.015).abs() < 1e-12);
+        assert!((r.failure_percent() - 1.5).abs() < 1e-12);
+        let empty = MonteCarloResult { level: 0.0, trials: 0, failures: 0 };
+        assert_eq!(empty.failure_rate(), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Nominal circuit parameters for the 55 nm DDR3 process modelled by the
+//! paper's SPICE simulations (Rambus power model cell/transistor values,
+//! PTM low-power transistors).
+
+/// Nominal (variation-free) circuit parameters.
+///
+/// The paper's Section 6 gives cell capacitance = 22 fF and 55 nm devices;
+/// the remaining values are representative of the same Rambus/PTM model
+/// generation and are documented where they influence results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitParams {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// DRAM cell capacitance in farads (paper: 22 fF).
+    pub c_cell: f64,
+    /// Bitline capacitance in farads. Bitlines in 512-cell subarrays run
+    /// ~3.5× the cell capacitance in this process generation.
+    pub c_bitline: f64,
+    /// On-resistance of the access transistor in ohms (sets the charge-
+    /// sharing settling time constant).
+    pub r_access: f64,
+    /// Sense-amplifier transistor transconductance factor k = µCox·W/L in
+    /// A/V² (square-law model).
+    pub k_transistor: f64,
+    /// Transistor threshold voltage in volts.
+    pub v_threshold: f64,
+}
+
+impl CircuitParams {
+    /// 55 nm DDR3 parameters per the paper's Section 6 setup.
+    pub fn ddr3_55nm() -> Self {
+        CircuitParams {
+            vdd: 1.2,
+            c_cell: 22e-15,
+            c_bitline: 77e-15,
+            r_access: 8_000.0,
+            k_transistor: 500e-6,
+            v_threshold: 0.35,
+        }
+    }
+
+    /// Precharge voltage (VDD/2).
+    pub fn v_precharge(&self) -> f64 {
+        self.vdd / 2.0
+    }
+
+    /// The ideal TRA bitline deviation of paper Equation 1 for `k` of the
+    /// three cells fully charged:
+    ///
+    /// `δ = (2k − 3)·Cc / (6·Cc + 2·Cb) · VDD`
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 3`.
+    pub fn tra_deviation_ideal(&self, k: usize) -> f64 {
+        assert!(k <= 3, "k is the number of charged cells out of 3");
+        let num = (2.0 * k as f64 - 3.0) * self.c_cell;
+        let den = 6.0 * self.c_cell + 2.0 * self.c_bitline;
+        num / den * self.vdd
+    }
+}
+
+impl Default for CircuitParams {
+    fn default() -> Self {
+        CircuitParams::ddr3_55nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation1_signs_match_paper() {
+        // δ > 0 iff k ∈ {2, 3}; δ < 0 iff k ∈ {0, 1} (paper Section 3.1).
+        let p = CircuitParams::ddr3_55nm();
+        assert!(p.tra_deviation_ideal(0) < 0.0);
+        assert!(p.tra_deviation_ideal(1) < 0.0);
+        assert!(p.tra_deviation_ideal(2) > 0.0);
+        assert!(p.tra_deviation_ideal(3) > 0.0);
+    }
+
+    #[test]
+    fn equation1_magnitudes() {
+        let p = CircuitParams::ddr3_55nm();
+        // k=3 deviation is 3× the k=2 deviation (numerators 3Cc vs Cc).
+        let r = p.tra_deviation_ideal(3) / p.tra_deviation_ideal(2);
+        assert!((r - 3.0).abs() < 1e-12);
+        // Symmetric: δ(1) = −δ(2), δ(0) = −δ(3).
+        assert!((p.tra_deviation_ideal(1) + p.tra_deviation_ideal(2)).abs() < 1e-18);
+        assert!((p.tra_deviation_ideal(0) + p.tra_deviation_ideal(3)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn worst_case_margin_is_tens_of_millivolts() {
+        // The k=2 deviation must be big enough to sense: expect 50–150 mV.
+        let p = CircuitParams::ddr3_55nm();
+        let d = p.tra_deviation_ideal(2);
+        assert!(d > 0.05 && d < 0.15, "got {d} V");
+    }
+}

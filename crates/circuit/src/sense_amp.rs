@@ -1,0 +1,224 @@
+//! Transient simulation of the DRAM sense amplifier: two cross-coupled
+//! CMOS inverters latching the bitline / bitline-bar differential.
+//!
+//! The paper resolves TRA reliability with SPICE; this module is the
+//! equivalent mechanism in miniature: forward-Euler integration of the
+//! regenerative latch with square-law transistors. It reproduces the two
+//! behaviours the paper's arguments rest on:
+//!
+//! 1. the final state depends only on the *sign* of the post-charge-sharing
+//!    deviation (plus device mismatch), and
+//! 2. smaller deviations take longer to amplify — issue 1 of Section 3.2 —
+//!    which is also why the overlapped second ACTIVATE of an AAP, arriving
+//!    at an already-latched amplifier, needs only a few extra nanoseconds.
+
+use crate::params::CircuitParams;
+use crate::transistor::Mosfet;
+
+/// Per-transistor mismatch for the four devices of the latch.
+///
+/// Index order: `[nmos_a, pmos_a, nmos_b, pmos_b]`, where inverter A drives
+/// the bitline node and inverter B drives bitline-bar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatchMismatch {
+    /// Multiplicative k (transconductance) factors, nominally 1.0.
+    pub k_scale: [f64; 4],
+    /// Additive threshold-voltage shifts in volts, nominally 0.0.
+    pub vt_delta: [f64; 4],
+}
+
+impl LatchMismatch {
+    /// No mismatch.
+    pub fn none() -> Self {
+        LatchMismatch {
+            k_scale: [1.0; 4],
+            vt_delta: [0.0; 4],
+        }
+    }
+}
+
+impl Default for LatchMismatch {
+    fn default() -> Self {
+        LatchMismatch::none()
+    }
+}
+
+/// Outcome of a sense amplification transient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseOutcome {
+    /// `true` if the bitline latched to VDD (sensed a logical 1).
+    pub sensed_one: bool,
+    /// Time from enable to the differential reaching 90 % of VDD, seconds.
+    pub latch_time_s: f64,
+    /// Final bitline voltage.
+    pub v_bitline: f64,
+    /// Final bitline-bar voltage.
+    pub v_bitline_bar: f64,
+    /// `true` if the latch failed to resolve within the simulation window
+    /// (metastability; only possible for vanishing deviations).
+    pub metastable: bool,
+}
+
+/// A cross-coupled inverter sense amplifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseAmp {
+    params: CircuitParams,
+    mismatch: LatchMismatch,
+}
+
+impl SenseAmp {
+    /// A sense amplifier with nominal (mismatch-free) devices.
+    pub fn new(params: CircuitParams) -> Self {
+        SenseAmp {
+            params,
+            mismatch: LatchMismatch::none(),
+        }
+    }
+
+    /// A sense amplifier with explicit device mismatch.
+    pub fn with_mismatch(params: CircuitParams, mismatch: LatchMismatch) -> Self {
+        SenseAmp { params, mismatch }
+    }
+
+    /// Simulates enabling the amplifier with the bitline at
+    /// `v_precharge + deviation` and bitline-bar at `v_precharge`.
+    pub fn sense(&self, deviation: f64) -> SenseOutcome {
+        self.sense_from(
+            self.params.v_precharge() + deviation,
+            self.params.v_precharge(),
+        )
+    }
+
+    /// Simulates enabling the amplifier from arbitrary initial node
+    /// voltages (e.g. after a charge-sharing computation).
+    pub fn sense_from(&self, v_bitline: f64, v_bitline_bar: f64) -> SenseOutcome {
+        let p = &self.params;
+        let m = &self.mismatch;
+        let nmos_a = Mosfet::new(p.k_transistor * m.k_scale[0], p.v_threshold + m.vt_delta[0]);
+        let pmos_a = Mosfet::new(p.k_transistor * m.k_scale[1], p.v_threshold + m.vt_delta[1]);
+        let nmos_b = Mosfet::new(p.k_transistor * m.k_scale[2], p.v_threshold + m.vt_delta[2]);
+        let pmos_b = Mosfet::new(p.k_transistor * m.k_scale[3], p.v_threshold + m.vt_delta[3]);
+
+        let c = p.c_bitline;
+        let dt = 1e-12; // 1 ps Euler step
+        let t_max = 50e-9;
+        let target = 0.9 * p.vdd;
+
+        let mut va = v_bitline;
+        let mut vb = v_bitline_bar;
+        let mut t = 0.0;
+        while t < t_max {
+            if (va - vb).abs() >= target {
+                return SenseOutcome {
+                    sensed_one: va > vb,
+                    latch_time_s: t,
+                    v_bitline: va,
+                    v_bitline_bar: vb,
+                    metastable: false,
+                };
+            }
+            // Inverter A: input vb, output va. Inverter B: input va, output vb.
+            let ia = pmos_a.pmos_current(p.vdd, vb, va) - nmos_a.nmos_current(vb, va);
+            let ib = pmos_b.pmos_current(p.vdd, va, vb) - nmos_b.nmos_current(va, vb);
+            va = (va + ia / c * dt).clamp(0.0, p.vdd);
+            vb = (vb + ib / c * dt).clamp(0.0, p.vdd);
+            t += dt;
+        }
+        SenseOutcome {
+            sensed_one: va > vb,
+            latch_time_s: t,
+            v_bitline: va,
+            v_bitline_bar: vb,
+            metastable: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amp() -> SenseAmp {
+        SenseAmp::new(CircuitParams::ddr3_55nm())
+    }
+
+    #[test]
+    fn positive_deviation_latches_high() {
+        let out = amp().sense(0.05);
+        assert!(out.sensed_one);
+        assert!(!out.metastable);
+        assert!(out.v_bitline > 1.0, "bitline driven to VDD: {}", out.v_bitline);
+        assert!(out.v_bitline_bar < 0.2);
+    }
+
+    #[test]
+    fn negative_deviation_latches_low() {
+        let out = amp().sense(-0.05);
+        assert!(!out.sensed_one);
+        assert!(!out.metastable);
+        assert!(out.v_bitline < 0.2);
+    }
+
+    #[test]
+    fn latch_time_in_nanosecond_range() {
+        // Full sense amplification is a few ns — consistent with it being
+        // the dominant component of tRAS (paper Section 5.3).
+        let out = amp().sense(0.09);
+        assert!(
+            out.latch_time_s > 0.5e-9 && out.latch_time_s < 20e-9,
+            "latch time {} s",
+            out.latch_time_s
+        );
+    }
+
+    #[test]
+    fn smaller_deviation_amplifies_slower() {
+        // Issue 1 of Section 3.2: TRA's smaller deviation lengthens sensing.
+        let t_small = amp().sense(0.02).latch_time_s;
+        let t_large = amp().sense(0.20).latch_time_s;
+        assert!(t_small > t_large, "{t_small} vs {t_large}");
+    }
+
+    #[test]
+    fn tra_deviation_senses_correctly_for_all_k() {
+        let p = CircuitParams::ddr3_55nm();
+        let amp = SenseAmp::new(p);
+        for k in 0..=3 {
+            let dev = p.tra_deviation_ideal(k);
+            let out = amp.sense(dev);
+            assert_eq!(out.sensed_one, k >= 2, "k={k}");
+            assert!(!out.metastable);
+        }
+    }
+
+    #[test]
+    fn zero_deviation_with_no_mismatch_is_metastable() {
+        let out = amp().sense(0.0);
+        assert!(out.metastable, "perfectly balanced latch cannot resolve");
+    }
+
+    #[test]
+    fn mismatch_shifts_the_trip_point() {
+        // A stronger pull-down on the bitline node flips a small positive
+        // deviation to a sensed 0 — the physical origin of the sense-amp
+        // offset in the Monte Carlo model.
+        let mut mis = LatchMismatch::none();
+        mis.k_scale[0] = 1.6; // nmos_a stronger: discharges bitline faster
+        let skewed = SenseAmp::with_mismatch(CircuitParams::ddr3_55nm(), mis);
+        let out = skewed.sense(0.005);
+        assert!(!out.sensed_one, "offset overwhelms a 5 mV deviation");
+        // But a healthy TRA deviation still senses correctly.
+        let p = CircuitParams::ddr3_55nm();
+        assert!(skewed.sense(p.tra_deviation_ideal(2)).sensed_one);
+    }
+
+    #[test]
+    fn already_latched_amp_holds_state() {
+        // The second ACTIVATE of an AAP arrives at a driven amplifier: from
+        // a latched state the outcome is stable and immediate.
+        let p = CircuitParams::ddr3_55nm();
+        let out = amp().sense_from(p.vdd, 0.0);
+        assert!(out.sensed_one);
+        assert!(out.latch_time_s < 1e-12 * 10.0);
+    }
+}

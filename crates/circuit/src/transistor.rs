@@ -1,0 +1,107 @@
+//! Square-law MOSFET model used by the transient sense-amplifier
+//! simulation. A long-channel approximation is adequate here: we care about
+//! regenerative latch dynamics and relative timing, not absolute 55 nm I-V
+//! accuracy.
+
+/// A square-law MOSFET: cutoff / triode / saturation regions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mosfet {
+    /// Transconductance parameter k = µCox·W/L, in A/V².
+    pub k: f64,
+    /// Threshold voltage magnitude in volts.
+    pub vt: f64,
+}
+
+impl Mosfet {
+    /// Creates a device with the given transconductance and threshold.
+    pub fn new(k: f64, vt: f64) -> Self {
+        Mosfet { k, vt }
+    }
+
+    /// Drain current of an NMOS with source at 0 V: gate voltage `vg`,
+    /// drain voltage `vd` (both relative to source). Returns amperes,
+    /// flowing drain → source (discharging the drain node).
+    pub fn nmos_current(&self, vg: f64, vd: f64) -> f64 {
+        let vov = vg - self.vt;
+        if vov <= 0.0 || vd <= 0.0 {
+            return 0.0;
+        }
+        if vd < vov {
+            // Triode.
+            self.k * (vov * vd - vd * vd / 2.0)
+        } else {
+            // Saturation.
+            self.k / 2.0 * vov * vov
+        }
+    }
+
+    /// Drain current of a PMOS with source at `vdd`: gate voltage `vg`,
+    /// drain voltage `vd`. Returns amperes, flowing source → drain
+    /// (charging the drain node).
+    pub fn pmos_current(&self, vdd: f64, vg: f64, vd: f64) -> f64 {
+        let vsg = vdd - vg;
+        let vsd = vdd - vd;
+        let vov = vsg - self.vt;
+        if vov <= 0.0 || vsd <= 0.0 {
+            return 0.0;
+        }
+        if vsd < vov {
+            self.k * (vov * vsd - vsd * vsd / 2.0)
+        } else {
+            self.k / 2.0 * vov * vov
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: f64 = 500e-6;
+    const VT: f64 = 0.35;
+
+    #[test]
+    fn nmos_cutoff_below_threshold() {
+        let m = Mosfet::new(K, VT);
+        assert_eq!(m.nmos_current(0.3, 1.0), 0.0);
+        assert_eq!(m.nmos_current(0.35, 1.0), 0.0);
+    }
+
+    #[test]
+    fn nmos_saturation_value() {
+        let m = Mosfet::new(K, VT);
+        // Vov = 0.25, saturated: I = k/2 · Vov².
+        let i = m.nmos_current(0.6, 1.2);
+        assert!((i - K / 2.0 * 0.25 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmos_triode_continuous_with_saturation() {
+        let m = Mosfet::new(K, VT);
+        let vov: f64 = 0.25;
+        let at_edge = m.nmos_current(0.6, vov);
+        let sat = m.nmos_current(0.6, vov + 1e-9);
+        assert!((at_edge - sat).abs() < 1e-9 * K);
+        // Triode current is monotone in vd up to the edge.
+        assert!(m.nmos_current(0.6, 0.1) < at_edge);
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let m = Mosfet::new(K, VT);
+        let vdd = 1.2;
+        // PMOS(vg, vd) should equal NMOS(vdd-vg, vdd-vd) by symmetry.
+        for (vg, vd) in [(0.0, 1.2), (0.3, 0.9), (0.6, 0.6), (0.9, 0.1)] {
+            let p = m.pmos_current(vdd, vg, vd);
+            let n = m.nmos_current(vdd - vg, vdd - vd);
+            assert!((p - n).abs() < 1e-15, "vg={vg} vd={vd}");
+        }
+    }
+
+    #[test]
+    fn currents_increase_with_gate_drive() {
+        let m = Mosfet::new(K, VT);
+        assert!(m.nmos_current(1.2, 1.2) > m.nmos_current(0.8, 1.2));
+        assert!(m.pmos_current(1.2, 0.0, 0.0) > m.pmos_current(1.2, 0.4, 0.0));
+    }
+}

@@ -1,0 +1,255 @@
+//! Process-variation model for triple-row activation reliability.
+//!
+//! Section 6 of the paper varies "all the components in the subarray (cell
+//! capacitance, transistor length/width/resistance, bitline/wordline
+//! capacitance and resistance, and voltage levels)" by ±p % and reports TRA
+//! failure rates. We model each varying quantity as an independent uniform
+//! draw on ±`level`, with per-component sensitivities calibrated (see the
+//! crate README and `montecarlo` tests) so that:
+//!
+//! * the fully adversarial worst case first fails near ±6 % (paper: TRA is
+//!   guaranteed correct up to ±6 %), and
+//! * Monte Carlo failure rates track the paper's Table 2 shape.
+
+use rand::Rng;
+
+use crate::charge::{share_charge, SharedCell};
+use crate::params::CircuitParams;
+
+/// Sensitivity coefficients mapping the headline variation level onto each
+/// physical component. Calibrated against the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// Half-width of the uniform distribution, e.g. `0.10` for ±10 %.
+    pub level: f64,
+    /// Cell stored-voltage sensitivity (fraction of VDD per unit level):
+    /// leakage since last restore, write-driver variation, coupling noise.
+    pub cell_voltage_scale: f64,
+    /// Precharge-voltage mismatch sensitivity between bitline and
+    /// bitline-bar (the equalizer is a matched circuit, so this is small).
+    pub precharge_scale: f64,
+    /// Sense-amplifier input-referred offset sensitivity (fraction of VDD
+    /// per unit level) from threshold/transconductance mismatch.
+    pub offset_scale: f64,
+    /// Superlinear growth of the offset with the variation level: mismatch
+    /// statistics degrade faster than linearly at aggressive corners.
+    pub offset_growth: f64,
+}
+
+impl VariationModel {
+    /// The calibrated model at a given ±`level` (e.g. `0.10` for ±10 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is negative or ≥ 1.
+    pub fn at_level(level: f64) -> Self {
+        assert!((0.0..1.0).contains(&level), "level must be in [0, 1)");
+        VariationModel {
+            level,
+            cell_voltage_scale: 0.32,
+            precharge_scale: 0.25,
+            offset_scale: 0.42,
+            offset_growth: 3.2,
+        }
+    }
+
+    /// Effective sense-offset half-width in volts.
+    pub fn offset_halfwidth(&self, params: &CircuitParams) -> f64 {
+        self.level * self.offset_scale * (1.0 + self.offset_growth * self.level) * params.vdd
+    }
+}
+
+/// One sampled (or adversarially chosen) set of component values for a TRA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraInstance {
+    /// Per-cell capacitances in farads.
+    pub c_cells: [f64; 3],
+    /// Per-cell stored voltages in volts.
+    pub v_cells: [f64; 3],
+    /// Bitline capacitance in farads.
+    pub c_bitline: f64,
+    /// Bitline precharge voltage.
+    pub v_precharge_bl: f64,
+    /// Bitline-bar precharge voltage (the comparison reference).
+    pub v_precharge_bar: f64,
+    /// Sense-amplifier input-referred offset in volts: the bitline must
+    /// exceed the reference by more than this to sense a 1.
+    pub sense_offset: f64,
+}
+
+impl TraInstance {
+    /// Samples an instance for the cell-value pattern `values` (true =
+    /// fully charged) under `model`, all draws uniform on ±level.
+    pub fn sample(
+        params: &CircuitParams,
+        model: &VariationModel,
+        values: [bool; 3],
+        rng: &mut impl Rng,
+    ) -> Self {
+        let v = model.level;
+        let mut u = |scale: f64| rng.gen_range(-1.0f64..=1.0) * v * scale;
+        let c_cells = [
+            params.c_cell * (1.0 + u(1.0)),
+            params.c_cell * (1.0 + u(1.0)),
+            params.c_cell * (1.0 + u(1.0)),
+        ];
+        let mut v_cells = [0.0; 3];
+        for (i, &charged) in values.iter().enumerate() {
+            let base = if charged { params.vdd } else { 0.0 };
+            v_cells[i] = base + u(model.cell_voltage_scale) * params.vdd;
+        }
+        let c_bitline = params.c_bitline * (1.0 + u(1.0));
+        let v_precharge_bl = params.v_precharge() * (1.0 + u(model.precharge_scale));
+        let v_precharge_bar = params.v_precharge() * (1.0 + u(model.precharge_scale));
+        let sense_offset =
+            u(model.offset_scale * (1.0 + model.offset_growth * v)) * params.vdd;
+        TraInstance {
+            c_cells,
+            v_cells,
+            c_bitline,
+            v_precharge_bl,
+            v_precharge_bar,
+            sense_offset,
+        }
+    }
+
+    /// The fully adversarial instance for the pattern `values`: every
+    /// component at the corner that pushes the sensed value *away* from the
+    /// correct majority.
+    pub fn worst_case(params: &CircuitParams, model: &VariationModel, values: [bool; 3]) -> Self {
+        let v = model.level;
+        let majority = values.iter().filter(|&&b| b).count() >= 2;
+        // If the correct answer is 1, adversaries push the bitline down and
+        // the reference/offset up; mirrored when the correct answer is 0.
+        let sign = if majority { -1.0 } else { 1.0 };
+        let mut c_cells = [0.0; 3];
+        let mut v_cells = [0.0; 3];
+        for (i, &charged) in values.iter().enumerate() {
+            // A charged cell helps a 1: adversarially shrink it when the
+            // answer is 1 and grow it when the answer is 0; empty cells are
+            // the opposite.
+            let helps_one = charged;
+            let cap_sign = if helps_one { sign } else { -sign };
+            c_cells[i] = params.c_cell * (1.0 + cap_sign * v);
+            let base = if charged { params.vdd } else { 0.0 };
+            v_cells[i] = base + sign * v * model.cell_voltage_scale * params.vdd;
+        }
+        // A bigger bitline cap dilutes the deviation either way; the
+        // dilution hurts, so the adversary grows Cb.
+        let c_bitline = params.c_bitline * (1.0 + v);
+        let v_precharge_bl = params.v_precharge() * (1.0 + sign * v * model.precharge_scale);
+        let v_precharge_bar = params.v_precharge() * (1.0 - sign * v * model.precharge_scale);
+        let sense_offset = -sign * model.offset_halfwidth(params);
+        TraInstance {
+            c_cells,
+            v_cells,
+            c_bitline,
+            v_precharge_bl,
+            v_precharge_bar,
+            sense_offset,
+        }
+    }
+
+    /// Evaluates the charge-sharing outcome: returns `(sensed_one, margin)`
+    /// where `margin` is the signed voltage distance from the sensing
+    /// threshold (positive = sensed correctly relative to the deviation
+    /// sign, i.e. margin toward the value actually sensed).
+    pub fn evaluate(&self) -> (bool, f64) {
+        let cells: Vec<SharedCell> = (0..3)
+            .map(|i| SharedCell {
+                capacitance: self.c_cells[i],
+                voltage: self.v_cells[i],
+            })
+            .collect();
+        let result = share_charge(
+            &cells,
+            self.c_bitline,
+            self.v_precharge_bl,
+            self.v_precharge_bar,
+        );
+        let effective = result.deviation - self.sense_offset;
+        (effective > 0.0, effective)
+    }
+
+    /// The correct (ideal) sensed value for the stored pattern: bitwise
+    /// majority of the cells being above half-VDD.
+    pub fn expected(&self, params: &CircuitParams) -> bool {
+        let charged = self
+            .v_cells
+            .iter()
+            .filter(|&&v| v > params.v_precharge())
+            .count();
+        charged >= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn p() -> CircuitParams {
+        CircuitParams::ddr3_55nm()
+    }
+
+    #[test]
+    fn zero_variation_never_fails() {
+        let params = p();
+        let model = VariationModel::at_level(0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for pattern in 0..8u8 {
+            let values = [pattern & 1 != 0, pattern & 2 != 0, pattern & 4 != 0];
+            let inst = TraInstance::sample(&params, &model, values, &mut rng);
+            let (sensed, _) = inst.evaluate();
+            assert_eq!(sensed, values.iter().filter(|&&b| b).count() >= 2);
+        }
+    }
+
+    #[test]
+    fn worst_case_margin_shrinks_with_level() {
+        let params = p();
+        let m5 = TraInstance::worst_case(&params, &VariationModel::at_level(0.05), [true, true, false]);
+        let m10 =
+            TraInstance::worst_case(&params, &VariationModel::at_level(0.10), [true, true, false]);
+        let (ok5, margin5) = m5.evaluate();
+        let (_, margin10) = m10.evaluate();
+        assert!(ok5, "±5 % worst case still senses 1 (paper: safe to ±6 %)");
+        assert!(margin10 < margin5);
+    }
+
+    #[test]
+    fn worst_case_symmetric_for_k1() {
+        // k=1 should fail by sensing a spurious 1; margins mirror k=2.
+        let params = p();
+        let model = VariationModel::at_level(0.05);
+        let k2 = TraInstance::worst_case(&params, &model, [true, true, false]);
+        let k1 = TraInstance::worst_case(&params, &model, [false, false, true]);
+        let (s2, m2) = k2.evaluate();
+        let (s1, m1) = k1.evaluate();
+        assert!(s2, "k=2 senses 1");
+        assert!(!s1, "k=1 senses 0");
+        // Margins are of opposite sign and comparable magnitude.
+        assert!((m2 + m1).abs() < 0.3 * m2.abs(), "m2={m2} m1={m1}");
+    }
+
+    #[test]
+    fn sampled_instances_stay_within_bounds() {
+        let params = p();
+        let model = VariationModel::at_level(0.25);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..200 {
+            let inst = TraInstance::sample(&params, &model, [true, false, true], &mut rng);
+            for c in inst.c_cells {
+                assert!(c >= params.c_cell * 0.75 - 1e-30 && c <= params.c_cell * 1.25 + 1e-30);
+            }
+            assert!(inst.sense_offset.abs() <= model.offset_halfwidth(&params) + 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "level must be in")]
+    fn invalid_level_panics() {
+        VariationModel::at_level(1.5);
+    }
+}

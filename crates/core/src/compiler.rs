@@ -1,0 +1,227 @@
+//! Program-level optimization of bulk bitwise dataflows (paper
+//! Section 5.2: "this copy overhead can be reduced by applying standard
+//! compilation techniques... an optimization like dead-store elimination
+//! may prevent these values from being copied unnecessarily").
+//!
+//! The canonical case is an *accumulation*: `dst = s0 op s1 op … op s(k−1)`
+//! for an associative op. Executed naively this is `k−1` full command
+//! programs, each copying the running accumulator out to a data row and
+//! back in again. The optimized program keeps the accumulator in the
+//! designated rows across steps — the intermediate stores are dead and
+//! never materialize in the D-group:
+//!
+//! ```text
+//! AAP(s0, B0)            ; T0 = s0
+//! AAP(s1, B1)            ; T1 = s1
+//! AAP(C,  B2)            ; T2 = control (0 for AND, 1 for OR)
+//! AP (B12)               ; T0 = T1 = T2 = s0 op s1
+//! for each further s_j:
+//!   AAP(s_j, B1)         ; T1 = s_j        (T0 still holds the acc)
+//!   AAP(C,   B2)         ; T2 = control    (B12 overwrote it)
+//!   AP (B12)             ; acc op= s_j
+//! AAP(B0, dst)           ; the only live store
+//! ```
+//!
+//! Cost: `2k` AAPs + `k−1` APs versus the naive `4(k−1)` AAPs — about 20 %
+//! fewer DRAM cycles for a 7-way OR (a bitmap index's weekly rollup) and
+//! one D-group write instead of `k−1`.
+
+use crate::addressing::RowAddress;
+use crate::error::{AmbitError, Result};
+use crate::ops::{AmbitCmd, BitwiseOp};
+
+/// Returns `true` if [`compile_fold`] supports the operation (associative
+/// ops whose TRA control row exists: AND and OR).
+pub fn fold_supported(op: BitwiseOp) -> bool {
+    matches!(op, BitwiseOp::And | BitwiseOp::Or)
+}
+
+/// Compiles an optimized k-way accumulation `dst = srcs[0] op … op
+/// srcs[k−1]` that keeps the accumulator in the designated rows.
+///
+/// # Errors
+///
+/// Returns [`AmbitError::WrongOperandCount`] if fewer than two sources are
+/// given or `op` is not foldable.
+pub fn compile_fold(
+    op: BitwiseOp,
+    srcs: &[RowAddress],
+    dst: RowAddress,
+) -> Result<Vec<AmbitCmd>> {
+    use AmbitCmd::{Aap, Ap};
+    use RowAddress::{B, C};
+
+    if !fold_supported(op) || srcs.len() < 2 {
+        return Err(AmbitError::WrongOperandCount {
+            op: op.mnemonic(),
+            expected: 2,
+            provided: srcs.len(),
+        });
+    }
+    let control = match op {
+        BitwiseOp::And => C(0),
+        BitwiseOp::Or => C(1),
+        _ => unreachable!("fold_supported checked"),
+    };
+
+    let mut program = Vec::with_capacity(2 * srcs.len() + srcs.len());
+    program.push(Aap(srcs[0], B(0)));
+    program.push(Aap(srcs[1], B(1)));
+    program.push(Aap(control, B(2)));
+    program.push(Ap(B(12)));
+    for &src in &srcs[2..] {
+        program.push(Aap(src, B(1)));
+        program.push(Aap(control, B(2)));
+        program.push(Ap(B(12)));
+    }
+    program.push(Aap(B(0), dst));
+    Ok(program)
+}
+
+/// Command-count comparison for a k-way fold: `(naive_aaps, fold_aaps,
+/// fold_aps)`. The naive path runs `k−1` standard two-operand programs.
+pub fn fold_savings(k: usize) -> (usize, usize, usize) {
+    assert!(k >= 2, "fold needs at least two operands");
+    (4 * (k - 1), 2 * k, k - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::AmbitController;
+    use ambit_dram::{AapMode, BankId, BitRow, DramGeometry, TimingParams};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn controller() -> AmbitController {
+        AmbitController::new(
+            DramGeometry::tiny(),
+            TimingParams::ddr3_1600(),
+            AapMode::Overlapped,
+        )
+    }
+
+    #[test]
+    fn fold_program_shape() {
+        let srcs: Vec<RowAddress> = (0..7).map(RowAddress::D).collect();
+        let program = compile_fold(BitwiseOp::Or, &srcs, RowAddress::D(10)).unwrap();
+        let aaps = program.iter().filter(|c| matches!(c, AmbitCmd::Aap(_, _))).count();
+        let aps = program.len() - aaps;
+        assert_eq!((aaps, aps), (2 * 7, 6));
+        let (naive, fold_aaps, fold_aps) = fold_savings(7);
+        assert_eq!(naive, 24);
+        assert_eq!((fold_aaps, fold_aps), (aaps, aps));
+    }
+
+    #[test]
+    fn fold_or_computes_the_union() {
+        let mut ctrl = controller();
+        let bank = BankId::zero();
+        let bits = ctrl.row_bits();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let data: Vec<BitRow> = (0..5).map(|_| BitRow::random(bits, &mut rng)).collect();
+        for (i, d) in data.iter().enumerate() {
+            ctrl.poke_data(bank, 0, i, d).unwrap();
+        }
+        let srcs: Vec<RowAddress> = (0..5).map(RowAddress::D).collect();
+        let program = compile_fold(BitwiseOp::Or, &srcs, RowAddress::D(9)).unwrap();
+        ctrl.run_program(bank, 0, &program).unwrap();
+        let expect = data.iter().skip(1).fold(data[0].clone(), |acc, d| acc.or(d));
+        assert_eq!(ctrl.peek_data(bank, 0, 9).unwrap(), expect);
+    }
+
+    #[test]
+    fn fold_and_computes_the_intersection() {
+        let mut ctrl = controller();
+        let bank = BankId::zero();
+        let bits = ctrl.row_bits();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        // Dense rows so the intersection is non-trivial.
+        let data: Vec<BitRow> = (0..4)
+            .map(|_| {
+                let r = BitRow::random(bits, &mut rng);
+                r.or(&BitRow::from_fn(bits, |i| i % 2 == 0))
+            })
+            .collect();
+        for (i, d) in data.iter().enumerate() {
+            ctrl.poke_data(bank, 0, i, d).unwrap();
+        }
+        let srcs: Vec<RowAddress> = (0..4).map(RowAddress::D).collect();
+        let program = compile_fold(BitwiseOp::And, &srcs, RowAddress::D(8)).unwrap();
+        ctrl.run_program(bank, 0, &program).unwrap();
+        let expect = data.iter().skip(1).fold(data[0].clone(), |acc, d| acc.and(d));
+        assert_eq!(ctrl.peek_data(bank, 0, 8).unwrap(), expect);
+        assert!(expect.count_ones() >= bits / 2, "test data kept it non-trivial");
+    }
+
+    #[test]
+    fn fold_preserves_sources() {
+        let mut ctrl = controller();
+        let bank = BankId::zero();
+        let bits = ctrl.row_bits();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let data: Vec<BitRow> = (0..3).map(|_| BitRow::random(bits, &mut rng)).collect();
+        for (i, d) in data.iter().enumerate() {
+            ctrl.poke_data(bank, 0, i, d).unwrap();
+        }
+        let srcs: Vec<RowAddress> = (0..3).map(RowAddress::D).collect();
+        let program = compile_fold(BitwiseOp::Or, &srcs, RowAddress::D(5)).unwrap();
+        ctrl.run_program(bank, 0, &program).unwrap();
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(&ctrl.peek_data(bank, 0, i).unwrap(), d, "source {i}");
+        }
+    }
+
+    #[test]
+    fn fold_matches_naive_chain_and_is_cheaper() {
+        let bits = DramGeometry::tiny().row_bits();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let data: Vec<BitRow> = (0..7).map(|_| BitRow::random(bits, &mut rng)).collect();
+        let bank = BankId::zero();
+
+        // Naive: 6 standard OR programs through a D-row accumulator.
+        let mut naive = controller();
+        for (i, d) in data.iter().enumerate() {
+            naive.poke_data(bank, 0, i, d).unwrap();
+        }
+        let mut naive_receipt = naive
+            .execute(BitwiseOp::Copy, bank, 0, RowAddress::D(0), None, RowAddress::D(10))
+            .unwrap();
+        for i in 1..7 {
+            let r = naive
+                .execute(BitwiseOp::Or, bank, 0, RowAddress::D(10), Some(RowAddress::D(i)), RowAddress::D(10))
+                .unwrap();
+            naive_receipt.absorb(&r);
+        }
+
+        // Fold.
+        let mut fold = controller();
+        for (i, d) in data.iter().enumerate() {
+            fold.poke_data(bank, 0, i, d).unwrap();
+        }
+        let srcs: Vec<RowAddress> = (0..7).map(RowAddress::D).collect();
+        let program = compile_fold(BitwiseOp::Or, &srcs, RowAddress::D(10)).unwrap();
+        let fold_receipt = fold.run_program(bank, 0, &program).unwrap();
+
+        assert_eq!(
+            naive.peek_data(bank, 0, 10).unwrap(),
+            fold.peek_data(bank, 0, 10).unwrap()
+        );
+        assert!(
+            fold_receipt.latency_ps() < naive_receipt.latency_ps(),
+            "fold {} vs naive {}",
+            fold_receipt.latency_ps(),
+            naive_receipt.latency_ps()
+        );
+        assert!(fold_receipt.energy_nj < naive_receipt.energy_nj);
+    }
+
+    #[test]
+    fn unsupported_folds_rejected() {
+        let srcs = [RowAddress::D(0), RowAddress::D(1)];
+        assert!(compile_fold(BitwiseOp::Xor, &srcs, RowAddress::D(2)).is_err());
+        assert!(compile_fold(BitwiseOp::Or, &srcs[..1], RowAddress::D(2)).is_err());
+        assert!(fold_supported(BitwiseOp::And));
+        assert!(!fold_supported(BitwiseOp::Nand));
+    }
+}

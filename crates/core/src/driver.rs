@@ -1,0 +1,905 @@
+//! The Ambit driver: subarray-aware placement of bitvectors and the
+//! user-facing bulk-operation API (paper Section 5.4.2).
+//!
+//! For RowClone-FPM to move operands into the designated rows, the operand
+//! rows must live in the *same subarray*. The paper therefore expects the
+//! manufacturer to ship a driver that (1) lets applications allocate
+//! bitvectors that will be operated on together and (2) maps corresponding
+//! portions of those bitvectors to the same subarray, interleaving large
+//! vectors across subarrays and banks.
+//!
+//! [`AmbitMemory`] implements exactly that: bitvectors are split into
+//! row-sized chunks; chunk *i* of every vector in the same *allocation
+//! group* is placed in the same `(bank, subarray)`, with consecutive chunks
+//! striped across banks first (for bank-level parallelism) and then across
+//! subarrays.
+
+use std::collections::HashMap;
+
+use ambit_dram::{AapMode, BankId, BitRow, CellFault, DramGeometry, TimingParams};
+
+use crate::addressing::RowAddress;
+use crate::compiler::{compile_fold, fold_supported};
+use crate::controller::{AmbitController, OpReceipt};
+use crate::error::{AmbitError, Result};
+use crate::ops::{compile_majority, BitwiseOp};
+
+/// Opaque handle to an allocated Ambit bitvector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitVectorHandle(u64);
+
+/// Affinity group: bitvectors allocated in the same group are co-located
+/// chunk-by-chunk so in-DRAM operations between them use RowClone-FPM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AllocGroup(pub u32);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChunkLoc {
+    bank: BankId,
+    subarray: usize,
+    d_index: usize,
+}
+
+#[derive(Debug, Clone)]
+struct VectorMeta {
+    bits: usize,
+    group: AllocGroup,
+    chunks: Vec<ChunkLoc>,
+}
+
+/// Ambit device memory with a subarray-aware allocator on top of the
+/// [`AmbitController`].
+///
+/// # Examples
+///
+/// ```
+/// use ambit_core::{AmbitMemory, BitwiseOp};
+/// use ambit_dram::{AapMode, DramGeometry, TimingParams};
+///
+/// let mut mem = AmbitMemory::new(
+///     DramGeometry::tiny(),
+///     TimingParams::ddr3_1600(),
+///     AapMode::Overlapped,
+/// );
+/// let bits = 2 * mem.row_bits(); // two chunks, striped across banks
+/// let a = mem.alloc(bits)?;
+/// let b = mem.alloc(bits)?;
+/// let out = mem.alloc(bits)?;
+/// mem.poke_bits(a, &vec![true; bits])?;
+/// mem.poke_bits(b, &vec![false; bits])?;
+/// mem.bitwise(BitwiseOp::Xor, a, Some(b), out)?;
+/// assert_eq!(mem.popcount(out)?, bits);
+/// # Ok::<(), ambit_core::AmbitError>(())
+/// ```
+#[derive(Debug)]
+pub struct AmbitMemory {
+    ctrl: AmbitController,
+    vectors: HashMap<u64, VectorMeta>,
+    next_id: u64,
+    /// Next free D index per `[flat_bank][subarray]`.
+    next_free: Vec<Vec<usize>>,
+    /// For each group, the placement of chunk index `i`.
+    group_sequences: HashMap<u32, Vec<(usize, usize)>>,
+}
+
+impl AmbitMemory {
+    /// Creates Ambit memory of the given geometry and timing.
+    pub fn new(geometry: DramGeometry, timing: TimingParams, mode: AapMode) -> Self {
+        let ctrl = AmbitController::new(geometry, timing, mode);
+        let banks = geometry.total_banks();
+        AmbitMemory {
+            ctrl,
+            vectors: HashMap::new(),
+            next_id: 0,
+            next_free: vec![vec![0; geometry.subarrays_per_bank]; banks],
+            group_sequences: HashMap::new(),
+        }
+    }
+
+    /// Convenience constructor for the paper's 8-bank DDR3-1600 module.
+    pub fn ddr3_module() -> Self {
+        AmbitMemory::new(
+            DramGeometry::ddr3_module(),
+            TimingParams::ddr3_1600(),
+            AapMode::Overlapped,
+        )
+    }
+
+    /// Row width in bits (the chunk size of allocations).
+    pub fn row_bits(&self) -> usize {
+        self.ctrl.row_bits()
+    }
+
+    /// The underlying controller (timing, energy, stats).
+    pub fn controller(&self) -> &AmbitController {
+        &self.ctrl
+    }
+
+    /// Mutable access to the controller, for custom command programs.
+    pub fn controller_mut(&mut self) -> &mut AmbitController {
+        &mut self.ctrl
+    }
+
+    /// Enables subarray-level parallelism: chunks placed in different
+    /// subarrays of one bank overlap in time like chunks in different
+    /// banks.
+    pub fn set_salp(&mut self, salp: bool) {
+        self.ctrl.set_salp(salp);
+    }
+
+    /// Total energy consumed so far, nanojoules.
+    pub fn energy_nj(&self) -> f64 {
+        self.ctrl.timer().energy().total_nj()
+    }
+
+    /// Current simulated time, picoseconds.
+    pub fn now_ps(&self) -> u64 {
+        self.ctrl.timer().now_ps()
+    }
+
+    /// Allocates a bitvector of `bits` bits in the default group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::OutOfMemory`] when no co-located rows remain.
+    pub fn alloc(&mut self, bits: usize) -> Result<BitVectorHandle> {
+        self.alloc_in_group(bits, AllocGroup::default())
+    }
+
+    /// Allocates a bitvector of `bits` bits in `group`. Vectors in the same
+    /// group are chunk-wise co-located (paper Section 5.4.2's API hint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::OutOfMemory`] when no co-located rows remain.
+    pub fn alloc_in_group(&mut self, bits: usize, group: AllocGroup) -> Result<BitVectorHandle> {
+        assert!(bits > 0, "cannot allocate an empty bitvector");
+        let row_bits = self.row_bits();
+        let chunk_count = bits.div_ceil(row_bits);
+        let placements = self.group_placements(group, chunk_count);
+
+        // First pass: check capacity without mutating.
+        let layout_rows = self.ctrl.layout().data_rows();
+        let mut needed: HashMap<(usize, usize), usize> = HashMap::new();
+        for &(b, s) in &placements {
+            *needed.entry((b, s)).or_insert(0) += 1;
+        }
+        for (&(b, s), &n) in &needed {
+            let free = layout_rows - self.next_free[b][s];
+            if free < n {
+                return Err(AmbitError::OutOfMemory {
+                    requested_rows: n,
+                    available_rows: free,
+                });
+            }
+        }
+
+        let geometry = *self.ctrl.geometry();
+        let chunks: Vec<ChunkLoc> = placements
+            .iter()
+            .map(|&(b, s)| {
+                let d_index = self.next_free[b][s];
+                self.next_free[b][s] += 1;
+                ChunkLoc {
+                    bank: BankId::from_flat_index(b, &geometry),
+                    subarray: s,
+                    d_index,
+                }
+            })
+            .collect();
+
+        let id = self.next_id;
+        self.next_id += 1;
+        self.vectors.insert(
+            id,
+            VectorMeta {
+                bits,
+                group,
+                chunks,
+            },
+        );
+        Ok(BitVectorHandle(id))
+    }
+
+    /// Length of the bitvector in bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::UnknownHandle`] for stale handles.
+    pub fn len_bits(&self, handle: BitVectorHandle) -> Result<usize> {
+        Ok(self.meta(handle)?.bits)
+    }
+
+    /// Number of row-sized chunks backing the bitvector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::UnknownHandle`] for stale handles.
+    pub fn chunk_count(&self, handle: BitVectorHandle) -> Result<usize> {
+        Ok(self.meta(handle)?.chunks.len())
+    }
+
+    /// The allocation group the bitvector was placed in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::UnknownHandle`] for stale handles.
+    pub fn group(&self, handle: BitVectorHandle) -> Result<AllocGroup> {
+        Ok(self.meta(handle)?.group)
+    }
+
+    /// Injects a stuck-at cell fault at logical bit `bit` of the vector —
+    /// for reliability campaigns (e.g. validating the TMR ECC of paper
+    /// Section 5.4.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns an unknown-handle error or a range error.
+    pub fn inject_fault(
+        &mut self,
+        handle: BitVectorHandle,
+        bit: usize,
+        fault: CellFault,
+    ) -> Result<()> {
+        let meta = self.meta(handle)?.clone();
+        let row_bits = self.row_bits();
+        if bit >= meta.bits {
+            return Err(AmbitError::SizeMismatch {
+                left_bits: bit,
+                right_bits: meta.bits,
+            });
+        }
+        let chunk = meta.chunks[bit / row_bits];
+        let physical_row = self.ctrl.layout().data_row(chunk.d_index)?;
+        self.ctrl
+            .device_mut()
+            .bank_mut(chunk.bank)
+            .subarray_mut(chunk.subarray)
+            .inject_fault(physical_row, bit % row_bits, fault);
+        Ok(())
+    }
+
+    /// Sets the transient TRA fault rate on every subarray of the device
+    /// (feed this from `ambit_circuit`'s Monte Carlo failure rates).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is a probability.
+    pub fn set_tra_fault_rate(&mut self, rate: f64) {
+        let geometry = *self.ctrl.geometry();
+        let device = self.ctrl.device_mut();
+        for flat in 0..geometry.total_banks() {
+            let id = BankId::from_flat_index(flat, &geometry);
+            let bank = device.bank_mut(id);
+            for s in 0..bank.subarray_count() {
+                bank.subarray_mut(s).set_tra_fault_rate(rate);
+            }
+        }
+    }
+
+    /// Executes `dst = op(src1, src2)` across all chunks of the operands,
+    /// entirely in DRAM. Chunks in different banks overlap in time
+    /// (bank-level parallelism); the receipt covers the whole operation.
+    ///
+    /// # Errors
+    ///
+    /// * [`AmbitError::SizeMismatch`] if operand lengths differ.
+    /// * [`AmbitError::NotColocated`] if some chunk pair is not in the same
+    ///   subarray (operands from different allocation groups).
+    /// * [`AmbitError::WrongOperandCount`] on arity mismatch.
+    pub fn bitwise(
+        &mut self,
+        op: BitwiseOp,
+        src1: BitVectorHandle,
+        src2: Option<BitVectorHandle>,
+        dst: BitVectorHandle,
+    ) -> Result<OpReceipt> {
+        if op.source_count() == 2 && src2.is_none() {
+            return Err(AmbitError::WrongOperandCount {
+                op: op.mnemonic(),
+                expected: 2,
+                provided: 1,
+            });
+        }
+        let m1 = self.meta(src1)?.clone();
+        let m2 = match src2 {
+            Some(h) => Some(self.meta(h)?.clone()),
+            None => None,
+        };
+        let md = self.meta(dst)?.clone();
+        if m1.bits != md.bits {
+            return Err(AmbitError::SizeMismatch {
+                left_bits: m1.bits,
+                right_bits: md.bits,
+            });
+        }
+        if let Some(m2) = &m2 {
+            if m2.bits != m1.bits {
+                return Err(AmbitError::SizeMismatch {
+                    left_bits: m1.bits,
+                    right_bits: m2.bits,
+                });
+            }
+        }
+
+        let mut total: Option<OpReceipt> = None;
+        for chunk in 0..m1.chunks.len() {
+            let c1 = m1.chunks[chunk];
+            let cd = md.chunks[chunk];
+            let c2 = m2.as_ref().map(|m| m.chunks[chunk]);
+            let colocated = c1.bank == cd.bank
+                && c1.subarray == cd.subarray
+                && c2.is_none_or(|c| c.bank == c1.bank && c.subarray == c1.subarray);
+            if !colocated {
+                return Err(AmbitError::NotColocated { chunk });
+            }
+            let receipt = self.ctrl.execute(
+                op,
+                c1.bank,
+                c1.subarray,
+                RowAddress::D(c1.d_index),
+                c2.map(|c| RowAddress::D(c.d_index)),
+                RowAddress::D(cd.d_index),
+            )?;
+            match &mut total {
+                Some(t) => t.absorb(&receipt),
+                None => total = Some(receipt),
+            }
+        }
+        Ok(total.expect("alloc guarantees at least one chunk"))
+    }
+
+    /// Executes `dst = majority(a, b, c)` bitwise across all chunks — the
+    /// raw triple-row activation as an operation (one 4-AAP program per
+    /// chunk, the same cost as an AND). The carry step of a bit-serial
+    /// adder is exactly this.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`bitwise`](Self::bitwise).
+    pub fn bitwise_maj3(
+        &mut self,
+        a: BitVectorHandle,
+        b: BitVectorHandle,
+        c: BitVectorHandle,
+        dst: BitVectorHandle,
+    ) -> Result<OpReceipt> {
+        let ma = self.meta(a)?.clone();
+        let mb = self.meta(b)?.clone();
+        let mc = self.meta(c)?.clone();
+        let md = self.meta(dst)?.clone();
+        for m in [&mb, &mc, &md] {
+            if m.bits != ma.bits {
+                return Err(AmbitError::SizeMismatch {
+                    left_bits: ma.bits,
+                    right_bits: m.bits,
+                });
+            }
+        }
+        let mut total: Option<OpReceipt> = None;
+        for chunk in 0..ma.chunks.len() {
+            let (ca, cb, cc, cd) = (
+                ma.chunks[chunk],
+                mb.chunks[chunk],
+                mc.chunks[chunk],
+                md.chunks[chunk],
+            );
+            let colocated = [cb, cc, cd]
+                .iter()
+                .all(|c| c.bank == ca.bank && c.subarray == ca.subarray);
+            if !colocated {
+                return Err(AmbitError::NotColocated { chunk });
+            }
+            let program = compile_majority(
+                RowAddress::D(ca.d_index),
+                RowAddress::D(cb.d_index),
+                RowAddress::D(cc.d_index),
+                RowAddress::D(cd.d_index),
+            );
+            let receipt = self.ctrl.run_program(ca.bank, ca.subarray, &program)?;
+            match &mut total {
+                Some(t) => t.absorb(&receipt),
+                None => total = Some(receipt),
+            }
+        }
+        Ok(total.expect("alloc guarantees at least one chunk"))
+    }
+
+    /// Executes an optimized k-way accumulation `dst = srcs[0] op … op
+    /// srcs[k−1]` (associative `op`: AND or OR), keeping the running
+    /// accumulator in the designated rows chunk by chunk — the Section 5.2
+    /// copy-elimination applied at the driver level.
+    ///
+    /// # Errors
+    ///
+    /// * [`AmbitError::WrongOperandCount`] for unsupported ops or < 2
+    ///   sources.
+    /// * [`AmbitError::SizeMismatch`] / [`AmbitError::NotColocated`] as for
+    ///   [`bitwise`](Self::bitwise).
+    pub fn bitwise_fold(
+        &mut self,
+        op: BitwiseOp,
+        srcs: &[BitVectorHandle],
+        dst: BitVectorHandle,
+    ) -> Result<OpReceipt> {
+        if !fold_supported(op) || srcs.len() < 2 {
+            return Err(AmbitError::WrongOperandCount {
+                op: op.mnemonic(),
+                expected: 2,
+                provided: srcs.len(),
+            });
+        }
+        let metas: Vec<VectorMeta> = srcs
+            .iter()
+            .map(|&h| self.meta(h).cloned())
+            .collect::<Result<_>>()?;
+        let md = self.meta(dst)?.clone();
+        for m in &metas {
+            if m.bits != md.bits {
+                return Err(AmbitError::SizeMismatch {
+                    left_bits: m.bits,
+                    right_bits: md.bits,
+                });
+            }
+        }
+
+        let mut total: Option<OpReceipt> = None;
+        for chunk in 0..md.chunks.len() {
+            let cd = md.chunks[chunk];
+            let mut src_addrs = Vec::with_capacity(metas.len());
+            for m in &metas {
+                let c = m.chunks[chunk];
+                if c.bank != cd.bank || c.subarray != cd.subarray {
+                    return Err(AmbitError::NotColocated { chunk });
+                }
+                src_addrs.push(RowAddress::D(c.d_index));
+            }
+            let program = compile_fold(op, &src_addrs, RowAddress::D(cd.d_index))?;
+            let receipt = self.ctrl.run_program(cd.bank, cd.subarray, &program)?;
+            match &mut total {
+                Some(t) => t.absorb(&receipt),
+                None => total = Some(receipt),
+            }
+        }
+        Ok(total.expect("alloc guarantees at least one chunk"))
+    }
+
+    /// Writes host bits into the vector through the DRAM protocol (timed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::SizeMismatch`] if `bits.len()` differs from the
+    /// allocation, or an unknown-handle error.
+    pub fn write_bits(&mut self, handle: BitVectorHandle, bits: &[bool]) -> Result<()> {
+        self.store_bits(handle, bits, false)
+    }
+
+    /// Backdoor write (no protocol, no timing) for workload setup.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`write_bits`](Self::write_bits).
+    pub fn poke_bits(&mut self, handle: BitVectorHandle, bits: &[bool]) -> Result<()> {
+        self.store_bits(handle, bits, true)
+    }
+
+    /// Backdoor write from a packed row-sized [`BitRow`] per chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::SizeMismatch`] if the chunk count differs.
+    pub fn poke_rows(&mut self, handle: BitVectorHandle, rows: &[BitRow]) -> Result<()> {
+        let meta = self.meta(handle)?.clone();
+        if rows.len() != meta.chunks.len() {
+            return Err(AmbitError::SizeMismatch {
+                left_bits: rows.len() * self.row_bits(),
+                right_bits: meta.bits,
+            });
+        }
+        for (row, chunk) in rows.iter().zip(&meta.chunks) {
+            self.ctrl.poke_data(chunk.bank, chunk.subarray, chunk.d_index, row)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the vector's bits back to the host through the DRAM protocol
+    /// (timed).
+    ///
+    /// # Errors
+    ///
+    /// Returns an unknown-handle error for stale handles.
+    pub fn read_bits(&mut self, handle: BitVectorHandle) -> Result<Vec<bool>> {
+        let meta = self.meta(handle)?.clone();
+        let mut out = Vec::with_capacity(meta.bits);
+        for chunk in &meta.chunks {
+            let row = self.ctrl.read_data(chunk.bank, chunk.subarray, chunk.d_index)?;
+            for i in 0..row.len() {
+                if out.len() == meta.bits {
+                    break;
+                }
+                out.push(row.get(i));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Backdoor read (no protocol, no timing).
+    ///
+    /// # Errors
+    ///
+    /// Returns an unknown-handle error for stale handles.
+    pub fn peek_bits(&self, handle: BitVectorHandle) -> Result<Vec<bool>> {
+        let meta = self.meta(handle)?;
+        let mut out = Vec::with_capacity(meta.bits);
+        for chunk in &meta.chunks {
+            let row = self.ctrl.peek_data(chunk.bank, chunk.subarray, chunk.d_index)?;
+            for i in 0..row.len() {
+                if out.len() == meta.bits {
+                    break;
+                }
+                out.push(row.get(i));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Population count of the vector, masking any padding in the final
+    /// chunk. This models the CPU-side `bitcount` the paper's applications
+    /// perform (the count itself is not an in-DRAM operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an unknown-handle error for stale handles.
+    pub fn popcount(&self, handle: BitVectorHandle) -> Result<usize> {
+        let meta = self.meta(handle)?;
+        let row_bits = self.row_bits();
+        let mut count = 0;
+        for (i, chunk) in meta.chunks.iter().enumerate() {
+            let row = self.ctrl.peek_data(chunk.bank, chunk.subarray, chunk.d_index)?;
+            let valid = (meta.bits - i * row_bits).min(row_bits);
+            if valid == row_bits {
+                count += row.count_ones();
+            } else {
+                count += (0..valid).filter(|&b| row.get(b)).count();
+            }
+        }
+        Ok(count)
+    }
+
+    /// Frees the allocation. Freed rows are not currently recycled (the
+    /// allocator is an arena, sufficient for experiment workloads).
+    ///
+    /// # Errors
+    ///
+    /// Returns an unknown-handle error if already freed.
+    pub fn free(&mut self, handle: BitVectorHandle) -> Result<()> {
+        self.vectors
+            .remove(&handle.0)
+            .map(|_| ())
+            .ok_or(AmbitError::UnknownHandle { id: handle.0 })
+    }
+
+    fn meta(&self, handle: BitVectorHandle) -> Result<&VectorMeta> {
+        self.vectors
+            .get(&handle.0)
+            .ok_or(AmbitError::UnknownHandle { id: handle.0 })
+    }
+
+    fn store_bits(
+        &mut self,
+        handle: BitVectorHandle,
+        bits: &[bool],
+        backdoor: bool,
+    ) -> Result<()> {
+        let meta = self.meta(handle)?.clone();
+        if bits.len() != meta.bits {
+            return Err(AmbitError::SizeMismatch {
+                left_bits: bits.len(),
+                right_bits: meta.bits,
+            });
+        }
+        let row_bits = self.row_bits();
+        for (i, chunk) in meta.chunks.iter().enumerate() {
+            let lo = i * row_bits;
+            let hi = (lo + row_bits).min(bits.len());
+            let row = BitRow::from_fn(row_bits, |b| lo + b < hi && bits[lo + b]);
+            if backdoor {
+                self.ctrl.poke_data(chunk.bank, chunk.subarray, chunk.d_index, &row)?;
+            } else {
+                self.ctrl.write_data(chunk.bank, chunk.subarray, chunk.d_index, &row)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Placement sequence for the first `chunks` chunk indices of `group`:
+    /// stripe across banks first, then subarrays.
+    fn group_placements(&mut self, group: AllocGroup, chunks: usize) -> Vec<(usize, usize)> {
+        let geometry = *self.ctrl.geometry();
+        let banks = geometry.total_banks();
+        let subarrays = geometry.subarrays_per_bank;
+        let seq = self.group_sequences.entry(group.0).or_default();
+        while seq.len() < chunks {
+            // Different groups start at different banks so that vectors from
+            // unrelated groups do not collide in the same subarrays — and so
+            // that cross-group operations genuinely fail co-location.
+            let i = seq.len() + group.0 as usize;
+            let bank = i % banks;
+            let subarray = (i / banks) % subarrays;
+            seq.push((bank, subarray));
+        }
+        seq[..chunks].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn memory() -> AmbitMemory {
+        AmbitMemory::new(
+            DramGeometry::tiny(),
+            TimingParams::ddr3_1600(),
+            AapMode::Overlapped,
+        )
+    }
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let mut mem = memory();
+        let bits = mem.row_bits() * 2 + 17; // unaligned tail
+        let h = mem.alloc(bits).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let data: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+        mem.write_bits(h, &data).unwrap();
+        assert_eq!(mem.read_bits(h).unwrap(), data);
+        assert_eq!(mem.len_bits(h).unwrap(), bits);
+        assert_eq!(mem.chunk_count(h).unwrap(), 3);
+    }
+
+    #[test]
+    fn same_group_vectors_are_colocated_and_operable() {
+        let mut mem = memory();
+        let bits = mem.row_bits() * 4;
+        let a = mem.alloc(bits).unwrap();
+        let b = mem.alloc(bits).unwrap();
+        let c = mem.alloc(bits).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let da: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+        let db: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+        mem.poke_bits(a, &da).unwrap();
+        mem.poke_bits(b, &db).unwrap();
+        mem.bitwise(BitwiseOp::And, a, Some(b), c).unwrap();
+        let got = mem.peek_bits(c).unwrap();
+        for i in 0..bits {
+            assert_eq!(got[i], da[i] && db[i], "bit {i}");
+        }
+    }
+
+    #[test]
+    fn different_groups_are_not_colocated() {
+        let mut mem = memory();
+        let bits = mem.row_bits();
+        let a = mem.alloc_in_group(bits, AllocGroup(0)).unwrap();
+        let b = mem.alloc_in_group(bits, AllocGroup(1)).unwrap();
+        let dst = mem.alloc_in_group(bits, AllocGroup(0)).unwrap();
+        // Group 1 starts in a different bank: the driver cannot use
+        // RowClone-FPM between these operands.
+        assert_eq!(
+            mem.bitwise(BitwiseOp::Or, a, Some(b), dst).unwrap_err(),
+            AmbitError::NotColocated { chunk: 0 }
+        );
+        // Operands within group 0 still work.
+        let c = mem.alloc_in_group(bits, AllocGroup(0)).unwrap();
+        assert!(mem.bitwise(BitwiseOp::Or, a, Some(c), dst).is_ok());
+    }
+
+    #[test]
+    fn chunks_stripe_across_banks() {
+        let mut mem = memory();
+        let bits = mem.row_bits() * 2; // tiny geometry has 2 banks
+        let h = mem.alloc(bits).unwrap();
+        let meta = mem.meta(h).unwrap();
+        assert_ne!(meta.chunks[0].bank, meta.chunks[1].bank);
+    }
+
+    #[test]
+    fn multi_chunk_ops_overlap_across_banks() {
+        let mut mem = memory();
+        let row = mem.row_bits();
+        let a = mem.alloc(row * 2).unwrap();
+        let b = mem.alloc(row * 2).unwrap();
+        let c = mem.alloc(row * 2).unwrap();
+        let receipt = mem.bitwise(BitwiseOp::And, a, Some(b), c).unwrap();
+        // Two AND chunk-programs of 4 AAPs each: serial would be 2×196 ns;
+        // bank overlap should keep the makespan well under that.
+        assert!(
+            receipt.latency_ps() < 2 * 196_000,
+            "latency {} should reflect bank parallelism",
+            receipt.latency_ps()
+        );
+        assert_eq!(receipt.aaps, 8);
+    }
+
+    #[test]
+    fn popcount_masks_padding() {
+        let mut mem = memory();
+        let bits = mem.row_bits() + 3;
+        let h = mem.alloc(bits).unwrap();
+        mem.poke_bits(h, &vec![true; bits]).unwrap();
+        // NOT the vector: padding bits in DRAM become 1, but popcount of the
+        // complement must still be 0 over the logical length.
+        let out = mem.alloc(bits).unwrap();
+        mem.bitwise(BitwiseOp::Not, h, None, out).unwrap();
+        assert_eq!(mem.popcount(out).unwrap(), 0);
+        assert_eq!(mem.popcount(h).unwrap(), bits);
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let mut mem = memory();
+        let a = mem.alloc(64).unwrap();
+        let b = mem.alloc(128).unwrap();
+        let c = mem.alloc(64).unwrap();
+        assert!(matches!(
+            mem.bitwise(BitwiseOp::And, a, Some(b), c).unwrap_err(),
+            AmbitError::SizeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_operand_rejected() {
+        let mut mem = memory();
+        let a = mem.alloc(64).unwrap();
+        let c = mem.alloc(64).unwrap();
+        assert!(matches!(
+            mem.bitwise(BitwiseOp::And, a, None, c).unwrap_err(),
+            AmbitError::WrongOperandCount { .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_memory_detected() {
+        let mut mem = memory();
+        // tiny: 32 rows/subarray → 14 data rows per subarray, 2 banks × 2
+        // subarrays. One giant vector per subarray slot exhausts them.
+        let row = mem.row_bits();
+        let capacity_rows = 14 * 4;
+        let h = mem.alloc(row * capacity_rows);
+        assert!(h.is_ok());
+        assert!(matches!(
+            mem.alloc(row).unwrap_err(),
+            AmbitError::OutOfMemory { .. }
+        ));
+    }
+
+    #[test]
+    fn stale_handle_rejected() {
+        let mut mem = memory();
+        let h = mem.alloc(10).unwrap();
+        mem.free(h).unwrap();
+        assert!(matches!(
+            mem.popcount(h).unwrap_err(),
+            AmbitError::UnknownHandle { .. }
+        ));
+        assert!(mem.free(h).is_err());
+    }
+
+    #[test]
+    fn bitwise_fold_matches_chained_ops() {
+        let mut mem = memory();
+        let bits = mem.row_bits() * 2;
+        let mut rng = ChaCha8Rng::seed_from_u64(51);
+        let srcs: Vec<BitVectorHandle> = (0..5).map(|_| mem.alloc(bits).unwrap()).collect();
+        let data: Vec<Vec<bool>> = (0..5)
+            .map(|_| (0..bits).map(|_| rng.gen()).collect())
+            .collect();
+        for (&h, d) in srcs.iter().zip(&data) {
+            mem.poke_bits(h, d).unwrap();
+        }
+        let folded = mem.alloc(bits).unwrap();
+        let fold_receipt = mem.bitwise_fold(BitwiseOp::Or, &srcs, folded).unwrap();
+
+        let chained = mem.alloc(bits).unwrap();
+        let mut chain_receipt = mem
+            .bitwise(BitwiseOp::Copy, srcs[0], None, chained)
+            .unwrap();
+        for &h in &srcs[1..] {
+            chain_receipt.absorb(&mem.bitwise(BitwiseOp::Or, chained, Some(h), chained).unwrap());
+        }
+        assert_eq!(mem.peek_bits(folded).unwrap(), mem.peek_bits(chained).unwrap());
+        assert!(fold_receipt.energy_nj < chain_receipt.energy_nj, "fold saves energy");
+    }
+
+    #[test]
+    fn maj3_computes_bitwise_majority() {
+        let mut mem = memory();
+        let bits = mem.row_bits();
+        let mut rng = ChaCha8Rng::seed_from_u64(61);
+        let handles: Vec<BitVectorHandle> = (0..4).map(|_| mem.alloc(bits).unwrap()).collect();
+        let data: Vec<Vec<bool>> = (0..3)
+            .map(|_| (0..bits).map(|_| rng.gen()).collect())
+            .collect();
+        for (h, d) in handles.iter().zip(&data) {
+            mem.poke_bits(*h, d).unwrap();
+        }
+        let receipt = mem
+            .bitwise_maj3(handles[0], handles[1], handles[2], handles[3])
+            .unwrap();
+        assert_eq!(receipt.aaps, 4, "same cost as an AND");
+        let got = mem.peek_bits(handles[3]).unwrap();
+        for i in 0..bits {
+            let votes = data[0][i] as u8 + data[1][i] as u8 + data[2][i] as u8;
+            assert_eq!(got[i], votes >= 2, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn bitwise_fold_rejects_bad_shapes() {
+        let mut mem = memory();
+        let a = mem.alloc(64).unwrap();
+        let b = mem.alloc(64).unwrap();
+        let d = mem.alloc(64).unwrap();
+        assert!(matches!(
+            mem.bitwise_fold(BitwiseOp::Xor, &[a, b], d).unwrap_err(),
+            AmbitError::WrongOperandCount { .. }
+        ));
+        assert!(matches!(
+            mem.bitwise_fold(BitwiseOp::Or, &[a], d).unwrap_err(),
+            AmbitError::WrongOperandCount { .. }
+        ));
+        let long = mem.alloc(128).unwrap();
+        assert!(matches!(
+            mem.bitwise_fold(BitwiseOp::Or, &[a, long], d).unwrap_err(),
+            AmbitError::SizeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn salp_overlaps_chunks_within_one_bank() {
+        let geometry = DramGeometry {
+            banks: 1,
+            subarrays_per_bank: 4,
+            rows_per_subarray: 32,
+            row_bytes: 16,
+            ..DramGeometry::tiny()
+        };
+        let run = |salp: bool| {
+            let mut mem =
+                AmbitMemory::new(geometry, TimingParams::ddr3_1600(), AapMode::Overlapped);
+            mem.set_salp(salp);
+            let bits = 4 * mem.row_bits();
+            let a = mem.alloc(bits).unwrap();
+            let b = mem.alloc(bits).unwrap();
+            let d = mem.alloc(bits).unwrap();
+            mem.poke_bits(a, &vec![true; bits]).unwrap();
+            mem.poke_bits(b, &vec![true; bits]).unwrap();
+            let r = mem.bitwise(BitwiseOp::And, a, Some(b), d).unwrap();
+            assert_eq!(mem.popcount(d).unwrap(), bits, "correctness unchanged");
+            r.latency_ps()
+        };
+        let base = run(false);
+        let salp = run(true);
+        assert!(
+            (salp as f64) < 0.4 * base as f64,
+            "4 subarrays should overlap: {salp} vs {base}"
+        );
+    }
+
+    #[test]
+    fn accumulating_ops_in_place() {
+        // dst == src1 works: or-accumulate a sequence of vectors.
+        let mut mem = memory();
+        let bits = mem.row_bits();
+        let acc = mem.alloc(bits).unwrap();
+        let parts: Vec<_> = (0..3).map(|_| mem.alloc(bits).unwrap()).collect();
+        for (i, &p) in parts.iter().enumerate() {
+            let data: Vec<bool> = (0..bits).map(|b| b % 3 == i).collect();
+            mem.poke_bits(p, &data).unwrap();
+            mem.bitwise(BitwiseOp::Or, acc, Some(p), acc).unwrap();
+        }
+        assert_eq!(mem.popcount(acc).unwrap(), bits);
+    }
+}

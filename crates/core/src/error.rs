@@ -1,0 +1,154 @@
+//! Error types for the Ambit accelerator layer.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use ambit_dram::DramError;
+
+/// Errors raised by the Ambit controller, driver, and ISA layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AmbitError {
+    /// The underlying DRAM model rejected a command (protocol or analog
+    /// failure).
+    Dram(DramError),
+    /// A D-group row address was out of range for the subarray layout.
+    DataRowOutOfRange {
+        /// Offending D-group index.
+        index: usize,
+        /// Number of D-group addresses per subarray.
+        available: usize,
+    },
+    /// The driver could not find enough free rows to place an allocation.
+    OutOfMemory {
+        /// Rows requested.
+        requested_rows: usize,
+        /// Rows still free.
+        available_rows: usize,
+    },
+    /// Two bitvectors participating in one operation have different lengths.
+    SizeMismatch {
+        /// First operand length in bits.
+        left_bits: usize,
+        /// Second operand length in bits.
+        right_bits: usize,
+    },
+    /// Operands of an in-DRAM operation are not co-located: chunk `chunk`
+    /// of the vectors lives in different subarrays, so RowClone-FPM cannot
+    /// move them to the designated rows.
+    NotColocated {
+        /// Index of the first offending chunk.
+        chunk: usize,
+    },
+    /// A bbop instruction was malformed (unaligned addresses or a size
+    /// that is not a multiple of the row size). The CPU must execute the
+    /// operation itself (paper Section 5.4.3).
+    NotRowAligned {
+        /// The offending byte count or address.
+        value: usize,
+        /// The row size in bytes.
+        row_bytes: usize,
+    },
+    /// An operation that requires two sources was given one, or vice versa.
+    WrongOperandCount {
+        /// The operation's mnemonic.
+        op: &'static str,
+        /// Sources expected.
+        expected: usize,
+        /// Sources provided.
+        provided: usize,
+    },
+    /// A handle referred to a bitvector that does not exist (stale handle).
+    UnknownHandle {
+        /// The raw handle id.
+        id: u64,
+    },
+    /// An operation tried to overwrite a pre-initialized control row
+    /// (C0/C1), which must keep their constant contents.
+    ControlRowWrite,
+}
+
+impl fmt::Display for AmbitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmbitError::Dram(e) => write!(f, "dram: {e}"),
+            AmbitError::DataRowOutOfRange { index, available } => {
+                write!(f, "data row D{index} out of range ({available} D-group addresses)")
+            }
+            AmbitError::OutOfMemory {
+                requested_rows,
+                available_rows,
+            } => write!(
+                f,
+                "out of Ambit memory: {requested_rows} rows requested, {available_rows} free"
+            ),
+            AmbitError::SizeMismatch {
+                left_bits,
+                right_bits,
+            } => write!(f, "operand size mismatch: {left_bits} vs {right_bits} bits"),
+            AmbitError::NotColocated { chunk } => write!(
+                f,
+                "operands not co-located in the same subarray at chunk {chunk}"
+            ),
+            AmbitError::NotRowAligned { value, row_bytes } => write!(
+                f,
+                "{value} is not a multiple of the {row_bytes}-byte row size; CPU must execute this operation"
+            ),
+            AmbitError::WrongOperandCount {
+                op,
+                expected,
+                provided,
+            } => write!(f, "{op} expects {expected} source operand(s), got {provided}"),
+            AmbitError::UnknownHandle { id } => write!(f, "unknown bitvector handle {id}"),
+            AmbitError::ControlRowWrite => {
+                write!(f, "control rows C0/C1 are read-only to operations")
+            }
+        }
+    }
+}
+
+impl StdError for AmbitError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            AmbitError::Dram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DramError> for AmbitError {
+    fn from(e: DramError) -> Self {
+        AmbitError::Dram(e)
+    }
+}
+
+/// Convenience alias used throughout the Ambit crate.
+pub type Result<T> = std::result::Result<T, AmbitError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errors = vec![
+            AmbitError::Dram(DramError::EmptyActivation),
+            AmbitError::DataRowOutOfRange { index: 2000, available: 1006 },
+            AmbitError::OutOfMemory { requested_rows: 10, available_rows: 2 },
+            AmbitError::SizeMismatch { left_bits: 64, right_bits: 128 },
+            AmbitError::NotColocated { chunk: 3 },
+            AmbitError::NotRowAligned { value: 100, row_bytes: 8192 },
+            AmbitError::WrongOperandCount { op: "and", expected: 2, provided: 1 },
+            AmbitError::UnknownHandle { id: 9 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn dram_errors_convert_and_chain() {
+        let e: AmbitError = DramError::EmptyActivation.into();
+        assert!(e.source().is_some());
+    }
+}

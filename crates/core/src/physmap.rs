@@ -1,0 +1,179 @@
+//! Physical-address interleaving for the D-group (paper Section 5.1):
+//! "To ensure that the software stack has a contiguous view of memory, the
+//! Ambit controller interleaves the row addresses such that the D-group
+//! addresses across all subarrays are mapped contiguously to the
+//! processor's physical address space."
+//!
+//! The B- and C-group rows are invisible to software; this module provides
+//! the bijection between processor physical row numbers and Ambit's
+//! `(bank, subarray, D-index)` coordinates, striped bank-first so that
+//! consecutive physical rows land in different banks (the usual
+//! channel/bank interleaving that also gives Ambit its chunk parallelism).
+
+use ambit_dram::{BankId, DramGeometry};
+
+use crate::addressing::SubarrayLayout;
+use crate::error::{AmbitError, Result};
+
+/// The D-group physical address map for a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhysicalMap {
+    geometry: DramGeometry,
+    data_rows_per_subarray: usize,
+}
+
+/// A decoded physical row location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataRowLocation {
+    /// Owning bank.
+    pub bank: BankId,
+    /// Subarray within the bank.
+    pub subarray: usize,
+    /// D-group index within the subarray.
+    pub d_index: usize,
+}
+
+impl PhysicalMap {
+    /// Builds the map for a device geometry.
+    pub fn new(geometry: DramGeometry) -> Self {
+        let layout = SubarrayLayout::new(geometry.rows_per_subarray);
+        PhysicalMap {
+            geometry,
+            data_rows_per_subarray: layout.data_rows(),
+        }
+    }
+
+    /// Total data rows the processor sees.
+    pub fn total_data_rows(&self) -> usize {
+        self.geometry.total_banks() * self.geometry.subarrays_per_bank * self.data_rows_per_subarray
+    }
+
+    /// Bytes of physical memory exposed to software (the capacity *minus*
+    /// Ambit's reserved rows — the <1 % cost of Section 5.5.1).
+    pub fn software_visible_bytes(&self) -> usize {
+        self.total_data_rows() * self.geometry.row_bytes
+    }
+
+    /// Fraction of raw capacity consumed by the reserved rows.
+    pub fn reserved_fraction(&self) -> f64 {
+        1.0 - self.total_data_rows() as f64 / self.geometry.total_rows() as f64
+    }
+
+    /// Maps a processor physical row number to its device location,
+    /// striping consecutive rows across banks first, then subarrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::DataRowOutOfRange`] past the end of memory.
+    pub fn decode(&self, physical_row: usize) -> Result<DataRowLocation> {
+        if physical_row >= self.total_data_rows() {
+            return Err(AmbitError::DataRowOutOfRange {
+                index: physical_row,
+                available: self.total_data_rows(),
+            });
+        }
+        let banks = self.geometry.total_banks();
+        let subarrays = self.geometry.subarrays_per_bank;
+        let bank = physical_row % banks;
+        let rest = physical_row / banks;
+        let subarray = rest % subarrays;
+        let d_index = rest / subarrays;
+        Ok(DataRowLocation {
+            bank: BankId::from_flat_index(bank, &self.geometry),
+            subarray,
+            d_index,
+        })
+    }
+
+    /// Inverse of [`decode`](Self::decode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::DataRowOutOfRange`] for out-of-range
+    /// coordinates.
+    pub fn encode(&self, loc: DataRowLocation) -> Result<usize> {
+        let banks = self.geometry.total_banks();
+        let subarrays = self.geometry.subarrays_per_bank;
+        if loc.subarray >= subarrays || loc.d_index >= self.data_rows_per_subarray {
+            return Err(AmbitError::DataRowOutOfRange {
+                index: loc.d_index,
+                available: self.data_rows_per_subarray,
+            });
+        }
+        let bank = loc.bank.flat_index(&self.geometry);
+        Ok((loc.d_index * subarrays + loc.subarray) * banks + bank)
+    }
+
+    /// The physical byte address of the start of a physical row.
+    pub fn row_base_address(&self, physical_row: usize) -> u64 {
+        physical_row as u64 * self.geometry.row_bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> PhysicalMap {
+        PhysicalMap::new(DramGeometry::micro17())
+    }
+
+    #[test]
+    fn contiguous_view_covers_all_data_rows_exactly_once() {
+        let m = PhysicalMap::new(DramGeometry::tiny());
+        let total = m.total_data_rows();
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..total {
+            let loc = m.decode(row).unwrap();
+            assert!(seen.insert(loc), "row {row} decoded to duplicate {loc:?}");
+            assert_eq!(m.encode(loc).unwrap(), row, "bijection at {row}");
+        }
+        assert!(m.decode(total).is_err());
+    }
+
+    #[test]
+    fn consecutive_rows_stripe_across_banks() {
+        let m = map();
+        let l0 = m.decode(0).unwrap();
+        let l1 = m.decode(1).unwrap();
+        assert_ne!(l0.bank, l1.bank, "adjacent physical rows hit different banks");
+        assert_eq!(l0.subarray, l1.subarray);
+        assert_eq!(l0.d_index, l1.d_index);
+    }
+
+    #[test]
+    fn reserved_overhead_is_under_two_percent() {
+        // Paper Section 5.5.1: < 1 % chip area; our address-space loss is
+        // 18/1024 ≈ 1.8 % of rows (8 special rows + address reservations).
+        let m = map();
+        let f = m.reserved_fraction();
+        assert!(f > 0.0 && f < 0.02, "reserved fraction {f}");
+    }
+
+    #[test]
+    fn micro17_software_capacity() {
+        let m = map();
+        // 16 banks × 16 subarrays × 1006 rows × 8 KB.
+        assert_eq!(m.total_data_rows(), 16 * 16 * 1006);
+        assert_eq!(m.software_visible_bytes(), 16 * 16 * 1006 * 8192);
+    }
+
+    #[test]
+    fn row_addresses_are_row_sized_apart() {
+        let m = map();
+        assert_eq!(m.row_base_address(0), 0);
+        assert_eq!(m.row_base_address(1), 8192);
+        assert_eq!(m.row_base_address(100), 819200);
+    }
+
+    #[test]
+    fn encode_validates_coordinates() {
+        let m = map();
+        let bad = DataRowLocation {
+            bank: BankId::zero(),
+            subarray: 0,
+            d_index: 1006,
+        };
+        assert!(m.encode(bad).is_err());
+    }
+}

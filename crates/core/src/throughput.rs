@@ -1,0 +1,170 @@
+//! Analytic Ambit throughput: the accelerator side of the paper's Figure 9.
+//!
+//! For a continuous stream of bulk bitwise operations, every row-pair
+//! processed costs a fixed command program (Figure 8) whose latency is a
+//! function of the AAP/AP counts and the DRAM timing. Each bank sustains an
+//! independent pipeline of programs, so (as the paper argues in Section 5.5
+//! and assumes in Section 7) throughput scales linearly with both the row
+//! size (internal bandwidth) and the number of banks (memory-level
+//! parallelism).
+
+use ambit_dram::{AapMode, TimingParams};
+
+use crate::addressing::RowAddress;
+use crate::error::Result;
+use crate::ops::{command_counts, compile, BitwiseOp};
+
+/// An Ambit throughput configuration: a DRAM module (or 3D stack) running
+/// bulk bitwise programs on all banks in parallel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmbitConfig {
+    /// Banks operating in parallel.
+    pub banks: usize,
+    /// Row size in bytes.
+    pub row_bytes: usize,
+    /// DRAM timing.
+    pub timing: TimingParams,
+    /// AAP implementation.
+    pub mode: AapMode,
+}
+
+impl AmbitConfig {
+    /// The paper's "Ambit" configuration: a regular DDR3-1600 module with
+    /// 8 banks and 8 KB rows.
+    pub fn ddr3_module() -> Self {
+        AmbitConfig {
+            banks: 8,
+            row_bytes: 8192,
+            timing: TimingParams::ddr3_1600(),
+            mode: AapMode::Overlapped,
+        }
+    }
+
+    /// An Ambit module with SALP: every (bank, subarray) pair is an
+    /// independent AAP pipeline, so throughput scales with their product
+    /// (the "number of banks or subarrays" parallelism of Section 1).
+    pub fn with_salp(banks: usize, subarrays_per_bank: usize) -> Self {
+        AmbitConfig {
+            banks: banks * subarrays_per_bank,
+            ..AmbitConfig::ddr3_module()
+        }
+    }
+
+    /// The paper's "Ambit-3D" configuration: Ambit integrated into a
+    /// 3D-stacked device with HMC-like bank counts (256 banks in the 4 GB
+    /// HMC 2.0).
+    pub fn hmc_3d() -> Self {
+        AmbitConfig {
+            banks: 256,
+            row_bytes: 8192,
+            timing: TimingParams::ddr3_1600(),
+            mode: AapMode::Overlapped,
+        }
+    }
+
+    /// Latency of one command program for `op` on one row set, picoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program-compilation errors (never for the standard ops).
+    pub fn op_latency_ps(&self, op: BitwiseOp) -> Result<u64> {
+        let src2 = (op.source_count() == 2).then_some(RowAddress::D(1));
+        let program = compile(op, RowAddress::D(0), src2, RowAddress::D(2))?;
+        let (aaps, aps) = command_counts(&program);
+        Ok(aaps as u64 * self.mode.aap_ps(&self.timing) + aps as u64 * self.timing.ap_ps())
+    }
+
+    /// Steady-state throughput in bytes of output produced per second,
+    /// across all banks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program-compilation errors (never for the standard ops).
+    pub fn throughput_bytes_per_s(&self, op: BitwiseOp) -> Result<f64> {
+        let latency_s = self.op_latency_ps(op)? as f64 * 1e-12;
+        Ok(self.banks as f64 * self.row_bytes as f64 / latency_s)
+    }
+
+    /// Throughput in 8-bit giga-operations per second (GOps/s), the unit of
+    /// the paper's Figure 9: one "operation" is one output byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program-compilation errors (never for the standard ops).
+    pub fn throughput_gops(&self, op: BitwiseOp) -> Result<f64> {
+        Ok(self.throughput_bytes_per_s(op)? / 1e9)
+    }
+
+    /// Geometric-mean throughput across the seven Figure 9 operations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program-compilation errors (never for the standard ops).
+    pub fn mean_throughput_gops(&self) -> Result<f64> {
+        let mut product = 1.0;
+        for op in BitwiseOp::FIGURE9_OPS {
+            product *= self.throughput_gops(op)?;
+        }
+        Ok(product.powf(1.0 / BitwiseOp::FIGURE9_OPS.len() as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_latencies_match_paper_arithmetic() {
+        // DDR3-1600 overlapped: AAP 49 ns, AP 45 ns.
+        let c = AmbitConfig::ddr3_module();
+        assert_eq!(c.op_latency_ps(BitwiseOp::Not).unwrap(), 2 * 49_000);
+        assert_eq!(c.op_latency_ps(BitwiseOp::And).unwrap(), 4 * 49_000);
+        assert_eq!(c.op_latency_ps(BitwiseOp::Nand).unwrap(), 5 * 49_000);
+        assert_eq!(
+            c.op_latency_ps(BitwiseOp::Xor).unwrap(),
+            5 * 49_000 + 2 * 45_000
+        );
+    }
+
+    #[test]
+    fn throughput_scales_linearly_with_banks() {
+        let one = AmbitConfig { banks: 1, ..AmbitConfig::ddr3_module() };
+        let eight = AmbitConfig::ddr3_module();
+        let r = eight.throughput_gops(BitwiseOp::And).unwrap()
+            / one.throughput_gops(BitwiseOp::And).unwrap();
+        assert!((r - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn and_throughput_order_of_magnitude() {
+        // 8 banks × 8 KB / 196 ns ≈ 334 GB/s.
+        let gops = AmbitConfig::ddr3_module().throughput_gops(BitwiseOp::And).unwrap();
+        assert!((gops - 334.0).abs() < 10.0, "got {gops}");
+    }
+
+    #[test]
+    fn not_is_fastest_xor_is_slowest() {
+        let c = AmbitConfig::ddr3_module();
+        let not = c.throughput_gops(BitwiseOp::Not).unwrap();
+        let and = c.throughput_gops(BitwiseOp::And).unwrap();
+        let xor = c.throughput_gops(BitwiseOp::Xor).unwrap();
+        assert!(not > and && and > xor);
+    }
+
+    #[test]
+    fn ambit_3d_is_an_order_of_magnitude_above_module() {
+        let module = AmbitConfig::ddr3_module().mean_throughput_gops().unwrap();
+        let stacked = AmbitConfig::hmc_3d().mean_throughput_gops().unwrap();
+        assert!((stacked / module - 32.0).abs() < 1e-6, "256/8 banks = 32×");
+    }
+
+    #[test]
+    fn naive_mode_is_slower() {
+        let fast = AmbitConfig::ddr3_module();
+        let slow = AmbitConfig { mode: AapMode::Naive, ..fast };
+        assert!(
+            fast.throughput_gops(BitwiseOp::And).unwrap()
+                > 1.5 * slow.throughput_gops(BitwiseOp::And).unwrap()
+        );
+    }
+}

@@ -1,0 +1,577 @@
+//! Command-level timing model: a DDR command bus with per-bank state and
+//! timing-constraint enforcement.
+//!
+//! [`CommandTimer`] plays the role of the memory controller's timing engine:
+//! commands are issued in program order on a shared command bus (one command
+//! per clock), and each command is scheduled at the earliest cycle that
+//! satisfies the JEDEC-style constraints (tRCD, tRAS, tRP, tCCD, tRRD,
+//! tFAW). Ambit's AAP and AP primitives are built on top as helpers.
+//!
+//! Two aspects are configurable because they are the subject of paper
+//! sections:
+//!
+//! * [`AapMode`]: naive serial AAP (2·tRAS + tRP) versus the split-row-
+//!   decoder overlapped AAP (tRAS + 4 ns + tRP) of Section 5.3.
+//! * Inter-bank constraint enforcement (tRRD/tFAW): the paper's throughput
+//!   projections assume bank-level parallelism is unconstrained for in-DRAM
+//!   operations (no data bursts leave the chip); enabling enforcement
+//!   quantifies how much command-bus/power constraints would cost, which we
+//!   report as an ablation.
+
+use std::collections::VecDeque;
+
+use crate::energy::{EnergyAccount, EnergyModel};
+use crate::error::{DramError, Result};
+use crate::timing::{AapMode, TimingParams};
+
+/// One command on the trace a [`CommandTimer`] can record — the same
+/// information a Ramulator-style trace file carries, useful for verifying
+/// command sequences and for feeding external analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Issue time in picoseconds.
+    pub at_ps: u64,
+    /// Target bank (flat index).
+    pub bank: usize,
+    /// The command.
+    pub command: TraceCommand,
+}
+
+/// Command kinds recorded on the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceCommand {
+    /// ACTIVATE raising `wordlines` wordlines.
+    Activate {
+        /// Wordlines raised (1 = ordinary, 2/3 = Ambit multi-row).
+        wordlines: usize,
+    },
+    /// PRECHARGE.
+    Precharge,
+    /// Column READ burst.
+    Read,
+    /// Column WRITE burst.
+    Write,
+}
+
+/// Per-bank timing state.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankTiming {
+    /// Earliest time a PRECHARGE may issue (ACT + tRAS, extended by
+    /// overlapped copy-ACTs).
+    pre_ready_ps: u64,
+    /// Earliest time an ACTIVATE may issue (PRE + tRP).
+    act_ready_ps: u64,
+    /// Earliest time a column command may issue (ACT + tRCD).
+    col_ready_ps: u64,
+    /// Whether the bank currently has an open row.
+    active: bool,
+    /// Issue time of the first ACTIVATE of the current open interval.
+    first_act_ps: u64,
+}
+
+/// Issue/occupancy statistics for a [`CommandTimer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimerStats {
+    /// ACTIVATE commands issued.
+    pub activates: u64,
+    /// PRECHARGE commands issued.
+    pub precharges: u64,
+    /// Column READ bursts issued.
+    pub reads: u64,
+    /// Column WRITE bursts issued.
+    pub writes: u64,
+    /// AAP primitives completed.
+    pub aaps: u64,
+    /// AP primitives completed.
+    pub aps: u64,
+}
+
+/// DDR command-bus timing engine with per-bank constraint tracking.
+///
+/// # Examples
+///
+/// An AAP on DDR3-1600 takes 49 ns with the split decoder and 80 ns without
+/// (paper Section 5.3):
+///
+/// ```
+/// use ambit_dram::{AapMode, CommandTimer, TimingParams};
+///
+/// let mut fast = CommandTimer::new(TimingParams::ddr3_1600(), AapMode::Overlapped);
+/// let (start, end) = fast.aap(0, 1, 1)?;
+/// assert_eq!(end - start, 49_000);
+///
+/// let mut slow = CommandTimer::new(TimingParams::ddr3_1600(), AapMode::Naive);
+/// let (start, end) = slow.aap(0, 1, 1)?;
+/// assert_eq!(end - start, 80_000);
+/// # Ok::<(), ambit_dram::DramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommandTimer {
+    timing: TimingParams,
+    mode: AapMode,
+    energy_model: EnergyModel,
+    energy: EnergyAccount,
+    now_ps: u64,
+    banks: Vec<BankTiming>,
+    /// Issue times of recent ACTIVATEs, for the tFAW window.
+    recent_acts: VecDeque<u64>,
+    /// Issue time of the most recent ACTIVATE to any bank, for tRRD.
+    last_act_ps: Option<u64>,
+    /// Whether tRRD/tFAW are enforced across banks.
+    enforce_inter_bank: bool,
+    /// Latest command issue time seen on any bank (wall-clock horizon).
+    horizon_ps: u64,
+    stats: TimerStats,
+    /// Recorded command trace, when tracing is enabled.
+    trace: Option<Vec<TraceEntry>>,
+}
+
+impl CommandTimer {
+    /// Creates a timer with 16 bank slots (banks are created lazily beyond
+    /// that) and the DDR3-1333 energy model.
+    pub fn new(timing: TimingParams, mode: AapMode) -> Self {
+        CommandTimer {
+            timing,
+            mode,
+            energy_model: EnergyModel::ddr3_1333(),
+            energy: EnergyAccount::new(),
+            now_ps: 0,
+            banks: vec![BankTiming::default(); 16],
+            recent_acts: VecDeque::new(),
+            last_act_ps: None,
+            enforce_inter_bank: false,
+            horizon_ps: 0,
+            stats: TimerStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Enables or disables command tracing. Enabling starts a fresh trace.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.trace = enabled.then(Vec::new);
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&[TraceEntry]> {
+        self.trace.as_deref()
+    }
+
+    fn record(&mut self, at_ps: u64, bank: usize, command: TraceCommand) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry { at_ps, bank, command });
+        }
+    }
+
+    /// The timing parameter set in use.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// The AAP mode in use.
+    pub fn mode(&self) -> AapMode {
+        self.mode
+    }
+
+    /// Replaces the energy model.
+    pub fn set_energy_model(&mut self, model: EnergyModel) {
+        self.energy_model = model;
+    }
+
+    /// Enables or disables cross-bank tRRD/tFAW enforcement (default: off,
+    /// matching the paper's bank-parallel throughput projection).
+    pub fn set_enforce_inter_bank(&mut self, enforce: bool) {
+        self.enforce_inter_bank = enforce;
+    }
+
+    /// Current time (the cycle after the last issued command), picoseconds.
+    pub fn now_ps(&self) -> u64 {
+        self.now_ps
+    }
+
+    /// Advances the clock to at least `t_ps` (models idle gaps).
+    pub fn advance_to(&mut self, t_ps: u64) {
+        self.now_ps = self.now_ps.max(t_ps);
+        self.horizon_ps = self.horizon_ps.max(t_ps);
+    }
+
+    /// Latest command issue time on any bank — the wall-clock horizon of
+    /// the simulation (`now_ps` is only the command-bus floor).
+    pub fn horizon_ps(&self) -> u64 {
+        self.horizon_ps
+    }
+
+    /// Accumulated energy account.
+    pub fn energy(&self) -> &EnergyAccount {
+        &self.energy
+    }
+
+    /// Issue statistics.
+    pub fn stats(&self) -> TimerStats {
+        self.stats
+    }
+
+    fn bank_mut(&mut self, bank: usize) -> &mut BankTiming {
+        if bank >= self.banks.len() {
+            self.banks.resize(bank + 1, BankTiming::default());
+        }
+        &mut self.banks[bank]
+    }
+
+    fn inter_bank_ready(&self) -> u64 {
+        if !self.enforce_inter_bank {
+            return 0;
+        }
+        let mut ready = 0;
+        if let Some(last) = self.last_act_ps {
+            ready = ready.max(last + self.timing.t_rrd_ps);
+        }
+        if self.recent_acts.len() >= 4 {
+            let oldest = self.recent_acts[self.recent_acts.len() - 4];
+            ready = ready.max(oldest + self.timing.t_faw_ps);
+        }
+        ready
+    }
+
+    fn note_act(&mut self, t: u64) {
+        self.last_act_ps = Some(t);
+        self.recent_acts.push_back(t);
+        while self.recent_acts.len() > 4 {
+            self.recent_acts.pop_front();
+        }
+    }
+
+    /// Issues an ACTIVATE to `bank` raising `wordlines` wordlines, at the
+    /// earliest legal time ≥ now. Returns the issue time.
+    ///
+    /// A second ACTIVATE to an already-active bank is the AAP/RowClone copy
+    /// activation; in [`AapMode::Overlapped`] it extends the row-restore
+    /// window by only `t_overlap_extra` beyond the first ACTIVATE's tRAS,
+    /// while in [`AapMode::Naive`] it behaves as a full activation.
+    ///
+    /// # Errors
+    ///
+    /// This auto-scheduling path never fails; the `Result` is reserved for
+    /// future strict-mode use and for API symmetry with the device model.
+    pub fn issue_activate(&mut self, bank: usize, wordlines: usize) -> Result<u64> {
+        let inter = self.inter_bank_ready();
+        let timing = self.timing;
+        let mode = self.mode;
+        let floor = self.now_ps;
+        let b = self.bank_mut(bank);
+        let t = if b.active {
+            // Back-to-back ACTIVATE (copy).
+            let earliest = match mode {
+                // Full sense amplification must complete first.
+                AapMode::Naive => b.first_act_ps + timing.t_ras_ps,
+                // Split decoder: issue once the first activation has
+                // sufficiently progressed (we use tRCD as the "data is in
+                // the sense amps" point).
+                AapMode::Overlapped => b.first_act_ps + timing.t_rcd_ps,
+            };
+            let t = floor.max(earliest).max(inter);
+            match mode {
+                AapMode::Naive => {
+                    b.pre_ready_ps = t + timing.t_ras_ps;
+                }
+                AapMode::Overlapped => {
+                    b.pre_ready_ps = b
+                        .pre_ready_ps
+                        .max(b.first_act_ps + timing.t_ras_ps + timing.t_overlap_extra_ps);
+                }
+            }
+            b.col_ready_ps = b.col_ready_ps.max(t + timing.t_rcd_ps);
+            t
+        } else {
+            let t = floor.max(b.act_ready_ps).max(inter);
+            b.active = true;
+            b.first_act_ps = t;
+            b.pre_ready_ps = t + timing.t_ras_ps;
+            b.col_ready_ps = t + timing.t_rcd_ps;
+            t
+        };
+        self.note_act(t);
+        self.record(t, bank, TraceCommand::Activate { wordlines });
+        self.horizon_ps = self.horizon_ps.max(t);
+        self.now_ps = floor + self.timing.t_ck_ps;
+        self.energy.record_activate(&self.energy_model, wordlines);
+        self.stats.activates += 1;
+        Ok(t)
+    }
+
+    /// Issues a PRECHARGE to `bank` at the earliest legal time ≥ now.
+    /// Returns the time at which the bank becomes ready for the next
+    /// ACTIVATE (issue time + tRP).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankNotActivated`] if the bank has no open row.
+    pub fn issue_precharge(&mut self, bank: usize) -> Result<u64> {
+        let timing = self.timing;
+        let floor = self.now_ps;
+        let b = self.bank_mut(bank);
+        if !b.active {
+            return Err(DramError::BankNotActivated);
+        }
+        let t = floor.max(b.pre_ready_ps);
+        b.active = false;
+        b.act_ready_ps = t + timing.t_rp_ps;
+        self.record(t, bank, TraceCommand::Precharge);
+        self.horizon_ps = self.horizon_ps.max(t + timing.t_rp_ps);
+        self.now_ps = floor + timing.t_ck_ps;
+        self.energy.record_precharge(&self.energy_model);
+        self.stats.precharges += 1;
+        Ok(t + timing.t_rp_ps)
+    }
+
+    /// Issues one column READ burst (64 B) to `bank`. Returns the time the
+    /// data burst completes on the bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankNotActivated`] if the bank has no open row.
+    pub fn issue_read(&mut self, bank: usize) -> Result<u64> {
+        self.issue_column(bank, false)
+    }
+
+    /// Issues one column WRITE burst (64 B) to `bank`. Returns the time the
+    /// data burst completes on the bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankNotActivated`] if the bank has no open row.
+    pub fn issue_write(&mut self, bank: usize) -> Result<u64> {
+        self.issue_column(bank, true)
+    }
+
+    fn issue_column(&mut self, bank: usize, is_write: bool) -> Result<u64> {
+        let timing = self.timing;
+        let floor = self.now_ps;
+        let b = self.bank_mut(bank);
+        if !b.active {
+            return Err(DramError::BankNotActivated);
+        }
+        let t = floor.max(b.col_ready_ps);
+        b.col_ready_ps = t + timing.t_ccd_ps;
+        if is_write {
+            // Write recovery gates the next precharge.
+            b.pre_ready_ps = b.pre_ready_ps.max(t + timing.t_cl_ps + timing.t_wr_ps);
+        }
+        self.record(
+            t,
+            bank,
+            if is_write { TraceCommand::Write } else { TraceCommand::Read },
+        );
+        self.horizon_ps = self.horizon_ps.max(t);
+        self.now_ps = floor + timing.t_ck_ps;
+        let burst_bytes = 64;
+        let done = t + timing.t_cl_ps + timing.transfer_ps(burst_bytes);
+        self.energy.record_transfer(&self.energy_model, burst_bytes);
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        Ok(done)
+    }
+
+    /// Executes the AAP primitive (ACTIVATE `addr1`; ACTIVATE `addr2`;
+    /// PRECHARGE) on `bank`, with `w1`/`w2` wordlines raised by the two
+    /// activations. Returns `(start_ps, end_ps)` where `end` is when the
+    /// bank is ready for the next command.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankAlreadyActivated`] if the bank has an open
+    /// row (AAP must start from the precharged state).
+    pub fn aap(&mut self, bank: usize, w1: usize, w2: usize) -> Result<(u64, u64)> {
+        if self.bank_mut(bank).active {
+            return Err(DramError::BankAlreadyActivated);
+        }
+        let start = self.issue_activate(bank, w1)?;
+        self.issue_activate(bank, w2)?;
+        let end = self.issue_precharge(bank)?;
+        self.stats.aaps += 1;
+        Ok((start, end))
+    }
+
+    /// Executes the AP primitive (ACTIVATE; PRECHARGE) on `bank` with `w`
+    /// wordlines raised. Returns `(start_ps, end_ps)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankAlreadyActivated`] if the bank has an open
+    /// row.
+    pub fn ap(&mut self, bank: usize, w: usize) -> Result<(u64, u64)> {
+        if self.bank_mut(bank).active {
+            return Err(DramError::BankAlreadyActivated);
+        }
+        let start = self.issue_activate(bank, w)?;
+        let end = self.issue_precharge(bank)?;
+        self.stats.aps += 1;
+        Ok((start, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::PS_PER_NS;
+
+    fn timer(mode: AapMode) -> CommandTimer {
+        CommandTimer::new(TimingParams::ddr3_1600(), mode)
+    }
+
+    #[test]
+    fn aap_overlapped_is_49ns() {
+        let mut t = timer(AapMode::Overlapped);
+        let (s, e) = t.aap(0, 1, 1).unwrap();
+        assert_eq!(e - s, 49 * PS_PER_NS);
+    }
+
+    #[test]
+    fn aap_naive_is_80ns() {
+        let mut t = timer(AapMode::Naive);
+        let (s, e) = t.aap(0, 1, 1).unwrap();
+        assert_eq!(e - s, 80 * PS_PER_NS);
+    }
+
+    #[test]
+    fn ap_is_45ns() {
+        let mut t = timer(AapMode::Overlapped);
+        let (s, e) = t.ap(0, 3).unwrap();
+        assert_eq!(e - s, 45 * PS_PER_NS);
+    }
+
+    #[test]
+    fn back_to_back_aaps_pipeline_on_one_bank() {
+        let mut t = timer(AapMode::Overlapped);
+        let (s1, e1) = t.aap(0, 1, 1).unwrap();
+        let (s2, e2) = t.aap(0, 1, 1).unwrap();
+        assert_eq!(e1 - s1, e2 - s2);
+        // Second AAP's first ACT waits for tRP after the first AAP's PRE.
+        assert!(s2 >= e1, "s2={s2} e1={e1}");
+    }
+
+    #[test]
+    fn banks_overlap_without_inter_bank_enforcement() {
+        let mut t = timer(AapMode::Overlapped);
+        let (s0, _) = t.aap(0, 1, 1).unwrap();
+        // Bank 1's AAP can start almost immediately (command bus slots only).
+        let (s1, _) = t.aap(1, 1, 1).unwrap();
+        assert!(s1 - s0 < 10 * PS_PER_NS, "banks should overlap: {}", s1 - s0);
+    }
+
+    #[test]
+    fn trrd_and_tfaw_enforced_when_enabled() {
+        let mut t = timer(AapMode::Overlapped);
+        t.set_enforce_inter_bank(true);
+        let mut acts = Vec::new();
+        for bank in 0..5 {
+            acts.push(t.issue_activate(bank, 1).unwrap());
+        }
+        for w in acts.windows(2) {
+            assert!(w[1] - w[0] >= 6 * PS_PER_NS, "tRRD violated: {:?}", w);
+        }
+        // Fifth ACT must clear the tFAW window of the first.
+        assert!(acts[4] - acts[0] >= 30 * PS_PER_NS, "tFAW violated");
+    }
+
+    #[test]
+    fn precharge_requires_open_row() {
+        let mut t = timer(AapMode::Overlapped);
+        assert_eq!(t.issue_precharge(0).unwrap_err(), DramError::BankNotActivated);
+    }
+
+    #[test]
+    fn aap_requires_precharged_bank() {
+        let mut t = timer(AapMode::Overlapped);
+        t.issue_activate(0, 1).unwrap();
+        assert_eq!(t.aap(0, 1, 1).unwrap_err(), DramError::BankAlreadyActivated);
+    }
+
+    #[test]
+    fn column_read_respects_trcd() {
+        let mut t = timer(AapMode::Overlapped);
+        let act = t.issue_activate(0, 1).unwrap();
+        let done = t.issue_read(0).unwrap();
+        // Data can't be back before ACT + tRCD + CL + burst.
+        assert!(done >= act + (10 + 10 + 5) * PS_PER_NS);
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let mut t = timer(AapMode::Overlapped);
+        let act = t.issue_activate(0, 1).unwrap();
+        t.issue_write(0).unwrap();
+        t.issue_write(0).unwrap(); // second burst lands tCCD later
+        let ready = t.issue_precharge(0).unwrap();
+        // PRE must wait for CL + tWR after the *last* write command, which
+        // pushes it past the plain tRAS + tRP row cycle.
+        assert!(ready > act + (35 + 10) * PS_PER_NS, "ready={ready} act={act}");
+    }
+
+    #[test]
+    fn energy_accumulates_with_wordline_counts() {
+        let mut t = timer(AapMode::Overlapped);
+        t.aap(0, 3, 1).unwrap();
+        let e = t.energy();
+        assert_eq!(e.activations, 2);
+        assert_eq!(e.precharges, 1);
+        let m = EnergyModel::ddr3_1333();
+        let expect = m.activate_nj(3) + m.activate_nj(1) + m.precharge_nj();
+        assert!((e.total_nj() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_track_primitives() {
+        let mut t = timer(AapMode::Overlapped);
+        t.aap(0, 1, 1).unwrap();
+        t.ap(0, 3).unwrap();
+        let s = t.stats();
+        assert_eq!(s.aaps, 1);
+        assert_eq!(s.aps, 1);
+        assert_eq!(s.activates, 3);
+        assert_eq!(s.precharges, 2);
+    }
+
+    #[test]
+    fn trace_records_aap_as_act_act_pre() {
+        let mut t = timer(AapMode::Overlapped);
+        t.set_tracing(true);
+        t.aap(2, 1, 3).unwrap();
+        let trace = t.trace().unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].command, TraceCommand::Activate { wordlines: 1 });
+        assert_eq!(trace[1].command, TraceCommand::Activate { wordlines: 3 });
+        assert_eq!(trace[2].command, TraceCommand::Precharge);
+        assert!(trace.iter().all(|e| e.bank == 2));
+        // Per-bank trace times are monotone.
+        assert!(trace.windows(2).all(|w| w[0].at_ps <= w[1].at_ps));
+    }
+
+    #[test]
+    fn tracing_off_by_default_and_resettable() {
+        let mut t = timer(AapMode::Overlapped);
+        t.aap(0, 1, 1).unwrap();
+        assert!(t.trace().is_none());
+        t.set_tracing(true);
+        t.aap(0, 1, 1).unwrap();
+        assert_eq!(t.trace().unwrap().len(), 3);
+        t.set_tracing(true); // re-enabling clears
+        assert!(t.trace().unwrap().is_empty());
+        t.set_tracing(false);
+        assert!(t.trace().is_none());
+    }
+
+    #[test]
+    fn and_operation_latency_matches_paper_arithmetic() {
+        // 4 AAPs at 49 ns = 196 ns for a bulk AND of one row pair (§5.2-5.3).
+        let mut t = timer(AapMode::Overlapped);
+        let start = t.now_ps();
+        for _ in 0..3 {
+            t.aap(0, 1, 1).unwrap();
+        }
+        let (_, end) = t.aap(0, 3, 1).unwrap();
+        assert_eq!(end - start, 4 * 49 * PS_PER_NS);
+    }
+}

@@ -1,0 +1,183 @@
+//! Error types for the DRAM simulator.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::subarray::Wordline;
+
+/// Errors raised by the functional DRAM model.
+///
+/// Protocol violations (e.g. reading from a precharged bank) are errors, not
+/// panics: the Ambit controller built on top of this crate is expected to
+/// issue only legal command sequences, and tests assert that illegal ones are
+/// rejected rather than silently producing garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DramError {
+    /// A command referenced a row index outside the subarray.
+    RowOutOfRange {
+        /// Offending row index.
+        row: usize,
+        /// Number of rows in the subarray.
+        rows: usize,
+    },
+    /// An ACTIVATE was issued with no wordlines raised.
+    EmptyActivation,
+    /// A single activation raised both the d-wordline and n-wordline of the
+    /// same dual-contact cell, shorting the capacitor across the sense
+    /// amplifier. No legal Ambit address maps to such a combination.
+    ConflictingWordlines {
+        /// The row whose two wordlines were raised together.
+        row: usize,
+    },
+    /// ACTIVATE targeted a subarray in a bank that already has a different
+    /// subarray open (a real bank can only drive one open subarray per
+    /// bank-level access without subarray-level parallelism support).
+    SubarrayConflict {
+        /// The subarray that is currently open.
+        open: usize,
+        /// The subarray the command targeted.
+        requested: usize,
+    },
+    /// READ/WRITE was issued while the bank was precharged.
+    BankNotActivated,
+    /// PRECHARGE/ACTIVATE ordering violation.
+    BankAlreadyActivated,
+    /// Charge sharing between the raised cells produced zero bitline
+    /// deviation on at least one bitline, so the sensed value is undefined.
+    ///
+    /// This occurs when an even number of cells with perfectly opposing
+    /// values are activated from the precharged state — a sequence the Ambit
+    /// protocol never issues. See [`TieBreak`](crate::subarray::TieBreak)
+    /// for opting into nondeterministic resolution instead.
+    AmbiguousChargeSharing {
+        /// Index of the first undefined bitline.
+        bitline: usize,
+        /// Wordlines that were raised.
+        wordlines: Vec<Wordline>,
+    },
+    /// A row participating in a charge-sharing activation has exceeded the
+    /// retention window since its last refresh, so the analog result is
+    /// unreliable (paper Section 3.2, issue 4). Only raised in strict
+    /// retention mode.
+    RetentionViolation {
+        /// The stale row.
+        row: usize,
+        /// Nanoseconds since the row was last refreshed or rewritten.
+        elapsed_ns: u64,
+        /// Configured retention window in nanoseconds.
+        retention_ns: u64,
+    },
+    /// A column access was out of range for the row buffer.
+    ColumnOutOfRange {
+        /// Offending byte offset.
+        byte_offset: usize,
+        /// Row size in bytes.
+        row_bytes: usize,
+    },
+    /// A timing constraint would be violated by issuing the command at the
+    /// requested time (only raised by the strict-timing controller).
+    TimingViolation {
+        /// Human-readable constraint name, e.g. `"tRAS"`.
+        constraint: &'static str,
+        /// Earliest legal issue time in picoseconds.
+        earliest_ps: u64,
+        /// Requested issue time in picoseconds.
+        requested_ps: u64,
+    },
+    /// Address decoding failed (e.g. a reserved address with no mapping).
+    UnmappedAddress {
+        /// The raw row address.
+        address: usize,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for subarray with {rows} rows")
+            }
+            DramError::EmptyActivation => write!(f, "activation raised no wordlines"),
+            DramError::ConflictingWordlines { row } => write!(
+                f,
+                "activation raised both wordlines of dual-contact row {row}"
+            ),
+            DramError::SubarrayConflict { open, requested } => write!(
+                f,
+                "subarray {requested} requested while subarray {open} is open"
+            ),
+            DramError::BankNotActivated => write!(f, "bank is precharged; activate a row first"),
+            DramError::BankAlreadyActivated => {
+                write!(f, "bank already has an open row; precharge first")
+            }
+            DramError::AmbiguousChargeSharing { bitline, .. } => write!(
+                f,
+                "charge sharing produced zero deviation on bitline {bitline}; sensed value undefined"
+            ),
+            DramError::RetentionViolation {
+                row,
+                elapsed_ns,
+                retention_ns,
+            } => write!(
+                f,
+                "row {row} stale: {elapsed_ns} ns since refresh exceeds retention window {retention_ns} ns"
+            ),
+            DramError::ColumnOutOfRange {
+                byte_offset,
+                row_bytes,
+            } => write!(
+                f,
+                "column byte offset {byte_offset} out of range for {row_bytes}-byte row"
+            ),
+            DramError::TimingViolation {
+                constraint,
+                earliest_ps,
+                requested_ps,
+            } => write!(
+                f,
+                "{constraint} violated: earliest legal issue {earliest_ps} ps, requested {requested_ps} ps"
+            ),
+            DramError::UnmappedAddress { address } => {
+                write!(f, "row address {address} has no wordline mapping")
+            }
+        }
+    }
+}
+
+impl StdError for DramError {}
+
+/// Convenience alias used throughout the DRAM crate.
+pub type Result<T> = std::result::Result<T, DramError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors: Vec<DramError> = vec![
+            DramError::RowOutOfRange { row: 5, rows: 4 },
+            DramError::EmptyActivation,
+            DramError::SubarrayConflict { open: 0, requested: 1 },
+            DramError::BankNotActivated,
+            DramError::BankAlreadyActivated,
+            DramError::AmbiguousChargeSharing { bitline: 3, wordlines: vec![] },
+            DramError::RetentionViolation { row: 1, elapsed_ns: 100, retention_ns: 64 },
+            DramError::ColumnOutOfRange { byte_offset: 9000, row_bytes: 8192 },
+            DramError::TimingViolation { constraint: "tRAS", earliest_ps: 100, requested_ps: 50 },
+            DramError::UnmappedAddress { address: 12 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "no trailing punctuation: {s}");
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error<E: StdError + Send + Sync + 'static>(_: E) {}
+        takes_error(DramError::EmptyActivation);
+    }
+}

@@ -1,0 +1,308 @@
+//! RowClone: in-DRAM bulk copy and initialization (Seshadri et al.,
+//! MICRO'13), the substrate Ambit uses to move operands into the designated
+//! rows (paper Section 3.4).
+//!
+//! Two modes are modelled:
+//!
+//! * **FPM (Fast Parallel Mode)** — two back-to-back ACTIVATEs within one
+//!   subarray copy an entire row through the sense amplifiers in ~80 ns
+//!   (one AAP).
+//! * **PSM (Pipelined Serial Mode)** — copies between banks over the
+//!   internal bus, one cache line at a time; functionally a read-modify-
+//!   write loop, an order of magnitude slower than FPM.
+//!
+//! A third fallback, `Controller`, models copying through the memory
+//! controller over the channel (read out, write back), which is what a
+//! system without RowClone would do — useful as a baseline.
+
+use crate::controller::CommandTimer;
+use crate::device::DramDevice;
+use crate::error::{DramError, Result};
+use crate::geometry::RowLocation;
+use crate::subarray::Wordline;
+
+/// Which copy mechanism a [`copy`] call ended up using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CopyMode {
+    /// In-subarray copy via back-to-back ACTIVATE (one AAP).
+    Fpm,
+    /// Bank-to-bank copy over the internal bus.
+    Psm,
+    /// Read out to the controller and write back (no RowClone).
+    Controller,
+}
+
+/// Outcome of a copy: the mechanism used and its latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyOutcome {
+    /// Mechanism chosen.
+    pub mode: CopyMode,
+    /// Latency in picoseconds.
+    pub latency_ps: u64,
+}
+
+/// Copies `src` to `dst` using RowClone-FPM.
+///
+/// Both rows must live in the same subarray (they share sense amplifiers).
+/// Performs the functional copy on `device` and accounts ACT-ACT-PRE timing
+/// and energy on `timer`.
+///
+/// # Errors
+///
+/// Returns [`DramError::SubarrayConflict`] if the rows are not in the same
+/// bank and subarray, and propagates protocol errors.
+pub fn copy_fpm(
+    device: &mut DramDevice,
+    timer: &mut CommandTimer,
+    src: RowLocation,
+    dst: RowLocation,
+) -> Result<CopyOutcome> {
+    if src.bank != dst.bank || src.subarray != dst.subarray {
+        return Err(DramError::SubarrayConflict {
+            open: src.subarray,
+            requested: dst.subarray,
+        });
+    }
+    let bank = device.bank_mut(src.bank);
+    bank.activate(src.subarray, &[Wordline::data(src.row)])?;
+    bank.activate(src.subarray, &[Wordline::data(dst.row)])?;
+    bank.precharge()?;
+    let flat = src.bank.flat_index(device.geometry());
+    let (start, end) = timer.aap(flat, 1, 1)?;
+    Ok(CopyOutcome {
+        mode: CopyMode::Fpm,
+        latency_ps: end - start,
+    })
+}
+
+/// Copies `src` to `dst` using RowClone-PSM (bank-to-bank over the internal
+/// bus, one 64 B cache line at a time).
+///
+/// # Errors
+///
+/// Returns [`DramError::SubarrayConflict`] if the rows are in the same bank
+/// (PSM requires two distinct banks), and propagates protocol errors.
+pub fn copy_psm(
+    device: &mut DramDevice,
+    timer: &mut CommandTimer,
+    src: RowLocation,
+    dst: RowLocation,
+) -> Result<CopyOutcome> {
+    if src.bank == dst.bank {
+        return Err(DramError::SubarrayConflict {
+            open: src.subarray,
+            requested: dst.subarray,
+        });
+    }
+    // Functional transfer.
+    let data = device.read_row(src)?;
+    device.write_row(dst, &data)?;
+
+    // Timing: activate both banks, then pipeline line-sized transfers on the
+    // internal bus (overlapped read/write), then precharge both.
+    let src_flat = src.bank.flat_index(device.geometry());
+    let dst_flat = dst.bank.flat_index(device.geometry());
+    let start = timer.issue_activate(src_flat, 1)?;
+    timer.issue_activate(dst_flat, 1)?;
+    let lines = device.geometry().row_bytes.div_ceil(64);
+    let mut last_burst = timer.now_ps();
+    for _ in 0..lines {
+        last_burst = timer.issue_read(src_flat)?;
+        timer.issue_write(dst_flat)?;
+    }
+    timer.advance_to(last_burst);
+    timer.issue_precharge(src_flat)?;
+    let end = timer.issue_precharge(dst_flat)?;
+    Ok(CopyOutcome {
+        mode: CopyMode::Psm,
+        latency_ps: end - start,
+    })
+}
+
+/// Copies `src` to `dst` through the memory controller (no RowClone): the
+/// row is read out over the channel and written back.
+///
+/// # Errors
+///
+/// Propagates protocol errors from the device model.
+pub fn copy_via_controller(
+    device: &mut DramDevice,
+    timer: &mut CommandTimer,
+    src: RowLocation,
+    dst: RowLocation,
+) -> Result<CopyOutcome> {
+    let data = device.read_row(src)?;
+    device.write_row(dst, &data)?;
+
+    let src_flat = src.bank.flat_index(device.geometry());
+    let dst_flat = dst.bank.flat_index(device.geometry());
+    let lines = device.geometry().row_bytes.div_ceil(64);
+    let start = timer.issue_activate(src_flat, 1)?;
+    for _ in 0..lines {
+        timer.issue_read(src_flat)?;
+    }
+    timer.issue_precharge(src_flat)?;
+    timer.issue_activate(dst_flat, 1)?;
+    let mut last = timer.now_ps();
+    for _ in 0..lines {
+        last = timer.issue_write(dst_flat)?;
+    }
+    timer.advance_to(last);
+    let end = timer.issue_precharge(dst_flat)?;
+    Ok(CopyOutcome {
+        mode: CopyMode::Controller,
+        latency_ps: end - start,
+    })
+}
+
+/// Copies `src` to `dst`, automatically selecting the fastest legal
+/// mechanism: FPM within a subarray, PSM across banks, controller copy
+/// otherwise (same bank, different subarray).
+///
+/// # Errors
+///
+/// Propagates protocol errors from the chosen mechanism.
+pub fn copy(
+    device: &mut DramDevice,
+    timer: &mut CommandTimer,
+    src: RowLocation,
+    dst: RowLocation,
+) -> Result<CopyOutcome> {
+    if src.bank == dst.bank && src.subarray == dst.subarray {
+        copy_fpm(device, timer, src, dst)
+    } else if src.bank != dst.bank {
+        copy_psm(device, timer, src, dst)
+    } else {
+        copy_via_controller(device, timer, src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitrow::BitRow;
+    use crate::geometry::{BankId, DramGeometry};
+    use crate::timing::{AapMode, TimingParams};
+
+    fn setup() -> (DramDevice, CommandTimer) {
+        (
+            DramDevice::new(DramGeometry::tiny()),
+            CommandTimer::new(TimingParams::ddr3_1600(), AapMode::Naive),
+        )
+    }
+
+    fn pattern(bits: usize) -> BitRow {
+        BitRow::from_fn(bits, |i| i % 5 == 0 || i % 3 == 1)
+    }
+
+    #[test]
+    fn fpm_copies_within_subarray_in_80ns() {
+        let (mut dev, mut timer) = setup();
+        let bits = dev.geometry().row_bits();
+        let src = RowLocation::in_bank0(0, 2);
+        let dst = RowLocation::in_bank0(0, 9);
+        dev.poke(src, pattern(bits));
+        let out = copy_fpm(&mut dev, &mut timer, src, dst).unwrap();
+        assert_eq!(out.mode, CopyMode::Fpm);
+        assert_eq!(out.latency_ps, 80_000, "paper: RowClone-FPM ≈ 80 ns");
+        assert_eq!(dev.peek(dst), pattern(bits));
+        assert_eq!(dev.peek(src), pattern(bits), "source preserved");
+    }
+
+    #[test]
+    fn fpm_rejects_cross_subarray() {
+        let (mut dev, mut timer) = setup();
+        let src = RowLocation::in_bank0(0, 2);
+        let dst = RowLocation::in_bank0(1, 2);
+        assert!(copy_fpm(&mut dev, &mut timer, src, dst).is_err());
+    }
+
+    #[test]
+    fn psm_copies_across_banks_and_is_much_slower() {
+        // Use full-size 8 KB rows: PSM cost scales with row size.
+        let mut dev = DramDevice::new(DramGeometry::ddr3_module());
+        let mut timer = CommandTimer::new(TimingParams::ddr3_1600(), AapMode::Naive);
+        let bits = dev.geometry().row_bits();
+        let src = RowLocation::in_bank0(0, 2);
+        let dst = RowLocation {
+            bank: BankId {
+                channel: 0,
+                rank: 0,
+                bank: 1,
+            },
+            subarray: 1,
+            row: 4,
+        };
+        dev.poke(src, pattern(bits));
+        let out = copy_psm(&mut dev, &mut timer, src, dst).unwrap();
+        assert_eq!(out.mode, CopyMode::Psm);
+        assert_eq!(dev.peek(dst), pattern(bits));
+        assert!(
+            out.latency_ps > 80_000,
+            "PSM ({}) should be slower than FPM",
+            out.latency_ps
+        );
+    }
+
+    #[test]
+    fn psm_rejects_same_bank() {
+        let (mut dev, mut timer) = setup();
+        let src = RowLocation::in_bank0(0, 2);
+        let dst = RowLocation::in_bank0(1, 4);
+        assert!(copy_psm(&mut dev, &mut timer, src, dst).is_err());
+    }
+
+    #[test]
+    fn auto_copy_selects_modes() {
+        let (mut dev, mut timer) = setup();
+        let bits = dev.geometry().row_bits();
+        let a = RowLocation::in_bank0(0, 1);
+        dev.poke(a, pattern(bits));
+        // Same subarray → FPM.
+        let same = copy(&mut dev, &mut timer, a, RowLocation::in_bank0(0, 3)).unwrap();
+        assert_eq!(same.mode, CopyMode::Fpm);
+        // Same bank, different subarray → controller.
+        let ctrl = copy(&mut dev, &mut timer, a, RowLocation::in_bank0(1, 3)).unwrap();
+        assert_eq!(ctrl.mode, CopyMode::Controller);
+        assert_eq!(dev.peek(RowLocation::in_bank0(1, 3)), pattern(bits));
+        // Different bank → PSM.
+        let dst = RowLocation {
+            bank: BankId {
+                channel: 0,
+                rank: 0,
+                bank: 1,
+            },
+            subarray: 0,
+            row: 0,
+        };
+        let psm = copy(&mut dev, &mut timer, a, dst).unwrap();
+        assert_eq!(psm.mode, CopyMode::Psm);
+    }
+
+    #[test]
+    fn mode_latency_ordering_fpm_psm_controller() {
+        // FPM < PSM < controller copy, as the RowClone paper reports.
+        let g = DramGeometry::ddr3_module();
+        let mut dev = DramDevice::new(g);
+        let mut timer = CommandTimer::new(TimingParams::ddr3_1600(), AapMode::Naive);
+        let bits = g.row_bits();
+        let a = RowLocation::in_bank0(0, 1);
+        dev.poke(a, pattern(bits));
+
+        let fpm = copy_fpm(&mut dev, &mut timer, a, RowLocation::in_bank0(0, 2)).unwrap();
+        let psm_dst = RowLocation {
+            bank: BankId {
+                channel: 0,
+                rank: 0,
+                bank: 1,
+            },
+            subarray: 0,
+            row: 1,
+        };
+        let psm = copy_psm(&mut dev, &mut timer, a, psm_dst).unwrap();
+        let ctrl =
+            copy_via_controller(&mut dev, &mut timer, a, RowLocation::in_bank0(1, 1)).unwrap();
+        assert!(fpm.latency_ps < psm.latency_ps);
+        assert!(psm.latency_ps < ctrl.latency_ps);
+    }
+}

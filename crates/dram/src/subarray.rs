@@ -1,0 +1,889 @@
+//! Functional model of a DRAM subarray with multi-wordline activation.
+//!
+//! A subarray is a grid of cells: one row per wordline, one column per
+//! bitline, with a single row of sense amplifiers shared by all rows
+//! (paper Section 2). This module models the *analog outcome* of DRAM
+//! commands at bit granularity:
+//!
+//! * **Single-row ACTIVATE** latches the row into the sense amplifiers and
+//!   restores the cells (Figure 3).
+//! * **Multi-row ACTIVATE from the precharged state** charge-shares all
+//!   raised cells on each bitline; the sense amplifier resolves the sign of
+//!   the deviation, which for three rows is the bitwise majority function —
+//!   triple-row activation, the first Ambit mechanism (Figure 4).
+//! * **ACTIVATE while the subarray is already activated** (back-to-back
+//!   ACTIVATE) overwrites the newly raised rows with the value the sense
+//!   amplifiers currently drive — the copy mechanism behind RowClone-FPM and
+//!   the second ACTIVATE of Ambit's AAP primitive (Section 5.2).
+//! * **n-wordlines** connect a dual-contact cell's capacitor to the *negated*
+//!   side of the sense amplifier (bitline-bar), implementing Ambit-NOT
+//!   (Section 4, Figures 5 and 6).
+//!
+//! Charge retention is modelled optionally: rows stale beyond a configurable
+//! retention window make charge-sharing activations fail in strict mode
+//! (paper Section 3.2, issue 4 — Ambit avoids this by copying, and thereby
+//! refreshing, operands immediately before each TRA).
+
+use std::collections::HashMap;
+
+use crate::bitrow::BitRow;
+use crate::error::{DramError, Result};
+
+/// Which side of the sense amplifier a wordline connects its cells to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitlineSide {
+    /// The data side: the sensed value equals the cell value.
+    Bitline,
+    /// The negated side (bitline-bar): a dual-contact cell's n-wordline.
+    /// Sensing through this side yields the complement of the cell, and
+    /// copying through it stores the complement of the sensed value.
+    BitlineBar,
+}
+
+/// One wordline of a subarray: a row index plus the sense-amplifier side it
+/// connects to. Regular rows only have a [`BitlineSide::Bitline`] wordline;
+/// dual-contact rows have both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Wordline {
+    /// Row index within the subarray.
+    pub row: usize,
+    /// Side of the sense amplifier the cells connect to.
+    pub side: BitlineSide,
+}
+
+impl Wordline {
+    /// A regular (data-side) wordline for `row`.
+    pub fn data(row: usize) -> Self {
+        Wordline {
+            row,
+            side: BitlineSide::Bitline,
+        }
+    }
+
+    /// The negation-side wordline of dual-contact row `row`.
+    pub fn negated(row: usize) -> Self {
+        Wordline {
+            row,
+            side: BitlineSide::BitlineBar,
+        }
+    }
+}
+
+/// Policy for resolving a bitline whose charge-sharing deviation is exactly
+/// zero (equal pull toward 0 and 1).
+///
+/// The Ambit protocol never issues such an activation; the default policy
+/// treats it as an error so that protocol bugs surface in tests. `Random`
+/// models the physical nondeterminism of a metastable sense amplifier and is
+/// useful for failure-injection testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TieBreak {
+    /// Return [`DramError::AmbiguousChargeSharing`].
+    #[default]
+    Error,
+    /// Resolve every tied bitline to 0.
+    Zero,
+    /// Resolve every tied bitline to 1.
+    One,
+    /// Resolve each tied bitline pseudo-randomly (deterministic per seed).
+    Random,
+}
+
+/// A manufacturing fault pinning one cell to a fixed value
+/// (paper Section 5.5.3: faulty rows are found during testing and mapped
+/// to spare rows within the same subarray).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellFault {
+    /// The cell always reads 0 regardless of what was written.
+    StuckAtZero,
+    /// The cell always reads 1.
+    StuckAtOne,
+}
+
+/// Counters describing the commands a subarray has served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubarrayStats {
+    /// ACTIVATEs issued from the precharged state.
+    pub activations: u64,
+    /// Of those, activations that raised ≥ 2 wordlines (charge sharing
+    /// between multiple cells; includes TRAs).
+    pub multi_row_activations: u64,
+    /// Of those, exactly-three-wordline activations (TRAs).
+    pub triple_row_activations: u64,
+    /// Back-to-back ACTIVATEs onto an already-activated subarray (copies).
+    pub copy_activations: u64,
+    /// PRECHARGE commands.
+    pub precharges: u64,
+    /// Column reads served from the row buffer.
+    pub column_reads: u64,
+    /// Column writes into the row buffer.
+    pub column_writes: u64,
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    Precharged,
+    Activated { sense: BitRow, raised: Vec<Wordline> },
+}
+
+/// Functional model of one DRAM subarray.
+///
+/// Row storage is sparse: rows never written hold all-zero cells. The model
+/// is purely functional (no timing); timing and energy are accounted by
+/// [`CommandTimer`](crate::controller::CommandTimer) and
+/// [`EnergyModel`](crate::energy::EnergyModel) at the controller level.
+///
+/// # Examples
+///
+/// Triple-row activation computes a majority and overwrites all three rows
+/// (paper Figure 4):
+///
+/// ```
+/// use ambit_dram::{BitRow, Subarray, Wordline};
+///
+/// let mut sa = Subarray::new(16, 8);
+/// sa.poke_row(0, BitRow::from_fn(8, |i| i < 4)); // A = 11110000
+/// sa.poke_row(1, BitRow::from_fn(8, |i| i % 2 == 0)); // B = 10101010
+/// sa.poke_row(2, BitRow::zeros(8)); // C = 0  =>  majority = A AND B
+/// let sensed = sa
+///     .activate(&[Wordline::data(0), Wordline::data(1), Wordline::data(2)])?
+///     .clone();
+/// assert_eq!(sensed, BitRow::from_fn(8, |i| i < 4 && i % 2 == 0));
+/// assert_eq!(sa.peek_row(0), sensed); // sources are overwritten
+/// assert_eq!(sa.peek_row(2), sensed);
+/// # sa.precharge()?;
+/// # Ok::<(), ambit_dram::DramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Subarray {
+    rows: usize,
+    bits: usize,
+    storage: HashMap<usize, BitRow>,
+    state: State,
+    tie_break: TieBreak,
+    tie_rng: u64,
+    retention_ns: Option<u64>,
+    last_refresh_ns: HashMap<usize, u64>,
+    now_ns: u64,
+    stats: SubarrayStats,
+    /// Stuck-at cell faults, keyed by (physical row, bit).
+    faults: HashMap<(usize, usize), CellFault>,
+    /// Row remapping (logical → physical) installed by post-test repair.
+    row_map: HashMap<usize, usize>,
+    /// Per-bitline transient TRA failure probability (from the circuit
+    /// model's Monte Carlo), in units of 2^-64.
+    tra_fault_threshold: u64,
+}
+
+impl Subarray {
+    /// Creates a subarray of `rows` rows, each `bits` bits wide, with all
+    /// cells initially empty (zero).
+    pub fn new(rows: usize, bits: usize) -> Self {
+        Subarray {
+            rows,
+            bits,
+            storage: HashMap::new(),
+            state: State::Precharged,
+            tie_break: TieBreak::default(),
+            tie_rng: 0x9e37_79b9_7f4a_7c15,
+            retention_ns: None,
+            last_refresh_ns: HashMap::new(),
+            now_ns: 0,
+            stats: SubarrayStats::default(),
+            faults: HashMap::new(),
+            row_map: HashMap::new(),
+            tra_fault_threshold: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row width in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Returns `true` if the subarray is activated (has an open row buffer).
+    pub fn is_activated(&self) -> bool {
+        matches!(self.state, State::Activated { .. })
+    }
+
+    /// Command counters.
+    pub fn stats(&self) -> SubarrayStats {
+        self.stats
+    }
+
+    /// Sets the tie-break policy for zero-deviation charge sharing.
+    pub fn set_tie_break(&mut self, policy: TieBreak) {
+        self.tie_break = policy;
+    }
+
+    /// Enables strict retention checking: charge-sharing activations on rows
+    /// older than `window_ns` fail with [`DramError::RetentionViolation`].
+    pub fn set_retention_window(&mut self, window_ns: Option<u64>) {
+        self.retention_ns = window_ns;
+    }
+
+    /// Injects a stuck-at fault at `(row, bit)` (physical coordinates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn inject_fault(&mut self, row: usize, bit: usize, fault: CellFault) {
+        assert!(row < self.rows && bit < self.bits, "fault out of range");
+        self.faults.insert((row, bit), fault);
+        // The fault takes effect immediately on the stored value.
+        let data = self.peek_physical(row);
+        self.storage.insert(row, self.apply_faults(row, data));
+    }
+
+    /// Removes all injected faults.
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Remaps logical row `from` onto physical row `to` — the spare-row
+    /// repair of paper Section 5.5.3. All subsequent accesses to `from`
+    /// reach `to` instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is out of range.
+    pub fn remap_row(&mut self, from: usize, to: usize) {
+        assert!(from < self.rows && to < self.rows, "remap out of range");
+        self.row_map.insert(from, to);
+    }
+
+    /// Sets the per-bitline probability that a multi-row activation senses
+    /// the wrong value (transient TRA faults; feed this from
+    /// `ambit_circuit`'s Monte Carlo failure rate). 0.0 disables.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate <= 1.0`.
+    pub fn set_tra_fault_rate(&mut self, rate: f64) {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        self.tra_fault_threshold = (rate * u64::MAX as f64) as u64;
+    }
+
+    fn resolve(&self, row: usize) -> usize {
+        self.row_map.get(&row).copied().unwrap_or(row)
+    }
+
+    fn apply_faults(&self, physical_row: usize, mut data: BitRow) -> BitRow {
+        // Fast path: the common case has no faults at all.
+        if self.faults.is_empty() {
+            return data;
+        }
+        for (&(r, bit), &fault) in &self.faults {
+            if r == physical_row {
+                data.set(
+                    bit,
+                    match fault {
+                        CellFault::StuckAtZero => false,
+                        CellFault::StuckAtOne => true,
+                    },
+                );
+            }
+        }
+        data
+    }
+
+    fn peek_physical(&self, row: usize) -> BitRow {
+        self.storage
+            .get(&row)
+            .cloned()
+            .unwrap_or_else(|| BitRow::zeros(self.bits))
+    }
+
+    /// Advances the subarray's notion of time (used for retention checks).
+    pub fn advance_time_ns(&mut self, delta_ns: u64) {
+        self.now_ns += delta_ns;
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Refreshes every row (marks all cells fully charged/empty as stored).
+    pub fn refresh_all(&mut self) {
+        let now = self.now_ns;
+        for row in 0..self.rows {
+            self.last_refresh_ns.insert(row, now);
+        }
+    }
+
+    /// Directly reads a row's cell contents, bypassing the command protocol.
+    ///
+    /// Intended for test setup and for the driver's bulk initialization
+    /// path; regular accesses should go through activate/read/precharge.
+    pub fn peek_row(&self, row: usize) -> BitRow {
+        assert!(row < self.rows, "row {} out of range {}", row, self.rows);
+        self.peek_physical(self.resolve(row))
+    }
+
+    /// Directly overwrites a row's cell contents, bypassing the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `data` has the wrong width.
+    pub fn poke_row(&mut self, row: usize, data: BitRow) {
+        assert!(row < self.rows, "row {} out of range {}", row, self.rows);
+        assert_eq!(data.len(), self.bits, "row width mismatch");
+        let row = self.resolve(row);
+        self.last_refresh_ns.insert(row, self.now_ns);
+        let data = self.apply_faults(row, data);
+        self.storage.insert(row, data);
+    }
+
+    /// Issues an ACTIVATE raising the given wordlines simultaneously.
+    ///
+    /// From the precharged state this performs charge sharing and sense
+    /// amplification, returning the sensed row-buffer value; all raised
+    /// cells are overwritten with the amplified result (restored). On an
+    /// already-activated subarray this is a back-to-back ACTIVATE: the new
+    /// rows are overwritten from the current sense amplifiers (the RowClone /
+    /// AAP copy mechanism) and the sensed value is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// * [`DramError::EmptyActivation`] if `wordlines` is empty.
+    /// * [`DramError::RowOutOfRange`] for a bad row index.
+    /// * [`DramError::ConflictingWordlines`] if both wordlines of the same
+    ///   row are raised at once.
+    /// * [`DramError::AmbiguousChargeSharing`] under the default tie-break
+    ///   policy when a bitline's deviation is exactly zero.
+    /// * [`DramError::RetentionViolation`] in strict retention mode when a
+    ///   raised row is stale.
+    pub fn activate(&mut self, wordlines: &[Wordline]) -> Result<&BitRow> {
+        if wordlines.is_empty() {
+            return Err(DramError::EmptyActivation);
+        }
+        let mut deduped: Vec<Wordline> = Vec::with_capacity(wordlines.len());
+        for &wl in wordlines {
+            if wl.row >= self.rows {
+                return Err(DramError::RowOutOfRange {
+                    row: wl.row,
+                    rows: self.rows,
+                });
+            }
+            if deduped.iter().any(|d| d.row == wl.row && d.side != wl.side) {
+                return Err(DramError::ConflictingWordlines { row: wl.row });
+            }
+            if !deduped.contains(&wl) {
+                deduped.push(wl);
+            }
+        }
+
+        match &mut self.state {
+            State::Precharged => {
+                self.check_retention(&deduped)?;
+                let sense = self.charge_share(&deduped)?;
+                self.stats.activations += 1;
+                if deduped.len() >= 2 {
+                    self.stats.multi_row_activations += 1;
+                }
+                if deduped.len() == 3 {
+                    self.stats.triple_row_activations += 1;
+                }
+                self.restore(&deduped, &sense);
+                self.state = State::Activated {
+                    sense,
+                    raised: deduped,
+                };
+            }
+            State::Activated { sense, raised } => {
+                let sense = sense.clone();
+                let mut raised = std::mem::take(raised);
+                for &wl in &deduped {
+                    if raised.iter().any(|r| r.row == wl.row && r.side != wl.side) {
+                        return Err(DramError::ConflictingWordlines { row: wl.row });
+                    }
+                    if !raised.contains(&wl) {
+                        raised.push(wl);
+                    }
+                }
+                self.stats.copy_activations += 1;
+                self.restore(&deduped, &sense);
+                self.state = State::Activated { sense, raised };
+            }
+        }
+
+        match &self.state {
+            State::Activated { sense, .. } => Ok(sense),
+            State::Precharged => unreachable!("state set above"),
+        }
+    }
+
+    /// Issues a PRECHARGE, closing the row buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankNotActivated`] if the subarray is already
+    /// precharged.
+    pub fn precharge(&mut self) -> Result<()> {
+        match self.state {
+            State::Precharged => Err(DramError::BankNotActivated),
+            State::Activated { .. } => {
+                self.state = State::Precharged;
+                self.stats.precharges += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// The current sense-amplifier (row buffer) contents, if activated.
+    pub fn sense(&self) -> Option<&BitRow> {
+        match &self.state {
+            State::Activated { sense, .. } => Some(sense),
+            State::Precharged => None,
+        }
+    }
+
+    /// Reads bytes from the open row buffer (a column READ).
+    ///
+    /// # Errors
+    ///
+    /// * [`DramError::BankNotActivated`] if precharged.
+    /// * [`DramError::ColumnOutOfRange`] if the range exceeds the row.
+    pub fn read_bytes(&mut self, byte_offset: usize, out: &mut [u8]) -> Result<()> {
+        let row_bytes = self.bits / 8;
+        match &self.state {
+            State::Precharged => Err(DramError::BankNotActivated),
+            State::Activated { sense, .. } => {
+                if byte_offset + out.len() > row_bytes {
+                    return Err(DramError::ColumnOutOfRange {
+                        byte_offset: byte_offset + out.len(),
+                        row_bytes,
+                    });
+                }
+                sense.read_bytes(byte_offset * 8, out);
+                self.stats.column_reads += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Writes bytes into the open row buffer (a column WRITE). The sense
+    /// amplifiers drive all raised cells, so the write propagates to every
+    /// open row immediately (negated through n-wordlines).
+    ///
+    /// # Errors
+    ///
+    /// * [`DramError::BankNotActivated`] if precharged.
+    /// * [`DramError::ColumnOutOfRange`] if the range exceeds the row.
+    pub fn write_bytes(&mut self, byte_offset: usize, data: &[u8]) -> Result<()> {
+        let row_bytes = self.bits / 8;
+        match &mut self.state {
+            State::Precharged => Err(DramError::BankNotActivated),
+            State::Activated { sense, raised } => {
+                if byte_offset + data.len() > row_bytes {
+                    return Err(DramError::ColumnOutOfRange {
+                        byte_offset: byte_offset + data.len(),
+                        row_bytes,
+                    });
+                }
+                sense.write_bytes(byte_offset * 8, data);
+                let sense = sense.clone();
+                let raised = raised.clone();
+                self.stats.column_writes += 1;
+                self.restore(&raised, &sense);
+                Ok(())
+            }
+        }
+    }
+
+    /// Computes the per-bitline charge-sharing outcome for an activation
+    /// from the precharged state.
+    fn charge_share(&mut self, wordlines: &[Wordline]) -> Result<BitRow> {
+        if wordlines.len() == 1 {
+            // Common case: single-row activation senses the row directly
+            // (negated through an n-wordline).
+            let wl = wordlines[0];
+            let data = self.peek_row(wl.row);
+            return Ok(match wl.side {
+                BitlineSide::Bitline => data,
+                BitlineSide::BitlineBar => data.not(),
+            });
+        }
+
+        // Multi-row: per-bitline signed deviation. A cell with value v on the
+        // bitline side pulls the bitline toward v; on the bitline-bar side it
+        // pulls the *sensed value* toward !v.
+        let mut result = BitRow::zeros(self.bits);
+        let rows: Vec<(BitRow, BitlineSide)> = wordlines
+            .iter()
+            .map(|wl| (self.peek_row(wl.row), wl.side))
+            .collect();
+        for bit in 0..self.bits {
+            let mut score: i32 = 0;
+            for (data, side) in &rows {
+                let v = data.get(bit);
+                let toward_one = match side {
+                    BitlineSide::Bitline => v,
+                    BitlineSide::BitlineBar => !v,
+                };
+                score += if toward_one { 1 } else { -1 };
+            }
+            let mut sensed = match score.cmp(&0) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => match self.tie_break {
+                    TieBreak::Error => {
+                        return Err(DramError::AmbiguousChargeSharing {
+                            bitline: bit,
+                            wordlines: wordlines.to_vec(),
+                        })
+                    }
+                    TieBreak::Zero => false,
+                    TieBreak::One => true,
+                    TieBreak::Random => self.next_tie_bit(),
+                },
+            };
+            // Transient TRA fault injection: with the configured
+            // probability, process variation flips this bitline's outcome.
+            if self.tra_fault_threshold > 0 && self.next_rng_u64() < self.tra_fault_threshold {
+                sensed = !sensed;
+            }
+            result.set(bit, sensed);
+        }
+        Ok(result)
+    }
+
+    /// Drives the sense value back into all raised cells (restore phase).
+    fn restore(&mut self, wordlines: &[Wordline], sense: &BitRow) {
+        for wl in wordlines {
+            let value = match wl.side {
+                BitlineSide::Bitline => sense.clone(),
+                BitlineSide::BitlineBar => sense.not(),
+            };
+            let row = self.resolve(wl.row);
+            self.last_refresh_ns.insert(row, self.now_ns);
+            let value = self.apply_faults(row, value);
+            self.storage.insert(row, value);
+        }
+    }
+
+    fn check_retention(&self, wordlines: &[Wordline]) -> Result<()> {
+        // Retention matters for charge sharing between multiple cells; a
+        // single-cell activation is ordinary DRAM sensing which tolerates
+        // partial decay by design.
+        let Some(window) = self.retention_ns else {
+            return Ok(());
+        };
+        if wordlines.len() < 2 {
+            return Ok(());
+        }
+        for wl in wordlines {
+            let last = self.last_refresh_ns.get(&wl.row).copied().unwrap_or(0);
+            let elapsed = self.now_ns.saturating_sub(last);
+            if elapsed > window {
+                return Err(DramError::RetentionViolation {
+                    row: wl.row,
+                    elapsed_ns: elapsed,
+                    retention_ns: window,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn next_rng_u64(&mut self) -> u64 {
+        // xorshift64*: deterministic, clonable randomness stream shared by
+        // tie-breaking and fault injection.
+        let mut x = self.tie_rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.tie_rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn next_tie_bit(&mut self) -> bool {
+        self.next_rng_u64() >> 63 & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn filled(bits: usize, seed: u64) -> BitRow {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        BitRow::random(bits, &mut rng)
+    }
+
+    #[test]
+    fn single_activation_senses_and_preserves_row() {
+        let mut sa = Subarray::new(8, 64);
+        let data = filled(64, 7);
+        sa.poke_row(3, data.clone());
+        let sensed = sa.activate(&[Wordline::data(3)]).unwrap().clone();
+        assert_eq!(sensed, data);
+        sa.precharge().unwrap();
+        assert_eq!(sa.peek_row(3), data, "restore keeps the cell value");
+    }
+
+    #[test]
+    fn activation_of_empty_row_senses_zeros() {
+        let mut sa = Subarray::new(8, 64);
+        let sensed = sa.activate(&[Wordline::data(0)]).unwrap();
+        assert_eq!(sensed.count_ones(), 0);
+    }
+
+    #[test]
+    fn n_wordline_senses_negated_value_and_restores_original() {
+        // Paper Figure 6: activating through the n-wordline exposes !cell.
+        let mut sa = Subarray::new(8, 64);
+        let data = filled(64, 9);
+        sa.poke_row(2, data.clone());
+        let sensed = sa.activate(&[Wordline::negated(2)]).unwrap().clone();
+        assert_eq!(sensed, data.not());
+        sa.precharge().unwrap();
+        // The cell was restored through bitline-bar: !sense = original.
+        assert_eq!(sa.peek_row(2), data);
+    }
+
+    #[test]
+    fn tra_computes_majority_and_overwrites_sources() {
+        let mut sa = Subarray::new(8, 128);
+        let a = filled(128, 1);
+        let b = filled(128, 2);
+        let c = filled(128, 3);
+        sa.poke_row(0, a.clone());
+        sa.poke_row(1, b.clone());
+        sa.poke_row(2, c.clone());
+        let m = BitRow::majority(&a, &b, &c);
+        let sensed = sa
+            .activate(&[Wordline::data(0), Wordline::data(1), Wordline::data(2)])
+            .unwrap()
+            .clone();
+        assert_eq!(sensed, m);
+        sa.precharge().unwrap();
+        for row in 0..3 {
+            assert_eq!(sa.peek_row(row), m, "TRA destroys source row {row}");
+        }
+        assert_eq!(sa.stats().triple_row_activations, 1);
+    }
+
+    #[test]
+    fn tra_with_zero_row_is_and() {
+        let mut sa = Subarray::new(8, 64);
+        let a = filled(64, 4);
+        let b = filled(64, 5);
+        sa.poke_row(0, a.clone());
+        sa.poke_row(1, b.clone());
+        // Row 2 left empty (all zeros).
+        let sensed = sa
+            .activate(&[Wordline::data(0), Wordline::data(1), Wordline::data(2)])
+            .unwrap();
+        assert_eq!(*sensed, a.and(&b));
+    }
+
+    #[test]
+    fn back_to_back_activate_copies_sense_into_new_row() {
+        // RowClone-FPM: ACTIVATE src; ACTIVATE dst copies src into dst.
+        let mut sa = Subarray::new(8, 64);
+        let data = filled(64, 6);
+        sa.poke_row(1, data.clone());
+        sa.activate(&[Wordline::data(1)]).unwrap();
+        sa.activate(&[Wordline::data(5)]).unwrap();
+        sa.precharge().unwrap();
+        assert_eq!(sa.peek_row(5), data);
+        assert_eq!(sa.peek_row(1), data, "source untouched");
+        assert_eq!(sa.stats().copy_activations, 1);
+    }
+
+    #[test]
+    fn back_to_back_activate_through_n_wordline_stores_complement() {
+        // Ambit-NOT, steps 1-2 of Section 4: ACTIVATE src; ACTIVATE n-wordline.
+        let mut sa = Subarray::new(8, 64);
+        let data = filled(64, 8);
+        sa.poke_row(0, data.clone());
+        sa.activate(&[Wordline::data(0)]).unwrap();
+        sa.activate(&[Wordline::negated(4)]).unwrap();
+        sa.precharge().unwrap();
+        assert_eq!(sa.peek_row(4), data.not(), "DCC holds negated source");
+        // Reading the DCC through its d-wordline then yields !src.
+        let sensed = sa.activate(&[Wordline::data(4)]).unwrap().clone();
+        assert_eq!(sensed, data.not());
+    }
+
+    #[test]
+    fn dual_copy_activation_b8_style() {
+        // Address B8 raises {DCC0.n, T0} as the second ACTIVATE of an AAP:
+        // DCC0 gets !src while T0 gets src (used by xor, Figure 8c).
+        let mut sa = Subarray::new(8, 64);
+        let data = filled(64, 11);
+        sa.poke_row(0, data.clone());
+        sa.activate(&[Wordline::data(0)]).unwrap();
+        sa.activate(&[Wordline::negated(6), Wordline::data(7)]).unwrap();
+        sa.precharge().unwrap();
+        assert_eq!(sa.peek_row(6), data.not());
+        assert_eq!(sa.peek_row(7), data);
+    }
+
+    #[test]
+    fn ambiguous_charge_sharing_is_an_error_by_default() {
+        let mut sa = Subarray::new(8, 8);
+        sa.poke_row(0, BitRow::ones(8));
+        sa.poke_row(1, BitRow::zeros(8));
+        let err = sa
+            .activate(&[Wordline::data(0), Wordline::data(1)])
+            .unwrap_err();
+        assert!(matches!(err, DramError::AmbiguousChargeSharing { bitline: 0, .. }));
+    }
+
+    #[test]
+    fn tie_break_policies_resolve_ambiguity() {
+        for (policy, expect) in [(TieBreak::Zero, 0usize), (TieBreak::One, 8)] {
+            let mut sa = Subarray::new(8, 8);
+            sa.set_tie_break(policy);
+            sa.poke_row(0, BitRow::ones(8));
+            sa.poke_row(1, BitRow::zeros(8));
+            let sensed = sa
+                .activate(&[Wordline::data(0), Wordline::data(1)])
+                .unwrap();
+            assert_eq!(sensed.count_ones(), expect);
+        }
+    }
+
+    #[test]
+    fn random_tie_break_is_deterministic_per_instance() {
+        let mk = || {
+            let mut sa = Subarray::new(8, 64);
+            sa.set_tie_break(TieBreak::Random);
+            sa.poke_row(0, BitRow::ones(64));
+            sa.poke_row(1, BitRow::zeros(64));
+            sa.activate(&[Wordline::data(0), Wordline::data(1)])
+                .unwrap()
+                .clone()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn conflicting_wordlines_rejected() {
+        let mut sa = Subarray::new(8, 8);
+        let err = sa
+            .activate(&[Wordline::data(3), Wordline::negated(3)])
+            .unwrap_err();
+        assert_eq!(err, DramError::ConflictingWordlines { row: 3 });
+    }
+
+    #[test]
+    fn conflicting_wordline_against_already_raised_rejected() {
+        let mut sa = Subarray::new(8, 8);
+        sa.activate(&[Wordline::data(3)]).unwrap();
+        let err = sa.activate(&[Wordline::negated(3)]).unwrap_err();
+        assert_eq!(err, DramError::ConflictingWordlines { row: 3 });
+    }
+
+    #[test]
+    fn protocol_violations() {
+        let mut sa = Subarray::new(4, 8);
+        assert_eq!(sa.activate(&[]).unwrap_err(), DramError::EmptyActivation);
+        assert_eq!(sa.precharge().unwrap_err(), DramError::BankNotActivated);
+        assert!(matches!(
+            sa.activate(&[Wordline::data(9)]).unwrap_err(),
+            DramError::RowOutOfRange { row: 9, rows: 4 }
+        ));
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            sa.read_bytes(0, &mut buf).unwrap_err(),
+            DramError::BankNotActivated
+        );
+    }
+
+    #[test]
+    fn column_read_write_roundtrip_and_writethrough() {
+        let mut sa = Subarray::new(4, 64);
+        sa.activate(&[Wordline::data(1)]).unwrap();
+        sa.write_bytes(2, &[0xAB, 0xCD]).unwrap();
+        let mut buf = [0u8; 2];
+        sa.read_bytes(2, &mut buf).unwrap();
+        assert_eq!(buf, [0xAB, 0xCD]);
+        sa.precharge().unwrap();
+        // The write reached the open cells.
+        let mut from_cells = [0u8; 2];
+        sa.peek_row(1).read_bytes(16, &mut from_cells);
+        assert_eq!(from_cells, [0xAB, 0xCD]);
+    }
+
+    #[test]
+    fn column_bounds_checked() {
+        let mut sa = Subarray::new(4, 64);
+        sa.activate(&[Wordline::data(0)]).unwrap();
+        let mut buf = [0u8; 9];
+        assert!(matches!(
+            sa.read_bytes(0, &mut buf).unwrap_err(),
+            DramError::ColumnOutOfRange { .. }
+        ));
+        assert!(matches!(
+            sa.write_bytes(8, &[0]).unwrap_err(),
+            DramError::ColumnOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn retention_violation_in_strict_mode() {
+        let mut sa = Subarray::new(8, 8);
+        sa.set_retention_window(Some(64_000_000)); // 64 ms
+        sa.poke_row(0, BitRow::ones(8));
+        sa.poke_row(1, BitRow::ones(8));
+        sa.poke_row(2, BitRow::ones(8));
+        sa.advance_time_ns(65_000_000);
+        let err = sa
+            .activate(&[Wordline::data(0), Wordline::data(1), Wordline::data(2)])
+            .unwrap_err();
+        assert!(matches!(err, DramError::RetentionViolation { .. }));
+        // Single-row activation still works (ordinary sensing).
+        assert!(sa.activate(&[Wordline::data(0)]).is_ok());
+        sa.precharge().unwrap();
+        // Re-poking (copying) refreshes, so the TRA now succeeds — this is
+        // exactly why Ambit copies operands right before each TRA (§3.3).
+        sa.poke_row(0, BitRow::ones(8));
+        sa.poke_row(1, BitRow::ones(8));
+        sa.poke_row(2, BitRow::ones(8));
+        assert!(sa
+            .activate(&[Wordline::data(0), Wordline::data(1), Wordline::data(2)])
+            .is_ok());
+    }
+
+    #[test]
+    fn write_through_negated_wordline_stores_complement() {
+        let mut sa = Subarray::new(8, 64);
+        sa.activate(&[Wordline::negated(2)]).unwrap();
+        sa.write_bytes(0, &[0xFF]).unwrap();
+        sa.precharge().unwrap();
+        let mut cell = [0u8; 1];
+        sa.peek_row(2).read_bytes(0, &mut cell);
+        assert_eq!(cell[0], 0x00, "n-wordline write stores the complement");
+    }
+
+    #[test]
+    fn stats_count_commands() {
+        let mut sa = Subarray::new(8, 8);
+        sa.activate(&[Wordline::data(0)]).unwrap();
+        sa.activate(&[Wordline::data(1)]).unwrap();
+        sa.precharge().unwrap();
+        sa.poke_row(2, BitRow::ones(8));
+        sa.poke_row(3, BitRow::ones(8));
+        sa.poke_row(4, BitRow::ones(8));
+        sa.activate(&[Wordline::data(2), Wordline::data(3), Wordline::data(4)])
+            .unwrap();
+        sa.precharge().unwrap();
+        let s = sa.stats();
+        assert_eq!(s.activations, 2);
+        assert_eq!(s.copy_activations, 1);
+        assert_eq!(s.triple_row_activations, 1);
+        assert_eq!(s.multi_row_activations, 1);
+        assert_eq!(s.precharges, 2);
+    }
+}

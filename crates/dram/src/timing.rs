@@ -1,0 +1,223 @@
+//! DDR timing parameters and the latencies of Ambit's command primitives.
+//!
+//! All times are held in picoseconds to keep integer arithmetic exact for
+//! DDR clock periods that are not whole nanoseconds (e.g. DDR3-1600's
+//! 1.25 ns). Section 5.3 of the paper derives the two AAP latencies modelled
+//! here:
+//!
+//! * naive AAP = 2·tRAS + tRP = 80 ns for DDR3-1600 (8-8-8), and
+//! * split-decoder AAP = tRAS + 4 ns + tRP = 49 ns, because the second
+//!   ACTIVATE overlaps with the first and needs no full sense amplification.
+
+/// Picoseconds per nanosecond, for readability at call sites.
+pub const PS_PER_NS: u64 = 1_000;
+
+/// A DDR timing parameter set (the subset that governs row commands plus
+/// the column timings needed for data transfer modelling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingParams {
+    /// Clock period in picoseconds.
+    pub t_ck_ps: u64,
+    /// ACTIVATE to READ/WRITE delay (row to column delay).
+    pub t_rcd_ps: u64,
+    /// Column access strobe latency.
+    pub t_cl_ps: u64,
+    /// ACTIVATE to PRECHARGE minimum (row active time).
+    pub t_ras_ps: u64,
+    /// PRECHARGE to next ACTIVATE on the same bank.
+    pub t_rp_ps: u64,
+    /// Column-to-column delay (burst gap).
+    pub t_ccd_ps: u64,
+    /// ACTIVATE-to-ACTIVATE delay across different banks.
+    pub t_rrd_ps: u64,
+    /// Four-activate window.
+    pub t_faw_ps: u64,
+    /// Write recovery time.
+    pub t_wr_ps: u64,
+    /// Extra latency of the overlapped second ACTIVATE in an AAP beyond
+    /// tRAS (paper Section 5.3: "only 4 ns larger than tRAS" per SPICE).
+    pub t_overlap_extra_ps: u64,
+    /// Data bus width in bits for one channel.
+    pub bus_bits: u64,
+    /// Data rate multiplier (2 for DDR).
+    pub data_rate: u64,
+}
+
+impl TimingParams {
+    /// DDR3-1600 with 8-8-8 timings (JESD79-3D), the configuration the paper
+    /// uses for its AAP latency arithmetic: tCK = 1.25 ns, CL = tRCD = tRP =
+    /// 10 ns, tRAS = 35 ns.
+    pub fn ddr3_1600() -> Self {
+        TimingParams {
+            t_ck_ps: 1_250,
+            t_rcd_ps: 10_000,
+            t_cl_ps: 10_000,
+            t_ras_ps: 35_000,
+            t_rp_ps: 10_000,
+            t_ccd_ps: 4 * 1_250,
+            t_rrd_ps: 6_000,
+            t_faw_ps: 30_000,
+            t_wr_ps: 15_000,
+            t_overlap_extra_ps: 4_000,
+            bus_bits: 64,
+            data_rate: 2,
+        }
+    }
+
+    /// DDR3-1333, used by the paper's energy analysis (Section 7).
+    pub fn ddr3_1333() -> Self {
+        TimingParams {
+            t_ck_ps: 1_500,
+            t_rcd_ps: 13_500,
+            t_cl_ps: 13_500,
+            t_ras_ps: 36_000,
+            t_rp_ps: 13_500,
+            t_ccd_ps: 4 * 1_500,
+            t_rrd_ps: 6_000,
+            t_faw_ps: 30_000,
+            t_wr_ps: 15_000,
+            t_overlap_extra_ps: 4_000,
+            bus_bits: 64,
+            data_rate: 2,
+        }
+    }
+
+    /// DDR4-2400 (Table 4 full-system configuration).
+    pub fn ddr4_2400() -> Self {
+        TimingParams {
+            t_ck_ps: 833,
+            t_rcd_ps: 13_320,
+            t_cl_ps: 13_320,
+            t_ras_ps: 32_000,
+            t_rp_ps: 13_320,
+            t_ccd_ps: 4 * 833,
+            t_rrd_ps: 4_900,
+            t_faw_ps: 21_000,
+            t_wr_ps: 15_000,
+            t_overlap_extra_ps: 4_000,
+            bus_bits: 64,
+            data_rate: 2,
+        }
+    }
+
+    /// Peak channel bandwidth in bytes per second.
+    pub fn channel_bandwidth_bytes_per_s(&self) -> f64 {
+        let transfers_per_s = self.data_rate as f64 / (self.t_ck_ps as f64 * 1e-12);
+        transfers_per_s * (self.bus_bits as f64 / 8.0)
+    }
+
+    /// Latency of a full row cycle: ACTIVATE + restore + PRECHARGE (tRC).
+    pub fn t_rc_ps(&self) -> u64 {
+        self.t_ras_ps + self.t_rp_ps
+    }
+
+    /// Latency of the AP primitive (ACTIVATE → PRECHARGE): tRAS + tRP.
+    pub fn ap_ps(&self) -> u64 {
+        self.t_ras_ps + self.t_rp_ps
+    }
+
+    /// Latency of a naive AAP executed as three serial operations:
+    /// 2·tRAS + tRP (80 ns on DDR3-1600 8-8-8).
+    pub fn aap_naive_ps(&self) -> u64 {
+        2 * self.t_ras_ps + self.t_rp_ps
+    }
+
+    /// Latency of an AAP with the split row decoder of Section 5.3, where
+    /// the second ACTIVATE overlaps the first: tRAS + 4 ns + tRP
+    /// (49 ns on DDR3-1600 8-8-8).
+    pub fn aap_overlapped_ps(&self) -> u64 {
+        self.t_ras_ps + self.t_overlap_extra_ps + self.t_rp_ps
+    }
+
+    /// Latency of a RowClone-FPM copy (two back-to-back ACTIVATEs plus a
+    /// precharge). The paper quotes ~80 ns [RowClone, MICRO'13], which is
+    /// exactly the naive AAP latency; with Ambit's split decoder the copy
+    /// itself is an AAP and benefits from the same overlap.
+    pub fn rowclone_fpm_ps(&self) -> u64 {
+        self.aap_naive_ps()
+    }
+
+    /// Time to move `bytes` over the channel at peak bandwidth (used by
+    /// RowClone-PSM and baseline traffic modelling), in picoseconds.
+    pub fn transfer_ps(&self, bytes: u64) -> u64 {
+        let bytes_per_transfer = self.bus_bits / 8;
+        let transfers = bytes.div_ceil(bytes_per_transfer);
+        // Each transfer takes half a clock (double data rate).
+        transfers * self.t_ck_ps / self.data_rate
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::ddr3_1600()
+    }
+}
+
+/// Which AAP implementation the controller uses (Section 5.3 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AapMode {
+    /// Serial ACTIVATE, ACTIVATE, PRECHARGE: 2·tRAS + tRP.
+    Naive,
+    /// Split-decoder overlapped ACTIVATEs: tRAS + Δ + tRP (default).
+    #[default]
+    Overlapped,
+}
+
+impl AapMode {
+    /// AAP latency in picoseconds under this mode.
+    pub fn aap_ps(&self, t: &TimingParams) -> u64 {
+        match self {
+            AapMode::Naive => t.aap_naive_ps(),
+            AapMode::Overlapped => t.aap_overlapped_ps(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_1600_matches_paper_aap_latencies() {
+        let t = TimingParams::ddr3_1600();
+        assert_eq!(t.aap_naive_ps(), 80 * PS_PER_NS, "paper: naive AAP is 80 ns");
+        assert_eq!(
+            t.aap_overlapped_ps(),
+            49 * PS_PER_NS,
+            "paper: split-decoder AAP is 49 ns"
+        );
+        assert_eq!(t.ap_ps(), 45 * PS_PER_NS);
+    }
+
+    #[test]
+    fn rowclone_fpm_is_80ns_on_ddr3_1600() {
+        assert_eq!(TimingParams::ddr3_1600().rowclone_fpm_ps(), 80_000);
+    }
+
+    #[test]
+    fn channel_bandwidth_sane() {
+        // DDR3-1600 x64: 1600 MT/s × 8 B = 12.8 GB/s.
+        let bw = TimingParams::ddr3_1600().channel_bandwidth_bytes_per_s();
+        assert!((bw - 12.8e9).abs() / 12.8e9 < 0.01, "got {bw}");
+        // DDR4-2400 x64: ~19.2 GB/s.
+        let bw4 = TimingParams::ddr4_2400().channel_bandwidth_bytes_per_s();
+        assert!((bw4 - 19.2e9).abs() / 19.2e9 < 0.01, "got {bw4}");
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let t = TimingParams::ddr3_1600();
+        let one_line = t.transfer_ps(64);
+        assert_eq!(t.transfer_ps(128), 2 * one_line);
+        // 64 B at 12.8 GB/s = 5 ns.
+        assert_eq!(one_line, 5 * PS_PER_NS);
+    }
+
+    #[test]
+    fn aap_mode_dispatch() {
+        let t = TimingParams::ddr3_1600();
+        assert_eq!(AapMode::Naive.aap_ps(&t), 80_000);
+        assert_eq!(AapMode::Overlapped.aap_ps(&t), 49_000);
+        assert_eq!(AapMode::default(), AapMode::Overlapped);
+    }
+}

@@ -1,0 +1,184 @@
+//! Protocol fuzzing: arbitrary command sequences against the subarray,
+//! bank, and timer models. The models must never panic, must reject
+//! illegal transitions with the right error, and must keep their timing
+//! invariants under any interleaving.
+
+use ambit_dram::{
+    AapMode, Bank, BitRow, CommandTimer, DramError, Subarray, TieBreak, TimingParams, Wordline,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Activate(Vec<u8>),
+    ActivateNegated(u8),
+    Precharge,
+    Read(u8),
+    Write(u8, u8),
+    Poke(u8, u64),
+}
+
+fn cmd_strategy() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        proptest::collection::vec(0u8..8, 1..4).prop_map(Cmd::Activate),
+        (0u8..8).prop_map(Cmd::ActivateNegated),
+        Just(Cmd::Precharge),
+        (0u8..8).prop_map(Cmd::Read),
+        (0u8..8, any::<u8>()).prop_map(|(o, v)| Cmd::Write(o, v)),
+        (0u8..8, any::<u64>()).prop_map(|(r, v)| Cmd::Poke(r, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn subarray_survives_any_command_sequence(cmds in proptest::collection::vec(cmd_strategy(), 1..60)) {
+        let mut sa = Subarray::new(8, 64);
+        sa.set_tie_break(TieBreak::Random); // never error on ambiguity
+        for cmd in cmds {
+            match cmd {
+                Cmd::Activate(rows) => {
+                    let wls: Vec<Wordline> = rows.iter().map(|&r| Wordline::data(r as usize)).collect();
+                    let _ = sa.activate(&wls);
+                }
+                Cmd::ActivateNegated(row) => {
+                    let _ = sa.activate(&[Wordline::negated(row as usize)]);
+                }
+                Cmd::Precharge => {
+                    let result = sa.precharge();
+                    if result.is_err() {
+                        prop_assert!(!sa.is_activated(), "precharge only fails when idle");
+                    }
+                }
+                Cmd::Read(offset) => {
+                    let mut buf = [0u8; 1];
+                    let result = sa.read_bytes(offset as usize, &mut buf);
+                    if offset < 8 && sa.is_activated() {
+                        prop_assert!(result.is_ok());
+                    }
+                }
+                Cmd::Write(offset, value) => {
+                    let _ = sa.write_bytes(offset as usize, &[value]);
+                }
+                Cmd::Poke(row, value) => {
+                    let mut data = BitRow::zeros(64);
+                    data.write_bytes(0, &value.to_le_bytes());
+                    sa.poke_row(row as usize, data);
+                }
+            }
+            // Global invariant: sense buffer exists iff activated.
+            prop_assert_eq!(sa.sense().is_some(), sa.is_activated());
+        }
+    }
+
+    #[test]
+    fn bank_protocol_invariants(
+        ops in proptest::collection::vec((0usize..3, 0usize..4, 0usize..8), 1..60),
+        salp in any::<bool>(),
+    ) {
+        let mut bank = Bank::new(4, 8, 64);
+        bank.set_salp(salp);
+        for (kind, subarray, row) in ops {
+            match kind {
+                0 => {
+                    let before = bank.open_subarrays().len();
+                    match bank.activate(subarray, &[Wordline::data(row)]) {
+                        Ok(_) => {
+                            prop_assert!(bank.is_activated());
+                            if !salp {
+                                prop_assert!(bank.open_subarrays().len() <= 1);
+                            }
+                        }
+                        Err(DramError::SubarrayConflict { .. }) => {
+                            prop_assert!(!salp, "SALP never raises subarray conflicts");
+                            prop_assert_eq!(bank.open_subarrays().len(), before);
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+                    }
+                }
+                1 => {
+                    let was_open = bank.is_activated();
+                    let result = bank.precharge();
+                    prop_assert_eq!(result.is_ok(), was_open);
+                    prop_assert!(!bank.is_activated());
+                }
+                _ => {
+                    let was_open = bank.open_subarrays().contains(&subarray);
+                    let result = bank.precharge_subarray(subarray);
+                    prop_assert_eq!(result.is_ok(), was_open);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timer_issue_times_respect_per_bank_ordering(
+        ops in proptest::collection::vec((0usize..4, 0usize..3), 1..80),
+    ) {
+        let mut timer = CommandTimer::new(TimingParams::ddr3_1600(), AapMode::Overlapped);
+        let mut last_issue = [0u64; 4];
+        let mut active = [false; 4];
+        for (bank, kind) in ops {
+            match kind {
+                0 => {
+                    let t = timer.issue_activate(bank, 1).unwrap();
+                    prop_assert!(t >= last_issue[bank], "per-bank time went backwards");
+                    last_issue[bank] = t;
+                    active[bank] = true;
+                }
+                1 => {
+                    if active[bank] {
+                        let ready = timer.issue_precharge(bank).unwrap();
+                        prop_assert!(ready >= last_issue[bank]);
+                        last_issue[bank] = ready;
+                        active[bank] = false;
+                    } else {
+                        prop_assert_eq!(
+                            timer.issue_precharge(bank).unwrap_err(),
+                            DramError::BankNotActivated
+                        );
+                    }
+                }
+                _ => {
+                    if active[bank] {
+                        // Data returns after the row was opened; completion
+                        // times do not constrain later command *issue* times
+                        // (an AAP's copy-ACT may issue while data is in
+                        // flight), so they are checked but not accumulated.
+                        let done = timer.issue_read(bank).unwrap();
+                        prop_assert!(done >= last_issue[bank]);
+                    }
+                }
+            }
+            // The wall-clock horizon covers every bank's progress.
+            prop_assert!(timer.horizon_ps() >= *last_issue.iter().max().expect("nonempty"));
+        }
+    }
+
+    #[test]
+    fn aap_latency_is_constant_regardless_of_history(
+        warmup in proptest::collection::vec(0usize..4, 0..20),
+    ) {
+        // Whatever other banks did before, a fresh AAP on an idle bank
+        // always takes exactly 49 ns end to end.
+        let mut timer = CommandTimer::new(TimingParams::ddr3_1600(), AapMode::Overlapped);
+        for bank in warmup {
+            let _ = timer.aap(bank, 1, 1);
+        }
+        let (s, e) = timer.aap(7, 1, 1).unwrap();
+        prop_assert_eq!(e - s, 49_000);
+    }
+
+    #[test]
+    fn energy_is_monotone_in_commands(n in 1usize..40) {
+        let mut timer = CommandTimer::new(TimingParams::ddr3_1600(), AapMode::Overlapped);
+        let mut last = 0.0;
+        for i in 0..n {
+            timer.aap(i % 4, 1 + i % 3, 1).unwrap();
+            let e = timer.energy().total_nj();
+            prop_assert!(e > last);
+            last = e;
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the DRAM substrate: BitRow algebra, activation
+//! semantics, and RowClone invariants under arbitrary data.
+
+use ambit_dram::{
+    rowclone, AapMode, BitRow, CommandTimer, DramDevice, DramGeometry, RowLocation, Subarray,
+    TimingParams, Wordline,
+};
+use proptest::prelude::*;
+
+fn bitrow_strategy(len: usize) -> impl Strategy<Value = BitRow> {
+    proptest::collection::vec(any::<bool>(), len)
+        .prop_map(move |bits| BitRow::from_fn(len, |i| bits[i]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn majority_is_symmetric(
+        a in bitrow_strategy(96),
+        b in bitrow_strategy(96),
+        c in bitrow_strategy(96),
+    ) {
+        let m1 = BitRow::majority(&a, &b, &c);
+        let m2 = BitRow::majority(&c, &a, &b);
+        let m3 = BitRow::majority(&b, &c, &a);
+        prop_assert_eq!(&m1, &m2);
+        prop_assert_eq!(&m1, &m3);
+    }
+
+    #[test]
+    fn majority_duality(a in bitrow_strategy(96), b in bitrow_strategy(96), c in bitrow_strategy(96)) {
+        // The open-bitline footnote of Section 3.1: NOT(maj(a,b,c)) ==
+        // maj(!a, !b, !c) — duality makes TRA work on either bitline side.
+        let lhs = BitRow::majority(&a, &b, &c).not();
+        let rhs = BitRow::majority(&a.not(), &b.not(), &c.not());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn majority_absorbs_control_rows(a in bitrow_strategy(64), b in bitrow_strategy(64)) {
+        let zeros = BitRow::zeros(64);
+        let ones = BitRow::ones(64);
+        prop_assert_eq!(BitRow::majority(&a, &b, &zeros), a.and(&b));
+        prop_assert_eq!(BitRow::majority(&a, &b, &ones), a.or(&b));
+    }
+
+    #[test]
+    fn bitrow_roundtrip_bytes(data in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let bits = data.len() * 8;
+        let mut row = BitRow::zeros(bits);
+        row.write_bytes(0, &data);
+        prop_assert_eq!(row.to_bytes(), data);
+    }
+
+    #[test]
+    fn count_ones_matches_iter_ones(row in bitrow_strategy(200)) {
+        prop_assert_eq!(row.count_ones(), row.iter_ones().count());
+        let not_count = row.not().count_ones();
+        prop_assert_eq!(row.count_ones() + not_count, 200);
+    }
+
+    #[test]
+    fn tra_senses_majority_and_restores_it(
+        a in bitrow_strategy(64),
+        b in bitrow_strategy(64),
+        c in bitrow_strategy(64),
+    ) {
+        let mut sa = Subarray::new(8, 64);
+        sa.poke_row(0, a.clone());
+        sa.poke_row(1, b.clone());
+        sa.poke_row(2, c.clone());
+        let expect = BitRow::majority(&a, &b, &c);
+        let sensed = sa
+            .activate(&[Wordline::data(0), Wordline::data(1), Wordline::data(2)])
+            .unwrap()
+            .clone();
+        sa.precharge().unwrap();
+        prop_assert_eq!(&sensed, &expect);
+        for row in 0..3 {
+            prop_assert_eq!(sa.peek_row(row), expect.clone());
+        }
+    }
+
+    #[test]
+    fn activation_restore_is_idempotent(data in bitrow_strategy(64), row in 0usize..8) {
+        // Activating the same row twice (with a precharge between) never
+        // changes it: sensing is non-destructive end-to-end.
+        let mut sa = Subarray::new(8, 64);
+        sa.poke_row(row, data.clone());
+        for _ in 0..2 {
+            sa.activate(&[Wordline::data(row)]).unwrap();
+            sa.precharge().unwrap();
+        }
+        prop_assert_eq!(sa.peek_row(row), data);
+    }
+
+    #[test]
+    fn double_dcc_negation_roundtrips(data in bitrow_strategy(64)) {
+        // src -> DCC (negated) -> dst (negated again) == src.
+        let mut sa = Subarray::new(8, 64);
+        sa.poke_row(0, data.clone());
+        sa.activate(&[Wordline::data(0)]).unwrap();
+        sa.activate(&[Wordline::negated(4)]).unwrap();
+        sa.precharge().unwrap();
+        sa.activate(&[Wordline::negated(4)]).unwrap(); // senses !(!data)
+        sa.activate(&[Wordline::data(6)]).unwrap();
+        sa.precharge().unwrap();
+        prop_assert_eq!(sa.peek_row(6), data);
+    }
+
+    #[test]
+    fn rowclone_fpm_preserves_and_copies(data in bitrow_strategy(128), src_row in 0usize..16, dst_row in 0usize..16) {
+        prop_assume!(src_row != dst_row);
+        let g = DramGeometry { row_bytes: 16, rows_per_subarray: 16, ..DramGeometry::tiny() };
+        let mut dev = DramDevice::new(g);
+        let mut timer = CommandTimer::new(TimingParams::ddr3_1600(), AapMode::Naive);
+        let src = RowLocation::in_bank0(0, src_row);
+        let dst = RowLocation::in_bank0(0, dst_row);
+        dev.poke(src, data.clone());
+        rowclone::copy_fpm(&mut dev, &mut timer, src, dst).unwrap();
+        prop_assert_eq!(dev.peek(src), data.clone());
+        prop_assert_eq!(dev.peek(dst), data);
+    }
+
+    #[test]
+    fn write_read_row_roundtrip(data in bitrow_strategy(128), subarray in 0usize..2, row in 0usize..32) {
+        let mut dev = DramDevice::new(DramGeometry::tiny());
+        let loc = RowLocation::in_bank0(subarray, row);
+        dev.write_row(loc, &data).unwrap();
+        prop_assert_eq!(dev.read_row(loc).unwrap(), data);
+    }
+}

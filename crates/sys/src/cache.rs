@@ -1,0 +1,372 @@
+//! A set-associative LRU cache simulator and a two-level hierarchy.
+//!
+//! Used for two purposes in the reproduction:
+//!
+//! * locating the working-set crossovers that produce the speedup jumps in
+//!   the paper's Figure 11 (BitWeaving) and the cache-resident regime of
+//!   Figure 12, and
+//! * counting the dirty lines the memory controller must flush before an
+//!   Ambit operation (Section 5.4.4 coherence).
+
+/// Which level serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessResult {
+    /// Hit in the first-level cache.
+    L1Hit,
+    /// Miss in L1, hit in L2.
+    L2Hit,
+    /// Missed the whole hierarchy (memory access).
+    Miss,
+}
+
+/// Counters for one cache instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Dirty lines evicted (writebacks).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp (bigger = more recent).
+    lru: u64,
+}
+
+/// A set-associative write-back, write-allocate cache with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use ambit_sys::Cache;
+///
+/// let mut cache = Cache::new(32 * 1024, 8, 64);
+/// assert!(!cache.access(0x1000, false)); // cold miss
+/// assert!(cache.access(0x1000, false));  // now a hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    line_bytes: usize,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache of `capacity_bytes` with `ways` associativity and
+    /// `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless capacity is an exact multiple of `ways × line_bytes`
+    /// and the set count is a power of two.
+    pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(ways > 0 && line_bytes > 0, "degenerate cache shape");
+        assert_eq!(
+            capacity_bytes % (ways * line_bytes),
+            0,
+            "capacity must divide into ways × line size"
+        );
+        let sets = capacity_bytes / (ways * line_bytes);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets,
+            ways,
+            line_bytes,
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    lru: 0
+                };
+                sets * ways
+            ],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * self.line_bytes
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Accesses `addr`; returns `true` on hit. A write marks the line
+    /// dirty. Misses allocate, evicting LRU (counting a writeback if the
+    /// victim was dirty).
+    pub fn access(&mut self, addr: u64, write: bool) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let line_addr = addr / self.line_bytes as u64;
+        let set = (line_addr % self.sets as u64) as usize;
+        let tag = line_addr / self.sets as u64;
+        let base = set * self.ways;
+
+        // Hit?
+        for i in base..base + self.ways {
+            if self.lines[i].valid && self.lines[i].tag == tag {
+                self.lines[i].lru = self.clock;
+                self.lines[i].dirty |= write;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+
+        // Miss: fill into invalid or LRU way.
+        self.stats.misses += 1;
+        let victim = (base..base + self.ways)
+            .min_by_key(|&i| if self.lines[i].valid { self.lines[i].lru } else { 0 })
+            .expect("ways > 0");
+        if self.lines[victim].valid && self.lines[victim].dirty {
+            self.stats.writebacks += 1;
+        }
+        self.lines[victim] = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: self.clock,
+        };
+        false
+    }
+
+    /// Invalidates any line covering `addr` without writing it back
+    /// (destination-row invalidation of Section 5.4.4). Returns `true` if a
+    /// line was dropped.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let line_addr = addr / self.line_bytes as u64;
+        let set = (line_addr % self.sets as u64) as usize;
+        let tag = line_addr / self.sets as u64;
+        let base = set * self.ways;
+        for i in base..base + self.ways {
+            if self.lines[i].valid && self.lines[i].tag == tag {
+                self.lines[i].valid = false;
+                self.lines[i].dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Flushes (writes back and invalidates) any dirty line covering
+    /// `addr`. Returns `true` if a dirty line was written back — the
+    /// source-row flush of Section 5.4.4.
+    pub fn flush(&mut self, addr: u64) -> bool {
+        let line_addr = addr / self.line_bytes as u64;
+        let set = (line_addr % self.sets as u64) as usize;
+        let tag = line_addr / self.sets as u64;
+        let base = set * self.ways;
+        for i in base..base + self.ways {
+            if self.lines[i].valid && self.lines[i].tag == tag {
+                let was_dirty = self.lines[i].dirty;
+                if was_dirty {
+                    self.stats.writebacks += 1;
+                }
+                self.lines[i].valid = false;
+                self.lines[i].dirty = false;
+                return was_dirty;
+            }
+        }
+        false
+    }
+
+    /// Counts currently dirty lines (for flush-cost estimation).
+    pub fn dirty_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid && l.dirty).count()
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+}
+
+/// A two-level inclusive-enough hierarchy (L1 + L2) matching Table 4.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    /// First-level data cache.
+    pub l1: Cache,
+    /// Second-level cache.
+    pub l2: Cache,
+}
+
+impl CacheHierarchy {
+    /// Builds the Table 4 hierarchy: 32 KB 8-way L1, 2 MB 16-way L2,
+    /// 64 B lines.
+    pub fn micro17() -> Self {
+        CacheHierarchy {
+            l1: Cache::new(32 * 1024, 8, 64),
+            l2: Cache::new(2 * 1024 * 1024, 16, 64),
+        }
+    }
+
+    /// Accesses the hierarchy: L1, then L2, then memory. The dirty bit for
+    /// a write lives in L1; L2 is filled clean (writebacks from L1 to L2 on
+    /// eviction are not tracked — dirty data is counted once).
+    pub fn access(&mut self, addr: u64, write: bool) -> AccessResult {
+        if self.l1.access(addr, write) {
+            return AccessResult::L1Hit;
+        }
+        if self.l2.access(addr, false) {
+            return AccessResult::L2Hit;
+        }
+        AccessResult::Miss
+    }
+
+    /// Flushes an address range from both levels, returning the number of
+    /// dirty lines written back (the coherence cost driver of §5.4.4).
+    pub fn flush_range(&mut self, start: u64, bytes: u64) -> usize {
+        let line = self.l1.line_bytes() as u64;
+        let mut writebacks = 0;
+        let mut addr = start & !(line - 1);
+        while addr < start + bytes {
+            if self.l1.flush(addr) {
+                writebacks += 1;
+            }
+            if self.l2.flush(addr) {
+                writebacks += 1;
+            }
+            addr += line;
+        }
+        writebacks
+    }
+
+    /// Invalidates an address range in both levels without writeback.
+    pub fn invalidate_range(&mut self, start: u64, bytes: u64) {
+        let line = self.l1.line_bytes() as u64;
+        let mut addr = start & !(line - 1);
+        while addr < start + bytes {
+            self.l1.invalidate(addr);
+            self.l2.invalidate(addr);
+            addr += line;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(1024, 2, 64);
+        assert!(!c.access(0, false));
+        assert!(c.access(0, false));
+        assert!(c.access(63, false), "same line");
+        assert!(!c.access(64, false), "next line");
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2-way, 8 sets of 64 B: addresses 0, 1024, 2048 map to set 0.
+        let mut c = Cache::new(1024, 2, 64);
+        c.access(0, false);
+        c.access(1024, false);
+        c.access(0, false); // refresh 0
+        c.access(2048, false); // evicts 1024 (LRU)
+        assert!(c.access(0, false), "0 should survive");
+        assert!(!c.access(1024, false), "1024 was evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = Cache::new(1024, 2, 64);
+        c.access(0, true);
+        c.access(1024, false);
+        c.access(2048, false); // evicts dirty line 0
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn capacity_working_set_behaviour() {
+        // A working set equal to capacity hits ~100 % on re-scan; twice the
+        // capacity with LRU thrashes to ~0 %.
+        let mut c = Cache::new(4096, 4, 64);
+        for round in 0..2 {
+            for addr in (0..4096u64).step_by(64) {
+                c.access(addr, false);
+            }
+            if round == 1 {
+                assert!(c.stats().hit_rate() > 0.45);
+            }
+        }
+        let mut big = Cache::new(4096, 4, 64);
+        for _ in 0..2 {
+            for addr in (0..8192u64).step_by(64) {
+                big.access(addr, false);
+            }
+        }
+        assert!(big.stats().hit_rate() < 0.05, "LRU thrashing");
+    }
+
+    #[test]
+    fn flush_and_invalidate() {
+        let mut c = Cache::new(1024, 2, 64);
+        c.access(0, true);
+        c.access(64, false);
+        assert!(c.flush(0), "dirty line written back");
+        assert!(!c.flush(64), "clean line dropped without writeback");
+        assert!(!c.access(0, false), "flushed line is gone");
+        c.access(128, true);
+        assert!(c.invalidate(128));
+        assert_eq!(c.dirty_lines(), 0);
+    }
+
+    #[test]
+    fn hierarchy_levels() {
+        let mut h = CacheHierarchy::micro17();
+        assert_eq!(h.access(0x5000, false), AccessResult::Miss);
+        assert_eq!(h.access(0x5000, false), AccessResult::L1Hit);
+        // Thrash L1 only: 64 KB of lines > 32 KB L1, < 2 MB L2.
+        for addr in (0..65536u64).step_by(64) {
+            h.access(addr, false);
+        }
+        assert_eq!(h.access(0x5000, false), AccessResult::L2Hit);
+    }
+
+    #[test]
+    fn hierarchy_flush_range_counts_dirty_lines() {
+        let mut h = CacheHierarchy::micro17();
+        for addr in (0..4096u64).step_by(64) {
+            h.access(addr, true);
+        }
+        let wb = h.flush_range(0, 4096);
+        assert!(wb >= 64, "64 dirty L1 lines flushed, got {wb}");
+        // After the flush, everything is a miss again.
+        assert_eq!(h.access(0, false), AccessResult::Miss);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        Cache::new(3 * 64, 1, 64);
+    }
+}

@@ -1,0 +1,200 @@
+//! Full-system configuration (paper Table 4) and the CPU timing model used
+//! by the application studies of Section 8.
+
+/// The gem5 configuration of the paper's Table 4, as a parameter struct.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Core clock in GHz (Table 4: 4 GHz, x86, 8-wide out-of-order).
+    pub cpu_ghz: f64,
+    /// Issue width of the out-of-order core.
+    pub issue_width: usize,
+    /// L1 data cache capacity in bytes (32 KB).
+    pub l1_bytes: usize,
+    /// L2 cache capacity in bytes (2 MB).
+    pub l2_bytes: usize,
+    /// Cache line size in bytes (64 B).
+    pub line_bytes: usize,
+    /// SIMD register width in bytes the baseline uses (128-bit = 16 B).
+    pub simd_bytes: usize,
+    /// Main-memory channel peak bandwidth in bytes/s (DDR4-2400 ×64:
+    /// 19.2 GB/s, one channel, one rank, 16 banks).
+    pub mem_bw: f64,
+    /// Fraction of peak channel bandwidth a streaming kernel sustains.
+    pub mem_efficiency: f64,
+    /// L2 streaming bandwidth in bytes/s.
+    pub l2_bw: f64,
+    /// L1 streaming bandwidth in bytes/s.
+    pub l1_bw: f64,
+    /// Average main-memory random access latency in seconds.
+    pub mem_latency_s: f64,
+    /// Average L2 hit latency in seconds.
+    pub l2_latency_s: f64,
+    /// DRAM row size in bytes (8 KB).
+    pub row_bytes: usize,
+    /// Popcount scans sustain this fraction of the streaming bandwidth
+    /// (the dependent reduction chain costs a little throughput).
+    pub popcount_efficiency: f64,
+}
+
+impl SystemConfig {
+    /// The paper's Table 4 system: 4 GHz 8-wide x86, 32 KB L1, 2 MB L2,
+    /// DDR4-2400 single channel, 8 KB rows, FR-FCFS controller.
+    pub fn micro17() -> Self {
+        SystemConfig {
+            cpu_ghz: 4.0,
+            issue_width: 8,
+            l1_bytes: 32 * 1024,
+            l2_bytes: 2 * 1024 * 1024,
+            line_bytes: 64,
+            simd_bytes: 16,
+            mem_bw: 19.2e9,
+            mem_efficiency: 0.70,
+            l2_bw: 64e9,
+            l1_bw: 128e9,
+            mem_latency_s: 80e-9,
+            l2_latency_s: 12e-9,
+            row_bytes: 8192,
+            popcount_efficiency: 1.0,
+        }
+    }
+
+    /// The same Table 4 system with *effective* rates calibrated to the
+    /// paper's gem5 absolute numbers rather than hardware peaks: a single
+    /// simulated out-of-order core sustains far less streaming bandwidth
+    /// than channel peak (limited MSHRs, one channel, dependent SIMD
+    /// loads). Used by the Section 8 application studies (Figures 10-12).
+    pub fn gem5_calibrated() -> Self {
+        SystemConfig {
+            mem_efficiency: 0.104, // ~2.0 GB/s effective streaming
+            l2_bw: 8e9,
+            l1_bw: 25e9,
+            popcount_efficiency: 0.75,
+            ..SystemConfig::micro17()
+        }
+    }
+
+    /// Sustained streaming bandwidth for a working set of `bytes`:
+    /// L1-resident, L2-resident, or memory-bound.
+    pub fn stream_bandwidth(&self, working_set_bytes: usize) -> f64 {
+        if working_set_bytes <= self.l1_bytes {
+            self.l1_bw
+        } else if working_set_bytes <= self.l2_bytes {
+            self.l2_bw
+        } else {
+            self.mem_bw * self.mem_efficiency
+        }
+    }
+
+    /// Peak SIMD processing rate for bitwise kernels, bytes/s: one SIMD op
+    /// per cycle on `simd_bytes`-wide registers.
+    pub fn simd_rate(&self) -> f64 {
+        self.cpu_ghz * 1e9 * self.simd_bytes as f64
+    }
+
+    /// Time for a streaming bitwise kernel that touches `bytes_moved` bytes
+    /// (reads + writes) and computes on `bytes_computed` of them, with the
+    /// given resident working set. The kernel is limited by the slower of
+    /// data movement and SIMD compute.
+    pub fn stream_time_s(
+        &self,
+        bytes_moved: usize,
+        bytes_computed: usize,
+        working_set_bytes: usize,
+    ) -> f64 {
+        let move_t = bytes_moved as f64 / self.stream_bandwidth(working_set_bytes);
+        let compute_t = bytes_computed as f64 / self.simd_rate();
+        move_t.max(compute_t)
+    }
+
+    /// Time for a CPU `popcount` over `bytes` (the paper's applications
+    /// keep bitcount on the CPU). Modern cores sustain one 8-byte popcount
+    /// per cycle; the scan is also bounded by the streaming bandwidth.
+    pub fn popcount_time_s(&self, bytes: usize, working_set_bytes: usize) -> f64 {
+        let compute_t = bytes as f64 / (self.cpu_ghz * 1e9 * 8.0);
+        let move_t = bytes as f64
+            / (self.stream_bandwidth(working_set_bytes) * self.popcount_efficiency);
+        compute_t.max(move_t)
+    }
+
+    /// Time for `accesses` dependent random accesses over a structure of
+    /// `working_set_bytes` (pointer chasing, e.g. tree traversal).
+    pub fn random_access_time_s(&self, accesses: usize, working_set_bytes: usize) -> f64 {
+        let latency = if working_set_bytes <= self.l1_bytes {
+            // L1 hits: a few cycles.
+            4.0 / (self.cpu_ghz * 1e9)
+        } else if working_set_bytes <= self.l2_bytes {
+            self.l2_latency_s
+        } else {
+            self.mem_latency_s
+        };
+        accesses as f64 * latency
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::micro17()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_values() {
+        let c = SystemConfig::micro17();
+        assert_eq!(c.l1_bytes, 32 * 1024);
+        assert_eq!(c.l2_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.line_bytes, 64);
+        assert_eq!(c.row_bytes, 8192);
+        assert_eq!(c.cpu_ghz, 4.0);
+    }
+
+    #[test]
+    fn bandwidth_tiers_are_ordered() {
+        let c = SystemConfig::micro17();
+        let l1 = c.stream_bandwidth(16 * 1024);
+        let l2 = c.stream_bandwidth(1024 * 1024);
+        let mem = c.stream_bandwidth(64 * 1024 * 1024);
+        assert!(l1 > l2 && l2 > mem);
+    }
+
+    #[test]
+    fn cache_crossover_slows_streaming() {
+        // The mechanism behind Figure 11's speedup jumps: the same scan is
+        // several times slower once the working set spills out of L2.
+        let c = SystemConfig::micro17();
+        let in_cache = c.stream_time_s(1 << 20, 1 << 20, 1 << 20);
+        let spilled = c.stream_time_s(1 << 20, 1 << 20, 4 << 20);
+        assert!(spilled > 3.0 * in_cache);
+    }
+
+    #[test]
+    fn random_access_latency_tiers() {
+        let c = SystemConfig::micro17();
+        let small = c.random_access_time_s(1000, 8 * 1024);
+        let mid = c.random_access_time_s(1000, 256 * 1024);
+        let big = c.random_access_time_s(1000, 32 << 20);
+        assert!(small < mid && mid < big);
+        // Memory-resident pointer chasing: ~80 ns per access.
+        assert!((big - 1000.0 * 80e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gem5_profile_is_slower_but_same_shape() {
+        let hw = SystemConfig::micro17();
+        let g5 = SystemConfig::gem5_calibrated();
+        assert!(g5.stream_bandwidth(64 << 20) < hw.stream_bandwidth(64 << 20));
+        assert!(g5.stream_bandwidth(1 << 20) > g5.stream_bandwidth(64 << 20));
+        // Popcount costs a bit more than a plain stream under gem5.
+        let ws = 64 << 20;
+        assert!(g5.popcount_time_s(1 << 20, ws) > (1 << 20) as f64 / g5.stream_bandwidth(ws));
+    }
+
+    #[test]
+    fn simd_rate_sane() {
+        // 4 GHz × 16 B = 64 GB/s.
+        assert!((SystemConfig::micro17().simd_rate() - 64e9).abs() < 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Baseline machine models for the raw-throughput comparison of the
+//! paper's Section 7 (Figure 9).
+//!
+//! The paper's central observation is that for bulk bitwise operations all
+//! conventional systems — CPU, GPU, and even the logic layer of 3D-stacked
+//! DRAM — are limited by the memory bandwidth available to the processing
+//! unit. Each model here is therefore a bandwidth roofline: throughput =
+//! sustained memory bandwidth ÷ bytes moved per byte of output, with a
+//! measured-efficiency factor calibrated against the paper's reported
+//! speedups (the paper measured real hardware; we document the factor).
+//!
+//! | system | peak BW | efficiency | source |
+//! |---|---|---|---|
+//! | Intel Skylake (4 cores, AVX, 2×DDR3-2133) | 34.1 GB/s | 0.55 | §7 |
+//! | NVIDIA GTX 745 (128-bit DDR3-1800) | 28.8 GB/s | 0.91 | §7 |
+//! | HMC 2.0 logic layer (32 vaults × 10 GB/s) | 320 GB/s | 1.0 | §7 |
+
+use ambit_core::{AmbitConfig, BitwiseOp};
+
+/// Bytes moved over the memory interface per byte of output for each
+/// operation class: NOT/copy streams read+write (2), two-operand ops read
+/// two sources and write one destination (3).
+pub fn transfers_per_byte(op: BitwiseOp) -> u64 {
+    match op.source_count() {
+        0 | 1 => 2,
+        _ => 3,
+    }
+}
+
+/// A machine evaluated in Figure 9.
+pub trait BitwiseMachine {
+    /// Display name, as used in the figure legend.
+    fn name(&self) -> &'static str;
+
+    /// Steady-state throughput for `op` in 8-bit GOps/s (= output GB/s).
+    fn throughput_gops(&self, op: BitwiseOp) -> f64;
+
+    /// Geometric-mean throughput across the seven Figure 9 operations.
+    fn mean_throughput_gops(&self) -> f64 {
+        let ops = BitwiseOp::FIGURE9_OPS;
+        let product: f64 = ops.iter().map(|&op| self.throughput_gops(op)).product();
+        product.powf(1.0 / ops.len() as f64)
+    }
+}
+
+/// A bandwidth-bound conventional machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthMachine {
+    name: &'static str,
+    /// Peak memory bandwidth available to the compute units, bytes/s.
+    pub peak_bw: f64,
+    /// Fraction of peak the bitwise microbenchmark sustains.
+    pub efficiency: f64,
+}
+
+impl BandwidthMachine {
+    /// The paper's Intel Skylake host: 4 cores with AVX, two 64-bit
+    /// DDR3-2133 channels.
+    pub fn skylake() -> Self {
+        BandwidthMachine {
+            name: "Skylake",
+            peak_bw: 2.0 * 2133e6 * 8.0,
+            efficiency: 0.55,
+        }
+    }
+
+    /// The paper's NVIDIA GeForce GTX 745: one 128-bit DDR3-1800 channel.
+    pub fn gtx745() -> Self {
+        BandwidthMachine {
+            name: "GTX 745",
+            peak_bw: 1800e6 * 16.0,
+            efficiency: 0.91,
+        }
+    }
+
+    /// Processing in the logic layer of HMC 2.0: 32 vaults × 10 GB/s.
+    pub fn hmc2() -> Self {
+        BandwidthMachine {
+            name: "HMC 2.0",
+            peak_bw: 32.0 * 10e9,
+            efficiency: 1.0,
+        }
+    }
+
+    /// Sustained bandwidth in bytes/s.
+    pub fn sustained_bw(&self) -> f64 {
+        self.peak_bw * self.efficiency
+    }
+}
+
+impl BitwiseMachine for BandwidthMachine {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn throughput_gops(&self, op: BitwiseOp) -> f64 {
+        self.sustained_bw() / transfers_per_byte(op) as f64 / 1e9
+    }
+}
+
+/// The Ambit configurations of Figure 9, adapted to the machine trait.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmbitMachine {
+    name: &'static str,
+    config: AmbitConfig,
+}
+
+impl AmbitMachine {
+    /// Ambit in a regular 8-bank DDR3 module.
+    pub fn module() -> Self {
+        AmbitMachine {
+            name: "Ambit",
+            config: AmbitConfig::ddr3_module(),
+        }
+    }
+
+    /// Ambit-3D: Ambit integrated into an HMC-like 3D stack (256 banks of
+    /// 1 KB rows — 3D stacks use much smaller pages than DDR modules).
+    pub fn three_d() -> Self {
+        AmbitMachine {
+            name: "Ambit-3D",
+            config: AmbitConfig {
+                banks: 256,
+                row_bytes: 1024,
+                ..AmbitConfig::ddr3_module()
+            },
+        }
+    }
+
+    /// The underlying throughput configuration.
+    pub fn config(&self) -> &AmbitConfig {
+        &self.config
+    }
+}
+
+impl BitwiseMachine for AmbitMachine {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn throughput_gops(&self, op: BitwiseOp) -> f64 {
+        self.config
+            .throughput_gops(op)
+            .expect("standard ops always compile")
+    }
+}
+
+/// All five Figure 9 systems in presentation order.
+pub fn figure9_machines() -> Vec<Box<dyn BitwiseMachine>> {
+    vec![
+        Box::new(BandwidthMachine::skylake()),
+        Box::new(BandwidthMachine::gtx745()),
+        Box::new(BandwidthMachine::hmc2()),
+        Box::new(AmbitMachine::module()),
+        Box::new(AmbitMachine::three_d()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_bandwidths_match_section7() {
+        assert!((BandwidthMachine::skylake().peak_bw - 34.1e9).abs() < 0.2e9);
+        assert!((BandwidthMachine::gtx745().peak_bw - 28.8e9).abs() < 0.1e9);
+        assert!((BandwidthMachine::hmc2().peak_bw - 320e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn hmc_vs_cpu_gpu_matches_paper() {
+        // Paper: HMC 2.0 achieves 18.5× Skylake and 13.1× GTX 745 for bulk
+        // bitwise ops. Same transfers cancel, so this is a bandwidth ratio.
+        let sky = BandwidthMachine::skylake().mean_throughput_gops();
+        let gpu = BandwidthMachine::gtx745().mean_throughput_gops();
+        let hmc = BandwidthMachine::hmc2().mean_throughput_gops();
+        let r_sky = hmc / sky;
+        let r_gpu = hmc / gpu;
+        assert!((r_sky - 18.5).abs() < 2.0, "HMC/Skylake = {r_sky:.1} (paper 18.5)");
+        assert!((r_gpu - 13.1).abs() < 1.5, "HMC/GTX745 = {r_gpu:.1} (paper 13.1)");
+    }
+
+    #[test]
+    fn ambit_speedups_match_paper_headline() {
+        // Paper: Ambit (8 banks) outperforms Skylake 44.9×, GTX 745 32.0×,
+        // HMC 2.0 2.4×, averaged across the seven operations.
+        let ambit = AmbitMachine::module().mean_throughput_gops();
+        let sky = ambit / BandwidthMachine::skylake().mean_throughput_gops();
+        let gpu = ambit / BandwidthMachine::gtx745().mean_throughput_gops();
+        let hmc = ambit / BandwidthMachine::hmc2().mean_throughput_gops();
+        assert!((sky - 44.9).abs() < 6.0, "Ambit/Skylake = {sky:.1} (paper 44.9)");
+        assert!((gpu - 32.0).abs() < 4.0, "Ambit/GTX745 = {gpu:.1} (paper 32.0)");
+        assert!((hmc - 2.4).abs() < 0.5, "Ambit/HMC = {hmc:.1} (paper 2.4)");
+    }
+
+    #[test]
+    fn ambit_3d_speedup_over_hmc_matches_paper() {
+        // Paper: Ambit-3D improves throughput 9.7× over the HMC logic layer.
+        let r = AmbitMachine::three_d().mean_throughput_gops()
+            / BandwidthMachine::hmc2().mean_throughput_gops();
+        assert!((r - 9.7).abs() < 1.5, "Ambit-3D/HMC = {r:.1} (paper 9.7)");
+    }
+
+    #[test]
+    fn figure9_ordering_holds_for_every_op() {
+        // Skylake < GTX 745 < HMC < Ambit < Ambit-3D, op by op.
+        let machines = figure9_machines();
+        for op in BitwiseOp::FIGURE9_OPS {
+            let ts: Vec<f64> = machines.iter().map(|m| m.throughput_gops(op)).collect();
+            for pair in ts.windows(2) {
+                assert!(
+                    pair[0] < pair[1],
+                    "{op}: ordering violated: {ts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_counts() {
+        assert_eq!(transfers_per_byte(BitwiseOp::Not), 2);
+        assert_eq!(transfers_per_byte(BitwiseOp::Copy), 2);
+        assert_eq!(transfers_per_byte(BitwiseOp::And), 3);
+        assert_eq!(transfers_per_byte(BitwiseOp::Xnor), 3);
+    }
+}

@@ -1,0 +1,36 @@
+//! Set algebra three ways (the paper's Section 8.3 scenario): the same
+//! m-way union/intersection/difference on a red-black tree, a software
+//! bitset, and Ambit-resident bitvectors.
+//!
+//! Run with: `cargo run --release --example set_operations`
+
+use ambit_repro::apps::{run_setop, SetOperation, SetWorkload};
+use ambit_repro::core::AmbitMemory;
+use ambit_repro::sys::SystemConfig;
+
+fn main() {
+    let config = SystemConfig::gem5_calibrated();
+    println!("m = 15 sets over a 512k domain; times normalized to the RB-tree\n");
+    println!(
+        "{:>6} {:>14} {:>10} {:>10} {:>10}",
+        "e", "op", "RB-tree", "Bitset", "Ambit"
+    );
+    for &e in &[16usize, 256, 1024] {
+        for op in SetOperation::ALL {
+            let workload = SetWorkload::figure12(e);
+            let r = run_setop(&config, AmbitMemory::ddr3_module(), &workload, op);
+            let (rb, bs, am) = r.normalized();
+            println!(
+                "{e:>6} {:>14} {rb:>10.2} {bs:>10.2} {am:>10.3}",
+                op.to_string()
+            );
+        }
+    }
+    println!(
+        "\nreading the table: below 1.0 means faster than the RB-tree; the\n\
+         bitvector representations pay a fixed full-scan cost, so the tree wins\n\
+         for near-empty sets while Ambit dominates once sets carry real data.\n\
+         All three implementations returned identical result sets (checked\n\
+         element-for-element inside run_setop)."
+    );
+}

@@ -1,0 +1,121 @@
+//! Verifies the exact DRAM command sequences Ambit programs emit, against
+//! the paper's Figure 8 — at the command-trace level, the way a logic
+//! analyzer on the DDR bus would see them.
+
+use ambit_repro::core::{AmbitController, BitwiseOp, RowAddress};
+use ambit_repro::dram::{AapMode, BankId, DramGeometry, TimingParams, TraceCommand};
+
+fn traced_controller() -> AmbitController {
+    let mut ctrl = AmbitController::new(
+        DramGeometry::tiny(),
+        TimingParams::ddr3_1600(),
+        AapMode::Overlapped,
+    );
+    ctrl.timer_mut().set_tracing(true);
+    ctrl
+}
+
+fn wordline_counts(ctrl: &AmbitController) -> Vec<(usize, &'static str)> {
+    ctrl.timer()
+        .trace()
+        .expect("tracing enabled")
+        .iter()
+        .map(|e| match e.command {
+            TraceCommand::Activate { wordlines } => (wordlines, "ACT"),
+            TraceCommand::Precharge => (0, "PRE"),
+            TraceCommand::Read => (0, "RD"),
+            TraceCommand::Write => (0, "WR"),
+        })
+        .collect()
+}
+
+#[test]
+fn and_trace_matches_figure_8a() {
+    let mut ctrl = traced_controller();
+    ctrl.execute(
+        BitwiseOp::And,
+        BankId::zero(),
+        0,
+        RowAddress::D(0),
+        Some(RowAddress::D(1)),
+        RowAddress::D(2),
+    )
+    .unwrap();
+    // Figure 8a: AAP(Di,B0); AAP(Dj,B1); AAP(C0,B2); AAP(B12,Dk).
+    // On the bus: three plain AAPs then ACT(3 wordlines), ACT, PRE.
+    let expect = vec![
+        (1, "ACT"), (1, "ACT"), (0, "PRE"), // AAP(Di, B0)
+        (1, "ACT"), (1, "ACT"), (0, "PRE"), // AAP(Dj, B1)
+        (1, "ACT"), (1, "ACT"), (0, "PRE"), // AAP(C0, B2)
+        (3, "ACT"), (1, "ACT"), (0, "PRE"), // AAP(B12 → TRA, Dk)
+    ];
+    assert_eq!(wordline_counts(&ctrl), expect);
+}
+
+#[test]
+fn not_trace_matches_section_5_2() {
+    let mut ctrl = traced_controller();
+    ctrl.execute(
+        BitwiseOp::Not,
+        BankId::zero(),
+        0,
+        RowAddress::D(0),
+        None,
+        RowAddress::D(1),
+    )
+    .unwrap();
+    // Section 5.2: ACTIVATE Di; ACTIVATE B5; PRECHARGE;
+    //              ACTIVATE B4; ACTIVATE Dk; PRECHARGE.
+    let expect = vec![
+        (1, "ACT"), (1, "ACT"), (0, "PRE"),
+        (1, "ACT"), (1, "ACT"), (0, "PRE"),
+    ];
+    assert_eq!(wordline_counts(&ctrl), expect);
+}
+
+#[test]
+fn xor_trace_matches_figure_8c() {
+    let mut ctrl = traced_controller();
+    ctrl.execute(
+        BitwiseOp::Xor,
+        BankId::zero(),
+        0,
+        RowAddress::D(0),
+        Some(RowAddress::D(1)),
+        RowAddress::D(2),
+    )
+    .unwrap();
+    // Figure 8c: AAP(Di,B8); AAP(Dj,B9); AAP(C0,B10); AP(B14); AP(B15);
+    //            AAP(C1,B2); AAP(B12,Dk).
+    // B8/B9/B10 raise two wordlines; B14/B15/B12 raise three.
+    let expect = vec![
+        (1, "ACT"), (2, "ACT"), (0, "PRE"), // AAP(Di, B8)
+        (1, "ACT"), (2, "ACT"), (0, "PRE"), // AAP(Dj, B9)
+        (1, "ACT"), (2, "ACT"), (0, "PRE"), // AAP(C0, B10)
+        (3, "ACT"), (0, "PRE"),             // AP(B14)
+        (3, "ACT"), (0, "PRE"),             // AP(B15)
+        (1, "ACT"), (1, "ACT"), (0, "PRE"), // AAP(C1, B2)
+        (3, "ACT"), (1, "ACT"), (0, "PRE"), // AAP(B12, Dk)
+    ];
+    assert_eq!(wordline_counts(&ctrl), expect);
+}
+
+#[test]
+fn trace_timing_matches_receipt() {
+    let mut ctrl = traced_controller();
+    let receipt = ctrl
+        .execute(
+            BitwiseOp::And,
+            BankId::zero(),
+            0,
+            RowAddress::D(0),
+            Some(RowAddress::D(1)),
+            RowAddress::D(2),
+        )
+        .unwrap();
+    let trace = ctrl.timer().trace().unwrap();
+    assert_eq!(trace.first().unwrap().at_ps, receipt.start_ps);
+    // The receipt's end is tRP after the final PRECHARGE's issue.
+    let last_pre = trace.last().unwrap();
+    assert_eq!(last_pre.at_ps + 10_000, receipt.end_ps);
+}

@@ -1,0 +1,180 @@
+//! Cross-crate integration: the full stack from bbop instruction to
+//! sense-amplifier bits, with timing and energy accounting along the way.
+
+use ambit_repro::core::{
+    isa, AmbitError, AmbitMemory, BbopInstruction, BitwiseOp, ExecutionPath,
+};
+use ambit_repro::dram::{AapMode, DramGeometry, TimingParams, PS_PER_NS};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn module() -> AmbitMemory {
+    AmbitMemory::new(
+        DramGeometry::ddr3_module(),
+        TimingParams::ddr3_1600(),
+        AapMode::Overlapped,
+    )
+}
+
+#[test]
+fn bbop_instruction_to_dram_and_back() {
+    let mut mem = module();
+    let bits = mem.row_bits() * 4; // 4 rows, striped over 4 banks
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let da: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+    let db: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+
+    let a = mem.alloc(bits).unwrap();
+    let b = mem.alloc(bits).unwrap();
+    let d = mem.alloc(bits).unwrap();
+    mem.write_bits(a, &da).unwrap();
+    mem.write_bits(b, &db).unwrap();
+
+    let outcome = isa::execute(
+        &mut mem,
+        &BbopInstruction {
+            op: BitwiseOp::Xnor,
+            dst: d,
+            src1: a,
+            src2: Some(b),
+            size_bytes: bits / 8,
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.path, ExecutionPath::Ambit);
+    assert!(outcome.dram_energy_nj > 0.0);
+
+    let got = mem.read_bits(d).unwrap();
+    for i in 0..bits {
+        assert_eq!(got[i], !(da[i] ^ db[i]), "bit {i}");
+    }
+}
+
+#[test]
+fn chained_operations_compose() {
+    // Compute (a AND b) XOR (a OR b) == a XOR b using only in-DRAM steps.
+    let mut mem = module();
+    let bits = mem.row_bits();
+    let mut rng = ChaCha8Rng::seed_from_u64(78);
+    let da: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+    let db: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+
+    let a = mem.alloc(bits).unwrap();
+    let b = mem.alloc(bits).unwrap();
+    let t1 = mem.alloc(bits).unwrap();
+    let t2 = mem.alloc(bits).unwrap();
+    let out = mem.alloc(bits).unwrap();
+    mem.poke_bits(a, &da).unwrap();
+    mem.poke_bits(b, &db).unwrap();
+
+    mem.bitwise(BitwiseOp::And, a, Some(b), t1).unwrap();
+    mem.bitwise(BitwiseOp::Or, a, Some(b), t2).unwrap();
+    mem.bitwise(BitwiseOp::Xor, t1, Some(t2), out).unwrap();
+
+    let direct = mem.alloc(bits).unwrap();
+    mem.bitwise(BitwiseOp::Xor, a, Some(b), direct).unwrap();
+    assert_eq!(mem.peek_bits(out).unwrap(), mem.peek_bits(direct).unwrap());
+}
+
+#[test]
+fn timing_makespan_reflects_bank_parallelism() {
+    // A 16-row vector on an 8-bank module: two rounds of 8 parallel chunk
+    // programs, not 16 serial ones.
+    let mut mem = module();
+    let bits = mem.row_bits() * 16;
+    let a = mem.alloc(bits).unwrap();
+    let b = mem.alloc(bits).unwrap();
+    let d = mem.alloc(bits).unwrap();
+    let receipt = mem.bitwise(BitwiseOp::And, a, Some(b), d).unwrap();
+    let one_program = 4 * 49 * PS_PER_NS;
+    assert!(
+        receipt.latency_ps() < 4 * one_program,
+        "16 chunks on 8 banks should take ~2 rounds, got {} ns",
+        receipt.latency_ps() / PS_PER_NS
+    );
+    assert_eq!(receipt.aaps, 64, "16 chunks x 4 AAPs");
+}
+
+#[test]
+fn energy_grows_linearly_with_vector_size() {
+    let mut mem = module();
+    let small_bits = mem.row_bits();
+    let a = mem.alloc(small_bits).unwrap();
+    let b = mem.alloc(small_bits).unwrap();
+    let d = mem.alloc(small_bits).unwrap();
+    let small = mem.bitwise(BitwiseOp::And, a, Some(b), d).unwrap();
+
+    let big_bits = mem.row_bits() * 8;
+    let a8 = mem.alloc(big_bits).unwrap();
+    let b8 = mem.alloc(big_bits).unwrap();
+    let d8 = mem.alloc(big_bits).unwrap();
+    let big = mem.bitwise(BitwiseOp::And, a8, Some(b8), d8).unwrap();
+
+    let ratio = big.energy_nj / small.energy_nj;
+    assert!((ratio - 8.0).abs() < 1e-9, "energy ratio {ratio}");
+}
+
+#[test]
+fn unaligned_sizes_fall_back_to_cpu_and_match() {
+    let mut mem = module();
+    let bits = 1000; // not row-aligned
+    let mut rng = ChaCha8Rng::seed_from_u64(79);
+    let da: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+    let a = mem.alloc(bits).unwrap();
+    let d = mem.alloc(bits).unwrap();
+    mem.poke_bits(a, &da).unwrap();
+
+    let outcome = isa::execute(
+        &mut mem,
+        &BbopInstruction {
+            op: BitwiseOp::Not,
+            dst: d,
+            src1: a,
+            src2: None,
+            size_bytes: bits / 8,
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.path, ExecutionPath::Cpu);
+    let got = mem.peek_bits(d).unwrap();
+    for i in 0..(bits / 8) * 8 {
+        assert_eq!(got[i], !da[i], "bit {i}");
+    }
+}
+
+#[test]
+fn capacity_exhaustion_is_graceful() {
+    let mut mem = AmbitMemory::new(
+        DramGeometry::tiny(),
+        TimingParams::ddr3_1600(),
+        AapMode::Overlapped,
+    );
+    let mut allocated = Vec::new();
+    loop {
+        match mem.alloc(mem.row_bits()) {
+            Ok(h) => allocated.push(h),
+            Err(AmbitError::OutOfMemory { .. }) => break,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        assert!(allocated.len() < 10_000, "allocator never reported full");
+    }
+    // Everything allocated still works.
+    let d = allocated[0];
+    let a = allocated[1];
+    assert!(mem.bitwise(BitwiseOp::Not, a, None, d).is_ok());
+}
+
+#[test]
+fn simulated_time_only_moves_forward() {
+    let mut mem = module();
+    let bits = mem.row_bits();
+    let a = mem.alloc(bits).unwrap();
+    let d = mem.alloc(bits).unwrap();
+    let mut last = 0;
+    for _ in 0..10 {
+        let receipt = mem.bitwise(BitwiseOp::Not, a, None, d).unwrap();
+        assert!(receipt.end_ps >= receipt.start_ps);
+        assert!(receipt.end_ps > last, "time regressed");
+        last = receipt.end_ps;
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-crate reliability integration: circuit-model failure rates drive
+//! fault injection in the functional device, and the TMR ECC of paper
+//! Section 5.4.5 recovers the data.
+
+use ambit_repro::circuit::{run_monte_carlo, CircuitParams};
+use ambit_repro::core::{bitwise_tmr, AmbitMemory, BitwiseOp, TmrVector};
+use ambit_repro::dram::{AapMode, CellFault, DramGeometry, TimingParams};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn memory() -> AmbitMemory {
+    AmbitMemory::new(
+        DramGeometry::tiny(),
+        TimingParams::ddr3_1600(),
+        AapMode::Overlapped,
+    )
+}
+
+#[test]
+fn circuit_predicted_faults_corrupt_raw_ops_proportionally() {
+    let params = CircuitParams::ddr3_55nm();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mc = run_monte_carlo(&params, 0.15, 50_000, &mut rng);
+    let rate = mc.failure_rate();
+    assert!(rate > 0.01, "±15% should fail a few percent of TRAs");
+
+    let mut mem = memory();
+    mem.set_tra_fault_rate(rate);
+    let bits = mem.row_bits();
+    let a = mem.alloc(bits).unwrap();
+    let b = mem.alloc(bits).unwrap();
+    let d = mem.alloc(bits).unwrap();
+    let da: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+    let db: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+
+    let mut wrong = 0usize;
+    let trials = 200;
+    for _ in 0..trials {
+        mem.poke_bits(a, &da).unwrap();
+        mem.poke_bits(b, &db).unwrap();
+        mem.bitwise(BitwiseOp::And, a, Some(b), d).unwrap();
+        let got = mem.peek_bits(d).unwrap();
+        wrong += (0..bits).filter(|&i| got[i] != (da[i] && db[i])).count();
+    }
+    let observed = wrong as f64 / (trials * bits) as f64;
+    // One TRA per AND: the bit error rate should be near the TRA rate.
+    assert!(
+        (observed - rate).abs() < 0.4 * rate,
+        "observed {observed}, injected {rate}"
+    );
+}
+
+#[test]
+fn tmr_recovers_everything_at_realistic_variation() {
+    // At the paper's "reliable" corner (±10%, 0.29% failures) TMR should
+    // make data corruption essentially disappear.
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut mem = memory();
+    mem.set_tra_fault_rate(0.003);
+    let bits = mem.row_bits();
+    let a = TmrVector::alloc(&mut mem, bits).unwrap();
+    let b = TmrVector::alloc(&mut mem, bits).unwrap();
+    let d = TmrVector::alloc(&mut mem, bits).unwrap();
+    let da: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+    let db: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+
+    let mut wrong = 0usize;
+    for _ in 0..100 {
+        a.write(&mut mem, &da).unwrap();
+        b.write(&mut mem, &db).unwrap();
+        bitwise_tmr(&mut mem, BitwiseOp::Or, &a, Some(&b), &d).unwrap();
+        let voted = d.read_voted(&mem).unwrap();
+        wrong += (0..bits).filter(|&i| voted.data[i] != (da[i] || db[i])).count();
+    }
+    // P(two replicas fail the same bit) ≈ 3·(0.003)² ≈ 2.7e-5: across
+    // 100 × 128 bits ≈ 0.3 expected. Allow a little slack.
+    assert!(wrong <= 3, "TMR left {wrong} wrong bits");
+}
+
+#[test]
+fn stuck_at_fault_in_one_replica_is_invisible_to_the_application() {
+    let mut mem = memory();
+    let bits = mem.row_bits();
+    let v = TmrVector::alloc(&mut mem, bits).unwrap();
+    let data: Vec<bool> = (0..bits).map(|i| i % 2 == 0).collect();
+    v.write(&mut mem, &data).unwrap();
+    // Hardware fault in replica 0.
+    mem.inject_fault(v.replicas()[0], 0, CellFault::StuckAtZero).unwrap();
+    mem.poke_bits(v.replicas()[0], &data).unwrap();
+
+    // The fault shows up in the replica but not in the voted data, through
+    // an arbitrary number of scrub cycles (the stuck cell re-corrupts).
+    for _ in 0..3 {
+        let read = v.read_voted(&mem).unwrap();
+        assert_eq!(read.data, data);
+        v.scrub(&mut mem).unwrap();
+    }
+    let raw = mem.peek_bits(v.replicas()[0]).unwrap();
+    assert!(!raw[0], "the stuck cell itself stays wrong");
+}
+
+#[test]
+fn retention_discipline_matches_the_papers_argument() {
+    // Strict retention mode: TRAs on stale rows fail; Ambit's copy-first
+    // discipline (which refreshes operands) keeps working.
+    use ambit_repro::core::{AmbitController, RowAddress};
+    use ambit_repro::dram::BankId;
+
+    let mut ctrl = AmbitController::new(
+        DramGeometry::tiny(),
+        TimingParams::ddr3_1600(),
+        AapMode::Overlapped,
+    );
+    let bank = BankId::zero();
+    let bits = ctrl.row_bits();
+    ctrl.device_mut().set_retention_window(Some(64_000_000));
+    ctrl.poke_data(bank, 0, 0, &ambit_repro::dram::BitRow::ones(bits)).unwrap();
+    ctrl.poke_data(bank, 0, 1, &ambit_repro::dram::BitRow::ones(bits)).unwrap();
+
+    // Let everything in the subarray go stale (65 ms idle, no refresh).
+    ctrl.device_mut().advance_time_ns(65_000_000);
+
+    // The Ambit AND still works: its first AAPs copy (and thereby refresh)
+    // the operands into the designated rows right before the TRA.
+    let result = ctrl.execute(
+        BitwiseOp::And,
+        bank,
+        0,
+        RowAddress::D(0),
+        Some(RowAddress::D(1)),
+        RowAddress::D(2),
+    );
+    assert!(result.is_ok(), "copy-first discipline defeats staleness: {result:?}");
+    assert_eq!(ctrl.peek_data(bank, 0, 2).unwrap().count_ones(), bits);
+}
