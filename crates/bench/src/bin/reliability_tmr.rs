@@ -48,7 +48,7 @@ fn main() {
 
         // 2. Inject into the functional device and run raw ANDs.
         let mut mem = memory();
-        mem.set_tra_fault_rate(rate);
+        mem.set_tra_fault_rate(rate).expect("valid fault rate");
         let bits = mem.row_bits();
         let a = mem.alloc(bits).unwrap();
         let b = mem.alloc(bits).unwrap();
@@ -67,7 +67,7 @@ fn main() {
 
         // 3. Same workload under TMR: three replicas, voted read.
         let mut mem = memory();
-        mem.set_tra_fault_rate(rate);
+        mem.set_tra_fault_rate(rate).expect("valid fault rate");
         let ta = TmrVector::alloc(&mut mem, bits).unwrap();
         let tb = TmrVector::alloc(&mut mem, bits).unwrap();
         let td = TmrVector::alloc(&mut mem, bits).unwrap();

@@ -40,7 +40,8 @@ mod transistor;
 pub mod variation;
 
 pub use montecarlo::{
-    run_monte_carlo, table2_sweep, worst_case_margin, worst_case_ok, MonteCarloResult,
+    per_subarray_rates, run_monte_carlo, table2_sweep, worst_case_margin, worst_case_ok,
+    MonteCarloResult,
 };
 pub use leakage::LeakageModel;
 pub use params::CircuitParams;

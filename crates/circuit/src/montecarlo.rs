@@ -75,6 +75,28 @@ pub fn table2_sweep(
         .collect()
 }
 
+/// Samples one TRA failure rate per subarray for a fault-injection
+/// campaign: each subarray runs its own Monte Carlo at a variation level
+/// drawn uniformly from `level * [1 - spread, 1 + spread]`, modelling
+/// spatially correlated process variation across a device. The returned
+/// rates feed `ambit_dram`'s `FaultCampaign::plan_with_rates`.
+pub fn per_subarray_rates(
+    params: &CircuitParams,
+    level: f64,
+    spread: f64,
+    subarrays: usize,
+    trials_per_subarray: u64,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    (0..subarrays)
+        .map(|_| {
+            let jitter = 1.0 + spread * (rng.gen::<f64>() * 2.0 - 1.0);
+            let sub_level = (level * jitter).max(0.0);
+            run_monte_carlo(params, sub_level, trials_per_subarray, rng).failure_rate()
+        })
+        .collect()
+}
+
 /// Returns `true` if TRA senses correctly even when *every* component sits
 /// at its adversarial ±`level` corner, for both failure-prone patterns
 /// (two-charged and one-charged).
@@ -176,6 +198,22 @@ mod tests {
             "±15 %: {:.2} %",
             r.failure_percent()
         );
+    }
+
+    #[test]
+    fn per_subarray_rates_vary_but_stay_probabilities() {
+        let params = p();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let rates = per_subarray_rates(&params, 0.15, 0.3, 8, 5_000, &mut rng);
+        assert_eq!(rates.len(), 8);
+        assert!(rates.iter().all(|r| (0.0..=1.0).contains(r)));
+        assert!(
+            rates.windows(2).any(|w| w[0] != w[1]),
+            "level jitter should differentiate subarrays: {rates:?}"
+        );
+        // Deterministic replay under the same seed.
+        let mut rng2 = ChaCha8Rng::seed_from_u64(11);
+        assert_eq!(rates, per_subarray_rates(&params, 0.15, 0.3, 8, 5_000, &mut rng2));
     }
 
     #[test]

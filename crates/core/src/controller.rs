@@ -5,7 +5,8 @@
 use std::collections::HashSet;
 
 use ambit_dram::{
-    AapMode, BankId, BitRow, CommandTimer, DramDevice, DramGeometry, EnergyModel, TimingParams,
+    AapMode, BankId, BitRow, CampaignTick, CommandTimer, DramDevice, DramGeometry, EnergyModel,
+    FaultCampaign, RefreshScheduler, TimingParams,
 };
 
 use crate::addressing::{RowAddress, SubarrayLayout};
@@ -168,6 +169,18 @@ impl AmbitController {
     /// tracing (`set_tracing`) or inter-bank constraint enforcement.
     pub fn timer_mut(&mut self) -> &mut CommandTimer {
         &mut self.timer
+    }
+
+    /// Advances a fault campaign's clock: catches the refresh scheduler up
+    /// to the controller's current time and arms any retention-decay faults
+    /// for the refresh windows that elapsed. This lives on the controller
+    /// because the campaign needs the timer and the device simultaneously.
+    pub fn campaign_tick(
+        &mut self,
+        campaign: &mut FaultCampaign,
+        scheduler: &mut RefreshScheduler,
+    ) -> CampaignTick {
+        campaign.catch_up(scheduler, &mut self.timer, &mut self.device)
     }
 
     /// Replaces the energy model used for accounting.

@@ -16,7 +16,10 @@
 
 use std::collections::HashMap;
 
-use ambit_dram::{AapMode, BankId, BitRow, CellFault, DramGeometry, TimingParams};
+use ambit_dram::{
+    AapMode, BankId, BitRow, CampaignTick, CellFault, DramGeometry, FaultCampaign,
+    RefreshScheduler, TimingParams,
+};
 
 use crate::addressing::RowAddress;
 use crate::compiler::{compile_fold, fold_supported};
@@ -45,6 +48,20 @@ struct VectorMeta {
     bits: usize,
     group: AllocGroup,
     chunks: Vec<ChunkLoc>,
+}
+
+/// One entry of the driver's bad-row map: a data row found permanently
+/// faulty and remapped onto a spare row of the same subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadRowEntry {
+    /// Flat bank index.
+    pub bank: usize,
+    /// Subarray index within the bank.
+    pub subarray: usize,
+    /// D-group index of the faulty row.
+    pub d_index: usize,
+    /// D-group index of the spare row it now resolves to.
+    pub spare_d_index: usize,
 }
 
 /// Ambit device memory with a subarray-aware allocator on top of the
@@ -80,6 +97,13 @@ pub struct AmbitMemory {
     next_free: Vec<Vec<usize>>,
     /// For each group, the placement of chunk index `i`.
     group_sequences: HashMap<u32, Vec<(usize, usize)>>,
+    /// Spare rows reserved at the top of each subarray's D space for
+    /// permanent-fault remapping (paper Section 5.5.3).
+    spares_per_subarray: usize,
+    /// Spares consumed so far, per `[flat_bank][subarray]`.
+    spares_used: Vec<Vec<usize>>,
+    /// Rows found permanently faulty and remapped (the bad-row map).
+    bad_rows: Vec<BadRowEntry>,
 }
 
 impl AmbitMemory {
@@ -93,6 +117,9 @@ impl AmbitMemory {
             next_id: 0,
             next_free: vec![vec![0; geometry.subarrays_per_bank]; banks],
             group_sequences: HashMap::new(),
+            spares_per_subarray: 0,
+            spares_used: vec![vec![0; geometry.subarrays_per_bank]; banks],
+            bad_rows: Vec::new(),
         }
     }
 
@@ -153,13 +180,16 @@ impl AmbitMemory {
     ///
     /// Returns [`AmbitError::OutOfMemory`] when no co-located rows remain.
     pub fn alloc_in_group(&mut self, bits: usize, group: AllocGroup) -> Result<BitVectorHandle> {
-        assert!(bits > 0, "cannot allocate an empty bitvector");
+        if bits == 0 {
+            return Err(AmbitError::EmptyAllocation);
+        }
         let row_bits = self.row_bits();
         let chunk_count = bits.div_ceil(row_bits);
         let placements = self.group_placements(group, chunk_count);
 
-        // First pass: check capacity without mutating.
-        let layout_rows = self.ctrl.layout().data_rows();
+        // First pass: check capacity without mutating. Reserved spare rows
+        // are not allocatable.
+        let layout_rows = self.ctrl.layout().data_rows() - self.spares_per_subarray;
         let mut needed: HashMap<(usize, usize), usize> = HashMap::new();
         for &(b, s) in &placements {
             *needed.entry((b, s)).or_insert(0) += 1;
@@ -255,26 +285,143 @@ impl AmbitMemory {
             .device_mut()
             .bank_mut(chunk.bank)
             .subarray_mut(chunk.subarray)
-            .inject_fault(physical_row, bit % row_bits, fault);
+            .inject_fault(physical_row, bit % row_bits, fault)?;
         Ok(())
     }
 
-    /// Sets the transient TRA fault rate on every subarray of the device
-    /// (feed this from `ambit_circuit`'s Monte Carlo failure rates).
+    /// Sets the same transient TRA fault rate on every subarray of the
+    /// device (feed this from `ambit_circuit`'s Monte Carlo failure
+    /// rates). For per-subarray rates, plan a
+    /// [`FaultCampaign`](ambit_dram::FaultCampaign) and install it with
+    /// [`apply_campaign`](Self::apply_campaign) instead.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `rate` is a probability.
-    pub fn set_tra_fault_rate(&mut self, rate: f64) {
+    /// Returns [`DramError::InvalidFaultRate`](ambit_dram::DramError)
+    /// unless `rate` is a probability in `[0, 1]`.
+    pub fn set_tra_fault_rate(&mut self, rate: f64) -> Result<()> {
         let geometry = *self.ctrl.geometry();
         let device = self.ctrl.device_mut();
         for flat in 0..geometry.total_banks() {
             let id = BankId::from_flat_index(flat, &geometry);
             let bank = device.bank_mut(id);
             for s in 0..bank.subarray_count() {
-                bank.subarray_mut(s).set_tra_fault_rate(rate);
+                bank.subarray_mut(s).set_tra_fault_rate(rate)?;
             }
         }
+        Ok(())
+    }
+
+    /// Installs a planned [`FaultCampaign`] into the device: plants its
+    /// stuck-at cells and sets every subarray's individual TRA fault rate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM-level errors if the campaign was planned for a
+    /// different geometry.
+    pub fn apply_campaign(&mut self, campaign: &FaultCampaign) -> Result<()> {
+        campaign.apply(self.ctrl.device_mut())?;
+        Ok(())
+    }
+
+    /// Advances a fault campaign to the driver's current time: issues due
+    /// refreshes and arms retention-decay faults for the elapsed windows.
+    pub fn campaign_tick(
+        &mut self,
+        campaign: &mut FaultCampaign,
+        scheduler: &mut RefreshScheduler,
+    ) -> CampaignTick {
+        self.ctrl.campaign_tick(campaign, scheduler)
+    }
+
+    /// Reserves `per_subarray` rows at the top of every subarray's data
+    /// space as spare rows for permanent-fault remapping
+    /// ([`remap_bit`](Self::remap_bit)). Must be called before any
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::OutOfMemory`] if allocations already exist or
+    /// if the reservation would leave no allocatable rows.
+    pub fn reserve_spare_rows(&mut self, per_subarray: usize) -> Result<()> {
+        let data_rows = self.ctrl.layout().data_rows();
+        let allocated = self.next_free.iter().flatten().any(|&n| n > 0);
+        if allocated || per_subarray >= data_rows {
+            return Err(AmbitError::OutOfMemory {
+                requested_rows: per_subarray,
+                available_rows: data_rows.saturating_sub(1),
+            });
+        }
+        self.spares_per_subarray = per_subarray;
+        Ok(())
+    }
+
+    /// Spare rows still unused across the whole device.
+    pub fn spare_rows_free(&self) -> usize {
+        let total =
+            self.spares_per_subarray * self.next_free.len() * self.next_free[0].len();
+        let used: usize = self.spares_used.iter().flatten().sum();
+        total - used
+    }
+
+    /// The bad-row map: every permanently faulty row remapped so far.
+    pub fn bad_rows(&self) -> &[BadRowEntry] {
+        &self.bad_rows
+    }
+
+    /// Remaps the physical row backing the chunk that holds logical bit
+    /// `bit` of `handle` onto a fresh spare row in the same subarray — the
+    /// paper's Section 5.5.3 repair, driven at runtime by the resilient
+    /// executor once a stuck-at cell is diagnosed. The row's current
+    /// (faulty) contents are copied onto the spare so unaffected bits
+    /// survive the repair.
+    ///
+    /// # Errors
+    ///
+    /// * [`AmbitError::SpareRowsExhausted`] if the subarray has no spare
+    ///   left.
+    /// * [`AmbitError::SizeMismatch`] if `bit` is out of range, or an
+    ///   unknown-handle error.
+    pub fn remap_bit(&mut self, handle: BitVectorHandle, bit: usize) -> Result<()> {
+        let meta = self.meta(handle)?.clone();
+        if bit >= meta.bits {
+            return Err(AmbitError::SizeMismatch {
+                left_bits: bit,
+                right_bits: meta.bits,
+            });
+        }
+        let chunk = meta.chunks[bit / self.row_bits()];
+        let geometry = *self.ctrl.geometry();
+        let flat = chunk.bank.flat_index(&geometry);
+        let used = self.spares_used[flat][chunk.subarray];
+        if used >= self.spares_per_subarray {
+            return Err(AmbitError::SpareRowsExhausted {
+                bank: flat,
+                subarray: chunk.subarray,
+            });
+        }
+        let data_rows = self.ctrl.layout().data_rows();
+        let spare_d = data_rows - 1 - used;
+        let from_row = self.ctrl.layout().data_row(chunk.d_index)?;
+        let to_row = self.ctrl.layout().data_row(spare_d)?;
+        // Preserve the row's contents across the remap (reads resolve
+        // through the old mapping until remap_row lands).
+        let current = self.ctrl.peek_data(chunk.bank, chunk.subarray, chunk.d_index)?;
+        self.ctrl
+            .device_mut()
+            .bank_mut(chunk.bank)
+            .subarray_mut(chunk.subarray)
+            .remap_row(from_row, to_row)?;
+        self.ctrl
+            .poke_data(chunk.bank, chunk.subarray, chunk.d_index, &current)?;
+        self.spares_used[flat][chunk.subarray] = used + 1;
+        self.bad_rows.push(BadRowEntry {
+            bank: flat,
+            subarray: chunk.subarray,
+            d_index: chunk.d_index,
+            spare_d_index: spare_d,
+        });
+        Ok(())
     }
 
     /// Executes `dst = op(src1, src2)` across all chunks of the operands,

@@ -66,6 +66,24 @@ pub enum AmbitError {
     /// An operation tried to overwrite a pre-initialized control row
     /// (C0/C1), which must keep their constant contents.
     ControlRowWrite,
+    /// The resilient executor exhausted its retry budget without the
+    /// operation's replicas converging, and CPU fallback was disabled.
+    RetriesExhausted {
+        /// Retries performed before giving up.
+        retries: u32,
+        /// Suspect bits still disagreeing after the final retry.
+        suspect_bits: usize,
+    },
+    /// A permanent-fault remap was requested but the subarray has no spare
+    /// rows left (paper Section 5.5.3 repairs are a finite resource).
+    SpareRowsExhausted {
+        /// Flat bank index of the exhausted subarray.
+        bank: usize,
+        /// Subarray index within the bank.
+        subarray: usize,
+    },
+    /// An allocation of zero bits was requested.
+    EmptyAllocation,
 }
 
 impl fmt::Display for AmbitError {
@@ -103,6 +121,18 @@ impl fmt::Display for AmbitError {
             AmbitError::ControlRowWrite => {
                 write!(f, "control rows C0/C1 are read-only to operations")
             }
+            AmbitError::RetriesExhausted {
+                retries,
+                suspect_bits,
+            } => write!(
+                f,
+                "retry budget exhausted after {retries} retries with {suspect_bits} suspect bit(s) remaining"
+            ),
+            AmbitError::SpareRowsExhausted { bank, subarray } => write!(
+                f,
+                "no spare rows left in bank {bank} subarray {subarray}"
+            ),
+            AmbitError::EmptyAllocation => write!(f, "cannot allocate an empty bitvector"),
         }
     }
 }
@@ -140,6 +170,9 @@ mod tests {
             AmbitError::NotRowAligned { value: 100, row_bytes: 8192 },
             AmbitError::WrongOperandCount { op: "and", expected: 2, provided: 1 },
             AmbitError::UnknownHandle { id: 9 },
+            AmbitError::RetriesExhausted { retries: 3, suspect_bits: 12 },
+            AmbitError::SpareRowsExhausted { bank: 1, subarray: 0 },
+            AmbitError::EmptyAllocation,
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -57,14 +57,16 @@ mod error;
 pub mod isa;
 pub mod ops;
 mod physmap;
+pub mod resilient;
 mod throughput;
 
 pub use addressing::{RowAddress, SubarrayLayout};
 pub use compiler::{compile_fold, fold_savings, fold_supported};
 pub use controller::{AmbitController, OpReceipt};
-pub use driver::{AllocGroup, AmbitMemory, BitVectorHandle};
+pub use driver::{AllocGroup, AmbitMemory, BadRowEntry, BitVectorHandle};
 pub use error::{AmbitError, Result};
 pub use ecc::{bitwise_tmr, TmrVector, VotedRead};
+pub use resilient::{RecoveryReport, ResilientConfig, ResilientExecutor, ResilientHandle};
 pub use isa::{BbopInstruction, BbopOutcome, ExecutionPath};
 pub use ops::{compile_majority, AmbitCmd, BitwiseOp};
 pub use physmap::{DataRowLocation, PhysicalMap};

@@ -1,0 +1,830 @@
+//! Resilient execution layer: detect → retry → remap → degrade.
+//!
+//! Triple-row activation is an analog operation; under process variation
+//! it fails at the rates of the paper's Table 2 (0.29 % per TRA at ±10 %
+//! variation, 26.19 % at ±25 %). The paper's answer is a layered defence:
+//! TMR as the only bitwise-homomorphic ECC (Section 5.4.5), spare rows for
+//! permanent faults (Section 5.5.3), and a CPU fallback path for
+//! operations the accelerator cannot run (Section 5.4.3). This module
+//! composes those mechanisms into a policy engine:
+//!
+//! 1. **Detect.** Every operation runs on a [`TmrVector`] triple; a voted
+//!    read of the destination flags *suspect* bits (bits where at least
+//!    one replica disagrees — for independent per-replica flip rate `p`,
+//!    a fraction `≈ 3p` of bits).
+//! 2. **Retry.** Suspect results are retried after scrubbing the sources,
+//!    under a *command budget*: backoff is paid in AAP primitives, not
+//!    wall-clock sleeps, so recovery cost shows up in the timing model.
+//! 3. **Repair.** When the estimated flip rate is low, remaining suspect
+//!    bits are repaired from CPU-computed ground truth; voting leaves only
+//!    silent triple flips (probability `p³` per bit, < 2 × 10⁻⁷ at the
+//!    default degrade threshold) uncorrected, and those are exactly what
+//!    the repair-from-truth pass removes for flagged bits.
+//! 4. **Remap.** Suspect bits that survive a scrub are permanent (scrubs
+//!    use the backdoor store path, which transient TRA noise cannot
+//!    touch): the faulty replica's row is remapped to a spare row.
+//! 5. **Degrade.** If the estimated flip rate exceeds
+//!    [`ResilientConfig::degrade_threshold`], or spare rows run out, the
+//!    executor falls back to CPU-side software execution (sticky for the
+//!    device or the affected vector respectively) instead of erroring.
+//!
+//! Every operation returns a [`RecoveryReport`] accounting faults seen,
+//! retries, remaps, scrubs, CPU fallbacks, and the added latency/energy.
+
+use std::collections::BTreeMap;
+
+use ambit_dram::{DramError, FaultCampaign, RefreshParams, RefreshScheduler};
+
+use crate::driver::{AmbitMemory, BitVectorHandle};
+use crate::ecc::{bitwise_tmr, TmrVector};
+use crate::error::{AmbitError, Result};
+use crate::ops::BitwiseOp;
+
+/// Policy knobs for the resilient executor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilientConfig {
+    /// Maximum in-DRAM retries per operation before repairing or
+    /// degrading.
+    pub max_retries: u32,
+    /// Retry backoff budget in AAP primitives per operation: a retry is
+    /// only attempted while the AAPs already spent stay within budget.
+    pub retry_aap_budget: u64,
+    /// Scrub every vector after this many operations (0 disables periodic
+    /// scrubbing; faults are then only healed on detection).
+    pub scrub_interval_ops: u32,
+    /// Per-replica per-bit TRA flip rate above which in-DRAM execution is
+    /// abandoned for the device (sticky CPU degradation). The decision is
+    /// a Poisson-style significance test on the suspect count, so small
+    /// vectors do not degrade on sampling noise. Below the threshold,
+    /// voting plus repair-from-truth bounds the silent-error probability
+    /// per bit by roughly the cube of the rate.
+    pub degrade_threshold: f64,
+    /// Remap attempts per permanent faulty bit (spare rows can themselves
+    /// contain stuck cells).
+    pub max_remap_attempts: u32,
+    /// Permit graceful degradation to CPU-side execution (paper Section
+    /// 5.4.3). When `false`, exhausted retries raise
+    /// [`AmbitError::RetriesExhausted`] instead.
+    pub allow_cpu_fallback: bool,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        ResilientConfig {
+            max_retries: 3,
+            retry_aap_budget: 256,
+            scrub_interval_ops: 8,
+            degrade_threshold: 0.005,
+            max_remap_attempts: 4,
+            allow_cpu_fallback: true,
+        }
+    }
+}
+
+/// Handle to a bitvector managed by the [`ResilientExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResilientHandle(u64);
+
+/// Recovery accounting for one operation (or cumulatively, from
+/// [`ResilientExecutor::report`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecoveryReport {
+    /// Operations executed.
+    pub ops: u64,
+    /// Suspect bits observed across all voted reads.
+    pub faults_detected: u64,
+    /// In-DRAM retries performed.
+    pub retries: u64,
+    /// Permanent-fault row remaps to spare rows.
+    pub remaps: u64,
+    /// Scrub passes (source, destination, and periodic).
+    pub scrubs: u64,
+    /// Operations completed by CPU-side software fallback.
+    pub cpu_fallbacks: u64,
+    /// Bits corrected by voting/scrubbing/repair.
+    pub corrected_bits: u64,
+    /// Refresh commands issued while catching the campaign clock up.
+    pub refreshes: u64,
+    /// Retention-decay flips armed by the campaign.
+    pub decay_flips: u64,
+    /// Latency of recovery work (retry attempts) in picoseconds. Scrubs
+    /// and CPU fallback use untimed backdoor accesses and contribute zero.
+    pub added_latency_ps: u64,
+    /// Energy of recovery work (retry attempts) in nanojoules.
+    pub added_energy_nj: f64,
+    /// Whether the device is in sticky CPU-degraded mode.
+    pub degraded: bool,
+}
+
+impl RecoveryReport {
+    fn delta(&self, later: &RecoveryReport) -> RecoveryReport {
+        RecoveryReport {
+            ops: later.ops - self.ops,
+            faults_detected: later.faults_detected - self.faults_detected,
+            retries: later.retries - self.retries,
+            remaps: later.remaps - self.remaps,
+            scrubs: later.scrubs - self.scrubs,
+            cpu_fallbacks: later.cpu_fallbacks - self.cpu_fallbacks,
+            corrected_bits: later.corrected_bits - self.corrected_bits,
+            refreshes: later.refreshes - self.refreshes,
+            decay_flips: later.decay_flips - self.decay_flips,
+            added_latency_ps: later.added_latency_ps - self.added_latency_ps,
+            added_energy_nj: later.added_energy_nj - self.added_energy_nj,
+            degraded: later.degraded,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tmr: TmrVector,
+    /// Vector-level degradation: spares ran out while repairing it, so
+    /// operations writing it run on the CPU (voting still masks its bad
+    /// replica on reads).
+    degraded: bool,
+}
+
+enum AttemptOutcome {
+    /// The destination holds correct data (possibly after repair).
+    Done,
+    /// In-DRAM execution cannot or should not complete; fall back to CPU.
+    Fallback { retries: u32, suspects: usize },
+}
+
+/// Fault-tolerant front end over [`AmbitMemory`].
+///
+/// # Examples
+///
+/// ```
+/// use ambit_core::{BitwiseOp, ResilientConfig, ResilientExecutor};
+/// use ambit_dram::{AapMode, DramGeometry, TimingParams};
+///
+/// let mut exec = ResilientExecutor::new(
+///     ambit_core::AmbitMemory::new(
+///         DramGeometry::tiny(),
+///         TimingParams::ddr3_1600(),
+///         AapMode::Overlapped,
+///     ),
+///     ResilientConfig::default(),
+/// );
+/// let bits = exec.memory().row_bits();
+/// let a = exec.alloc(bits)?;
+/// let b = exec.alloc(bits)?;
+/// let out = exec.alloc(bits)?;
+/// exec.write(a, &vec![true; bits])?;
+/// exec.write(b, &vec![false; bits])?;
+/// let report = exec.bitwise(BitwiseOp::Or, a, Some(b), out)?;
+/// assert_eq!(report.ops, 1);
+/// assert!(exec.read(out)?.iter().all(|&v| v));
+/// # Ok::<(), ambit_core::AmbitError>(())
+/// ```
+#[derive(Debug)]
+pub struct ResilientExecutor {
+    mem: AmbitMemory,
+    cfg: ResilientConfig,
+    campaign: Option<FaultCampaign>,
+    refresh: RefreshScheduler,
+    vectors: BTreeMap<u64, Entry>,
+    next_id: u64,
+    ops_since_scrub: u32,
+    /// Device-level sticky degradation: the observed TRA flip rate was too
+    /// high for voting to bound the silent-error probability.
+    degraded: bool,
+    report: RecoveryReport,
+}
+
+impl ResilientExecutor {
+    /// Wraps an Ambit memory with the default refresh schedule and no
+    /// fault campaign.
+    pub fn new(mem: AmbitMemory, cfg: ResilientConfig) -> Self {
+        ResilientExecutor {
+            mem,
+            cfg,
+            campaign: None,
+            refresh: RefreshScheduler::new(RefreshParams::ddr3_4gb()),
+            vectors: BTreeMap::new(),
+            next_id: 0,
+            ops_since_scrub: 0,
+            degraded: false,
+            report: RecoveryReport::default(),
+        }
+    }
+
+    /// Wraps an Ambit memory and applies a fault campaign to it: stuck
+    /// cells are injected, per-subarray TRA rates set, and retention decay
+    /// armed on every operation as refresh windows elapse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign application errors (geometry mismatch).
+    pub fn with_campaign(
+        mem: AmbitMemory,
+        cfg: ResilientConfig,
+        campaign: FaultCampaign,
+    ) -> Result<Self> {
+        let mut exec = ResilientExecutor::new(mem, cfg);
+        exec.mem.apply_campaign(&campaign)?;
+        exec.campaign = Some(campaign);
+        Ok(exec)
+    }
+
+    /// The wrapped memory (read-only).
+    pub fn memory(&self) -> &AmbitMemory {
+        &self.mem
+    }
+
+    /// Mutable access to the wrapped memory, for configuration and tests.
+    pub fn memory_mut(&mut self) -> &mut AmbitMemory {
+        &mut self.mem
+    }
+
+    /// Cumulative recovery accounting since construction.
+    pub fn report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// Whether the executor has degraded to CPU-only execution.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The raw driver handles of the vector's three replicas — for
+    /// fault-injection campaigns that target specific replicas.
+    ///
+    /// # Errors
+    ///
+    /// [`AmbitError::UnknownHandle`] for stale handles.
+    pub fn replicas(&mut self, handle: ResilientHandle) -> Result<[BitVectorHandle; 3]> {
+        Ok(self.entry(handle)?.tmr.replicas())
+    }
+
+    /// Allocates a TMR-protected bitvector.
+    ///
+    /// # Errors
+    ///
+    /// [`AmbitError::EmptyAllocation`] for zero bits; out-of-memory if the
+    /// device cannot hold three replicas.
+    pub fn alloc(&mut self, bits: usize) -> Result<ResilientHandle> {
+        let tmr = TmrVector::alloc(&mut self.mem, bits)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.vectors.insert(
+            id,
+            Entry {
+                tmr,
+                degraded: false,
+            },
+        );
+        Ok(ResilientHandle(id))
+    }
+
+    /// Writes `data` to all replicas of the vector.
+    ///
+    /// # Errors
+    ///
+    /// [`AmbitError::UnknownHandle`] or a size mismatch from the driver.
+    pub fn write(&mut self, handle: ResilientHandle, data: &[bool]) -> Result<()> {
+        let tmr = self.entry(handle)?.tmr;
+        tmr.write(&mut self.mem, data)
+    }
+
+    /// Voted read. Detected corruption is healed in place: the vector is
+    /// scrubbed, and bits that survive the scrub are treated as permanent
+    /// faults and remapped to spare rows.
+    ///
+    /// # Errors
+    ///
+    /// [`AmbitError::UnknownHandle`] or driver errors.
+    pub fn read(&mut self, handle: ResilientHandle) -> Result<Vec<bool>> {
+        let entry = self.entry(handle)?;
+        let tmr = entry.tmr;
+        let read = tmr.read_voted(&self.mem)?;
+        if !read.corrected.is_empty() {
+            self.report.faults_detected += read.corrected.len() as u64;
+            self.heal(handle)?;
+        }
+        Ok(read.data)
+    }
+
+    /// Executes `dst = op(a, b)` with the full detect → retry → remap →
+    /// degrade pipeline, returning the recovery accounting for this
+    /// operation alone. Structurally impossible in-DRAM operations
+    /// (operands not co-located, not row-aligned) fall back to the CPU
+    /// path silently, as the paper's driver does.
+    ///
+    /// # Errors
+    ///
+    /// * [`AmbitError::RetriesExhausted`] if retries run out and
+    ///   [`ResilientConfig::allow_cpu_fallback`] is `false`.
+    /// * [`AmbitError::UnknownHandle`], size mismatches, and other driver
+    ///   errors that no amount of retrying can fix.
+    pub fn bitwise(
+        &mut self,
+        op: BitwiseOp,
+        a: ResilientHandle,
+        b: Option<ResilientHandle>,
+        dst: ResilientHandle,
+    ) -> Result<RecoveryReport> {
+        let before = self.report;
+        self.tick();
+
+        let ea = *self.entry(a)?;
+        let eb = match b {
+            Some(h) => Some(*self.entry(h)?),
+            None => None,
+        };
+        let ed = *self.entry(dst)?;
+        let operand_degraded =
+            ea.degraded || ed.degraded || eb.as_ref().is_some_and(|e| e.degraded);
+
+        let mut completed = false;
+        if !self.degraded && !operand_degraded {
+            match self.try_in_dram(op, &ea.tmr, eb.as_ref().map(|e| &e.tmr), &ed.tmr)? {
+                AttemptOutcome::Done => completed = true,
+                AttemptOutcome::Fallback { retries, suspects } => {
+                    if !self.cfg.allow_cpu_fallback {
+                        return Err(AmbitError::RetriesExhausted {
+                            retries,
+                            suspect_bits: suspects,
+                        });
+                    }
+                }
+            }
+        }
+        if !completed {
+            let truth = self.cpu_compute(op, &ea.tmr, eb.as_ref().map(|e| &e.tmr))?;
+            ed.tmr.write(&mut self.mem, &truth)?;
+            self.report.cpu_fallbacks += 1;
+        }
+
+        // Classify any residual destination disagreement: what survives a
+        // scrub is permanent and gets remapped.
+        self.heal(dst)?;
+        self.report.ops += 1;
+        self.ops_since_scrub += 1;
+        if self.cfg.scrub_interval_ops > 0 && self.ops_since_scrub >= self.cfg.scrub_interval_ops
+        {
+            self.ops_since_scrub = 0;
+            self.scrub_all()?;
+        }
+        Ok(before.delta(&self.report))
+    }
+
+    /// Scrubs every vector now (also runs periodically per
+    /// [`ResilientConfig::scrub_interval_ops`]). Returns bits repaired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    pub fn scrub_all(&mut self) -> Result<u64> {
+        let tmrs: Vec<TmrVector> = self.vectors.values().map(|e| e.tmr).collect();
+        let mut repaired = 0u64;
+        for tmr in tmrs {
+            repaired += tmr.scrub(&mut self.mem)? as u64;
+            self.report.scrubs += 1;
+        }
+        self.report.corrected_bits += repaired;
+        Ok(repaired)
+    }
+
+    fn entry(&mut self, handle: ResilientHandle) -> Result<&mut Entry> {
+        self.vectors
+            .get_mut(&handle.0)
+            .ok_or(AmbitError::UnknownHandle { id: handle.0 })
+    }
+
+    /// Advances the fault-campaign clock (refresh + retention decay).
+    fn tick(&mut self) {
+        if let Some(campaign) = self.campaign.as_mut() {
+            let tick = self.mem.campaign_tick(campaign, &mut self.refresh);
+            self.report.refreshes += tick.refreshes;
+            self.report.decay_flips += tick.decay_flips;
+        } else {
+            self.report.refreshes += self
+                .refresh
+                .catch_up(self.mem.controller_mut().timer_mut());
+        }
+    }
+
+    /// One in-DRAM execution attempt loop: TMR op, voted verification,
+    /// budgeted retries with source scrubs, then repair-from-truth or
+    /// degradation.
+    fn try_in_dram(
+        &mut self,
+        op: BitwiseOp,
+        a: &TmrVector,
+        b: Option<&TmrVector>,
+        dst: &TmrVector,
+    ) -> Result<AttemptOutcome> {
+        let bits = dst.len_bits();
+        let mut retries = 0u32;
+        let mut aaps_spent = 0u64;
+        loop {
+            let first_attempt = retries == 0;
+            let receipt = match bitwise_tmr(&mut self.mem, op, a, b, dst) {
+                Ok(r) => r,
+                // Structural impossibility: the paper's driver executes
+                // these on the CPU (Section 5.4.3).
+                Err(AmbitError::NotColocated { .. }) | Err(AmbitError::NotRowAligned { .. }) => {
+                    return Ok(AttemptOutcome::Fallback {
+                        retries,
+                        suspects: 0,
+                    });
+                }
+                // A stale operand row: scrubbing rewrites (and thereby
+                // refreshes) the operands, then the op is retried.
+                Err(AmbitError::Dram(DramError::RetentionViolation { .. }))
+                    if retries < self.cfg.max_retries =>
+                {
+                    retries += 1;
+                    self.report.retries += 1;
+                    self.scrub_sources(a, b)?;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let last_attempt_aaps = receipt.aaps as u64;
+            if !first_attempt {
+                // Only recovery work counts as "added" cost; the first
+                // attempt is the operation's baseline.
+                self.report.added_latency_ps += receipt.latency_ps();
+                self.report.added_energy_nj += receipt.energy_nj;
+            }
+            aaps_spent += last_attempt_aaps;
+
+            let read = dst.read_voted(&self.mem)?;
+            let suspects = read.corrected.len();
+            if suspects == 0 {
+                return Ok(AttemptOutcome::Done);
+            }
+            self.report.faults_detected += suspects as u64;
+
+            // Each independently-flipped bit disagrees in one replica, so
+            // at the threshold rate the expected suspect count is
+            // 3 · threshold · bits. Degrade only on a statistically clear
+            // excess (mean + 3σ + slack), so small vectors don't trip on
+            // Poisson noise.
+            let expected_at_threshold = 3.0 * self.cfg.degrade_threshold * bits as f64;
+            let degrade_bound = expected_at_threshold + 3.0 * expected_at_threshold.sqrt() + 3.0;
+            let budget_ok = aaps_spent + last_attempt_aaps <= self.cfg.retry_aap_budget;
+            if retries < self.cfg.max_retries && budget_ok {
+                retries += 1;
+                self.report.retries += 1;
+                // Backoff in commands: scrub the sources so the retry
+                // starts from consistent replicas.
+                self.scrub_sources(a, b)?;
+                continue;
+            }
+
+            if suspects as f64 > degrade_bound {
+                // Too unreliable for voting to bound silent errors:
+                // degrade the whole device to CPU execution (sticky).
+                self.degraded = true;
+                self.report.degraded = true;
+                return Ok(AttemptOutcome::Fallback { retries, suspects });
+            }
+
+            // Low rate: repair the flagged bits from ground truth and
+            // accept. Unflagged bits are wrong only if all three replicas
+            // flipped identically — probability `rate³` per bit.
+            let truth = self.cpu_compute(op, a, b)?;
+            let mut data = read.data;
+            for &i in &read.corrected {
+                data[i] = truth[i];
+            }
+            dst.write(&mut self.mem, &data)?;
+            self.report.scrubs += 1;
+            self.report.corrected_bits += suspects as u64;
+            return Ok(AttemptOutcome::Done);
+        }
+    }
+
+    fn scrub_sources(&mut self, a: &TmrVector, b: Option<&TmrVector>) -> Result<()> {
+        let mut repaired = a.scrub(&mut self.mem)?;
+        self.report.scrubs += 1;
+        if let Some(b) = b {
+            repaired += b.scrub(&mut self.mem)?;
+            self.report.scrubs += 1;
+        }
+        self.report.corrected_bits += repaired as u64;
+        Ok(())
+    }
+
+    /// Computes the operation CPU-side from the voted source values.
+    fn cpu_compute(
+        &self,
+        op: BitwiseOp,
+        a: &TmrVector,
+        b: Option<&TmrVector>,
+    ) -> Result<Vec<bool>> {
+        let va = a.read_voted(&self.mem)?.data;
+        let vb = match b {
+            Some(b) => Some(b.read_voted(&self.mem)?.data),
+            None => None,
+        };
+        Ok((0..va.len())
+            .map(|i| {
+                let x = va[i] as u64;
+                let y = vb.as_ref().map_or(0, |v| v[i] as u64);
+                op.apply_words(x, y) & 1 == 1
+            })
+            .collect())
+    }
+
+    /// Scrub-then-classify: disagreement that survives a scrub is a
+    /// permanent fault (the scrub path bypasses TRA entirely), and the
+    /// faulty replica's row is remapped to a spare. When spares run out
+    /// the vector is marked degraded instead of erroring.
+    fn heal(&mut self, handle: ResilientHandle) -> Result<()> {
+        let tmr = self.entry(handle)?.tmr;
+        if tmr.read_voted(&self.mem)?.corrected.is_empty() {
+            return Ok(());
+        }
+        let repaired = tmr.scrub(&mut self.mem)?;
+        self.report.scrubs += 1;
+        self.report.corrected_bits += repaired as u64;
+        let persistent = tmr.read_voted(&self.mem)?.corrected;
+        for bit in persistent {
+            if !self.remap_faulty_bit(tmr, bit)? {
+                self.entry(handle)?.degraded = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Remaps whichever replica disagrees at `bit` until the bit votes
+    /// cleanly or attempts run out. Returns `false` if spare rows are
+    /// exhausted (the caller degrades the vector).
+    fn remap_faulty_bit(&mut self, tmr: TmrVector, bit: usize) -> Result<bool> {
+        let replicas = tmr.replicas();
+        for _ in 0..self.cfg.max_remap_attempts {
+            let values: Vec<bool> = replicas
+                .iter()
+                .map(|&r| Ok(self.mem.peek_bits(r)?[bit]))
+                .collect::<Result<_>>()?;
+            let voted = values.iter().filter(|&&v| v).count() >= 2;
+            let Some(faulty) = (0..3).find(|&i| values[i] != voted) else {
+                return Ok(true); // a spare took the write; bit is clean
+            };
+            match self.mem.remap_bit(replicas[faulty], bit) {
+                Ok(()) => {
+                    self.report.remaps += 1;
+                    // The spare row inherited the old (faulty) contents;
+                    // rewrite the voted value through the new mapping.
+                    let healed = tmr.scrub(&mut self.mem)?;
+                    self.report.scrubs += 1;
+                    self.report.corrected_bits += healed as u64;
+                }
+                Err(AmbitError::SpareRowsExhausted { .. }) => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        // Attempts exhausted (e.g. stuck spares): give up on remapping.
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ambit_dram::{AapMode, CampaignConfig, CellFault, DramGeometry, TimingParams};
+
+    fn memory() -> AmbitMemory {
+        AmbitMemory::new(
+            DramGeometry::tiny(),
+            TimingParams::ddr3_1600(),
+            AapMode::Overlapped,
+        )
+    }
+
+    fn pattern(bits: usize, stride: usize) -> Vec<bool> {
+        (0..bits).map(|i| i % stride == 0).collect()
+    }
+
+    fn expected(op: BitwiseOp, a: &[bool], b: &[bool]) -> Vec<bool> {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| op.apply_words(x as u64, y as u64) & 1 == 1)
+            .collect()
+    }
+
+    #[test]
+    fn clean_device_runs_without_recovery() {
+        let mut exec = ResilientExecutor::new(memory(), ResilientConfig::default());
+        let bits = exec.memory().row_bits();
+        let (a, b, out) = (
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+        );
+        let da = pattern(bits, 2);
+        let db = pattern(bits, 3);
+        exec.write(a, &da).unwrap();
+        exec.write(b, &db).unwrap();
+        let report = exec.bitwise(BitwiseOp::Xor, a, Some(b), out).unwrap();
+        assert_eq!(exec.read(out).unwrap(), expected(BitwiseOp::Xor, &da, &db));
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.cpu_fallbacks, 0);
+        assert_eq!(report.remaps, 0);
+        assert_eq!(report.added_latency_ps, 0);
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_result_is_correct() {
+        let mut mem = memory();
+        mem.set_tra_fault_rate(0.003).unwrap(); // Table 2 ±10 %ish
+        let mut exec = ResilientExecutor::new(mem, ResilientConfig::default());
+        let bits = exec.memory().row_bits();
+        let (a, b, out) = (
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+        );
+        let da = pattern(bits, 2);
+        let db = pattern(bits, 5);
+        exec.write(a, &da).unwrap();
+        exec.write(b, &db).unwrap();
+        let mut total = RecoveryReport::default();
+        for _ in 0..16 {
+            let r = exec.bitwise(BitwiseOp::And, a, Some(b), out).unwrap();
+            total.retries += r.retries;
+            total.faults_detected += r.faults_detected;
+            assert_eq!(
+                exec.read(out).unwrap(),
+                expected(BitwiseOp::And, &da, &db),
+                "resilient AND must be exact despite transient TRA faults"
+            );
+        }
+        assert!(
+            total.faults_detected > 0,
+            "at 0.3 % per TRA over 16 ops some faults should fire"
+        );
+        assert!(!exec.is_degraded());
+    }
+
+    #[test]
+    fn catastrophic_rate_degrades_to_cpu_and_stays_correct() {
+        let mut mem = memory();
+        mem.set_tra_fault_rate(0.26).unwrap(); // Table 2 ±25 %
+        let mut exec = ResilientExecutor::new(mem, ResilientConfig::default());
+        let bits = exec.memory().row_bits();
+        let (a, b, out) = (
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+        );
+        let da = pattern(bits, 3);
+        let db = pattern(bits, 4);
+        exec.write(a, &da).unwrap();
+        exec.write(b, &db).unwrap();
+        let report = exec.bitwise(BitwiseOp::Or, a, Some(b), out).unwrap();
+        assert!(report.degraded, "26 % flip rate must trigger degradation");
+        assert_eq!(report.cpu_fallbacks, 1);
+        assert_eq!(exec.read(out).unwrap(), expected(BitwiseOp::Or, &da, &db));
+        // Subsequent ops short-circuit to the CPU path.
+        let r2 = exec.bitwise(BitwiseOp::Xor, a, Some(b), out).unwrap();
+        assert_eq!(r2.retries, 0);
+        assert_eq!(r2.cpu_fallbacks, 1);
+        assert_eq!(exec.read(out).unwrap(), expected(BitwiseOp::Xor, &da, &db));
+    }
+
+    #[test]
+    fn fallback_disabled_surfaces_retries_exhausted() {
+        let mut mem = memory();
+        mem.set_tra_fault_rate(0.26).unwrap();
+        let cfg = ResilientConfig {
+            allow_cpu_fallback: false,
+            ..ResilientConfig::default()
+        };
+        let mut exec = ResilientExecutor::new(mem, cfg);
+        let bits = exec.memory().row_bits();
+        let (a, b, out) = (
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+        );
+        exec.write(a, &pattern(bits, 2)).unwrap();
+        exec.write(b, &pattern(bits, 3)).unwrap();
+        let err = exec.bitwise(BitwiseOp::And, a, Some(b), out).unwrap_err();
+        assert!(matches!(err, AmbitError::RetriesExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn stuck_cell_is_classified_permanent_and_remapped() {
+        let mut mem = memory();
+        mem.reserve_spare_rows(2).unwrap();
+        let mut exec = ResilientExecutor::new(mem, ResilientConfig::default());
+        let bits = exec.memory().row_bits();
+        let (a, b, out) = (
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+        );
+        let da = vec![true; bits];
+        let db = pattern(bits, 2);
+        exec.write(a, &da).unwrap();
+        exec.write(b, &db).unwrap();
+        // Stick a bit of the destination's replica 0 at the wrong value.
+        let victim = {
+            let tmr = exec.vectors.get(&out.0).unwrap().tmr;
+            tmr.replicas()[0]
+        };
+        exec.memory_mut()
+            .inject_fault(victim, 1, CellFault::StuckAtOne)
+            .unwrap();
+        let report = exec.bitwise(BitwiseOp::And, a, Some(b), out).unwrap();
+        // bit 1 of AND(1..., 101010...) is 0; stuck-at-1 disagrees, the
+        // scrub can't fix it, so it must have been remapped.
+        assert!(report.remaps >= 1, "stuck cell should be remapped: {report:?}");
+        assert_eq!(exec.read(out).unwrap(), expected(BitwiseOp::And, &da, &db));
+        assert_eq!(exec.memory().bad_rows().len(), report.remaps as usize);
+        // After the remap the fault is gone for good.
+        let r2 = exec.bitwise(BitwiseOp::And, a, Some(b), out).unwrap();
+        assert_eq!(r2.remaps, 0);
+        assert_eq!(exec.read(out).unwrap(), expected(BitwiseOp::And, &da, &db));
+    }
+
+    #[test]
+    fn spare_exhaustion_degrades_vector_not_errors() {
+        let mut exec = ResilientExecutor::new(memory(), ResilientConfig::default());
+        let bits = exec.memory().row_bits();
+        let (a, b, out) = (
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+        );
+        let da = vec![true; bits];
+        let db = pattern(bits, 2);
+        exec.write(a, &da).unwrap();
+        exec.write(b, &db).unwrap();
+        let victim = exec.vectors.get(&out.0).unwrap().tmr.replicas()[0];
+        exec.memory_mut()
+            .inject_fault(victim, 1, CellFault::StuckAtOne)
+            .unwrap();
+        // No spare rows were reserved, so remapping must fail — gracefully.
+        let report = exec.bitwise(BitwiseOp::And, a, Some(b), out).unwrap();
+        assert_eq!(report.remaps, 0);
+        assert_eq!(exec.read(out).unwrap(), expected(BitwiseOp::And, &da, &db));
+        assert!(exec.vectors.get(&out.0).unwrap().degraded);
+        // Later ops on the degraded vector run on the CPU but stay exact.
+        let r2 = exec.bitwise(BitwiseOp::Or, a, Some(b), out).unwrap();
+        assert_eq!(r2.cpu_fallbacks, 1);
+        assert_eq!(exec.read(out).unwrap(), expected(BitwiseOp::Or, &da, &db));
+    }
+
+    #[test]
+    fn campaign_decay_is_ticked_through_ops() {
+        let geometry = DramGeometry::tiny();
+        let campaign = FaultCampaign::plan(
+            CampaignConfig {
+                seed: 42,
+                base_tra_rate: 0.0,
+                weak_cells_per_subarray: 4,
+                decay_probability: 1.0,
+                first_eligible_row: 8,
+                ..CampaignConfig::default()
+            },
+            &geometry,
+        )
+        .unwrap();
+        let mem = AmbitMemory::new(geometry, TimingParams::ddr3_1600(), AapMode::Overlapped);
+        let mut exec =
+            ResilientExecutor::with_campaign(mem, ResilientConfig::default(), campaign).unwrap();
+        let bits = exec.memory().row_bits();
+        let (a, out) = (exec.alloc(bits).unwrap(), exec.alloc(bits).unwrap());
+        exec.write(a, &pattern(bits, 2)).unwrap();
+        // Run enough timed ops to cross refresh intervals (tREFI 7.8 µs,
+        // each TMR NOT ≈ 0.3 µs) and observe decay flips being armed.
+        let mut saw_refresh = false;
+        for _ in 0..200 {
+            exec.bitwise(BitwiseOp::Not, a, None, out).unwrap();
+            if exec.report().refreshes > 0 {
+                saw_refresh = true;
+                break;
+            }
+        }
+        assert!(saw_refresh, "ops should advance time past a refresh window");
+        assert_eq!(exec.read(a).unwrap(), pattern(bits, 2), "reads self-heal");
+    }
+
+    #[test]
+    fn per_op_report_is_a_delta_not_cumulative() {
+        let mut exec = ResilientExecutor::new(memory(), ResilientConfig::default());
+        let bits = exec.memory().row_bits();
+        let (a, out) = (exec.alloc(bits).unwrap(), exec.alloc(bits).unwrap());
+        exec.write(a, &pattern(bits, 2)).unwrap();
+        let r1 = exec.bitwise(BitwiseOp::Not, a, None, out).unwrap();
+        let r2 = exec.bitwise(BitwiseOp::Not, a, None, out).unwrap();
+        assert_eq!(r1.ops, 1);
+        assert_eq!(r2.ops, 1);
+        assert_eq!(exec.report().ops, 2);
+    }
+
+    #[test]
+    fn unknown_handle_is_rejected() {
+        let mut exec = ResilientExecutor::new(memory(), ResilientConfig::default());
+        let err = exec.read(ResilientHandle(99)).unwrap_err();
+        assert!(matches!(err, AmbitError::UnknownHandle { id: 99 }));
+    }
+}

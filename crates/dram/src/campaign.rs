@@ -1,0 +1,483 @@
+//! Seeded fault-injection campaigns over a whole DRAM device.
+//!
+//! The paper's reliability discussion (Sections 5.5 and 6) names three
+//! distinct failure mechanisms that an Ambit deployment must absorb:
+//!
+//! 1. **Manufacturing stuck-at cells** — found during post-production
+//!    testing and repaired by remapping the row to a spare row in the same
+//!    subarray (Section 5.5.3);
+//! 2. **Transient triple-row-activation failures** — process variation
+//!    shifts cell capacitance and sense-amplifier offset so a TRA
+//!    occasionally senses the wrong majority (Section 6, Table 2). The
+//!    failure probability differs from subarray to subarray because
+//!    variation is spatially correlated;
+//! 3. **Retention decay** — cells leak charge and weak cells flip if a
+//!    refresh window elapses without the row being rewritten
+//!    (Section 3.2, issue 4).
+//!
+//! [`FaultCampaign`] packages all three into one deterministic, seeded
+//! plan. Planning samples *per-subarray* TRA fault rates (feed the base
+//! rate from `ambit_circuit::montecarlo`, or supply one measured rate per
+//! subarray via [`FaultCampaign::plan_with_rates`]), a set of stuck-at
+//! cells, and a set of retention-weak cells. Applying the plan installs
+//! the stuck cells and rates into a [`DramDevice`]; the retention-weak
+//! cells are *armed* over time by piggy-backing on the
+//! [`RefreshScheduler`]: every refresh interval that elapses on the
+//! command timeline gives each weak cell a chance to flip.
+//!
+//! The same seed always reproduces the same plan and the same decay
+//! schedule, so campaigns replay deterministically.
+
+use std::collections::HashSet;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::controller::CommandTimer;
+use crate::device::DramDevice;
+use crate::error::{DramError, Result};
+use crate::geometry::{BankId, DramGeometry, RowLocation};
+use crate::refresh::RefreshScheduler;
+use crate::subarray::CellFault;
+
+/// Parameters of a fault campaign, all deterministic given `seed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignConfig {
+    /// Seed for the campaign's private RNG (plan sampling and decay).
+    pub seed: u64,
+    /// Device-average per-bitline transient TRA failure probability.
+    /// Derive this from `ambit_circuit::montecarlo::run_monte_carlo`'s
+    /// `failure_rate()` at the process-variation level under study.
+    pub base_tra_rate: f64,
+    /// Relative spread of the per-subarray TRA rate around the base rate:
+    /// each subarray's rate is sampled uniformly from
+    /// `base_tra_rate * [1 - spread, 1 + spread]` (clamped to `[0, 1]`),
+    /// modelling spatially correlated process variation.
+    pub tra_rate_spread: f64,
+    /// Stuck-at cells to plant per subarray.
+    pub stuck_cells_per_subarray: usize,
+    /// Retention-weak cells to plant per subarray.
+    pub weak_cells_per_subarray: usize,
+    /// Probability that a weak cell flips per elapsed refresh interval.
+    pub decay_probability: f64,
+    /// Rows below this index are exempt from stuck/weak cell placement.
+    /// Set this to the first data row so reserved control rows (whose
+    /// constants the accelerator depends on) stay clean.
+    pub first_eligible_row: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0xA3B1_7C0D_E001,
+            base_tra_rate: 0.0,
+            tra_rate_spread: 0.25,
+            stuck_cells_per_subarray: 0,
+            weak_cells_per_subarray: 0,
+            decay_probability: 0.0,
+            first_eligible_row: 0,
+        }
+    }
+}
+
+/// A stuck-at cell planted by the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckCell {
+    /// Physical row within the subarray.
+    pub row: usize,
+    /// Bit position within the row.
+    pub bit: usize,
+    /// The pinned value.
+    pub fault: CellFault,
+}
+
+/// The sampled fault profile of one subarray.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubarrayFaultPlan {
+    /// Flat bank index (see [`BankId::flat_index`]).
+    pub bank: usize,
+    /// Subarray index within the bank.
+    pub subarray: usize,
+    /// This subarray's transient TRA failure probability per bitline.
+    pub tra_rate: f64,
+    /// Stuck-at cells to install.
+    pub stuck: Vec<StuckCell>,
+    /// Retention-weak cells, as `(row, bit)`.
+    pub weak: Vec<(usize, usize)>,
+}
+
+/// What one [`FaultCampaign::catch_up`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignTick {
+    /// Refresh commands issued by the piggy-backed scheduler.
+    pub refreshes: u64,
+    /// Weak-cell flips injected for the elapsed refresh intervals.
+    pub decay_flips: u64,
+}
+
+/// A seeded, deterministic fault-injection campaign.
+///
+/// Build one with [`plan`](Self::plan) (or
+/// [`plan_with_rates`](Self::plan_with_rates)), install it with
+/// [`apply`](Self::apply), then drive retention decay by replacing direct
+/// `RefreshScheduler::catch_up` calls with [`catch_up`](Self::catch_up).
+#[derive(Debug, Clone)]
+pub struct FaultCampaign {
+    config: CampaignConfig,
+    geometry: DramGeometry,
+    plans: Vec<SubarrayFaultPlan>,
+    rng: StdRng,
+    decay_flips: u64,
+}
+
+impl FaultCampaign {
+    /// Samples a campaign plan for `geometry` from `config.seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidFaultRate`] if `base_tra_rate` or
+    /// `decay_probability` is not a probability, or
+    /// [`DramError::RowOutOfRange`] if `first_eligible_row` leaves no
+    /// eligible rows.
+    pub fn plan(config: CampaignConfig, geometry: &DramGeometry) -> Result<Self> {
+        Self::plan_inner(config, geometry, None)
+    }
+
+    /// Like [`plan`](Self::plan), but with one externally measured TRA
+    /// rate per subarray (row-major over `flat_bank * subarrays_per_bank +
+    /// subarray`) instead of sampling rates around `base_tra_rate` — use
+    /// this to feed each subarray its own Monte Carlo result.
+    ///
+    /// # Errors
+    ///
+    /// As [`plan`](Self::plan); additionally rejects a `rates` slice whose
+    /// length differs from the device's subarray count or that contains a
+    /// non-probability.
+    pub fn plan_with_rates(
+        config: CampaignConfig,
+        geometry: &DramGeometry,
+        rates: &[f64],
+    ) -> Result<Self> {
+        let expected = geometry.total_banks() * geometry.subarrays_per_bank;
+        if rates.len() != expected {
+            return Err(DramError::RowOutOfRange {
+                row: rates.len(),
+                rows: expected,
+            });
+        }
+        Self::plan_inner(config, geometry, Some(rates))
+    }
+
+    fn plan_inner(
+        config: CampaignConfig,
+        geometry: &DramGeometry,
+        rates: Option<&[f64]>,
+    ) -> Result<Self> {
+        for rate in [config.base_tra_rate, config.decay_probability] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(DramError::invalid_fault_rate(rate));
+            }
+        }
+        if let Some(rates) = rates {
+            for &rate in rates {
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(DramError::invalid_fault_rate(rate));
+                }
+            }
+        }
+        let rows = geometry.rows_per_subarray;
+        let planting = config.stuck_cells_per_subarray + config.weak_cells_per_subarray;
+        if planting > 0 && config.first_eligible_row >= rows {
+            return Err(DramError::RowOutOfRange {
+                row: config.first_eligible_row,
+                rows,
+            });
+        }
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let bits = geometry.row_bits();
+        let mut plans = Vec::new();
+        for bank in 0..geometry.total_banks() {
+            for subarray in 0..geometry.subarrays_per_bank {
+                let tra_rate = match rates {
+                    Some(rates) => rates[bank * geometry.subarrays_per_bank + subarray],
+                    None => {
+                        let jitter = 1.0 + config.tra_rate_spread * (rng.gen::<f64>() * 2.0 - 1.0);
+                        (config.base_tra_rate * jitter).clamp(0.0, 1.0)
+                    }
+                };
+                // Sample distinct cells so stuck and weak populations never
+                // overlap (a stuck cell cannot also decay).
+                let mut taken = HashSet::new();
+                let mut sample_cells = |rng: &mut StdRng, count: usize| -> Vec<(usize, usize)> {
+                    let mut cells = Vec::with_capacity(count);
+                    while cells.len() < count {
+                        let row = rng.gen_range(config.first_eligible_row..rows);
+                        let bit = rng.gen_range(0..bits);
+                        if taken.insert((row, bit)) {
+                            cells.push((row, bit));
+                        }
+                    }
+                    cells
+                };
+                let stuck = sample_cells(&mut rng, config.stuck_cells_per_subarray)
+                    .into_iter()
+                    .map(|(row, bit)| StuckCell {
+                        row,
+                        bit,
+                        fault: if rng.gen::<bool>() {
+                            CellFault::StuckAtOne
+                        } else {
+                            CellFault::StuckAtZero
+                        },
+                    })
+                    .collect();
+                let weak = sample_cells(&mut rng, config.weak_cells_per_subarray);
+                plans.push(SubarrayFaultPlan {
+                    bank,
+                    subarray,
+                    tra_rate,
+                    stuck,
+                    weak,
+                });
+            }
+        }
+        Ok(FaultCampaign {
+            config,
+            geometry: *geometry,
+            plans,
+            rng,
+            decay_flips: 0,
+        })
+    }
+
+    /// The campaign's configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// The sampled per-subarray fault profiles.
+    pub fn plans(&self) -> &[SubarrayFaultPlan] {
+        &self.plans
+    }
+
+    /// Total stuck-at cells across the device.
+    pub fn stuck_cell_count(&self) -> usize {
+        self.plans.iter().map(|p| p.stuck.len()).sum()
+    }
+
+    /// Retention-decay flips injected so far.
+    pub fn decay_flips(&self) -> u64 {
+        self.decay_flips
+    }
+
+    /// Installs the plan into `device`: plants every stuck-at cell and
+    /// sets each subarray's transient TRA fault rate. This replaces the
+    /// old single-knob global rate — every subarray gets its own sampled
+    /// probability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DramError::CellOutOfRange`] /
+    /// [`DramError::InvalidFaultRate`] if the plan does not fit `device`
+    /// (it always fits the geometry it was planned for).
+    pub fn apply(&self, device: &mut DramDevice) -> Result<()> {
+        let geometry = *device.geometry();
+        for plan in &self.plans {
+            let id = BankId::from_flat_index(plan.bank, &geometry);
+            let sa = device.bank_mut(id).subarray_mut(plan.subarray);
+            sa.set_tra_fault_rate(plan.tra_rate)?;
+            for cell in &plan.stuck {
+                sa.inject_fault(cell.row, cell.bit, cell.fault)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Piggy-backs on the refresh scheduler: issues every due refresh
+    /// against `timer`, then arms retention decay for the elapsed refresh
+    /// intervals — each weak cell flips with the configured probability
+    /// per interval. Call this wherever plain
+    /// [`RefreshScheduler::catch_up`] would be called.
+    pub fn catch_up(
+        &mut self,
+        scheduler: &mut RefreshScheduler,
+        timer: &mut CommandTimer,
+        device: &mut DramDevice,
+    ) -> CampaignTick {
+        let refreshes = scheduler.catch_up(timer);
+        let decay_flips = self.decay(device, refreshes);
+        CampaignTick {
+            refreshes,
+            decay_flips,
+        }
+    }
+
+    /// Arms retention decay directly for `windows` elapsed refresh
+    /// intervals, flipping each weak cell with the configured probability
+    /// per interval. Returns the number of flips injected.
+    pub fn decay(&mut self, device: &mut DramDevice, windows: u64) -> u64 {
+        if windows == 0
+            || self.config.decay_probability <= 0.0
+            || self.config.weak_cells_per_subarray == 0
+        {
+            return 0;
+        }
+        let mut flips = 0;
+        for _ in 0..windows {
+            for plan in &self.plans {
+                let id = BankId::from_flat_index(plan.bank, &self.geometry);
+                for &(row, bit) in &plan.weak {
+                    if self.rng.gen_bool(self.config.decay_probability) {
+                        let loc = RowLocation {
+                            bank: id,
+                            subarray: plan.subarray,
+                            row,
+                        };
+                        let mut data = device.peek(loc);
+                        data.set(bit, !data.get(bit));
+                        device.poke(loc, data);
+                        flips += 1;
+                    }
+                }
+            }
+        }
+        self.decay_flips += flips;
+        flips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refresh::RefreshParams;
+    use crate::timing::{AapMode, TimingParams};
+
+    fn config() -> CampaignConfig {
+        CampaignConfig {
+            seed: 7,
+            base_tra_rate: 0.01,
+            tra_rate_spread: 0.5,
+            stuck_cells_per_subarray: 2,
+            weak_cells_per_subarray: 3,
+            decay_probability: 0.25,
+            first_eligible_row: 8,
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_per_seed() {
+        let g = DramGeometry::tiny();
+        let a = FaultCampaign::plan(config(), &g).unwrap();
+        let b = FaultCampaign::plan(config(), &g).unwrap();
+        assert_eq!(a.plans(), b.plans());
+        let c = FaultCampaign::plan(CampaignConfig { seed: 8, ..config() }, &g).unwrap();
+        assert_ne!(a.plans(), c.plans(), "different seed, different plan");
+    }
+
+    #[test]
+    fn rates_vary_per_subarray_and_respect_bounds() {
+        let g = DramGeometry::tiny();
+        let campaign = FaultCampaign::plan(config(), &g).unwrap();
+        let rates: Vec<f64> = campaign.plans().iter().map(|p| p.tra_rate).collect();
+        assert_eq!(rates.len(), 4, "2 banks x 2 subarrays");
+        assert!(rates.iter().all(|r| (0.0..=1.0).contains(r)));
+        assert!(
+            rates.windows(2).any(|w| w[0] != w[1]),
+            "spread should differentiate subarrays: {rates:?}"
+        );
+        for p in campaign.plans() {
+            let lo = 0.01 * (1.0 - 0.5);
+            let hi = 0.01 * (1.0 + 0.5);
+            assert!(p.tra_rate >= lo && p.tra_rate <= hi, "{}", p.tra_rate);
+        }
+    }
+
+    #[test]
+    fn stuck_cells_avoid_reserved_rows_and_install() {
+        let g = DramGeometry::tiny();
+        let campaign = FaultCampaign::plan(config(), &g).unwrap();
+        assert_eq!(campaign.stuck_cell_count(), 2 * 4);
+        for p in campaign.plans() {
+            for c in &p.stuck {
+                assert!(c.row >= 8, "stuck cell in reserved row {}", c.row);
+            }
+            for &(row, _) in &p.weak {
+                assert!(row >= 8);
+            }
+        }
+        let mut device = DramDevice::new(g);
+        campaign.apply(&mut device).unwrap();
+        // Every subarray got its sampled rate.
+        for p in campaign.plans() {
+            let id = BankId::from_flat_index(p.bank, &g);
+            let got = device.bank(id).subarray(p.subarray).tra_fault_rate();
+            assert!((got - p.tra_rate).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn explicit_rates_override_sampling() {
+        let g = DramGeometry::tiny();
+        let rates = [0.1, 0.2, 0.3, 0.4];
+        let campaign =
+            FaultCampaign::plan_with_rates(config(), &g, &rates).unwrap();
+        let got: Vec<f64> = campaign.plans().iter().map(|p| p.tra_rate).collect();
+        assert_eq!(got, rates);
+        assert!(FaultCampaign::plan_with_rates(config(), &g, &rates[..2]).is_err());
+        assert!(matches!(
+            FaultCampaign::plan_with_rates(config(), &g, &[0.1, 0.2, 0.3, 1.5]),
+            Err(DramError::InvalidFaultRate { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let g = DramGeometry::tiny();
+        let bad_rate = CampaignConfig { base_tra_rate: 1.5, ..config() };
+        assert!(matches!(
+            FaultCampaign::plan(bad_rate, &g),
+            Err(DramError::InvalidFaultRate { .. })
+        ));
+        let bad_row = CampaignConfig { first_eligible_row: 32, ..config() };
+        assert!(matches!(
+            FaultCampaign::plan(bad_row, &g),
+            Err(DramError::RowOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn decay_flips_weak_cells_deterministically() {
+        let g = DramGeometry::tiny();
+        let run = || {
+            let mut campaign = FaultCampaign::plan(config(), &g).unwrap();
+            let mut device = DramDevice::new(g);
+            campaign.apply(&mut device).unwrap();
+            let flips = campaign.decay(&mut device, 16);
+            (flips, campaign.decay_flips())
+        };
+        let (flips_a, total_a) = run();
+        let (flips_b, total_b) = run();
+        assert_eq!(flips_a, flips_b, "seeded decay replays identically");
+        assert_eq!(total_a, total_b);
+        assert!(flips_a > 0, "16 windows x 12 weak cells x p=0.25 must flip");
+    }
+
+    #[test]
+    fn catch_up_piggybacks_on_refresh_scheduler() {
+        let g = DramGeometry::tiny();
+        let mut campaign = FaultCampaign::plan(config(), &g).unwrap();
+        let mut device = DramDevice::new(g);
+        campaign.apply(&mut device).unwrap();
+        let mut timer = CommandTimer::new(TimingParams::ddr3_1600(), AapMode::Overlapped);
+        let mut sched = RefreshScheduler::new(RefreshParams::ddr3_4gb());
+        // Nothing due yet: no refreshes, no decay.
+        let tick = campaign.catch_up(&mut sched, &mut timer, &mut device);
+        assert_eq!(tick, CampaignTick::default());
+        // Jump ~20 refresh intervals ahead.
+        timer.advance_to(20 * 7_800_000 + 1);
+        let tick = campaign.catch_up(&mut sched, &mut timer, &mut device);
+        assert_eq!(tick.refreshes, 20);
+        assert!(tick.decay_flips > 0);
+        assert_eq!(campaign.decay_flips(), tick.decay_flips);
+    }
+}

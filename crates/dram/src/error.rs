@@ -90,6 +90,33 @@ pub enum DramError {
         /// The raw row address.
         address: usize,
     },
+    /// A fault-injection rate was not a probability in `[0, 1]` (or was
+    /// NaN). The rate is carried as raw IEEE-754 bits so the error type
+    /// keeps its `Eq` implementation.
+    InvalidFaultRate {
+        /// The offending rate, as [`f64::to_bits`].
+        rate_bits: u64,
+    },
+    /// A fault-injection target referenced a cell outside the subarray.
+    CellOutOfRange {
+        /// Offending row index.
+        row: usize,
+        /// Offending bit index.
+        bit: usize,
+        /// Number of rows in the subarray.
+        rows: usize,
+        /// Row width in bits.
+        bits: usize,
+    },
+}
+
+impl DramError {
+    /// Builds an [`DramError::InvalidFaultRate`] from the offending rate.
+    pub fn invalid_fault_rate(rate: f64) -> Self {
+        DramError::InvalidFaultRate {
+            rate_bits: rate.to_bits(),
+        }
+    }
 }
 
 impl fmt::Display for DramError {
@@ -141,6 +168,20 @@ impl fmt::Display for DramError {
             DramError::UnmappedAddress { address } => {
                 write!(f, "row address {address} has no wordline mapping")
             }
+            DramError::InvalidFaultRate { rate_bits } => write!(
+                f,
+                "fault rate {} is not a probability in [0, 1]",
+                f64::from_bits(*rate_bits)
+            ),
+            DramError::CellOutOfRange {
+                row,
+                bit,
+                rows,
+                bits,
+            } => write!(
+                f,
+                "cell ({row}, {bit}) out of range for {rows}x{bits} subarray"
+            ),
         }
     }
 }
@@ -167,6 +208,8 @@ mod tests {
             DramError::ColumnOutOfRange { byte_offset: 9000, row_bytes: 8192 },
             DramError::TimingViolation { constraint: "tRAS", earliest_ps: 100, requested_ps: 50 },
             DramError::UnmappedAddress { address: 12 },
+            DramError::invalid_fault_rate(1.5),
+            DramError::CellOutOfRange { row: 40, bit: 3, rows: 32, bits: 128 },
         ];
         for e in errors {
             let s = e.to_string();

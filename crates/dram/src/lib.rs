@@ -42,6 +42,7 @@
 
 mod bank;
 mod bitrow;
+mod campaign;
 mod controller;
 mod device;
 mod energy;
@@ -55,6 +56,9 @@ mod timing;
 
 pub use bank::Bank;
 pub use bitrow::{BitRow, IterOnes};
+pub use campaign::{
+    CampaignConfig, CampaignTick, FaultCampaign, StuckCell, SubarrayFaultPlan,
+};
 pub use controller::{CommandTimer, TimerStats, TraceCommand, TraceEntry};
 pub use device::DramDevice;
 pub use energy::{EnergyAccount, EnergyModel};

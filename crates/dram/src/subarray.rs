@@ -229,15 +229,24 @@ impl Subarray {
 
     /// Injects a stuck-at fault at `(row, bit)` (physical coordinates).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the coordinates are out of range.
-    pub fn inject_fault(&mut self, row: usize, bit: usize, fault: CellFault) {
-        assert!(row < self.rows && bit < self.bits, "fault out of range");
+    /// Returns [`DramError::CellOutOfRange`] if the coordinates are out of
+    /// range.
+    pub fn inject_fault(&mut self, row: usize, bit: usize, fault: CellFault) -> Result<()> {
+        if row >= self.rows || bit >= self.bits {
+            return Err(DramError::CellOutOfRange {
+                row,
+                bit,
+                rows: self.rows,
+                bits: self.bits,
+            });
+        }
         self.faults.insert((row, bit), fault);
         // The fault takes effect immediately on the stored value.
         let data = self.peek_physical(row);
         self.storage.insert(row, self.apply_faults(row, data));
+        Ok(())
     }
 
     /// Removes all injected faults.
@@ -249,24 +258,47 @@ impl Subarray {
     /// repair of paper Section 5.5.3. All subsequent accesses to `from`
     /// reach `to` instead.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either row is out of range.
-    pub fn remap_row(&mut self, from: usize, to: usize) {
-        assert!(from < self.rows && to < self.rows, "remap out of range");
+    /// Returns [`DramError::RowOutOfRange`] if either row is out of range.
+    pub fn remap_row(&mut self, from: usize, to: usize) -> Result<()> {
+        for row in [from, to] {
+            if row >= self.rows {
+                return Err(DramError::RowOutOfRange {
+                    row,
+                    rows: self.rows,
+                });
+            }
+        }
         self.row_map.insert(from, to);
+        Ok(())
+    }
+
+    /// The physical row that logical row `row` currently resolves to
+    /// (identity unless a spare-row remap was installed).
+    pub fn resolved_row(&self, row: usize) -> usize {
+        self.resolve(row)
     }
 
     /// Sets the per-bitline probability that a multi-row activation senses
     /// the wrong value (transient TRA faults; feed this from
     /// `ambit_circuit`'s Monte Carlo failure rate). 0.0 disables.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0.0 <= rate <= 1.0`.
-    pub fn set_tra_fault_rate(&mut self, rate: f64) {
-        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+    /// Returns [`DramError::InvalidFaultRate`] unless `0.0 <= rate <= 1.0`
+    /// (NaN is rejected).
+    pub fn set_tra_fault_rate(&mut self, rate: f64) -> Result<()> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(DramError::invalid_fault_rate(rate));
+        }
         self.tra_fault_threshold = (rate * u64::MAX as f64) as u64;
+        Ok(())
+    }
+
+    /// The configured transient TRA fault probability.
+    pub fn tra_fault_rate(&self) -> f64 {
+        self.tra_fault_threshold as f64 / u64::MAX as f64
     }
 
     fn resolve(&self, row: usize) -> usize {

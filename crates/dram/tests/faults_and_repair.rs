@@ -1,7 +1,7 @@
 //! Integration tests for manufacturing faults, spare-row repair, and
 //! transient TRA fault injection (paper Sections 5.5.3 and 6).
 
-use ambit_dram::{BitRow, CellFault, Subarray, Wordline};
+use ambit_dram::{BitRow, CellFault, DramError, Subarray, Wordline};
 
 fn filled(bits: usize, stride: usize) -> BitRow {
     BitRow::from_fn(bits, |i| i % stride == 0)
@@ -11,8 +11,8 @@ fn filled(bits: usize, stride: usize) -> BitRow {
 fn stuck_at_faults_corrupt_stored_data() {
     let mut sa = Subarray::new(16, 64);
     sa.poke_row(3, BitRow::ones(64));
-    sa.inject_fault(3, 10, CellFault::StuckAtZero);
-    sa.inject_fault(3, 20, CellFault::StuckAtZero);
+    sa.inject_fault(3, 10, CellFault::StuckAtZero).unwrap();
+    sa.inject_fault(3, 20, CellFault::StuckAtZero).unwrap();
     let data = sa.peek_row(3);
     assert!(!data.get(10) && !data.get(20));
     assert_eq!(data.count_ones(), 62);
@@ -26,7 +26,7 @@ fn stuck_at_one_pollutes_tra_results() {
     // A stuck-at-one cell in a designated row makes AND results wrong at
     // that bit — the failure testing must catch (Section 5.5.3).
     let mut sa = Subarray::new(16, 64);
-    sa.inject_fault(2, 5, CellFault::StuckAtOne); // row 2 = control zero row
+    sa.inject_fault(2, 5, CellFault::StuckAtOne).unwrap(); // row 2 = control zero row
     sa.poke_row(0, BitRow::ones(64));
     sa.poke_row(1, BitRow::ones(64));
     sa.poke_row(2, BitRow::zeros(64)); // tries to clear; bit 5 stays 1
@@ -38,7 +38,7 @@ fn stuck_at_one_pollutes_tra_results() {
     // majority(1, 1, stuck-1) is still 1 everywhere, but a majority with
     // the roles reversed shows the corruption:
     let mut sa2 = Subarray::new(16, 64);
-    sa2.inject_fault(2, 5, CellFault::StuckAtOne);
+    sa2.inject_fault(2, 5, CellFault::StuckAtOne).unwrap();
     sa2.poke_row(0, BitRow::ones(64));
     sa2.poke_row(1, BitRow::zeros(64));
     sa2.poke_row(2, BitRow::zeros(64));
@@ -55,8 +55,8 @@ fn stuck_at_one_pollutes_tra_results() {
 fn spare_row_remap_repairs_a_faulty_row() {
     let mut sa = Subarray::new(32, 64);
     // Row 7 is faulty; row 30 is a spare.
-    sa.inject_fault(7, 0, CellFault::StuckAtZero);
-    sa.remap_row(7, 30);
+    sa.inject_fault(7, 0, CellFault::StuckAtZero).unwrap();
+    sa.remap_row(7, 30).unwrap();
     // Logical row 7 now reaches physical row 30: writes stick.
     let data = filled(64, 3);
     sa.poke_row(7, data.clone());
@@ -73,7 +73,7 @@ fn remapped_tra_is_correct() {
     // Repair must keep TRA working: remap one designated row to a spare
     // and verify the majority still computes.
     let mut sa = Subarray::new(32, 64);
-    sa.remap_row(1, 29);
+    sa.remap_row(1, 29).unwrap();
     let a = filled(64, 2);
     let b = filled(64, 3);
     sa.poke_row(0, a.clone());
@@ -92,7 +92,7 @@ fn remapped_tra_is_correct() {
 #[test]
 fn transient_tra_faults_occur_at_roughly_the_configured_rate() {
     let mut sa = Subarray::new(16, 8192);
-    sa.set_tra_fault_rate(0.01);
+    sa.set_tra_fault_rate(0.01).unwrap();
     let a = BitRow::ones(8192);
     let mut wrong_bits = 0usize;
     let trials = 50;
@@ -119,7 +119,7 @@ fn transient_faults_do_not_affect_single_row_activation() {
     // Ordinary sensing has full signal margin; only charge-sharing
     // activations are exposed to the variation-induced failures.
     let mut sa = Subarray::new(16, 4096);
-    sa.set_tra_fault_rate(0.5);
+    sa.set_tra_fault_rate(0.5).unwrap();
     let data = filled(4096, 5);
     sa.poke_row(0, data.clone());
     let sensed = sa.activate(&[Wordline::data(0)]).unwrap().clone();
@@ -130,7 +130,7 @@ fn transient_faults_do_not_affect_single_row_activation() {
 #[test]
 fn zero_fault_rate_is_deterministic() {
     let mut sa = Subarray::new(16, 1024);
-    sa.set_tra_fault_rate(0.0);
+    sa.set_tra_fault_rate(0.0).unwrap();
     let a = filled(1024, 2);
     let b = filled(1024, 3);
     sa.poke_row(0, a.clone());
@@ -144,21 +144,35 @@ fn zero_fault_rate_is_deterministic() {
 }
 
 #[test]
-#[should_panic(expected = "fault out of range")]
 fn fault_bounds_checked() {
-    Subarray::new(4, 8).inject_fault(4, 0, CellFault::StuckAtZero);
+    let err = Subarray::new(4, 8)
+        .inject_fault(4, 0, CellFault::StuckAtZero)
+        .unwrap_err();
+    assert_eq!(
+        err,
+        DramError::CellOutOfRange { row: 4, bit: 0, rows: 4, bits: 8 }
+    );
+    assert!(matches!(
+        Subarray::new(4, 8).remap_row(0, 9).unwrap_err(),
+        DramError::RowOutOfRange { row: 9, rows: 4 }
+    ));
 }
 
 #[test]
-#[should_panic(expected = "rate must be a probability")]
 fn fault_rate_validated() {
-    Subarray::new(4, 8).set_tra_fault_rate(1.5);
+    for bad in [1.5, -0.1, f64::NAN] {
+        assert!(matches!(
+            Subarray::new(4, 8).set_tra_fault_rate(bad).unwrap_err(),
+            DramError::InvalidFaultRate { .. }
+        ));
+    }
+    assert!(Subarray::new(4, 8).set_tra_fault_rate(1.0).is_ok());
 }
 
 #[test]
 fn clear_faults_restores_health() {
     let mut sa = Subarray::new(8, 64);
-    sa.inject_fault(0, 3, CellFault::StuckAtOne);
+    sa.inject_fault(0, 3, CellFault::StuckAtOne).unwrap();
     sa.clear_faults();
     sa.poke_row(0, BitRow::zeros(64));
     assert_eq!(sa.peek_row(0).count_ones(), 0);

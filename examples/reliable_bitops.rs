@@ -2,17 +2,21 @@
 //! conventional ECC cannot follow data that the memory itself modifies, so
 //! Ambit needs a code that is homomorphic over bitwise operations — triple
 //! modular redundancy. This example injects the circuit model's predicted
-//! TRA fault rate and shows raw vs TMR-protected results.
+//! TRA fault rate and shows raw vs TMR-protected vs resiliently-executed
+//! results.
 //!
 //! Run with: `cargo run --release --example reliable_bitops`
 
 use ambit_repro::circuit::{run_monte_carlo, CircuitParams};
-use ambit_repro::core::{bitwise_tmr, AmbitMemory, BitwiseOp, TmrVector};
+use ambit_repro::core::{
+    bitwise_tmr, AmbitError, AmbitMemory, BitwiseOp, ResilientConfig, ResilientExecutor,
+    TmrVector,
+};
 use ambit_repro::dram::{AapMode, DramGeometry, TimingParams};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-fn main() {
+fn main() -> Result<(), AmbitError> {
     let mut rng = ChaCha8Rng::seed_from_u64(2026);
 
     // What failure rate does the circuit model predict at ±15% variation?
@@ -30,39 +34,77 @@ fn main() {
         TimingParams::ddr3_1600(),
         AapMode::Overlapped,
     );
-    mem.set_tra_fault_rate(rate);
+    mem.set_tra_fault_rate(rate)?;
     let bits = mem.row_bits();
     let da: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
     let db: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
 
-    let a = mem.alloc(bits).unwrap();
-    let b = mem.alloc(bits).unwrap();
-    let d = mem.alloc(bits).unwrap();
-    mem.poke_bits(a, &da).unwrap();
-    mem.poke_bits(b, &db).unwrap();
-    mem.bitwise(BitwiseOp::And, a, Some(b), d).unwrap();
-    let raw = mem.peek_bits(d).unwrap();
+    let a = mem.alloc(bits)?;
+    let b = mem.alloc(bits)?;
+    let d = mem.alloc(bits)?;
+    mem.poke_bits(a, &da)?;
+    mem.poke_bits(b, &db)?;
+    mem.bitwise(BitwiseOp::And, a, Some(b), d)?;
+    let raw = mem.peek_bits(d)?;
     let raw_errors = (0..bits).filter(|&i| raw[i] != (da[i] && db[i])).count();
-    println!("raw bulk AND on {bits} bits:   {raw_errors} corrupted bits");
+    println!("raw bulk AND on {bits} bits:       {raw_errors} corrupted bits");
 
     // The same operation under TMR: three replicas, majority-voted read.
-    let ta = TmrVector::alloc(&mut mem, bits).unwrap();
-    let tb = TmrVector::alloc(&mut mem, bits).unwrap();
-    let td = TmrVector::alloc(&mut mem, bits).unwrap();
-    ta.write(&mut mem, &da).unwrap();
-    tb.write(&mut mem, &db).unwrap();
-    let receipt = bitwise_tmr(&mut mem, BitwiseOp::And, &ta, Some(&tb), &td).unwrap();
-    let voted = td.read_voted(&mem).unwrap();
+    let ta = TmrVector::alloc(&mut mem, bits)?;
+    let tb = TmrVector::alloc(&mut mem, bits)?;
+    let td = TmrVector::alloc(&mut mem, bits)?;
+    ta.write(&mut mem, &da)?;
+    tb.write(&mut mem, &db)?;
+    let receipt = bitwise_tmr(&mut mem, BitwiseOp::And, &ta, Some(&tb), &td)?;
+    let voted = td.read_voted(&mem)?;
     let tmr_errors = (0..bits)
         .filter(|&i| voted.data[i] != (da[i] && db[i]))
         .count();
     println!(
-        "TMR  bulk AND on {bits} bits:   {tmr_errors} corrupted bits ({} silently corrected)",
+        "TMR  bulk AND on {bits} bits:       {tmr_errors} corrupted bits ({} silently corrected)",
         voted.corrected.len()
     );
     println!(
         "\ncost of protection: {} AAPs instead of 4 (3x ops, 3x rows) — the paper\n\
-         leaves cheaper bitwise-homomorphic ECC as an open problem",
+         leaves cheaper bitwise-homomorphic ECC as an open problem\n",
         receipt.aaps
     );
+
+    // TMR alone still loses bits whenever two replicas flip at the same
+    // position. The resilient executor closes the gap: voted verification,
+    // budgeted retries, repair from CPU ground truth, and degradation to
+    // the Section 5.4.3 software path when the device is hopeless.
+    let mut faulty = AmbitMemory::new(
+        DramGeometry::tiny(),
+        TimingParams::ddr3_1600(),
+        AapMode::Overlapped,
+    );
+    faulty.set_tra_fault_rate(rate)?;
+    let mut exec = ResilientExecutor::new(faulty, ResilientConfig::default());
+    let ra = exec.alloc(bits)?;
+    let rb = exec.alloc(bits)?;
+    let rd = exec.alloc(bits)?;
+    exec.write(ra, &da)?;
+    exec.write(rb, &db)?;
+    let mut wrong = 0usize;
+    for _ in 0..8 {
+        exec.bitwise(BitwiseOp::And, ra, Some(rb), rd)?;
+        let out = exec.read(rd)?;
+        wrong += (0..bits).filter(|&i| out[i] != (da[i] && db[i])).count();
+    }
+    let r = exec.report();
+    println!(
+        "resilient bulk AND, 8 iterations: {wrong} corrupted bits\n\
+         recovery: {} faults detected, {} retries, {} scrubs, {} CPU fallbacks{}",
+        r.faults_detected,
+        r.retries,
+        r.scrubs,
+        r.cpu_fallbacks,
+        if r.degraded {
+            " (degraded to software execution)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
 }

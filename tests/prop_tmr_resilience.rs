@@ -1,0 +1,109 @@
+//! Property-based tests of the TMR voting layer (paper Section 5.4.5)
+//! against randomized stuck-at fault campaigns: a voted read corrects any
+//! single-replica fault pattern, and the `corrected` list reports exactly
+//! the faulted bit positions that actually flipped the stored value.
+
+use std::collections::BTreeSet;
+
+use ambit_repro::core::{AmbitMemory, TmrVector};
+use ambit_repro::dram::{AapMode, CellFault, DramGeometry, TimingParams};
+use proptest::prelude::*;
+
+fn memory() -> AmbitMemory {
+    AmbitMemory::new(
+        DramGeometry::tiny(),
+        TimingParams::ddr3_1600(),
+        AapMode::Overlapped,
+    )
+}
+
+fn bits_from_seed(bits: usize, seed: u64) -> Vec<bool> {
+    let mut x = seed | 1;
+    (0..bits)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x & 1 == 1
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any campaign of stuck-at faults confined to ONE replica is fully
+    /// masked by voting, and `corrected` is exactly the set of positions
+    /// where the stuck value differs from the stored data.
+    #[test]
+    fn voted_read_corrects_any_single_replica_campaign(
+        data_seed in any::<u64>(),
+        replica in 0usize..3,
+        fault_bits in prop::collection::btree_set(0usize..128, 1..16),
+        stuck_one in any::<bool>(),
+    ) {
+        let mut mem = memory();
+        let bits = mem.row_bits();
+        let data = bits_from_seed(bits, data_seed);
+        let tmr = TmrVector::alloc(&mut mem, bits).unwrap();
+        tmr.write(&mut mem, &data).unwrap();
+
+        let fault = if stuck_one {
+            CellFault::StuckAtOne
+        } else {
+            CellFault::StuckAtZero
+        };
+        let victim = tmr.replicas()[replica];
+        for &bit in &fault_bits {
+            mem.inject_fault(victim, bit, fault).unwrap();
+        }
+        // Re-store so the stuck cells take effect on the stored values.
+        tmr.write(&mut mem, &data).unwrap();
+
+        let read = tmr.read_voted(&mem).unwrap();
+        prop_assert_eq!(&read.data, &data, "a single faulty replica never wins the vote");
+
+        // Exactness: corrected must list precisely the faulted positions
+        // whose stored value actually flipped — no more, no less.
+        let expect: BTreeSet<usize> = fault_bits
+            .iter()
+            .copied()
+            .filter(|&b| data[b] != stuck_one)
+            .collect();
+        let got: BTreeSet<usize> = read.corrected.iter().copied().collect();
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(read.corrected.len(), expect.len(), "no duplicate reports");
+    }
+
+    /// Scrubbing a single-replica fault campaign repairs every reported
+    /// bit; persistent disagreement after the scrub identifies exactly the
+    /// stuck (permanent) cells.
+    #[test]
+    fn scrub_heals_transients_and_exposes_permanents(
+        data_seed in any::<u64>(),
+        fault_bits in prop::collection::btree_set(0usize..128, 1..8),
+    ) {
+        let mut mem = memory();
+        let bits = mem.row_bits();
+        let data = bits_from_seed(bits, data_seed);
+        let tmr = TmrVector::alloc(&mut mem, bits).unwrap();
+        tmr.write(&mut mem, &data).unwrap();
+        let victim = tmr.replicas()[0];
+        for &bit in &fault_bits {
+            mem.inject_fault(victim, bit, CellFault::StuckAtOne).unwrap();
+        }
+        tmr.write(&mut mem, &data).unwrap();
+
+        let repaired = tmr.scrub(&mut mem).unwrap();
+        let flipped: BTreeSet<usize> =
+            fault_bits.iter().copied().filter(|&b| !data[b]).collect();
+        prop_assert_eq!(repaired, flipped.len());
+
+        // Stuck cells re-corrupt immediately: the post-scrub read reports
+        // them again (they are permanent), and the voted data stays right.
+        let read = tmr.read_voted(&mem).unwrap();
+        let got: BTreeSet<usize> = read.corrected.iter().copied().collect();
+        prop_assert_eq!(got, flipped);
+        prop_assert_eq!(read.data, data);
+    }
+}

@@ -25,7 +25,7 @@ fn circuit_predicted_faults_corrupt_raw_ops_proportionally() {
     assert!(rate > 0.01, "±15% should fail a few percent of TRAs");
 
     let mut mem = memory();
-    mem.set_tra_fault_rate(rate);
+    mem.set_tra_fault_rate(rate).unwrap();
     let bits = mem.row_bits();
     let a = mem.alloc(bits).unwrap();
     let b = mem.alloc(bits).unwrap();
@@ -56,7 +56,7 @@ fn tmr_recovers_everything_at_realistic_variation() {
     // make data corruption essentially disappear.
     let mut rng = ChaCha8Rng::seed_from_u64(2);
     let mut mem = memory();
-    mem.set_tra_fault_rate(0.003);
+    mem.set_tra_fault_rate(0.003).unwrap();
     let bits = mem.row_bits();
     let a = TmrVector::alloc(&mut mem, bits).unwrap();
     let b = TmrVector::alloc(&mut mem, bits).unwrap();
