@@ -1,0 +1,268 @@
+//! Machine-readable performance snapshot: runs the Figure 9 operations on
+//! the telemetry-instrumented controller at the paper's DDR3-1600 module
+//! configuration and writes a JSON file with per-op throughput, latency,
+//! and energy — cross-checked against the analytic Table 3 energy model.
+//!
+//! * Output path: `BENCH_telemetry.json`, overridable with the
+//!   `AMBIT_BENCH_SNAPSHOT` environment variable.
+//! * `AMBIT_QUICK` shrinks the repetition count (CI smoke mode) without
+//!   changing the code paths.
+//! * `bench_snapshot --validate <path>` re-parses a previously written
+//!   snapshot and checks its schema and energy agreement, exiting non-zero
+//!   on any violation.
+//!
+//! The energy figures are *measured through the metrics pipeline* (the
+//! controller's `ambit_command_energy_nj` histogram), not read back from
+//! the receipts, so this snapshot also exercises the telemetry path end to
+//! end.
+
+use std::process::ExitCode;
+
+use ambit_bench::quick_mode;
+use ambit_core::{AmbitConfig, AmbitController, BitwiseOp, RowAddress};
+use ambit_dram::{BankId, DramGeometry, EnergyModel, PS_PER_NS};
+use ambit_telemetry::json::{self, Json};
+use ambit_telemetry::Registry;
+
+/// Energy agreement tolerance between the measured (metrics-integrated)
+/// and analytic Table 3 values: 1 %.
+const ENERGY_TOLERANCE: f64 = 0.01;
+
+/// Analytic Table 3 energy of one op over one row, from the paper's
+/// command-program structure (Figure 8) and the [`EnergyModel`]
+/// coefficients — written independently of the simulator so the snapshot
+/// genuinely cross-checks the measured path.
+fn analytic_nj_per_row(model: &EnergyModel, op: BitwiseOp) -> f64 {
+    let aap = |w1: usize, w2: usize| {
+        model.activate_nj(w1) + model.activate_nj(w2) + model.precharge_nj()
+    };
+    let ap = |w: usize| model.activate_nj(w) + model.precharge_nj();
+    match op {
+        // copy = AAP(Di, Dk)
+        BitwiseOp::Copy => aap(1, 1),
+        // not = AAP(Di, B5); AAP(B4, Dk)
+        BitwiseOp::Not => 2.0 * aap(1, 1),
+        // and/or = 3 plain AAPs + AAP(B12 triple, Dk)
+        BitwiseOp::And | BitwiseOp::Or => 3.0 * aap(1, 1) + aap(3, 1),
+        // nand/nor = and + AAP(B4, Dk) through the dual-contact row
+        BitwiseOp::Nand | BitwiseOp::Nor => 4.0 * aap(1, 1) + aap(3, 1),
+        // xor/xnor = 3 AAPs into double-wordline B-rows, 2 triple APs,
+        // AAP(C, B), AAP(B12 triple, Dk)
+        BitwiseOp::Xor | BitwiseOp::Xnor => {
+            3.0 * aap(1, 2) + 2.0 * ap(3) + aap(1, 1) + aap(3, 1)
+        }
+        // init = AAP(C, Dk)
+        BitwiseOp::InitZero | BitwiseOp::InitOne => aap(1, 1),
+    }
+}
+
+struct OpResult {
+    op: BitwiseOp,
+    reps: u64,
+    latency_ns_per_op: f64,
+    ops_per_s: f64,
+    energy_nj_per_op: f64,
+    energy_nj_per_kb: f64,
+    analytic_nj_per_kb: f64,
+    error_frac: f64,
+    throughput_gops_analytic: f64,
+}
+
+/// Runs `reps` repetitions of `op` on a fresh instrumented controller and
+/// reads the results back out of the telemetry registry.
+fn measure(op: BitwiseOp, reps: u64, config: &AmbitConfig) -> OpResult {
+    let geometry = DramGeometry::ddr3_module();
+    let mut ctrl = AmbitController::new(geometry, config.timing, config.mode);
+    let registry = Registry::default();
+    ctrl.set_telemetry(registry.clone());
+
+    let src2 = (op.source_count() == 2).then_some(RowAddress::D(1));
+    let mut first_start_ps = None;
+    let mut last_end_ps = 0;
+    for _ in 0..reps {
+        let receipt = ctrl
+            .execute(op, BankId::zero(), 0, RowAddress::D(0), src2, RowAddress::D(2))
+            .expect("standard op program executes");
+        first_start_ps.get_or_insert(receipt.start_ps);
+        last_end_ps = last_end_ps.max(receipt.end_ps);
+    }
+    let elapsed_ns =
+        (last_end_ps - first_start_ps.unwrap_or(0)) as f64 / PS_PER_NS as f64;
+
+    // Energy through the metrics pipeline: the per-command energy
+    // histogram's sum is the total nanojoules the controller observed.
+    let energy = registry
+        .histogram_snapshot("ambit_command_energy_nj", &[])
+        .expect("controller registers the energy histogram");
+    let row_kb = geometry.row_bytes as f64 / 1024.0;
+    let energy_nj_per_op = energy.sum / reps as f64;
+    let energy_nj_per_kb = energy_nj_per_op / row_kb;
+    let analytic_nj_per_kb = analytic_nj_per_row(&EnergyModel::ddr3_1333(), op) / row_kb;
+    let latency_ns_per_op = elapsed_ns / reps as f64;
+    OpResult {
+        op,
+        reps,
+        latency_ns_per_op,
+        ops_per_s: 1e9 / latency_ns_per_op,
+        energy_nj_per_op,
+        energy_nj_per_kb,
+        analytic_nj_per_kb,
+        error_frac: (energy_nj_per_kb - analytic_nj_per_kb).abs() / analytic_nj_per_kb,
+        throughput_gops_analytic: config
+            .throughput_gops(op)
+            .expect("standard op compiles"),
+    }
+}
+
+fn render_snapshot(results: &[OpResult], config: &AmbitConfig, reps: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"ambit-bench-telemetry/v1\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"timing\": \"ddr3_1600\", \"mode\": \"overlapped\", \"banks\": {}, \"row_bytes\": {}, \"reps\": {}, \"quick\": {}}},\n",
+        config.banks,
+        config.row_bytes,
+        reps,
+        quick_mode()
+    ));
+    out.push_str("  \"ops\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"op\": \"{}\", \"reps\": {}, \"latency_ns_per_op\": {}, \"ops_per_s\": {}, \"energy_nj_per_op\": {}, \"energy_nj_per_kb\": {}, \"analytic_energy_nj_per_kb\": {}, \"energy_error_frac\": {}, \"throughput_gops_analytic\": {}}}{}\n",
+            json::escape(r.op.mnemonic()),
+            r.reps,
+            json::number(r.latency_ns_per_op),
+            json::number(r.ops_per_s),
+            json::number(r.energy_nj_per_op),
+            json::number(r.energy_nj_per_kb),
+            json::number(r.analytic_nj_per_kb),
+            json::number(r.error_frac),
+            json::number(r.throughput_gops_analytic),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates a snapshot file: schema marker, per-op required fields, and
+/// energy agreement within tolerance. Returns human-readable violations.
+fn validate_snapshot(text: &str) -> Result<usize, Vec<String>> {
+    let mut errors = Vec::new();
+    let doc = match Json::parse(text) {
+        Ok(d) => d,
+        Err(e) => return Err(vec![format!("not valid JSON: {e}")]),
+    };
+    if doc.get("schema").and_then(Json::as_str) != Some("ambit-bench-telemetry/v1") {
+        errors.push("missing or wrong \"schema\" marker".into());
+    }
+    for key in ["banks", "row_bytes", "reps"] {
+        if doc.get("config").and_then(|c| c.get(key)).and_then(Json::as_u64).is_none() {
+            errors.push(format!("config.{key} missing or not an integer"));
+        }
+    }
+    let Some(ops) = doc.get("ops").and_then(Json::as_arr) else {
+        errors.push("\"ops\" missing or not an array".into());
+        return Err(errors);
+    };
+    if ops.is_empty() {
+        errors.push("\"ops\" is empty".into());
+    }
+    for (i, op) in ops.iter().enumerate() {
+        let name = op.get("op").and_then(Json::as_str).unwrap_or("?");
+        for key in [
+            "latency_ns_per_op",
+            "ops_per_s",
+            "energy_nj_per_op",
+            "energy_nj_per_kb",
+            "analytic_energy_nj_per_kb",
+            "energy_error_frac",
+            "throughput_gops_analytic",
+        ] {
+            if op.get(key).and_then(Json::as_f64).is_none() {
+                errors.push(format!("ops[{i}] ({name}): {key} missing or not a number"));
+            }
+        }
+        if let Some(err) = op.get("energy_error_frac").and_then(Json::as_f64) {
+            if err > ENERGY_TOLERANCE {
+                errors.push(format!(
+                    "ops[{i}] ({name}): energy off the analytic Table 3 model by {:.2}% (> {:.0}%)",
+                    err * 100.0,
+                    ENERGY_TOLERANCE * 100.0
+                ));
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(ops.len())
+    } else {
+        Err(errors)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "--validate" {
+        let text = match std::fs::read_to_string(&args[2]) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", args[2]);
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_snapshot(&text) {
+            Ok(n) => {
+                println!("{}: valid snapshot, {n} ops within tolerance", args[2]);
+                ExitCode::SUCCESS
+            }
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("{}: {e}", args[2]);
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let config = AmbitConfig::ddr3_module();
+    let reps: u64 = if quick_mode() { 4 } else { 64 };
+    let ops = [
+        BitwiseOp::Not,
+        BitwiseOp::And,
+        BitwiseOp::Or,
+        BitwiseOp::Xor,
+    ];
+    let results: Vec<OpResult> = ops.iter().map(|&op| measure(op, reps, &config)).collect();
+
+    println!("bench snapshot @ DDR3-1600, {} reps/op:", reps);
+    for r in &results {
+        println!(
+            "  {:>8}: {:7.1} ns/op  {:9.0} ops/s  {:6.2} nJ/KB (analytic {:6.2}, err {:.3}%)  {:5.1} GOps/s analytic",
+            r.op.mnemonic(),
+            r.latency_ns_per_op,
+            r.ops_per_s,
+            r.energy_nj_per_kb,
+            r.analytic_nj_per_kb,
+            r.error_frac * 100.0,
+            r.throughput_gops_analytic,
+        );
+    }
+
+    let snapshot = render_snapshot(&results, &config, reps);
+    // Self-validate before writing: a snapshot that fails its own energy
+    // cross-check must not land on disk looking healthy.
+    if let Err(errors) = validate_snapshot(&snapshot) {
+        for e in &errors {
+            eprintln!("self-validation failed: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let path = std::env::var("AMBIT_BENCH_SNAPSHOT")
+        .unwrap_or_else(|_| "BENCH_telemetry.json".to_string());
+    if let Err(e) = std::fs::write(&path, &snapshot) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path} (energy within {:.0}% of the analytic Table 3 model)",
+        ENERGY_TOLERANCE * 100.0);
+    ExitCode::SUCCESS
+}

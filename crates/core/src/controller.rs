@@ -5,9 +5,10 @@
 use std::collections::HashSet;
 
 use ambit_dram::{
-    AapMode, BankId, BitRow, CampaignTick, CommandTimer, DramDevice, DramGeometry, EnergyModel,
-    FaultCampaign, RefreshScheduler, TimingParams,
+    AapMode, BankId, BitRow, CampaignTick, CommandTimer, DramDevice, DramError, DramGeometry,
+    EnergyModel, FaultCampaign, RefreshScheduler, TimingParams,
 };
+use ambit_telemetry::Registry;
 
 use crate::addressing::{RowAddress, SubarrayLayout};
 use crate::error::{AmbitError, Result};
@@ -188,6 +189,13 @@ impl AmbitController {
         self.timer.set_energy_model(model);
     }
 
+    /// Attaches a telemetry registry to the command timer: every issued
+    /// command updates per-bank ACT/PRE/RD/WR counters, the
+    /// wordlines-raised histogram, and the per-command energy histogram.
+    pub fn set_telemetry(&mut self, registry: Registry) {
+        self.timer.set_telemetry(registry);
+    }
+
     /// Enables cross-bank tRRD/tFAW enforcement (ablation; default off).
     pub fn set_enforce_inter_bank(&mut self, enforce: bool) {
         self.timer.set_enforce_inter_bank(enforce);
@@ -310,7 +318,10 @@ impl AmbitController {
 
         let b = self.device.bank_mut(bank);
         b.activate(subarray, &[ambit_dram::Wordline::data(row)])?;
-        let data = b.sense().expect("activated").clone();
+        let data = b
+            .sense()
+            .ok_or(AmbitError::Dram(DramError::BankNotActivated))?
+            .clone();
         b.precharge()?;
         Ok(data)
     }
@@ -320,11 +331,8 @@ impl AmbitController {
     ///
     /// # Errors
     ///
-    /// Propagates address and protocol errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `data` does not match the row width.
+    /// Returns [`AmbitError::SizeMismatch`] if `data` does not match the
+    /// row width; propagates address and protocol errors.
     pub fn write_data(
         &mut self,
         bank: BankId,
@@ -332,7 +340,12 @@ impl AmbitController {
         k: usize,
         data: &BitRow,
     ) -> Result<()> {
-        assert_eq!(data.len(), self.row_bits(), "row width mismatch");
+        if data.len() != self.row_bits() {
+            return Err(AmbitError::SizeMismatch {
+                left_bits: data.len(),
+                right_bits: self.row_bits(),
+            });
+        }
         let row = self.layout.data_row(k)?;
         let flat = bank.flat_index(self.device.geometry());
         let lines = self.device.geometry().row_bytes.div_ceil(64);
@@ -574,6 +587,14 @@ mod tests {
         assert_eq!(got, a);
         assert!(ctrl.timer().now_ps() > before, "protocol access takes time");
         assert!(ctrl.timer().energy().bytes_transferred > 0);
+    }
+
+    #[test]
+    fn write_data_rejects_wrong_width_as_typed_error() {
+        let mut ctrl = controller();
+        let narrow = BitRow::zeros(ctrl.row_bits() - 1);
+        let err = ctrl.write_data(BankId::zero(), 0, 0, &narrow).unwrap_err();
+        assert!(matches!(err, AmbitError::SizeMismatch { .. }), "{err}");
     }
 
     #[test]

@@ -18,8 +18,9 @@ use std::collections::HashMap;
 
 use ambit_dram::{
     AapMode, BankId, BitRow, CampaignTick, CellFault, DramGeometry, FaultCampaign,
-    RefreshScheduler, TimingParams,
+    RefreshScheduler, TimingParams, PS_PER_NS,
 };
+use ambit_telemetry::{Counter, Histogram, Registry, Span};
 
 use crate::addressing::RowAddress;
 use crate::compiler::{compile_fold, fold_supported};
@@ -104,6 +105,80 @@ pub struct AmbitMemory {
     spares_used: Vec<Vec<usize>>,
     /// Rows found permanently faulty and remapped (the bad-row map).
     bad_rows: Vec<BadRowEntry>,
+    /// Registered per-op instruments, when a telemetry registry is
+    /// attached.
+    telemetry: Option<DriverTelemetry>,
+}
+
+/// Cached telemetry handles for the driver's per-operation view.
+#[derive(Debug)]
+struct DriverTelemetry {
+    registry: Registry,
+    /// Per-op latency in simulated nanoseconds.
+    latency_ns: Histogram,
+    /// Per-op energy in nanojoules.
+    energy_nj: Histogram,
+    /// Per-mnemonic op counters (small linear cache keyed by the op's
+    /// `&'static str` mnemonic).
+    ops: Vec<(&'static str, Counter)>,
+}
+
+impl DriverTelemetry {
+    fn new(registry: Registry) -> Self {
+        let latency_ns = registry.histogram(
+            "ambit_op_latency_ns",
+            "Bulk bitwise operation latency in simulated nanoseconds",
+            &[],
+            // 49 ns (one AAP) up through multi-chunk, refresh-delayed ops.
+            &[50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0, 12800.0, 25600.0],
+        );
+        let energy_nj = registry.histogram(
+            "ambit_op_energy_nj",
+            "Bulk bitwise operation energy in nanojoules",
+            &[],
+            &[5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0, 1280.0, 2560.0],
+        );
+        DriverTelemetry {
+            registry,
+            latency_ns,
+            energy_nj,
+            ops: Vec::new(),
+        }
+    }
+
+    fn op_counter(&mut self, mnemonic: &'static str) -> &Counter {
+        if let Some(i) = self.ops.iter().position(|(m, _)| *m == mnemonic) {
+            return &self.ops[i].1;
+        }
+        let counter = self.registry.counter(
+            "ambit_ops_total",
+            "Bulk bitwise operations executed by the driver",
+            &[("op", mnemonic)],
+        );
+        self.ops.push((mnemonic, counter));
+        &self.ops[self.ops.len() - 1].1
+    }
+
+    /// Records one completed driver operation: counters, histograms, and a
+    /// `driver.bitwise` span denominated in simulated nanoseconds.
+    fn record_op(&mut self, mnemonic: &'static str, receipt: &OpReceipt, chunks: usize) {
+        self.op_counter(mnemonic).inc();
+        self.latency_ns
+            .observe(receipt.latency_ps() as f64 / PS_PER_NS as f64);
+        self.energy_nj.observe(receipt.energy_nj);
+        self.registry.record_span(
+            Span::new(
+                "driver.bitwise",
+                receipt.start_ps / PS_PER_NS,
+                receipt.end_ps / PS_PER_NS,
+            )
+            .attr("op", mnemonic)
+            .attr("chunks", chunks)
+            .attr("aaps", receipt.aaps)
+            .attr("aps", receipt.aps)
+            .attr("energy_nj", receipt.energy_nj),
+        );
+    }
 }
 
 impl AmbitMemory {
@@ -120,6 +195,7 @@ impl AmbitMemory {
             spares_per_subarray: 0,
             spares_used: vec![vec![0; geometry.subarrays_per_bank]; banks],
             bad_rows: Vec::new(),
+            telemetry: None,
         }
     }
 
@@ -145,6 +221,20 @@ impl AmbitMemory {
     /// Mutable access to the controller, for custom command programs.
     pub fn controller_mut(&mut self) -> &mut AmbitController {
         &mut self.ctrl
+    }
+
+    /// Attaches a telemetry registry: the driver records per-operation
+    /// counters (`ambit_ops_total{op=...}`), latency and energy histograms,
+    /// and a `driver.bitwise` span per bulk operation, and forwards the
+    /// registry to the controller for per-command instrumentation.
+    pub fn set_telemetry(&mut self, registry: Registry) {
+        self.ctrl.set_telemetry(registry.clone());
+        self.telemetry = Some(DriverTelemetry::new(registry));
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.telemetry.as_ref().map(|t| &t.registry)
     }
 
     /// Enables subarray-level parallelism: chunks placed in different
@@ -493,7 +583,11 @@ impl AmbitMemory {
                 None => total = Some(receipt),
             }
         }
-        Ok(total.expect("alloc guarantees at least one chunk"))
+        let receipt = total.expect("alloc guarantees at least one chunk");
+        if let Some(tel) = &mut self.telemetry {
+            tel.record_op(op.mnemonic(), &receipt, m1.chunks.len());
+        }
+        Ok(receipt)
     }
 
     /// Executes `dst = majority(a, b, c)` bitwise across all chunks — the
@@ -549,7 +643,11 @@ impl AmbitMemory {
                 None => total = Some(receipt),
             }
         }
-        Ok(total.expect("alloc guarantees at least one chunk"))
+        let receipt = total.expect("alloc guarantees at least one chunk");
+        if let Some(tel) = &mut self.telemetry {
+            tel.record_op("maj3", &receipt, ma.chunks.len());
+        }
+        Ok(receipt)
     }
 
     /// Executes an optimized k-way accumulation `dst = srcs[0] op … op
@@ -608,7 +706,16 @@ impl AmbitMemory {
                 None => total = Some(receipt),
             }
         }
-        Ok(total.expect("alloc guarantees at least one chunk"))
+        let receipt = total.expect("alloc guarantees at least one chunk");
+        if let Some(tel) = &mut self.telemetry {
+            let mnemonic = match op {
+                BitwiseOp::And => "fold_and",
+                BitwiseOp::Or => "fold_or",
+                _ => op.mnemonic(),
+            };
+            tel.record_op(mnemonic, &receipt, md.chunks.len());
+        }
+        Ok(receipt)
     }
 
     /// Writes host bits into the vector through the DRAM protocol (timed).
@@ -1033,6 +1140,44 @@ mod tests {
             (salp as f64) < 0.4 * base as f64,
             "4 subarrays should overlap: {salp} vs {base}"
         );
+    }
+
+    #[test]
+    fn telemetry_records_ops_and_spans() {
+        let mut mem = memory();
+        mem.set_telemetry(Registry::default());
+        let bits = mem.row_bits() * 2;
+        let a = mem.alloc(bits).unwrap();
+        let b = mem.alloc(bits).unwrap();
+        let d = mem.alloc(bits).unwrap();
+        mem.poke_bits(a, &vec![true; bits]).unwrap();
+        mem.poke_bits(b, &vec![false; bits]).unwrap();
+        let r1 = mem.bitwise(BitwiseOp::And, a, Some(b), d).unwrap();
+        let r2 = mem.bitwise(BitwiseOp::Xor, a, Some(b), d).unwrap();
+        mem.bitwise(BitwiseOp::Xor, a, Some(b), d).unwrap();
+
+        let reg = mem.telemetry().unwrap().clone();
+        assert_eq!(
+            reg.counter_value("ambit_ops_total", &[("op", "bbop_and")]),
+            Some(1)
+        );
+        assert_eq!(
+            reg.counter_value("ambit_ops_total", &[("op", "bbop_xor")]),
+            Some(2)
+        );
+        // Per-op energy histogram sums to the receipts' energies; the
+        // controller-level per-command histogram agrees with the timer's
+        // energy account.
+        let snap = reg.histogram_snapshot("ambit_op_energy_nj", &[]).unwrap();
+        assert_eq!(snap.count, 3);
+        assert!((snap.sum - (r1.energy_nj + 2.0 * r2.energy_nj)).abs() < 1e-6);
+        // One span per operation, denominated in simulated nanoseconds.
+        let spans = reg.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "driver.bitwise");
+        assert_eq!(spans[0].duration_ns(), r1.latency_ps() / PS_PER_NS);
+        // Per-bank ACT counters flowed through to the controller level.
+        assert!(reg.counter_family_total("ambit_acts_total").unwrap() > 0);
     }
 
     #[test]

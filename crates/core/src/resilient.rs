@@ -33,7 +33,8 @@
 
 use std::collections::BTreeMap;
 
-use ambit_dram::{DramError, FaultCampaign, RefreshParams, RefreshScheduler};
+use ambit_dram::{DramError, FaultCampaign, RefreshParams, RefreshScheduler, PS_PER_NS};
+use ambit_telemetry::{Counter, Event, Gauge, Histogram, Registry, Span};
 
 use crate::driver::{AmbitMemory, BitVectorHandle};
 use crate::ecc::{bitwise_tmr, TmrVector};
@@ -191,6 +192,143 @@ pub struct ResilientExecutor {
     /// high for voting to bound the silent-error probability.
     degraded: bool,
     report: RecoveryReport,
+    telemetry: Option<ResilientTelemetry>,
+}
+
+/// Cached telemetry handles mirroring [`RecoveryReport`] as counters, plus
+/// recovery-path histograms and a per-operation span.
+#[derive(Debug)]
+struct ResilientTelemetry {
+    registry: Registry,
+    ops: Counter,
+    faults_detected: Counter,
+    retries: Counter,
+    remaps: Counter,
+    scrubs: Counter,
+    cpu_fallbacks: Counter,
+    corrected_bits: Counter,
+    refreshes: Counter,
+    decay_flips: Counter,
+    degraded: Gauge,
+    /// Wall interval of operations that detected at least one suspect bit,
+    /// simulated nanoseconds.
+    detection_latency_ns: Histogram,
+    /// Added latency of retry attempts per operation, simulated
+    /// nanoseconds.
+    recovery_latency_ns: Histogram,
+}
+
+impl ResilientTelemetry {
+    fn new(registry: Registry) -> Self {
+        let c = |name: &str, help: &str| registry.counter(name, help, &[]);
+        ResilientTelemetry {
+            ops: c(
+                "ambit_resilient_ops_total",
+                "Operations executed by the resilient executor",
+            ),
+            faults_detected: c(
+                "ambit_resilient_faults_detected_total",
+                "Suspect bits observed across voted reads",
+            ),
+            retries: c(
+                "ambit_resilient_retries_total",
+                "In-DRAM retries performed",
+            ),
+            remaps: c(
+                "ambit_resilient_remaps_total",
+                "Permanent-fault row remaps to spare rows",
+            ),
+            scrubs: c(
+                "ambit_resilient_scrubs_total",
+                "Scrub passes (source, destination, and periodic)",
+            ),
+            cpu_fallbacks: c(
+                "ambit_resilient_cpu_fallbacks_total",
+                "Operations completed by CPU-side software fallback",
+            ),
+            corrected_bits: c(
+                "ambit_resilient_corrected_bits_total",
+                "Bits corrected by voting, scrubbing, or repair",
+            ),
+            refreshes: c(
+                "ambit_resilient_refreshes_total",
+                "Refresh commands issued while catching the campaign clock up",
+            ),
+            decay_flips: c(
+                "ambit_resilient_decay_flips_total",
+                "Retention-decay flips armed by the fault campaign",
+            ),
+            degraded: registry.gauge(
+                "ambit_resilient_degraded",
+                "1 when the device has degraded to sticky CPU-only execution",
+                &[],
+            ),
+            detection_latency_ns: registry.histogram(
+                "ambit_fault_detection_latency_ns",
+                "Wall interval of operations that detected suspect bits, simulated ns",
+                &[],
+                &[200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0, 12800.0, 25600.0, 51200.0],
+            ),
+            recovery_latency_ns: registry.histogram(
+                "ambit_recovery_latency_ns",
+                "Added latency of retry attempts per operation, simulated ns",
+                &[],
+                &[100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0, 12800.0, 25600.0],
+            ),
+            registry,
+        }
+    }
+
+    /// Brings every counter up to the cumulative report (counters are
+    /// monotonic, so the sync adds the difference) and mirrors the sticky
+    /// degradation flag into the gauge.
+    fn sync(&self, report: &RecoveryReport) {
+        let catch_up = |c: &Counter, v: u64| {
+            let cur = c.get();
+            if v > cur {
+                c.add(v - cur);
+            }
+        };
+        catch_up(&self.ops, report.ops);
+        catch_up(&self.faults_detected, report.faults_detected);
+        catch_up(&self.retries, report.retries);
+        catch_up(&self.remaps, report.remaps);
+        catch_up(&self.scrubs, report.scrubs);
+        catch_up(&self.cpu_fallbacks, report.cpu_fallbacks);
+        catch_up(&self.corrected_bits, report.corrected_bits);
+        catch_up(&self.refreshes, report.refreshes);
+        catch_up(&self.decay_flips, report.decay_flips);
+        self.degraded
+            .set(if report.degraded { 1.0 } else { 0.0 });
+    }
+
+    /// Records the span and latency histograms for one completed
+    /// operation, given its report delta and wall interval.
+    fn record_op(
+        &self,
+        mnemonic: &'static str,
+        delta: &RecoveryReport,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        if delta.faults_detected > 0 {
+            self.detection_latency_ns
+                .observe(end_ns.saturating_sub(start_ns) as f64);
+        }
+        if delta.added_latency_ps > 0 {
+            self.recovery_latency_ns
+                .observe(delta.added_latency_ps as f64 / PS_PER_NS as f64);
+        }
+        self.registry.record_span(
+            Span::new("resilient.op", start_ns, end_ns)
+                .attr("op", mnemonic)
+                .attr("faults_detected", delta.faults_detected)
+                .attr("retries", delta.retries)
+                .attr("remaps", delta.remaps)
+                .attr("cpu_fallbacks", delta.cpu_fallbacks)
+                .attr("degraded", delta.degraded),
+        );
+    }
 }
 
 impl ResilientExecutor {
@@ -207,6 +345,35 @@ impl ResilientExecutor {
             ops_since_scrub: 0,
             degraded: false,
             report: RecoveryReport::default(),
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a telemetry registry: every [`RecoveryReport`] field is
+    /// mirrored into an `ambit_resilient_*` counter, the sticky degradation
+    /// flag into a gauge, detection/recovery latencies into histograms, and
+    /// each operation records a `resilient.op` span. The registry is also
+    /// forwarded to the driver and controller, so one registry observes the
+    /// whole stack.
+    pub fn set_telemetry(&mut self, registry: Registry) {
+        self.mem.set_telemetry(registry.clone());
+        self.telemetry = Some(ResilientTelemetry::new(registry));
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.telemetry.as_ref().map(|t| &t.registry)
+    }
+
+    /// Current simulated time in nanoseconds (for event timestamps).
+    fn now_ns(&self) -> u64 {
+        self.mem.now_ps() / PS_PER_NS
+    }
+
+    /// Emits a recovery-path event if telemetry is attached.
+    fn emit_event(&self, event: Event) {
+        if let Some(tel) = &self.telemetry {
+            tel.registry.record_event(event);
         }
     }
 
@@ -303,6 +470,9 @@ impl ResilientExecutor {
             self.report.faults_detected += read.corrected.len() as u64;
             self.heal(handle)?;
         }
+        if let Some(tel) = &self.telemetry {
+            tel.sync(&self.report);
+        }
         Ok(read.data)
     }
 
@@ -327,6 +497,7 @@ impl ResilientExecutor {
     ) -> Result<RecoveryReport> {
         let before = self.report;
         self.tick();
+        let start_ns = self.now_ns();
 
         let ea = *self.entry(a)?;
         let eb = match b {
@@ -367,7 +538,12 @@ impl ResilientExecutor {
             self.ops_since_scrub = 0;
             self.scrub_all()?;
         }
-        Ok(before.delta(&self.report))
+        let delta = before.delta(&self.report);
+        if let Some(tel) = &self.telemetry {
+            tel.sync(&self.report);
+            tel.record_op(op.mnemonic(), &delta, start_ns, self.mem.now_ps() / PS_PER_NS);
+        }
+        Ok(delta)
     }
 
     /// Scrubs every vector now (also runs periodically per
@@ -384,6 +560,9 @@ impl ResilientExecutor {
             self.report.scrubs += 1;
         }
         self.report.corrected_bits += repaired;
+        if let Some(tel) = &self.telemetry {
+            tel.sync(&self.report);
+        }
         Ok(repaired)
     }
 
@@ -438,6 +617,11 @@ impl ResilientExecutor {
                 {
                     retries += 1;
                     self.report.retries += 1;
+                    self.emit_event(
+                        Event::new("resilient.retry", self.now_ns())
+                            .attr("cause", "retention")
+                            .attr("attempt", retries as u64),
+                    );
                     self.scrub_sources(a, b)?;
                     continue;
                 }
@@ -470,6 +654,12 @@ impl ResilientExecutor {
             if retries < self.cfg.max_retries && budget_ok {
                 retries += 1;
                 self.report.retries += 1;
+                self.emit_event(
+                    Event::new("resilient.retry", self.now_ns())
+                        .attr("cause", "suspects")
+                        .attr("suspects", suspects)
+                        .attr("attempt", retries as u64),
+                );
                 // Backoff in commands: scrub the sources so the retry
                 // starts from consistent replicas.
                 self.scrub_sources(a, b)?;
@@ -481,6 +671,11 @@ impl ResilientExecutor {
                 // degrade the whole device to CPU execution (sticky).
                 self.degraded = true;
                 self.report.degraded = true;
+                self.emit_event(
+                    Event::new("resilient.degrade", self.now_ns())
+                        .attr("suspects", suspects)
+                        .attr("bound", degrade_bound),
+                );
                 return Ok(AttemptOutcome::Fallback { retries, suspects });
             }
 
@@ -569,6 +764,11 @@ impl ResilientExecutor {
             match self.mem.remap_bit(replicas[faulty], bit) {
                 Ok(()) => {
                     self.report.remaps += 1;
+                    self.emit_event(
+                        Event::new("resilient.remap", self.now_ns())
+                            .attr("bit", bit)
+                            .attr("replica", faulty as u64),
+                    );
                     // The spare row inherited the old (faulty) contents;
                     // rewrite the voted value through the new mapping.
                     let healed = tmr.scrub(&mut self.mem)?;
@@ -819,6 +1019,47 @@ mod tests {
         assert_eq!(r1.ops, 1);
         assert_eq!(r2.ops, 1);
         assert_eq!(exec.report().ops, 2);
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_the_report() {
+        let mut mem = memory();
+        mem.set_tra_fault_rate(0.26).unwrap();
+        let mut exec = ResilientExecutor::new(mem, ResilientConfig::default());
+        exec.set_telemetry(Registry::default());
+        let bits = exec.memory().row_bits();
+        let (a, b, out) = (
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+        );
+        exec.write(a, &pattern(bits, 2)).unwrap();
+        exec.write(b, &pattern(bits, 3)).unwrap();
+        exec.bitwise(BitwiseOp::And, a, Some(b), out).unwrap();
+        exec.bitwise(BitwiseOp::Or, a, Some(b), out).unwrap();
+
+        let reg = exec.telemetry().unwrap().clone();
+        let report = *exec.report();
+        let value = |name: &str| reg.counter_value(name, &[]).unwrap();
+        assert_eq!(value("ambit_resilient_ops_total"), report.ops);
+        assert_eq!(
+            value("ambit_resilient_faults_detected_total"),
+            report.faults_detected
+        );
+        assert_eq!(value("ambit_resilient_retries_total"), report.retries);
+        assert_eq!(value("ambit_resilient_scrubs_total"), report.scrubs);
+        assert_eq!(
+            value("ambit_resilient_cpu_fallbacks_total"),
+            report.cpu_fallbacks
+        );
+        assert_eq!(reg.gauge_value("ambit_resilient_degraded", &[]), Some(1.0));
+        // At a 26 % flip rate the first op must have detected faults,
+        // retried, and degraded — all visible as events and spans.
+        assert!(report.retries > 0);
+        let events = reg.events();
+        assert!(events.iter().any(|e| e.name == "resilient.retry"));
+        assert!(events.iter().any(|e| e.name == "resilient.degrade"));
+        assert_eq!(reg.spans().iter().filter(|s| s.name == "resilient.op").count(), 2);
     }
 
     #[test]

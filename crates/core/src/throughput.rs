@@ -9,6 +9,7 @@
 //! parallelism).
 
 use ambit_dram::{AapMode, TimingParams};
+use ambit_telemetry::Registry;
 
 use crate::addressing::RowAddress;
 use crate::error::Result;
@@ -106,6 +107,42 @@ impl AmbitConfig {
             product *= self.throughput_gops(op)?;
         }
         Ok(product.powf(1.0 / BitwiseOp::FIGURE9_OPS.len() as f64))
+    }
+
+    /// Exports the configuration's analytic envelope as gauges:
+    /// `ambit_config_banks`, `ambit_config_row_bytes`, and per Figure 9
+    /// operation `ambit_analytic_throughput_gops{op=...}` and
+    /// `ambit_analytic_op_latency_ns{op=...}` — so measured runs can be
+    /// compared against the model on one scrape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program-compilation errors (never for the standard ops).
+    pub fn export_telemetry(&self, registry: &Registry) -> Result<()> {
+        registry
+            .gauge("ambit_config_banks", "Banks operating in parallel", &[])
+            .set(self.banks as f64);
+        registry
+            .gauge("ambit_config_row_bytes", "Row size in bytes", &[])
+            .set(self.row_bytes as f64);
+        for op in BitwiseOp::FIGURE9_OPS {
+            let labels = &[("op", op.mnemonic())];
+            registry
+                .gauge(
+                    "ambit_analytic_throughput_gops",
+                    "Analytic Figure 9 throughput, 8-bit GOps/s",
+                    labels,
+                )
+                .set(self.throughput_gops(op)?);
+            registry
+                .gauge(
+                    "ambit_analytic_op_latency_ns",
+                    "Analytic per-row-pair program latency, nanoseconds",
+                    labels,
+                )
+                .set(self.op_latency_ps(op)? as f64 / 1000.0);
+        }
+        Ok(())
     }
 }
 

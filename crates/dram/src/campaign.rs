@@ -30,6 +30,7 @@
 
 use std::collections::HashSet;
 
+use ambit_telemetry::{Counter, Event, Registry};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::controller::CommandTimer;
@@ -127,6 +128,45 @@ pub struct FaultCampaign {
     plans: Vec<SubarrayFaultPlan>,
     rng: StdRng,
     decay_flips: u64,
+    telemetry: Option<CampaignTelemetry>,
+    /// Simulated time attached to emitted telemetry events; updated by
+    /// [`catch_up`](FaultCampaign::catch_up) from the command timer.
+    event_ns: u64,
+}
+
+/// Cached telemetry handles for the campaign.
+#[derive(Debug, Clone)]
+struct CampaignTelemetry {
+    registry: Registry,
+    stuck_cells: Counter,
+    decay_flips: Counter,
+    refreshes: Counter,
+}
+
+impl CampaignTelemetry {
+    fn new(registry: Registry) -> Self {
+        let stuck_cells = registry.counter(
+            "ambit_campaign_stuck_cells_total",
+            "Manufacturing stuck-at cells installed by fault campaigns",
+            &[],
+        );
+        let decay_flips = registry.counter(
+            "ambit_campaign_decay_flips_total",
+            "Retention-decay bit flips injected by fault campaigns",
+            &[],
+        );
+        let refreshes = registry.counter(
+            "ambit_campaign_refreshes_total",
+            "Refresh commands issued through campaign catch-up",
+            &[],
+        );
+        CampaignTelemetry {
+            registry,
+            stuck_cells,
+            decay_flips,
+            refreshes,
+        }
+    }
 }
 
 impl FaultCampaign {
@@ -247,7 +287,16 @@ impl FaultCampaign {
             plans,
             rng,
             decay_flips: 0,
+            telemetry: None,
+            event_ns: 0,
         })
+    }
+
+    /// Attaches a telemetry registry: [`apply`](Self::apply) then emits one
+    /// `campaign.stuck_cell` event per installed fault, and decay/refresh
+    /// activity is counted and emitted as `campaign.decay_flip` events.
+    pub fn set_telemetry(&mut self, registry: Registry) {
+        self.telemetry = Some(CampaignTelemetry::new(registry));
     }
 
     /// The campaign's configuration.
@@ -288,6 +337,17 @@ impl FaultCampaign {
             sa.set_tra_fault_rate(plan.tra_rate)?;
             for cell in &plan.stuck {
                 sa.inject_fault(cell.row, cell.bit, cell.fault)?;
+                if let Some(tel) = &self.telemetry {
+                    tel.stuck_cells.inc();
+                    tel.registry.record_event(
+                        Event::new("campaign.stuck_cell", self.event_ns)
+                            .attr("bank", plan.bank)
+                            .attr("subarray", plan.subarray)
+                            .attr("row", cell.row)
+                            .attr("bit", cell.bit)
+                            .attr("stuck_at_one", cell.fault == CellFault::StuckAtOne),
+                    );
+                }
             }
         }
         Ok(())
@@ -305,6 +365,10 @@ impl FaultCampaign {
         device: &mut DramDevice,
     ) -> CampaignTick {
         let refreshes = scheduler.catch_up(timer);
+        self.event_ns = timer.now_ps() / crate::timing::PS_PER_NS;
+        if let Some(tel) = &self.telemetry {
+            tel.refreshes.add(refreshes);
+        }
         let decay_flips = self.decay(device, refreshes);
         CampaignTick {
             refreshes,
@@ -337,6 +401,16 @@ impl FaultCampaign {
                         data.set(bit, !data.get(bit));
                         device.poke(loc, data);
                         flips += 1;
+                        if let Some(tel) = &self.telemetry {
+                            tel.decay_flips.inc();
+                            tel.registry.record_event(
+                                Event::new("campaign.decay_flip", self.event_ns)
+                                    .attr("bank", plan.bank)
+                                    .attr("subarray", plan.subarray)
+                                    .attr("row", row)
+                                    .attr("bit", bit),
+                            );
+                        }
                     }
                 }
             }
@@ -460,6 +534,31 @@ mod tests {
         assert_eq!(flips_a, flips_b, "seeded decay replays identically");
         assert_eq!(total_a, total_b);
         assert!(flips_a > 0, "16 windows x 12 weak cells x p=0.25 must flip");
+    }
+
+    #[test]
+    fn telemetry_counts_injections_and_decay() {
+        use ambit_telemetry::Registry;
+        let g = DramGeometry::tiny();
+        let reg = Registry::new();
+        let mut campaign = FaultCampaign::plan(config(), &g).unwrap();
+        campaign.set_telemetry(reg.clone());
+        let mut device = DramDevice::new(g);
+        campaign.apply(&mut device).unwrap();
+        assert_eq!(
+            reg.counter_value("ambit_campaign_stuck_cells_total", &[]),
+            Some(campaign.stuck_cell_count() as u64)
+        );
+        let flips = campaign.decay(&mut device, 16);
+        assert_eq!(
+            reg.counter_value("ambit_campaign_decay_flips_total", &[]),
+            Some(flips)
+        );
+        let events = reg.events();
+        let stuck_events = events.iter().filter(|e| e.name == "campaign.stuck_cell").count();
+        let decay_events = events.iter().filter(|e| e.name == "campaign.decay_flip").count();
+        assert_eq!(stuck_events, campaign.stuck_cell_count());
+        assert_eq!(decay_events as u64, flips);
     }
 
     #[test]

@@ -20,9 +20,14 @@
 
 use std::collections::VecDeque;
 
+use ambit_telemetry::{Counter, Histogram, Registry};
+
 use crate::energy::{EnergyAccount, EnergyModel};
 use crate::error::{DramError, Result};
 use crate::timing::{AapMode, TimingParams};
+
+/// Default capacity of the always-on ring-buffer trace.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
 
 /// One command on the trace a [`CommandTimer`] can record — the same
 /// information a Ramulator-style trace file carries, useful for verifying
@@ -122,8 +127,107 @@ pub struct CommandTimer {
     /// Latest command issue time seen on any bank (wall-clock horizon).
     horizon_ps: u64,
     stats: TimerStats,
-    /// Recorded command trace, when tracing is enabled.
+    /// Unbounded full trace, when opted in via [`set_tracing`]
+    /// (CommandTimer::set_tracing).
     trace: Option<Vec<TraceEntry>>,
+    /// Always-on bounded ring of the most recent commands.
+    ring: VecDeque<TraceEntry>,
+    /// Ring capacity; 0 disables ring recording.
+    ring_cap: usize,
+    /// Entries evicted from the ring since the last capacity change.
+    ring_dropped: u64,
+    /// Registered instruments, when a telemetry registry is attached.
+    telemetry: Option<TimerTelemetry>,
+}
+
+/// Cached telemetry handles for the command hot path. Instruments are
+/// resolved once per bank (taking the registry lock); afterwards every
+/// command issue is a couple of relaxed atomic operations.
+#[derive(Debug, Clone)]
+struct TimerTelemetry {
+    registry: Registry,
+    /// Per-bank instruments, indexed by flat bank id (grown lazily).
+    banks: Vec<BankInstruments>,
+    /// Distribution of wordlines raised per ACTIVATE (1 = ordinary,
+    /// 2 = RowClone dual, 3 = triple-row activation).
+    wordlines: Histogram,
+    /// Per-command energy in nanojoules.
+    command_energy_nj: Histogram,
+    aaps: Counter,
+    aps: Counter,
+}
+
+#[derive(Debug, Clone)]
+struct BankInstruments {
+    acts: Counter,
+    precharges: Counter,
+    reads: Counter,
+    writes: Counter,
+}
+
+impl TimerTelemetry {
+    fn new(registry: Registry) -> Self {
+        let wordlines = registry.histogram(
+            "ambit_wordlines_raised",
+            "Wordlines raised per ACTIVATE (1 ordinary, 2 RowClone, 3 TRA)",
+            &[],
+            &[1.0, 2.0, 3.0],
+        );
+        let command_energy_nj = registry.histogram(
+            "ambit_command_energy_nj",
+            "Energy per DRAM command in nanojoules (EnergyModel coefficients)",
+            &[],
+            &[0.5, 1.0, 2.0, 3.0, 4.0, 5.0],
+        );
+        let aaps = registry.counter(
+            "ambit_aaps_total",
+            "AAP (ACTIVATE-ACTIVATE-PRECHARGE) primitives completed",
+            &[],
+        );
+        let aps = registry.counter(
+            "ambit_aps_total",
+            "AP (ACTIVATE-PRECHARGE) primitives completed",
+            &[],
+        );
+        TimerTelemetry {
+            registry,
+            banks: Vec::new(),
+            wordlines,
+            command_energy_nj,
+            aaps,
+            aps,
+        }
+    }
+
+    fn bank(&mut self, bank: usize) -> &BankInstruments {
+        while self.banks.len() <= bank {
+            let id = self.banks.len().to_string();
+            let labels: &[(&str, &str)] = &[("bank", &id)];
+            self.banks.push(BankInstruments {
+                acts: self.registry.counter(
+                    "ambit_acts_total",
+                    "ACTIVATE commands issued per bank",
+                    labels,
+                ),
+                precharges: self.registry.counter(
+                    "ambit_precharges_total",
+                    "PRECHARGE commands issued per bank",
+                    labels,
+                ),
+                reads: self.registry.counter(
+                    "ambit_reads_total",
+                    "Column READ bursts issued per bank",
+                    labels,
+                ),
+                writes: self.registry.counter(
+                    "ambit_writes_total",
+                    "Column WRITE bursts issued per bank",
+                    labels,
+                ),
+            });
+        }
+        &self.banks[bank]
+    }
 }
 
 impl CommandTimer {
@@ -143,22 +247,74 @@ impl CommandTimer {
             horizon_ps: 0,
             stats: TimerStats::default(),
             trace: None,
+            ring: VecDeque::with_capacity(DEFAULT_TRACE_CAPACITY),
+            ring_cap: DEFAULT_TRACE_CAPACITY,
+            ring_dropped: 0,
+            telemetry: None,
         }
     }
 
-    /// Enables or disables command tracing. Enabling starts a fresh trace.
+    /// Enables or disables *full* (unbounded) command tracing. Enabling
+    /// starts a fresh trace. Independent of the always-on ring buffer —
+    /// see [`recent_trace`](CommandTimer::recent_trace).
     pub fn set_tracing(&mut self, enabled: bool) {
         self.trace = enabled.then(Vec::new);
     }
 
-    /// The recorded trace, if tracing is enabled.
+    /// The full recorded trace, if full tracing is enabled. For the
+    /// always-on bounded view, use [`recent_trace`]
+    /// (CommandTimer::recent_trace), which never returns `None`.
     pub fn trace(&self) -> Option<&[TraceEntry]> {
         self.trace.as_deref()
     }
 
+    /// Resizes the always-on ring-buffer trace (default
+    /// [`DEFAULT_TRACE_CAPACITY`] entries); a capacity of 0 disables ring
+    /// recording. Existing entries beyond the new capacity are evicted
+    /// oldest-first; the dropped-entry count resets.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.ring_cap = capacity;
+        self.ring_dropped = 0;
+        while self.ring.len() > capacity {
+            self.ring.pop_front();
+        }
+    }
+
+    /// The most recent commands (up to the ring capacity), oldest first.
+    /// Always available — no opt-in required.
+    pub fn recent_trace(&self) -> Vec<TraceEntry> {
+        self.ring.iter().copied().collect()
+    }
+
+    /// Commands evicted from the ring buffer since the last
+    /// [`set_trace_capacity`](CommandTimer::set_trace_capacity) call.
+    pub fn trace_dropped(&self) -> u64 {
+        self.ring_dropped
+    }
+
+    /// Attaches a telemetry registry: subsequent commands bump per-bank
+    /// ACT/PRE/RD/WR counters, the wordlines-raised histogram, and the
+    /// per-command energy histogram registered on it.
+    pub fn set_telemetry(&mut self, registry: Registry) {
+        self.telemetry = Some(TimerTelemetry::new(registry));
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.telemetry.as_ref().map(|t| &t.registry)
+    }
+
     fn record(&mut self, at_ps: u64, bank: usize, command: TraceCommand) {
+        let entry = TraceEntry { at_ps, bank, command };
         if let Some(trace) = &mut self.trace {
-            trace.push(TraceEntry { at_ps, bank, command });
+            trace.push(entry);
+        }
+        if self.ring_cap > 0 {
+            if self.ring.len() == self.ring_cap {
+                self.ring.pop_front();
+                self.ring_dropped += 1;
+            }
+            self.ring.push_back(entry);
         }
     }
 
@@ -295,6 +451,12 @@ impl CommandTimer {
         self.now_ps = floor + self.timing.t_ck_ps;
         self.energy.record_activate(&self.energy_model, wordlines);
         self.stats.activates += 1;
+        if let Some(tel) = &mut self.telemetry {
+            tel.bank(bank).acts.inc();
+            tel.wordlines.observe(wordlines as f64);
+            let nj = self.energy_model.activate_nj(wordlines);
+            tel.command_energy_nj.observe(nj);
+        }
         Ok(t)
     }
 
@@ -320,6 +482,11 @@ impl CommandTimer {
         self.now_ps = floor + timing.t_ck_ps;
         self.energy.record_precharge(&self.energy_model);
         self.stats.precharges += 1;
+        if let Some(tel) = &mut self.telemetry {
+            tel.bank(bank).precharges.inc();
+            let nj = self.energy_model.precharge_nj();
+            tel.command_energy_nj.observe(nj);
+        }
         Ok(t + timing.t_rp_ps)
     }
 
@@ -371,6 +538,16 @@ impl CommandTimer {
         } else {
             self.stats.reads += 1;
         }
+        if let Some(tel) = &mut self.telemetry {
+            let bank_instruments = tel.bank(bank);
+            if is_write {
+                bank_instruments.writes.inc();
+            } else {
+                bank_instruments.reads.inc();
+            }
+            let nj = self.energy_model.transfer_nj(burst_bytes);
+            tel.command_energy_nj.observe(nj);
+        }
         Ok(done)
     }
 
@@ -391,6 +568,9 @@ impl CommandTimer {
         self.issue_activate(bank, w2)?;
         let end = self.issue_precharge(bank)?;
         self.stats.aaps += 1;
+        if let Some(tel) = &self.telemetry {
+            tel.aaps.inc();
+        }
         Ok((start, end))
     }
 
@@ -408,6 +588,9 @@ impl CommandTimer {
         let start = self.issue_activate(bank, w)?;
         let end = self.issue_precharge(bank)?;
         self.stats.aps += 1;
+        if let Some(tel) = &self.telemetry {
+            tel.aps.inc();
+        }
         Ok((start, end))
     }
 }
@@ -561,6 +744,62 @@ mod tests {
         assert!(t.trace().unwrap().is_empty());
         t.set_tracing(false);
         assert!(t.trace().is_none());
+    }
+
+    #[test]
+    fn ring_trace_is_always_on_and_bounded() {
+        let mut t = timer(AapMode::Overlapped);
+        // No opt-in: the ring already records.
+        t.aap(0, 1, 1).unwrap();
+        assert_eq!(t.recent_trace().len(), 3);
+        assert_eq!(t.trace_dropped(), 0);
+        assert!(t.trace().is_none(), "full trace stays opt-in");
+
+        t.set_trace_capacity(4);
+        assert_eq!(t.recent_trace().len(), 3, "entries under cap survive");
+        t.aap(0, 1, 1).unwrap(); // 3 more commands, 2 evicted
+        let recent = t.recent_trace();
+        assert_eq!(recent.len(), 4);
+        assert_eq!(t.trace_dropped(), 2);
+        // Oldest-first: the tail of the command stream.
+        assert_eq!(recent[3].command, TraceCommand::Precharge);
+        // Times stay monotone on the single bank.
+        assert!(recent.windows(2).all(|w| w[0].at_ps <= w[1].at_ps));
+
+        t.set_trace_capacity(0);
+        assert!(t.recent_trace().is_empty());
+        t.aap(0, 1, 1).unwrap();
+        assert!(t.recent_trace().is_empty(), "capacity 0 disables the ring");
+        assert_eq!(t.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn telemetry_counts_commands_per_bank() {
+        use ambit_telemetry::Registry;
+        let reg = Registry::new();
+        let mut t = timer(AapMode::Overlapped);
+        t.set_telemetry(reg.clone());
+        t.aap(0, 1, 3).unwrap();
+        t.ap(2, 3).unwrap();
+        t.issue_activate(1, 1).unwrap();
+        t.issue_read(1).unwrap();
+        t.issue_write(1).unwrap();
+
+        assert_eq!(reg.counter_value("ambit_acts_total", &[("bank", "0")]), Some(2));
+        assert_eq!(reg.counter_value("ambit_acts_total", &[("bank", "2")]), Some(1));
+        assert_eq!(reg.counter_value("ambit_reads_total", &[("bank", "1")]), Some(1));
+        assert_eq!(reg.counter_value("ambit_writes_total", &[("bank", "1")]), Some(1));
+        assert_eq!(reg.counter_family_total("ambit_acts_total"), Some(4));
+        assert_eq!(reg.counter_value("ambit_aaps_total", &[]), Some(1));
+        assert_eq!(reg.counter_value("ambit_aps_total", &[]), Some(1));
+
+        // Wordlines histogram saw 1, 3, 3, 1 (le-buckets 1/2/3).
+        let wl = reg.histogram_snapshot("ambit_wordlines_raised", &[]).unwrap();
+        assert_eq!(wl.counts, vec![2, 0, 2, 0]);
+
+        // The energy histogram's sum equals the EnergyAccount total.
+        let e = reg.histogram_snapshot("ambit_command_energy_nj", &[]).unwrap();
+        assert!((e.sum - t.energy().total_nj()).abs() < 1e-9);
     }
 
     #[test]

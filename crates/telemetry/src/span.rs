@@ -1,0 +1,181 @@
+//! Spans and events denominated in *simulated* time.
+//!
+//! The Ambit reproduction is a deterministic simulator: there is no wall
+//! clock. Spans therefore carry explicit start/end timestamps in simulated
+//! DRAM nanoseconds (derived from `TimingParams` picosecond arithmetic by
+//! the instrumented layers), which keeps every run — and every exported
+//! trace — bit-for-bit reproducible.
+
+use std::fmt;
+
+/// An attribute value attached to a [`Span`] or [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A string attribute.
+    Str(String),
+    /// An integer attribute.
+    Int(i64),
+    /// A floating-point attribute.
+    Float(f64),
+    /// A boolean attribute.
+    Bool(bool),
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Str(s) => write!(f, "{s}"),
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(v) => write!(f, "{v}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A completed span: a named interval of simulated time with attributes.
+///
+/// Spans are constructed when the interval is already known (the simulator
+/// computes start/end times up front), attributed with the builder-style
+/// [`attr`](Span::attr), and recorded into a
+/// [`Registry`](crate::Registry), which assigns the id.
+///
+/// # Examples
+///
+/// ```
+/// use ambit_telemetry::Span;
+///
+/// let span = Span::new("driver.bitwise", 0, 196)
+///     .attr("op", "and")
+///     .attr("aaps", 4u64);
+/// assert_eq!(span.duration_ns(), 196);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Span name (e.g. `driver.bitwise`).
+    pub name: String,
+    /// Start of the interval, simulated nanoseconds.
+    pub start_ns: u64,
+    /// End of the interval, simulated nanoseconds.
+    pub end_ns: u64,
+    /// Attributes in insertion order.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl Span {
+    /// A span covering `[start_ns, end_ns]` of simulated time.
+    pub fn new(name: impl Into<String>, start_ns: u64, end_ns: u64) -> Self {
+        Span {
+            name: name.into(),
+            start_ns,
+            end_ns,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Attaches an attribute (builder style).
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Span duration in simulated nanoseconds (saturating).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A point-in-time event with attributes (e.g. a fault injection, a retry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event name (e.g. `campaign.stuck_cell`).
+    pub name: String,
+    /// Simulated time of the event, nanoseconds.
+    pub at_ns: u64,
+    /// Attributes in insertion order.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl Event {
+    /// An event at `at_ns` of simulated time.
+    pub fn new(name: impl Into<String>, at_ns: u64) -> Self {
+        Event {
+            name: name.into(),
+            at_ns,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Attaches an attribute (builder style).
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_builder_keeps_attr_order() {
+        let s = Span::new("x", 10, 30).attr("a", 1u64).attr("b", "two");
+        assert_eq!(s.duration_ns(), 20);
+        assert_eq!(s.attrs[0], ("a".to_string(), AttrValue::Int(1)));
+        assert_eq!(s.attrs[1], ("b".to_string(), AttrValue::Str("two".into())));
+    }
+
+    #[test]
+    fn attr_conversions() {
+        assert_eq!(AttrValue::from(3usize), AttrValue::Int(3));
+        assert_eq!(AttrValue::from(true), AttrValue::Bool(true));
+        assert_eq!(AttrValue::from(1.5), AttrValue::Float(1.5));
+    }
+}

@@ -13,7 +13,10 @@
 //!   programs, controller, bbop ISA, subarray-aware driver);
 //! * [`sys`] — baseline machines, caches, CPU timing, coherence;
 //! * [`apps`] — the paper's application studies (bitmap indices,
-//!   BitWeaving, sets, BitFunnel, masked init, XOR cipher, DNA filtering).
+//!   BitWeaving, sets, BitFunnel, masked init, XOR cipher, DNA filtering);
+//! * [`telemetry`] — counters, simulated-time spans, Prometheus/JSONL
+//!   exporters wired through the controller, driver, and resilient
+//!   executor.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-reproduced results.
@@ -65,4 +68,9 @@ pub mod sys {
 /// Application studies (re-export of `ambit-apps`).
 pub mod apps {
     pub use ambit_apps::*;
+}
+
+/// Counters, spans, and exporters (re-export of `ambit-telemetry`).
+pub mod telemetry {
+    pub use ambit_telemetry::*;
 }
