@@ -11,6 +11,18 @@
 //!   snapshot and checks its schema and energy agreement, exiting non-zero
 //!   on any violation.
 //!
+//! A second mode benchmarks the batched execution engine:
+//!
+//! * `bench_snapshot batch` sweeps bank counts B ∈ {1, 2, 4, 8}, runs a
+//!   single-wave batch of independent `bbop_and`s on every bank through
+//!   [`AmbitMemory::execute_batch`], and writes `BENCH_batch.json`
+//!   (override: `AMBIT_BENCH_BATCH_SNAPSHOT`) with measured throughput
+//!   against the analytic [`AmbitConfig`] envelope and the bank-parallel
+//!   speedup over serial issue.
+//! * `bench_snapshot --validate-batch <path>` checks a batch snapshot:
+//!   measured throughput within 10 % of the analytic envelope and speedup
+//!   at least 0.8·B at every swept bank count.
+//!
 //! The energy figures are *measured through the metrics pipeline* (the
 //! controller's `ambit_command_energy_nj` histogram), not read back from
 //! the receipts, so this snapshot also exercises the telemetry path end to
@@ -19,7 +31,10 @@
 use std::process::ExitCode;
 
 use ambit_bench::quick_mode;
-use ambit_core::{AmbitConfig, AmbitController, BitwiseOp, RowAddress};
+use ambit_core::{
+    AllocGroup, AmbitConfig, AmbitController, AmbitMemory, BatchBuilder, BitwiseOp, IssuePolicy,
+    RowAddress,
+};
 use ambit_dram::{BankId, DramGeometry, EnergyModel, PS_PER_NS};
 use ambit_telemetry::json::{self, Json};
 use ambit_telemetry::Registry;
@@ -27,6 +42,15 @@ use ambit_telemetry::Registry;
 /// Energy agreement tolerance between the measured (metrics-integrated)
 /// and analytic Table 3 values: 1 %.
 const ENERGY_TOLERANCE: f64 = 0.01;
+
+/// Tolerance between the measured batch throughput and the analytic
+/// all-banks envelope: 10 % (command-bus issue stagger is real overhead
+/// the analytic model ignores).
+const BATCH_ENVELOPE_TOLERANCE: f64 = 0.10;
+
+/// Required bank-parallel speedup over serial issue, as a fraction of the
+/// ideal B×.
+const BATCH_SPEEDUP_FLOOR: f64 = 0.8;
 
 /// Analytic Table 3 energy of one op over one row, from the paper's
 /// command-program structure (Figure 8) and the [`EnergyModel`]
@@ -199,8 +223,246 @@ fn validate_snapshot(text: &str) -> Result<usize, Vec<String>> {
     }
 }
 
+struct BatchResult {
+    banks: usize,
+    ops: usize,
+    makespan_ns_parallel: f64,
+    makespan_ns_serial: f64,
+    speedup: f64,
+    measured_gops: f64,
+    analytic_gops: f64,
+    envelope_error_frac: f64,
+}
+
+/// Queues `per_bank` independent ANDs on each of `banks` banks, submitted
+/// round-robin so every bank's chain starts as early as the command bus
+/// allows; the whole batch is one dependency wave.
+fn build_bank_sweep_batch(
+    mem: &mut AmbitMemory,
+    banks: usize,
+    per_bank: usize,
+) -> BatchBuilder {
+    let bits = mem.row_bits();
+    let mut operands = Vec::with_capacity(banks);
+    for g in 0..banks {
+        let group = AllocGroup(g as u32);
+        let mut alloc = || mem.alloc_in_group(bits, group).expect("sweep fits in one subarray");
+        let a = alloc();
+        let b = alloc();
+        let dsts: Vec<_> = (0..per_bank).map(|_| alloc()).collect();
+        operands.push((a, b, dsts));
+    }
+    let mut batch = BatchBuilder::new();
+    for j in 0..per_bank {
+        for (a, b, dsts) in &operands {
+            batch.bitwise(BitwiseOp::And, *a, Some(*b), dsts[j]);
+        }
+    }
+    batch
+}
+
+/// Measures one bank count of the sweep: bank-parallel makespan, serial
+/// baseline on an identical fresh module, and the analytic envelope at the
+/// same bank count.
+fn measure_batch(banks: usize, per_bank: usize, config: &AmbitConfig) -> BatchResult {
+    let geometry = DramGeometry {
+        banks,
+        ..DramGeometry::ddr3_module()
+    };
+    let run = |policy: IssuePolicy| {
+        let mut mem = AmbitMemory::new(geometry, config.timing, config.mode);
+        let batch = build_bank_sweep_batch(&mut mem, banks, per_bank);
+        mem.execute_batch(&batch, policy)
+            .expect("bank sweep batch executes")
+    };
+    let parallel = run(IssuePolicy::BankParallel);
+    let serial = run(IssuePolicy::Serial);
+
+    let ops = banks * per_bank;
+    let makespan_s = parallel.makespan_ps() as f64 / 1e12;
+    // Figure 9 units: billions of byte-wide operations per second.
+    let measured_gops = ops as f64 * config.row_bytes as f64 / makespan_s / 1e9;
+    let analytic_gops = AmbitConfig { banks, ..*config }
+        .throughput_gops(BitwiseOp::And)
+        .expect("and compiles");
+    BatchResult {
+        banks,
+        ops,
+        makespan_ns_parallel: parallel.makespan_ps() as f64 / PS_PER_NS as f64,
+        makespan_ns_serial: serial.makespan_ps() as f64 / PS_PER_NS as f64,
+        speedup: serial.makespan_ps() as f64 / parallel.makespan_ps() as f64,
+        measured_gops,
+        analytic_gops,
+        envelope_error_frac: (measured_gops - analytic_gops).abs() / analytic_gops,
+    }
+}
+
+fn render_batch_snapshot(results: &[BatchResult], config: &AmbitConfig, per_bank: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"ambit-bench-batch/v1\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"timing\": \"ddr3_1600\", \"mode\": \"overlapped\", \"row_bytes\": {}, \"ops_per_bank\": {}, \"quick\": {}}},\n",
+        config.row_bytes,
+        per_bank,
+        quick_mode()
+    ));
+    out.push_str("  \"sweep\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"banks\": {}, \"ops\": {}, \"makespan_ns_parallel\": {}, \"makespan_ns_serial\": {}, \"speedup\": {}, \"measured_gops\": {}, \"analytic_gops\": {}, \"envelope_error_frac\": {}}}{}\n",
+            r.banks,
+            r.ops,
+            json::number(r.makespan_ns_parallel),
+            json::number(r.makespan_ns_serial),
+            json::number(r.speedup),
+            json::number(r.measured_gops),
+            json::number(r.analytic_gops),
+            json::number(r.envelope_error_frac),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates a batch snapshot: schema marker, per-entry fields, measured
+/// throughput within [`BATCH_ENVELOPE_TOLERANCE`] of the analytic
+/// envelope, and speedup ≥ [`BATCH_SPEEDUP_FLOOR`]·B at every bank count.
+fn validate_batch_snapshot(text: &str) -> Result<usize, Vec<String>> {
+    let mut errors = Vec::new();
+    let doc = match Json::parse(text) {
+        Ok(d) => d,
+        Err(e) => return Err(vec![format!("not valid JSON: {e}")]),
+    };
+    if doc.get("schema").and_then(Json::as_str) != Some("ambit-bench-batch/v1") {
+        errors.push("missing or wrong \"schema\" marker".into());
+    }
+    for key in ["row_bytes", "ops_per_bank"] {
+        if doc.get("config").and_then(|c| c.get(key)).and_then(Json::as_u64).is_none() {
+            errors.push(format!("config.{key} missing or not an integer"));
+        }
+    }
+    let Some(sweep) = doc.get("sweep").and_then(Json::as_arr) else {
+        errors.push("\"sweep\" missing or not an array".into());
+        return Err(errors);
+    };
+    if sweep.is_empty() {
+        errors.push("\"sweep\" is empty".into());
+    }
+    for (i, entry) in sweep.iter().enumerate() {
+        let Some(banks) = entry.get("banks").and_then(Json::as_u64) else {
+            errors.push(format!("sweep[{i}]: banks missing or not an integer"));
+            continue;
+        };
+        for key in [
+            "makespan_ns_parallel",
+            "makespan_ns_serial",
+            "speedup",
+            "measured_gops",
+            "analytic_gops",
+            "envelope_error_frac",
+        ] {
+            if entry.get(key).and_then(Json::as_f64).is_none() {
+                errors.push(format!("sweep[{i}] (B={banks}): {key} missing or not a number"));
+            }
+        }
+        if let Some(err) = entry.get("envelope_error_frac").and_then(Json::as_f64) {
+            if err > BATCH_ENVELOPE_TOLERANCE {
+                errors.push(format!(
+                    "sweep[{i}] (B={banks}): measured throughput off the analytic envelope by {:.1}% (> {:.0}%)",
+                    err * 100.0,
+                    BATCH_ENVELOPE_TOLERANCE * 100.0
+                ));
+            }
+        }
+        if let Some(speedup) = entry.get("speedup").and_then(Json::as_f64) {
+            let floor = BATCH_SPEEDUP_FLOOR * banks as f64;
+            if speedup < floor {
+                errors.push(format!(
+                    "sweep[{i}] (B={banks}): bank-parallel speedup {speedup:.2}x below the {floor:.1}x floor"
+                ));
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(sweep.len())
+    } else {
+        Err(errors)
+    }
+}
+
+/// The `bench_snapshot batch` entry point: sweep bank counts, print the
+/// scaling table, self-validate, write the JSON snapshot.
+fn batch_main() -> ExitCode {
+    let config = AmbitConfig::ddr3_module();
+    let per_bank = if quick_mode() { 8 } else { 32 };
+    let results: Vec<BatchResult> = [1, 2, 4, 8]
+        .into_iter()
+        .map(|banks| measure_batch(banks, per_bank, &config))
+        .collect();
+
+    println!("batch bank-scaling sweep @ DDR3-1600, {per_bank} and-ops/bank:");
+    for r in &results {
+        println!(
+            "  B={}: {:6} ops  makespan {:8.0} ns (serial {:9.0} ns)  speedup {:5.2}x  {:7.1} GOps/s measured vs {:7.1} analytic (err {:.2}%)",
+            r.banks,
+            r.ops,
+            r.makespan_ns_parallel,
+            r.makespan_ns_serial,
+            r.speedup,
+            r.measured_gops,
+            r.analytic_gops,
+            r.envelope_error_frac * 100.0,
+        );
+    }
+
+    let snapshot = render_batch_snapshot(&results, &config, per_bank);
+    if let Err(errors) = validate_batch_snapshot(&snapshot) {
+        for e in &errors {
+            eprintln!("self-validation failed: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let path = std::env::var("AMBIT_BENCH_BATCH_SNAPSHOT")
+        .unwrap_or_else(|_| "BENCH_batch.json".to_string());
+    if let Err(e) = std::fs::write(&path, &snapshot) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {path} (throughput within {:.0}% of the analytic envelope, speedup >= {:.1}*B)",
+        BATCH_ENVELOPE_TOLERANCE * 100.0,
+        BATCH_SPEEDUP_FLOOR
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if args.len() == 2 && args[1] == "batch" {
+        return batch_main();
+    }
+    if args.len() == 3 && args[1] == "--validate-batch" {
+        let text = match std::fs::read_to_string(&args[2]) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", args[2]);
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_batch_snapshot(&text) {
+            Ok(n) => {
+                println!("{}: valid batch snapshot, {n} bank counts within tolerance", args[2]);
+                ExitCode::SUCCESS
+            }
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("{}: {e}", args[2]);
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.len() == 3 && args[1] == "--validate" {
         let text = match std::fs::read_to_string(&args[2]) {
             Ok(t) => t,

@@ -23,7 +23,7 @@ fn run(share_banks: bool, ambit_ops: usize) -> (f64, f64) {
     }
 
     // Regular traffic: strided reads over two banks, arriving steadily.
-    let mut sched = FrFcfsScheduler::new(&mut timer);
+    let mut sched = FrFcfsScheduler::new();
     for i in 0..256u64 {
         sched.enqueue(MemoryRequest {
             arrival_ps: i * 50_000, // one request per 50 ns
@@ -32,7 +32,7 @@ fn run(share_banks: bool, ambit_ops: usize) -> (f64, f64) {
             is_write: i % 5 == 0,
         });
     }
-    let (_, stats) = sched.run().expect("schedule");
+    let (_, stats) = sched.run(&mut timer).expect("schedule");
     (stats.mean_latency_ps / 1000.0, stats.makespan_ps as f64 / 1e6)
 }
 

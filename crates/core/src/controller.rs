@@ -201,6 +201,23 @@ impl AmbitController {
         self.timer.set_enforce_inter_bank(enforce);
     }
 
+    /// Closes any row the command timer has open on the timing pipeline
+    /// that runs programs for `(bank, subarray)`. Required before AAP
+    /// programs when regular read/write traffic shares the timer: traffic
+    /// leaves rows open for row-buffer locality, but AAP/AP must start from
+    /// the precharged state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors from the precharge.
+    pub fn close_open_row(&mut self, bank: BankId, subarray: usize) -> Result<()> {
+        let flat = self.timer_index(bank.flat_index(self.device.geometry()), subarray);
+        if self.timer.bank_active(flat) {
+            self.timer.issue_precharge(flat)?;
+        }
+        Ok(())
+    }
+
     /// Executes one bulk bitwise operation on a single row triple within
     /// `(bank, subarray)`: `dst = op(src1, src2)`, all addresses in that
     /// subarray's address space.

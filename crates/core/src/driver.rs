@@ -18,19 +18,20 @@ use std::collections::HashMap;
 
 use ambit_dram::{
     AapMode, BankId, BitRow, CampaignTick, CellFault, DramGeometry, FaultCampaign,
-    RefreshScheduler, TimingParams, PS_PER_NS,
+    FrFcfsScheduler, RefreshScheduler, TimingParams, PS_PER_NS,
 };
 use ambit_telemetry::{Counter, Histogram, Registry, Span};
 
 use crate::addressing::RowAddress;
+use crate::batch::{BatchBuilder, BatchOp, BatchReceipt, IssuePolicy};
 use crate::compiler::{compile_fold, fold_supported};
 use crate::controller::{AmbitController, OpReceipt};
 use crate::error::{AmbitError, Result};
-use crate::ops::{compile_majority, BitwiseOp};
+use crate::ops::{compile, compile_majority, AmbitCmd, BitwiseOp};
 
 /// Opaque handle to an allocated Ambit bitvector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct BitVectorHandle(u64);
+pub struct BitVectorHandle(pub(crate) u64);
 
 /// Affinity group: bitvectors allocated in the same group are co-located
 /// chunk-by-chunk so in-DRAM operations between them use RowClone-FPM.
@@ -49,6 +50,14 @@ struct VectorMeta {
     bits: usize,
     group: AllocGroup,
     chunks: Vec<ChunkLoc>,
+}
+
+/// One compiled per-chunk command program, ready to issue.
+#[derive(Debug, Clone)]
+struct ChunkProgram {
+    bank: BankId,
+    subarray: usize,
+    program: Vec<AmbitCmd>,
 }
 
 /// One entry of the driver's bad-row map: a data row found permanently
@@ -178,6 +187,42 @@ impl DriverTelemetry {
             .attr("aps", receipt.aps)
             .attr("energy_nj", receipt.energy_nj),
         );
+    }
+
+    /// Records one completed batch: per-op counters/histograms, a
+    /// `driver.batch` span, and per-bank occupancy gauges from the timer's
+    /// busy-time attribution.
+    fn record_batch(&mut self, receipt: &BatchReceipt, mnemonics: &[&'static str]) {
+        for (op_receipt, &mnemonic) in receipt.per_op.iter().zip(mnemonics) {
+            self.op_counter(mnemonic).inc();
+            self.latency_ns
+                .observe(op_receipt.latency_ps() as f64 / PS_PER_NS as f64);
+            self.energy_nj.observe(op_receipt.energy_nj);
+        }
+        self.registry.record_span(
+            Span::new(
+                "driver.batch",
+                receipt.total.start_ps / PS_PER_NS,
+                receipt.total.end_ps / PS_PER_NS,
+            )
+            .attr("ops", receipt.per_op.len())
+            .attr("waves", receipt.waves)
+            .attr("banks_used", receipt.banks_used())
+            .attr("aaps", receipt.total.aaps)
+            .attr("aps", receipt.total.aps)
+            .attr("energy_nj", receipt.total.energy_nj),
+        );
+        for (bank, &busy) in receipt.bank_busy_ps.iter().enumerate() {
+            let label = bank.to_string();
+            self.registry
+                .gauge(
+                    "ambit_batch_bank_busy_ns",
+                    "Open-row busy time each timing pipeline accumulated during \
+                     the most recent batch, simulated nanoseconds",
+                    &[("bank", &label)],
+                )
+                .set(busy as f64 / PS_PER_NS as f64);
+        }
     }
 }
 
@@ -531,61 +576,11 @@ impl AmbitMemory {
         src2: Option<BitVectorHandle>,
         dst: BitVectorHandle,
     ) -> Result<OpReceipt> {
-        if op.source_count() == 2 && src2.is_none() {
-            return Err(AmbitError::WrongOperandCount {
-                op: op.mnemonic(),
-                expected: 2,
-                provided: 1,
-            });
-        }
-        let m1 = self.meta(src1)?.clone();
-        let m2 = match src2 {
-            Some(h) => Some(self.meta(h)?.clone()),
-            None => None,
-        };
-        let md = self.meta(dst)?.clone();
-        if m1.bits != md.bits {
-            return Err(AmbitError::SizeMismatch {
-                left_bits: m1.bits,
-                right_bits: md.bits,
-            });
-        }
-        if let Some(m2) = &m2 {
-            if m2.bits != m1.bits {
-                return Err(AmbitError::SizeMismatch {
-                    left_bits: m1.bits,
-                    right_bits: m2.bits,
-                });
-            }
-        }
-
-        let mut total: Option<OpReceipt> = None;
-        for chunk in 0..m1.chunks.len() {
-            let c1 = m1.chunks[chunk];
-            let cd = md.chunks[chunk];
-            let c2 = m2.as_ref().map(|m| m.chunks[chunk]);
-            let colocated = c1.bank == cd.bank
-                && c1.subarray == cd.subarray
-                && c2.is_none_or(|c| c.bank == c1.bank && c.subarray == c1.subarray);
-            if !colocated {
-                return Err(AmbitError::NotColocated { chunk });
-            }
-            let receipt = self.ctrl.execute(
-                op,
-                c1.bank,
-                c1.subarray,
-                RowAddress::D(c1.d_index),
-                c2.map(|c| RowAddress::D(c.d_index)),
-                RowAddress::D(cd.d_index),
-            )?;
-            match &mut total {
-                Some(t) => t.absorb(&receipt),
-                None => total = Some(receipt),
-            }
-        }
-        let receipt = total.expect("alloc guarantees at least one chunk");
+        let entry = BatchOp::Bitwise { op, src1, src2, dst };
+        let chunks = self.plan_op(&entry)?;
+        let receipt = self.issue_chunks(&chunks)?;
         if let Some(tel) = &mut self.telemetry {
-            tel.record_op(op.mnemonic(), &receipt, m1.chunks.len());
+            tel.record_op(op.mnemonic(), &receipt, chunks.len());
         }
         Ok(receipt)
     }
@@ -605,47 +600,11 @@ impl AmbitMemory {
         c: BitVectorHandle,
         dst: BitVectorHandle,
     ) -> Result<OpReceipt> {
-        let ma = self.meta(a)?.clone();
-        let mb = self.meta(b)?.clone();
-        let mc = self.meta(c)?.clone();
-        let md = self.meta(dst)?.clone();
-        for m in [&mb, &mc, &md] {
-            if m.bits != ma.bits {
-                return Err(AmbitError::SizeMismatch {
-                    left_bits: ma.bits,
-                    right_bits: m.bits,
-                });
-            }
-        }
-        let mut total: Option<OpReceipt> = None;
-        for chunk in 0..ma.chunks.len() {
-            let (ca, cb, cc, cd) = (
-                ma.chunks[chunk],
-                mb.chunks[chunk],
-                mc.chunks[chunk],
-                md.chunks[chunk],
-            );
-            let colocated = [cb, cc, cd]
-                .iter()
-                .all(|c| c.bank == ca.bank && c.subarray == ca.subarray);
-            if !colocated {
-                return Err(AmbitError::NotColocated { chunk });
-            }
-            let program = compile_majority(
-                RowAddress::D(ca.d_index),
-                RowAddress::D(cb.d_index),
-                RowAddress::D(cc.d_index),
-                RowAddress::D(cd.d_index),
-            );
-            let receipt = self.ctrl.run_program(ca.bank, ca.subarray, &program)?;
-            match &mut total {
-                Some(t) => t.absorb(&receipt),
-                None => total = Some(receipt),
-            }
-        }
-        let receipt = total.expect("alloc guarantees at least one chunk");
+        let entry = BatchOp::Maj3 { a, b, c, dst };
+        let chunks = self.plan_op(&entry)?;
+        let receipt = self.issue_chunks(&chunks)?;
         if let Some(tel) = &mut self.telemetry {
-            tel.record_op("maj3", &receipt, ma.chunks.len());
+            tel.record_op("maj3", &receipt, chunks.len());
         }
         Ok(receipt)
     }
@@ -667,55 +626,311 @@ impl AmbitMemory {
         srcs: &[BitVectorHandle],
         dst: BitVectorHandle,
     ) -> Result<OpReceipt> {
-        if !fold_supported(op) || srcs.len() < 2 {
-            return Err(AmbitError::WrongOperandCount {
-                op: op.mnemonic(),
-                expected: 2,
-                provided: srcs.len(),
-            });
+        let entry = BatchOp::Fold {
+            op,
+            srcs: srcs.to_vec(),
+            dst,
+        };
+        let mnemonic = entry.mnemonic();
+        let chunks = self.plan_op(&entry)?;
+        let receipt = self.issue_chunks(&chunks)?;
+        if let Some(tel) = &mut self.telemetry {
+            tel.record_op(mnemonic, &receipt, chunks.len());
         }
-        let metas: Vec<VectorMeta> = srcs
+        Ok(receipt)
+    }
+
+    /// Executes a [`BatchBuilder`]'s operations as one planned batch.
+    ///
+    /// The batch is first split into dependency waves
+    /// ([`BatchBuilder::waves`]-style hazard analysis), and every op is
+    /// validated and compiled *before* any command issues — a malformed
+    /// batch fails without touching the device. Under
+    /// [`IssuePolicy::BankParallel`] the chunk programs of a wave issue
+    /// back-to-back, so ops placed in different banks overlap in simulated
+    /// time on their per-bank pipelines; [`IssuePolicy::Serial`] advances
+    /// the clock past each op before issuing the next (the baseline the
+    /// bank-parallel speedup is measured against). Results are bit-
+    /// identical across policies: ops within a wave touch disjoint
+    /// destinations, so functional order is immaterial.
+    ///
+    /// # Errors
+    ///
+    /// * [`AmbitError::EmptyBatch`] / [`AmbitError::DependencyCycle`] from
+    ///   planning.
+    /// * Any validation error the eager entry points raise
+    ///   ([`AmbitError::SizeMismatch`], [`AmbitError::NotColocated`],
+    ///   [`AmbitError::WrongOperandCount`], unknown handles).
+    pub fn execute_batch(
+        &mut self,
+        batch: &BatchBuilder,
+        policy: IssuePolicy,
+    ) -> Result<BatchReceipt> {
+        self.execute_batch_inner(batch, policy, None)
+    }
+
+    /// Like [`execute_batch`](Self::execute_batch), but interleaves regular
+    /// read/write traffic from a [`FrFcfsScheduler`] on the same command
+    /// timer (paper Section 5.5.2): between chunk programs, every traffic
+    /// request that has already arrived is serviced, and any row the
+    /// traffic left open is precharged before the next AAP program targets
+    /// that bank. Traffic arriving after the batch finishes stays queued in
+    /// the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// As [`execute_batch`](Self::execute_batch), plus scheduler errors.
+    pub fn execute_batch_with_traffic(
+        &mut self,
+        batch: &BatchBuilder,
+        policy: IssuePolicy,
+        traffic: &mut FrFcfsScheduler,
+    ) -> Result<BatchReceipt> {
+        self.execute_batch_inner(batch, policy, Some(traffic))
+    }
+
+    fn execute_batch_inner(
+        &mut self,
+        batch: &BatchBuilder,
+        policy: IssuePolicy,
+        mut traffic: Option<&mut FrFcfsScheduler>,
+    ) -> Result<BatchReceipt> {
+        let waves = batch.waves()?;
+        // Upfront validation and compilation: no command issues unless the
+        // whole batch is well-formed.
+        let plans: Vec<Vec<ChunkProgram>> = batch
+            .ops
             .iter()
-            .map(|&h| self.meta(h).cloned())
+            .map(|entry| self.plan_op(entry))
             .collect::<Result<_>>()?;
-        let md = self.meta(dst)?.clone();
-        for m in &metas {
-            if m.bits != md.bits {
-                return Err(AmbitError::SizeMismatch {
-                    left_bits: m.bits,
-                    right_bits: md.bits,
-                });
+
+        let busy_before: Vec<u64> = (0..self.ctrl.timer().tracked_banks())
+            .map(|b| self.ctrl.timer().bank_busy_ps(b))
+            .collect();
+
+        let mut per_op: Vec<Option<OpReceipt>> = vec![None; batch.len()];
+        for wave in &waves {
+            let mut wave_end = 0u64;
+            for &i in wave {
+                let mut op_total: Option<OpReceipt> = None;
+                for chunk in &plans[i] {
+                    if let Some(tr) = traffic.as_deref_mut() {
+                        tr.service_arrived(self.ctrl.timer_mut())?;
+                    }
+                    // Traffic (or prior external use) may have left a row
+                    // open; AAP programs must start precharged.
+                    self.ctrl.close_open_row(chunk.bank, chunk.subarray)?;
+                    let receipt =
+                        self.ctrl.run_program(chunk.bank, chunk.subarray, &chunk.program)?;
+                    match &mut op_total {
+                        Some(t) => t.absorb(&receipt),
+                        None => op_total = Some(receipt),
+                    }
+                }
+                let receipt = op_total.ok_or(AmbitError::EmptyAllocation)?;
+                if policy == IssuePolicy::Serial {
+                    self.ctrl.timer_mut().advance_to(receipt.end_ps);
+                }
+                wave_end = wave_end.max(receipt.end_ps);
+                per_op[i] = Some(receipt);
             }
+            // Wave barrier: dependent ops start only after every producer's
+            // final precharge has completed.
+            if policy == IssuePolicy::BankParallel {
+                self.ctrl.timer_mut().advance_to(wave_end);
+            }
+        }
+        if let Some(tr) = traffic {
+            tr.service_arrived(self.ctrl.timer_mut())?;
         }
 
-        let mut total: Option<OpReceipt> = None;
-        for chunk in 0..md.chunks.len() {
-            let cd = md.chunks[chunk];
-            let mut src_addrs = Vec::with_capacity(metas.len());
-            for m in &metas {
-                let c = m.chunks[chunk];
-                if c.bank != cd.bank || c.subarray != cd.subarray {
-                    return Err(AmbitError::NotColocated { chunk });
+        let per_op: Vec<OpReceipt> = per_op
+            .into_iter()
+            .map(|r| r.ok_or(AmbitError::EmptyAllocation))
+            .collect::<Result<_>>()?;
+        let mut total = per_op[0];
+        for receipt in &per_op[1..] {
+            total.absorb(receipt);
+        }
+        let bank_busy_ps: Vec<u64> = (0..self.ctrl.timer().tracked_banks())
+            .map(|b| {
+                self.ctrl.timer().bank_busy_ps(b) - busy_before.get(b).copied().unwrap_or(0)
+            })
+            .collect();
+
+        let receipt = BatchReceipt {
+            total,
+            per_op,
+            waves: waves.len(),
+            bank_busy_ps,
+        };
+        if let Some(tel) = &mut self.telemetry {
+            let mnemonics: Vec<&'static str> =
+                batch.ops.iter().map(|op| op.mnemonic()).collect();
+            tel.record_batch(&receipt, &mnemonics);
+        }
+        Ok(receipt)
+    }
+
+    /// Validates one batch operation against the allocator state and
+    /// compiles its per-chunk command programs. Shared by the eager entry
+    /// points and the batch engine, so batched execution is semantically
+    /// identical to serial execution by construction.
+    fn plan_op(&self, entry: &BatchOp) -> Result<Vec<ChunkProgram>> {
+        match entry {
+            BatchOp::Bitwise { op, src1, src2, dst } => {
+                if op.source_count() == 2 && src2.is_none() {
+                    return Err(AmbitError::WrongOperandCount {
+                        op: op.mnemonic(),
+                        expected: 2,
+                        provided: 1,
+                    });
                 }
-                src_addrs.push(RowAddress::D(c.d_index));
+                let m1 = self.meta(*src1)?;
+                let m2 = match src2 {
+                    Some(h) => Some(self.meta(*h)?),
+                    None => None,
+                };
+                let md = self.meta(*dst)?;
+                if m1.bits != md.bits {
+                    return Err(AmbitError::SizeMismatch {
+                        left_bits: m1.bits,
+                        right_bits: md.bits,
+                    });
+                }
+                if let Some(m2) = m2 {
+                    if m2.bits != m1.bits {
+                        return Err(AmbitError::SizeMismatch {
+                            left_bits: m1.bits,
+                            right_bits: m2.bits,
+                        });
+                    }
+                }
+                let mut chunks = Vec::with_capacity(m1.chunks.len());
+                for chunk in 0..m1.chunks.len() {
+                    let c1 = m1.chunks[chunk];
+                    let cd = md.chunks[chunk];
+                    let c2 = m2.map(|m| m.chunks[chunk]);
+                    let colocated = c1.bank == cd.bank
+                        && c1.subarray == cd.subarray
+                        && c2.is_none_or(|c| c.bank == c1.bank && c.subarray == c1.subarray);
+                    if !colocated {
+                        return Err(AmbitError::NotColocated { chunk });
+                    }
+                    let program = compile(
+                        *op,
+                        RowAddress::D(c1.d_index),
+                        c2.map(|c| RowAddress::D(c.d_index)),
+                        RowAddress::D(cd.d_index),
+                    )?;
+                    chunks.push(ChunkProgram {
+                        bank: c1.bank,
+                        subarray: c1.subarray,
+                        program,
+                    });
+                }
+                Ok(chunks)
             }
-            let program = compile_fold(op, &src_addrs, RowAddress::D(cd.d_index))?;
-            let receipt = self.ctrl.run_program(cd.bank, cd.subarray, &program)?;
+            BatchOp::Maj3 { a, b, c, dst } => {
+                let ma = self.meta(*a)?;
+                let mb = self.meta(*b)?;
+                let mc = self.meta(*c)?;
+                let md = self.meta(*dst)?;
+                for m in [mb, mc, md] {
+                    if m.bits != ma.bits {
+                        return Err(AmbitError::SizeMismatch {
+                            left_bits: ma.bits,
+                            right_bits: m.bits,
+                        });
+                    }
+                }
+                let mut chunks = Vec::with_capacity(ma.chunks.len());
+                for chunk in 0..ma.chunks.len() {
+                    let (ca, cb, cc, cd) = (
+                        ma.chunks[chunk],
+                        mb.chunks[chunk],
+                        mc.chunks[chunk],
+                        md.chunks[chunk],
+                    );
+                    let colocated = [cb, cc, cd]
+                        .iter()
+                        .all(|c| c.bank == ca.bank && c.subarray == ca.subarray);
+                    if !colocated {
+                        return Err(AmbitError::NotColocated { chunk });
+                    }
+                    let program = compile_majority(
+                        RowAddress::D(ca.d_index),
+                        RowAddress::D(cb.d_index),
+                        RowAddress::D(cc.d_index),
+                        RowAddress::D(cd.d_index),
+                    );
+                    chunks.push(ChunkProgram {
+                        bank: ca.bank,
+                        subarray: ca.subarray,
+                        program,
+                    });
+                }
+                Ok(chunks)
+            }
+            BatchOp::Fold { op, srcs, dst } => {
+                if !fold_supported(*op) || srcs.len() < 2 {
+                    return Err(AmbitError::WrongOperandCount {
+                        op: op.mnemonic(),
+                        expected: 2,
+                        provided: srcs.len(),
+                    });
+                }
+                let metas: Vec<&VectorMeta> = srcs
+                    .iter()
+                    .map(|&h| self.meta(h))
+                    .collect::<Result<_>>()?;
+                let md = self.meta(*dst)?;
+                for m in &metas {
+                    if m.bits != md.bits {
+                        return Err(AmbitError::SizeMismatch {
+                            left_bits: m.bits,
+                            right_bits: md.bits,
+                        });
+                    }
+                }
+                let mut chunks = Vec::with_capacity(md.chunks.len());
+                for chunk in 0..md.chunks.len() {
+                    let cd = md.chunks[chunk];
+                    let mut src_addrs = Vec::with_capacity(metas.len());
+                    for m in &metas {
+                        let c = m.chunks[chunk];
+                        if c.bank != cd.bank || c.subarray != cd.subarray {
+                            return Err(AmbitError::NotColocated { chunk });
+                        }
+                        src_addrs.push(RowAddress::D(c.d_index));
+                    }
+                    let program = compile_fold(*op, &src_addrs, RowAddress::D(cd.d_index))?;
+                    chunks.push(ChunkProgram {
+                        bank: cd.bank,
+                        subarray: cd.subarray,
+                        program,
+                    });
+                }
+                Ok(chunks)
+            }
+        }
+    }
+
+    /// Issues an op's chunk programs in order. Chunks live in different
+    /// banks (the allocator stripes them), so their pipelines overlap on
+    /// the shared timeline.
+    fn issue_chunks(&mut self, chunks: &[ChunkProgram]) -> Result<OpReceipt> {
+        let mut total: Option<OpReceipt> = None;
+        for chunk in chunks {
+            let receipt = self.ctrl.run_program(chunk.bank, chunk.subarray, &chunk.program)?;
             match &mut total {
                 Some(t) => t.absorb(&receipt),
                 None => total = Some(receipt),
             }
         }
-        let receipt = total.expect("alloc guarantees at least one chunk");
-        if let Some(tel) = &mut self.telemetry {
-            let mnemonic = match op {
-                BitwiseOp::And => "fold_and",
-                BitwiseOp::Or => "fold_or",
-                _ => op.mnemonic(),
-            };
-            tel.record_op(mnemonic, &receipt, md.chunks.len());
-        }
-        Ok(receipt)
+        // An allocation always has at least one chunk; surface the
+        // impossible case as a typed error, not a panic.
+        total.ok_or(AmbitError::EmptyAllocation)
     }
 
     /// Writes host bits into the vector through the DRAM protocol (timed).

@@ -84,6 +84,20 @@ pub enum AmbitError {
     },
     /// An allocation of zero bits was requested.
     EmptyAllocation,
+    /// A batch was submitted with no operations in it.
+    EmptyBatch,
+    /// Batch dependencies (explicit edges plus handle-inferred hazards)
+    /// form a cycle, so no execution order satisfies them.
+    DependencyCycle {
+        /// Index of an operation on the cycle.
+        op: usize,
+    },
+    /// A batch dependency referenced an [`OpId`](crate::OpId) that does not
+    /// belong to the builder it was passed to.
+    UnknownOp {
+        /// The raw op index.
+        id: usize,
+    },
 }
 
 impl fmt::Display for AmbitError {
@@ -133,6 +147,13 @@ impl fmt::Display for AmbitError {
                 "no spare rows left in bank {bank} subarray {subarray}"
             ),
             AmbitError::EmptyAllocation => write!(f, "cannot allocate an empty bitvector"),
+            AmbitError::EmptyBatch => write!(f, "batch contains no operations"),
+            AmbitError::DependencyCycle { op } => {
+                write!(f, "batch dependencies form a cycle through op {op}")
+            }
+            AmbitError::UnknownOp { id } => {
+                write!(f, "op id {id} does not belong to this batch")
+            }
         }
     }
 }
@@ -173,6 +194,9 @@ mod tests {
             AmbitError::RetriesExhausted { retries: 3, suspect_bits: 12 },
             AmbitError::SpareRowsExhausted { bank: 1, subarray: 0 },
             AmbitError::EmptyAllocation,
+            AmbitError::EmptyBatch,
+            AmbitError::DependencyCycle { op: 4 },
+            AmbitError::UnknownOp { id: 7 },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -49,6 +49,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod addressing;
+mod batch;
 pub mod compiler;
 mod controller;
 mod driver;
@@ -61,6 +62,7 @@ pub mod resilient;
 mod throughput;
 
 pub use addressing::{RowAddress, SubarrayLayout};
+pub use batch::{BatchBuilder, BatchReceipt, IssuePolicy, OpId};
 pub use compiler::{compile_fold, fold_savings, fold_supported};
 pub use controller::{AmbitController, OpReceipt};
 pub use driver::{AllocGroup, AmbitMemory, BadRowEntry, BitVectorHandle};

@@ -72,6 +72,11 @@ struct BankTiming {
     active: bool,
     /// Issue time of the first ACTIVATE of the current open interval.
     first_act_ps: u64,
+    /// ACTIVATE commands ever issued to this bank — a generation counter
+    /// external row-state caches (the FR-FCFS scheduler) reconcile against.
+    acts: u64,
+    /// Accumulated open-row occupancy over closed ACT→PRE+tRP intervals.
+    busy_ps: u64,
 }
 
 /// Issue/occupancy statistics for a [`CommandTimer`].
@@ -124,6 +129,10 @@ pub struct CommandTimer {
     last_act_ps: Option<u64>,
     /// Whether tRRD/tFAW are enforced across banks.
     enforce_inter_bank: bool,
+    /// Earliest time the shared data bus can carry the next column burst:
+    /// per-bank timelines overlap freely on row commands, but READ/WRITE
+    /// bursts from *any* bank share one bus and stay tCCD apart.
+    bus_col_ready_ps: u64,
     /// Latest command issue time seen on any bank (wall-clock horizon).
     horizon_ps: u64,
     stats: TimerStats,
@@ -244,6 +253,7 @@ impl CommandTimer {
             recent_acts: VecDeque::new(),
             last_act_ps: None,
             enforce_inter_bank: false,
+            bus_col_ready_ps: 0,
             horizon_ps: 0,
             stats: TimerStats::default(),
             trace: None,
@@ -356,6 +366,51 @@ impl CommandTimer {
         self.horizon_ps
     }
 
+    /// Whether `bank` currently has an open row. This is the authoritative
+    /// bank state: schedulers layered on top must derive their open-row
+    /// bookkeeping from it rather than shadowing it (a shadow diverges as
+    /// soon as anything else drives the same timer).
+    pub fn bank_active(&self, bank: usize) -> bool {
+        self.banks.get(bank).is_some_and(|b| b.active)
+    }
+
+    /// ACTIVATE commands issued to `bank` since the timer was created — a
+    /// generation counter. A cached row identity recorded at generation `g`
+    /// is only trustworthy while `bank_acts(bank) == g` (and the bank is
+    /// still active): any ACTIVATE from another driver bumps the counter
+    /// and invalidates the cache.
+    pub fn bank_acts(&self, bank: usize) -> u64 {
+        self.banks.get(bank).map_or(0, |b| b.acts)
+    }
+
+    /// Earliest time `bank` could start a fresh ACTIVATE, assuming any open
+    /// row is precharged as early as legal. This is the per-bank ready-time
+    /// batch planners use to reason about overlapping bank timelines.
+    pub fn bank_ready_ps(&self, bank: usize) -> u64 {
+        let Some(b) = self.banks.get(bank) else {
+            return self.now_ps;
+        };
+        if b.active {
+            self.now_ps.max(b.pre_ready_ps) + self.timing.t_rp_ps
+        } else {
+            self.now_ps.max(b.act_ready_ps)
+        }
+    }
+
+    /// Accumulated row-occupancy time of `bank`: the sum of all closed
+    /// ACTIVATE → PRECHARGE+tRP intervals. Divided by a measurement window
+    /// this is the bank's utilization (the per-bank occupancy gauges the
+    /// driver's batch engine exports).
+    pub fn bank_busy_ps(&self, bank: usize) -> u64 {
+        self.banks.get(bank).map_or(0, |b| b.busy_ps)
+    }
+
+    /// Number of bank timing slots currently tracked (banks are grown
+    /// lazily as commands address them).
+    pub fn tracked_banks(&self) -> usize {
+        self.banks.len()
+    }
+
     /// Accumulated energy account.
     pub fn energy(&self) -> &EnergyAccount {
         &self.energy
@@ -445,6 +500,7 @@ impl CommandTimer {
             b.col_ready_ps = t + timing.t_rcd_ps;
             t
         };
+        self.bank_mut(bank).acts += 1;
         self.note_act(t);
         self.record(t, bank, TraceCommand::Activate { wordlines });
         self.horizon_ps = self.horizon_ps.max(t);
@@ -477,6 +533,7 @@ impl CommandTimer {
         let t = floor.max(b.pre_ready_ps);
         b.active = false;
         b.act_ready_ps = t + timing.t_rp_ps;
+        b.busy_ps += t + timing.t_rp_ps - b.first_act_ps;
         self.record(t, bank, TraceCommand::Precharge);
         self.horizon_ps = self.horizon_ps.max(t + timing.t_rp_ps);
         self.now_ps = floor + timing.t_ck_ps;
@@ -513,16 +570,20 @@ impl CommandTimer {
     fn issue_column(&mut self, bank: usize, is_write: bool) -> Result<u64> {
         let timing = self.timing;
         let floor = self.now_ps;
+        let bus_ready = self.bus_col_ready_ps;
         let b = self.bank_mut(bank);
         if !b.active {
             return Err(DramError::BankNotActivated);
         }
-        let t = floor.max(b.col_ready_ps);
+        // tCCD is a shared-bus constraint, not just a per-bank one: bursts
+        // from different banks still serialize on the one data bus.
+        let t = floor.max(b.col_ready_ps).max(bus_ready);
         b.col_ready_ps = t + timing.t_ccd_ps;
         if is_write {
             // Write recovery gates the next precharge.
             b.pre_ready_ps = b.pre_ready_ps.max(t + timing.t_cl_ps + timing.t_wr_ps);
         }
+        self.bus_col_ready_ps = t + timing.t_ccd_ps;
         self.record(
             t,
             bank,
@@ -549,6 +610,53 @@ impl CommandTimer {
             tel.command_energy_nj.observe(nj);
         }
         Ok(done)
+    }
+
+    /// Issues a linked READ (from `src_bank`) + WRITE (to `dst_bank`) burst
+    /// pair modelling a RowClone-PSM pipelined transfer (Seshadri et al.,
+    /// MICRO'13): the write consumes the data as the read drives it, so the
+    /// pair occupies a *single* tCCD bus slot instead of two. Independent
+    /// reads/writes issued via [`issue_read`](Self::issue_read)/
+    /// [`issue_write`](Self::issue_write) still serialize on the shared bus.
+    /// Returns the time the burst completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankNotActivated`] if either bank has no open
+    /// row.
+    pub fn issue_transfer(&mut self, src_bank: usize, dst_bank: usize) -> Result<u64> {
+        let timing = self.timing;
+        let floor = self.now_ps;
+        let bus_ready = self.bus_col_ready_ps;
+        if !self.bank_mut(src_bank).active || !self.bank_mut(dst_bank).active {
+            return Err(DramError::BankNotActivated);
+        }
+        let src_ready = self.bank_mut(src_bank).col_ready_ps;
+        let dst_ready = self.bank_mut(dst_bank).col_ready_ps;
+        let t = floor.max(src_ready).max(dst_ready).max(bus_ready);
+        self.bank_mut(src_bank).col_ready_ps = t + timing.t_ccd_ps;
+        {
+            let d = self.bank_mut(dst_bank);
+            d.col_ready_ps = t + timing.t_ccd_ps;
+            // Write recovery gates the destination bank's next precharge.
+            d.pre_ready_ps = d.pre_ready_ps.max(t + timing.t_cl_ps + timing.t_wr_ps);
+        }
+        self.bus_col_ready_ps = t + timing.t_ccd_ps;
+        self.record(t, src_bank, TraceCommand::Read);
+        self.record(t, dst_bank, TraceCommand::Write);
+        self.horizon_ps = self.horizon_ps.max(t);
+        self.now_ps = floor + timing.t_ck_ps;
+        let burst_bytes = 64;
+        self.energy.record_transfer(&self.energy_model, burst_bytes);
+        self.stats.reads += 1;
+        self.stats.writes += 1;
+        if let Some(tel) = &mut self.telemetry {
+            tel.bank(src_bank).reads.inc();
+            tel.bank(dst_bank).writes.inc();
+            let nj = self.energy_model.transfer_nj(burst_bytes);
+            tel.command_energy_nj.observe(nj);
+        }
+        Ok(t + timing.t_cl_ps + timing.transfer_ps(burst_bytes))
     }
 
     /// Executes the AAP primitive (ACTIVATE `addr1`; ACTIVATE `addr2`;
@@ -800,6 +908,40 @@ mod tests {
         // The energy histogram's sum equals the EnergyAccount total.
         let e = reg.histogram_snapshot("ambit_command_energy_nj", &[]).unwrap();
         assert!((e.sum - t.energy().total_nj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bank_state_accessors_track_activity() {
+        let mut t = timer(AapMode::Overlapped);
+        assert!(!t.bank_active(0));
+        assert_eq!(t.bank_acts(0), 0);
+        assert_eq!(t.bank_busy_ps(0), 0);
+        let act = t.issue_activate(0, 1).unwrap();
+        assert!(t.bank_active(0));
+        assert_eq!(t.bank_acts(0), 1);
+        // While open, the bank's next fresh ACT must clear PRE + tRP.
+        assert!(t.bank_ready_ps(0) >= act + (35 + 10) * PS_PER_NS);
+        let ready = t.issue_precharge(0).unwrap();
+        assert!(!t.bank_active(0));
+        // The closed interval counts toward occupancy: ACT → PRE + tRP.
+        assert_eq!(t.bank_busy_ps(0), ready - act);
+        assert_eq!(t.bank_ready_ps(0), ready);
+        // Out-of-range banks read as idle rather than panicking.
+        assert!(!t.bank_active(99));
+        assert_eq!(t.bank_acts(99), 0);
+        assert!(t.tracked_banks() >= 1);
+    }
+
+    #[test]
+    fn column_bursts_share_one_bus_across_banks() {
+        let mut t = timer(AapMode::Overlapped);
+        t.issue_activate(0, 1).unwrap();
+        t.issue_activate(1, 1).unwrap();
+        let d0 = t.issue_read(0).unwrap();
+        let d1 = t.issue_read(1).unwrap();
+        // Bank 1's burst is tCCD behind bank 0's despite independent
+        // per-bank column readiness: the data bus is shared.
+        assert!(d1 >= d0 + t.timing().t_ccd_ps, "d0={d0} d1={d1}");
     }
 
     #[test]

@@ -97,6 +97,16 @@ pub enum DramError {
         /// The offending rate, as [`f64::to_bits`].
         rate_bits: u64,
     },
+    /// Scheduler accounting produced a completion earlier than the
+    /// request's arrival. Latencies are finish − arrival by construction;
+    /// a negative value can only come from an accounting bug (e.g. a stale
+    /// clock), so it is surfaced as a typed error instead of being clamped.
+    NegativeLatency {
+        /// Arrival time of the request, picoseconds.
+        arrival_ps: u64,
+        /// Computed finish time, picoseconds.
+        finish_ps: u64,
+    },
     /// A fault-injection target referenced a cell outside the subarray.
     CellOutOfRange {
         /// Offending row index.
@@ -173,6 +183,13 @@ impl fmt::Display for DramError {
                 "fault rate {} is not a probability in [0, 1]",
                 f64::from_bits(*rate_bits)
             ),
+            DramError::NegativeLatency {
+                arrival_ps,
+                finish_ps,
+            } => write!(
+                f,
+                "scheduler accounting bug: request arriving at {arrival_ps} ps finished at {finish_ps} ps"
+            ),
             DramError::CellOutOfRange {
                 row,
                 bit,
@@ -209,6 +226,7 @@ mod tests {
             DramError::TimingViolation { constraint: "tRAS", earliest_ps: 100, requested_ps: 50 },
             DramError::UnmappedAddress { address: 12 },
             DramError::invalid_fault_rate(1.5),
+            DramError::NegativeLatency { arrival_ps: 100, finish_ps: 50 },
             DramError::CellOutOfRange { row: 40, bit: 3, rows: 32, bits: 128 },
         ];
         for e in errors {

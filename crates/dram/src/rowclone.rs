@@ -107,8 +107,7 @@ pub fn copy_psm(
     let lines = device.geometry().row_bytes.div_ceil(64);
     let mut last_burst = timer.now_ps();
     for _ in 0..lines {
-        last_burst = timer.issue_read(src_flat)?;
-        timer.issue_write(dst_flat)?;
+        last_burst = timer.issue_transfer(src_flat, dst_flat)?;
     }
     timer.advance_to(last_burst);
     timer.issue_precharge(src_flat)?;

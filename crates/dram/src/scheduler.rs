@@ -8,9 +8,20 @@
 //! models in `ambit-sys` and to measure the latency impact of Ambit
 //! operations interleaved with regular traffic (paper Section 5.5.2 notes
 //! the Ambit controller interleaves AAPs with ordinary requests).
+//!
+//! The scheduler does not own the timer: every service call borrows the
+//! [`CommandTimer`] it drives, so a driver can alternate AAP programs and
+//! regular traffic on *one* timeline (`AmbitMemory::execute_batch_with_
+//! traffic` in `ambit-core` does exactly that). Open-row state is derived
+//! from the timer — [`CommandTimer::bank_active`] is authoritative, and a
+//! cached row identity is trusted only while the bank's ACT generation
+//! counter ([`CommandTimer::bank_acts`]) still matches the value recorded
+//! when this scheduler opened the row. A timer that arrives with rows
+//! already open from prior use is therefore handled correctly (precharge
+//! first), instead of issuing a protocol-violating ACTIVATE-on-open-bank.
 
 use crate::controller::CommandTimer;
-use crate::error::Result;
+use crate::error::{DramError, Result};
 
 /// One memory request: a 64 B cache-line read or write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,23 +73,39 @@ impl ScheduleStats {
     }
 }
 
-/// First-Ready, First-Come-First-Served scheduler over a [`CommandTimer`].
-#[derive(Debug)]
-pub struct FrFcfsScheduler<'a> {
-    timer: &'a mut CommandTimer,
-    /// Open row per bank, from this scheduler's perspective.
-    open_rows: Vec<Option<usize>>,
-    queue: Vec<MemoryRequest>,
+/// Row identity this scheduler last opened on a bank, tagged with the
+/// timer's ACT generation at open time so external activity invalidates it.
+#[derive(Debug, Clone, Copy)]
+struct OpenRow {
+    row: usize,
+    generation: u64,
 }
 
-impl<'a> FrFcfsScheduler<'a> {
-    /// Creates a scheduler driving `timer`.
-    pub fn new(timer: &'a mut CommandTimer) -> Self {
-        FrFcfsScheduler {
-            timer,
-            open_rows: vec![None; 16],
-            queue: Vec::new(),
-        }
+/// First-Ready, First-Come-First-Served scheduler over a [`CommandTimer`].
+///
+/// The timer is borrowed per call ([`run`](Self::run) /
+/// [`service_arrived`](Self::service_arrived)) rather than owned, so AAP
+/// streams and regular traffic can interleave on the same timeline.
+#[derive(Debug, Default)]
+pub struct FrFcfsScheduler {
+    /// Rows this scheduler opened, trusted only while the timer's bank
+    /// state still matches (see [`OpenRow`]).
+    open_rows: Vec<Option<OpenRow>>,
+    queue: Vec<MemoryRequest>,
+    serviced: u64,
+    row_hits: u64,
+    row_misses: u64,
+    makespan_ps: u64,
+    total_latency_ps: u128,
+}
+
+impl FrFcfsScheduler {
+    /// Creates an empty scheduler. Bank open-row state is derived from the
+    /// timer at service time, so a timer with pre-existing open rows is
+    /// safe: the first access to such a bank precharges it before
+    /// activating.
+    pub fn new() -> Self {
+        FrFcfsScheduler::default()
     }
 
     /// Enqueues a request.
@@ -86,92 +113,155 @@ impl<'a> FrFcfsScheduler<'a> {
         self.queue.push(request);
     }
 
-    /// Services every queued request to completion, returning per-request
-    /// completions in service order.
+    /// Requests still waiting to be serviced.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Cumulative statistics over everything serviced so far.
+    pub fn stats(&self) -> ScheduleStats {
+        ScheduleStats {
+            serviced: self.serviced,
+            row_hits: self.row_hits,
+            row_misses: self.row_misses,
+            makespan_ps: self.makespan_ps,
+            mean_latency_ps: if self.serviced > 0 {
+                self.total_latency_ps as f64 / self.serviced as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Services every queued request to completion, returning the new
+    /// completions in service order plus cumulative stats.
     ///
     /// # Errors
     ///
     /// Propagates timing-model protocol errors (which indicate a scheduler
     /// bug rather than a workload property).
-    pub fn run(&mut self) -> Result<(Vec<Completion>, ScheduleStats)> {
-        // Stable order: by arrival time, ties by insertion order.
-        self.queue.sort_by_key(|r| r.arrival_ps);
+    pub fn run(&mut self, timer: &mut CommandTimer) -> Result<(Vec<Completion>, ScheduleStats)> {
         let mut completions = Vec::with_capacity(self.queue.len());
-        let mut stats = ScheduleStats::default();
-        let mut total_latency = 0u128;
+        loop {
+            completions.extend(self.service_arrived(timer)?);
+            // Nothing arrived is serviceable: jump to the next arrival.
+            match self.queue.iter().map(|r| r.arrival_ps).min() {
+                Some(next) => timer.advance_to(next),
+                None => break,
+            }
+        }
+        Ok((completions, self.stats()))
+    }
 
-        while !self.queue.is_empty() {
-            let now = self.timer.now_ps();
-            // FR-FCFS: oldest *arrived* row-hit first, else oldest arrived.
-            let arrived: Vec<usize> = (0..self.queue.len())
+    /// Services only the requests that have already arrived at the timer's
+    /// current clock, without advancing time to future arrivals. This is
+    /// the interleaving entry point: a driver issuing AAP programs calls it
+    /// between programs so regular traffic shares the timeline (paper
+    /// Section 5.5.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model protocol errors.
+    pub fn service_arrived(&mut self, timer: &mut CommandTimer) -> Result<Vec<Completion>> {
+        let mut completions = Vec::new();
+        loop {
+            let now = timer.now_ps();
+            // FR-FCFS: oldest arrived row-hit first, else oldest arrived.
+            let mut arrived: Vec<usize> = (0..self.queue.len())
                 .filter(|&i| self.queue[i].arrival_ps <= now)
                 .collect();
-            let pick = if arrived.is_empty() {
-                // Nothing has arrived; jump to the next arrival (queue is
-                // sorted, so index 0 is the oldest).
-                self.timer.advance_to(self.queue[0].arrival_ps);
-                0
-            } else {
-                arrived
-                    .iter()
-                    .copied()
-                    .find(|&i| {
-                        let r = &self.queue[i];
-                        self.bank_open_row(r.bank) == Some(r.row)
-                    })
-                    .unwrap_or(arrived[0])
-            };
+            if arrived.is_empty() {
+                return Ok(completions);
+            }
+            arrived.sort_by_key(|&i| (self.queue[i].arrival_ps, i));
+            let pick = arrived
+                .iter()
+                .copied()
+                .find(|&i| {
+                    let r = &self.queue[i];
+                    self.open_row(timer, r.bank) == Some(r.row)
+                })
+                .unwrap_or(arrived[0]);
             let req = self.queue.remove(pick);
-            let row_hit = self.bank_open_row(req.bank) == Some(req.row);
+            completions.push(self.service_one(timer, req)?);
+        }
+    }
 
-            if !row_hit {
-                if self.bank_open_row(req.bank).is_some() {
-                    self.timer.issue_precharge(req.bank)?;
-                }
-                self.timer.issue_activate(req.bank, 1)?;
-                self.set_open_row(req.bank, Some(req.row));
+    /// Issues the commands for one request and records its completion.
+    fn service_one(&mut self, timer: &mut CommandTimer, req: MemoryRequest) -> Result<Completion> {
+        let row_hit = self.open_row(timer, req.bank) == Some(req.row);
+        if !row_hit {
+            // The timer, not our cache, decides whether a PRECHARGE is
+            // needed: a row opened by prior/external use must be closed
+            // even though we never recorded it.
+            if timer.bank_active(req.bank) {
+                timer.issue_precharge(req.bank)?;
             }
-            let finish = if req.is_write {
-                self.timer.issue_write(req.bank)?
-            } else {
-                self.timer.issue_read(req.bank)?
-            };
+            timer.issue_activate(req.bank, 1)?;
+            self.set_open_row(
+                req.bank,
+                OpenRow {
+                    row: req.row,
+                    generation: timer.bank_acts(req.bank),
+                },
+            );
+        }
+        let finish = if req.is_write {
+            timer.issue_write(req.bank)?
+        } else {
+            timer.issue_read(req.bank)?
+        };
 
-            stats.serviced += 1;
-            if row_hit {
-                stats.row_hits += 1;
-            } else {
-                stats.row_misses += 1;
-            }
-            stats.makespan_ps = stats.makespan_ps.max(finish);
-            total_latency += (finish - req.arrival_ps.min(finish)) as u128;
-            completions.push(Completion {
-                request: req,
+        // Completions cannot precede arrivals: commands issue at or after
+        // the current clock, and the clock never runs ahead of an arrived
+        // request's arrival time. A violation is an accounting bug, so it
+        // is a typed error — not a silently clamped latency.
+        let latency = finish
+            .checked_sub(req.arrival_ps)
+            .ok_or(DramError::NegativeLatency {
+                arrival_ps: req.arrival_ps,
                 finish_ps: finish,
-                row_hit,
-            });
+            })?;
+        self.serviced += 1;
+        if row_hit {
+            self.row_hits += 1;
+        } else {
+            self.row_misses += 1;
         }
-        if stats.serviced > 0 {
-            stats.mean_latency_ps = total_latency as f64 / stats.serviced as f64;
-        }
-        Ok((completions, stats))
+        self.makespan_ps = self.makespan_ps.max(finish);
+        self.total_latency_ps += latency as u128;
+        Ok(Completion {
+            request: req,
+            finish_ps: finish,
+            row_hit,
+        })
     }
 
-    fn bank_open_row(&self, bank: usize) -> Option<usize> {
-        self.open_rows.get(bank).copied().flatten()
+    /// The row known to be open on `bank`, derived from the timer: `None`
+    /// unless the bank is active *and* our record is from the bank's
+    /// current ACT generation.
+    fn open_row(&self, timer: &CommandTimer, bank: usize) -> Option<usize> {
+        if !timer.bank_active(bank) {
+            return None;
+        }
+        match self.open_rows.get(bank).copied().flatten() {
+            Some(open) if timer.bank_acts(bank) == open.generation => Some(open.row),
+            _ => None,
+        }
     }
 
-    fn set_open_row(&mut self, bank: usize, row: Option<usize>) {
+    fn set_open_row(&mut self, bank: usize, open: OpenRow) {
         if bank >= self.open_rows.len() {
             self.open_rows.resize(bank + 1, None);
         }
-        self.open_rows[bank] = row;
+        self.open_rows[bank] = Some(open);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::controller::TraceCommand;
     use crate::timing::{AapMode, TimingParams};
 
     fn timer() -> CommandTimer {
@@ -181,7 +271,7 @@ mod tests {
     #[test]
     fn services_all_requests() {
         let mut t = timer();
-        let mut sched = FrFcfsScheduler::new(&mut t);
+        let mut sched = FrFcfsScheduler::new();
         for i in 0..10 {
             sched.enqueue(MemoryRequest {
                 arrival_ps: 0,
@@ -190,22 +280,23 @@ mod tests {
                 is_write: false,
             });
         }
-        let (completions, stats) = sched.run().unwrap();
+        let (completions, stats) = sched.run(&mut t).unwrap();
         assert_eq!(completions.len(), 10);
         assert_eq!(stats.serviced, 10);
         assert_eq!(stats.row_hits + stats.row_misses, 10);
+        assert_eq!(sched.pending(), 0);
     }
 
     #[test]
     fn prefers_row_hits_over_older_misses() {
         let mut t = timer();
-        let mut sched = FrFcfsScheduler::new(&mut t);
+        let mut sched = FrFcfsScheduler::new();
         // Open row 0 with the first request, then an older miss (row 1)
         // and a younger hit (row 0): FR-FCFS services the hit first.
         sched.enqueue(MemoryRequest { arrival_ps: 0, bank: 0, row: 0, is_write: false });
         sched.enqueue(MemoryRequest { arrival_ps: 1, bank: 0, row: 1, is_write: false });
         sched.enqueue(MemoryRequest { arrival_ps: 2, bank: 0, row: 0, is_write: false });
-        let (completions, _) = sched.run().unwrap();
+        let (completions, _) = sched.run(&mut t).unwrap();
         assert_eq!(completions[1].request.row, 0, "hit serviced before miss");
         assert!(completions[1].row_hit);
         assert_eq!(completions[2].request.row, 1);
@@ -216,11 +307,11 @@ mod tests {
         // A single bank streaming one row of 64 B bursts is tCCD-limited:
         // 64 B / 5 ns = 12.8 GB/s = DDR3-1600 peak.
         let mut t = timer();
-        let mut sched = FrFcfsScheduler::new(&mut t);
+        let mut sched = FrFcfsScheduler::new();
         for _ in 0..512 {
             sched.enqueue(MemoryRequest { arrival_ps: 0, bank: 0, row: 0, is_write: false });
         }
-        let (_, stats) = sched.run().unwrap();
+        let (_, stats) = sched.run(&mut t).unwrap();
         let peak = TimingParams::ddr3_1600().channel_bandwidth_bytes_per_s();
         let eff = stats.bandwidth_bytes_per_s();
         assert!(eff > 0.9 * peak, "effective {eff:.3e} vs peak {peak:.3e}");
@@ -231,7 +322,7 @@ mod tests {
         // Alternating rows in one bank forces PRE+ACT per access.
         let run = |alternate: bool| {
             let mut t = timer();
-            let mut sched = FrFcfsScheduler::new(&mut t);
+            let mut sched = FrFcfsScheduler::new();
             for i in 0..64 {
                 sched.enqueue(MemoryRequest {
                     arrival_ps: i as u64 * 100_000, // spaced: no reorder help
@@ -240,7 +331,7 @@ mod tests {
                     is_write: false,
                 });
             }
-            sched.run().unwrap().1
+            sched.run(&mut t).unwrap().1
         };
         let hit = run(false);
         let conflict = run(true);
@@ -252,9 +343,77 @@ mod tests {
     #[test]
     fn respects_arrival_times() {
         let mut t = timer();
-        let mut sched = FrFcfsScheduler::new(&mut t);
+        let mut sched = FrFcfsScheduler::new();
         sched.enqueue(MemoryRequest { arrival_ps: 1_000_000, bank: 0, row: 0, is_write: true });
-        let (completions, _) = sched.run().unwrap();
+        let (completions, _) = sched.run(&mut t).unwrap();
         assert!(completions[0].finish_ps >= 1_000_000);
+    }
+
+    #[test]
+    fn reconciles_with_preexisting_timer_state() {
+        // Regression: a timer that arrives with a row already open (here
+        // from a raw ACTIVATE issued before the scheduler existed) used to
+        // make the scheduler issue ACT-without-PRE, because its shadow
+        // open_rows state started all-closed and diverged from the timer.
+        let mut t = timer();
+        t.issue_activate(0, 1).unwrap();
+        t.set_tracing(true);
+        let mut sched = FrFcfsScheduler::new();
+        sched.enqueue(MemoryRequest { arrival_ps: 0, bank: 0, row: 3, is_write: false });
+        let (completions, _) = sched.run(&mut t).unwrap();
+        assert!(!completions[0].row_hit, "unknown open row cannot be a hit");
+        let trace = t.trace().unwrap();
+        assert_eq!(
+            trace[0].command,
+            TraceCommand::Precharge,
+            "the open row must be closed before the scheduler's ACTIVATE"
+        );
+        assert!(matches!(trace[1].command, TraceCommand::Activate { .. }));
+    }
+
+    #[test]
+    fn external_activity_invalidates_cached_row_identity() {
+        let mut t = timer();
+        let mut sched = FrFcfsScheduler::new();
+        sched.enqueue(MemoryRequest { arrival_ps: 0, bank: 0, row: 5, is_write: false });
+        sched.run(&mut t).unwrap();
+        // The scheduler left row 5 open. External code now recycles the
+        // bank for a different row: PRE + ACT bumps the generation.
+        t.issue_precharge(0).unwrap();
+        t.issue_activate(0, 1).unwrap();
+        // A request for row 5 must NOT count as a hit — the open row is no
+        // longer the one the scheduler recorded.
+        sched.enqueue(MemoryRequest { arrival_ps: 0, bank: 0, row: 5, is_write: false });
+        let (completions, _) = sched.run(&mut t).unwrap();
+        assert!(!completions[0].row_hit, "stale row identity must not hit");
+    }
+
+    #[test]
+    fn service_arrived_leaves_future_requests_queued() {
+        let mut t = timer();
+        let mut sched = FrFcfsScheduler::new();
+        sched.enqueue(MemoryRequest { arrival_ps: 0, bank: 0, row: 0, is_write: false });
+        sched.enqueue(MemoryRequest {
+            arrival_ps: 1_000_000_000, // 1 ms out: far beyond this test
+            bank: 0,
+            row: 0,
+            is_write: false,
+        });
+        let completions = sched.service_arrived(&mut t).unwrap();
+        assert_eq!(completions.len(), 1);
+        assert_eq!(sched.pending(), 1, "future arrival stays queued");
+    }
+
+    #[test]
+    fn stats_accumulate_across_runs() {
+        let mut t = timer();
+        let mut sched = FrFcfsScheduler::new();
+        sched.enqueue(MemoryRequest { arrival_ps: 0, bank: 0, row: 0, is_write: false });
+        sched.run(&mut t).unwrap();
+        sched.enqueue(MemoryRequest { arrival_ps: 0, bank: 0, row: 0, is_write: false });
+        let (_, stats) = sched.run(&mut t).unwrap();
+        assert_eq!(stats.serviced, 2);
+        assert_eq!(stats.row_hits, 1, "second access hits the row we opened");
+        assert!(stats.mean_latency_ps > 0.0);
     }
 }
