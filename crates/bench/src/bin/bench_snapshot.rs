@@ -23,6 +23,20 @@
 //!   measured throughput within 10 % of the analytic envelope and speedup
 //!   at least 0.8·B at every swept bank count.
 //!
+//! A third mode benchmarks the functional data plane itself:
+//!
+//! * `bench_snapshot hotpath` sweeps row widths {1 KB, 4 KB, 8 KB} and op
+//!   mixes {tra, copy, mixed} over the word-parallel charge-share fast
+//!   path versus the forced bit-serial scalar reference
+//!   ([`ambit_dram::Subarray::set_scalar_reference`]), plus one
+//!   fault-armed point (which must fall back to the scalar path for replay
+//!   determinism) and a driver plan-cache hit-rate measurement. Writes
+//!   `BENCH_hotpath.json` (override: `AMBIT_BENCH_HOTPATH_SNAPSHOT`) and
+//!   self-validates a ≥10× wall-clock speedup on fault-free 8 KB-row TRA
+//!   with byte-identical results everywhere.
+//! * `bench_snapshot --validate-hotpath <path>` re-checks a previously
+//!   written hotpath snapshot.
+//!
 //! The energy figures are *measured through the metrics pipeline* (the
 //! controller's `ambit_command_energy_nj` histogram), not read back from
 //! the receipts, so this snapshot also exercises the telemetry path end to
@@ -391,6 +405,345 @@ fn validate_batch_snapshot(text: &str) -> Result<usize, Vec<String>> {
     }
 }
 
+/// Required wall-clock speedup of the word-parallel charge-share fast path
+/// over the retained scalar reference for fault-free 3-row TRA on 8 KB
+/// rows.
+const TRA_SPEEDUP_FLOOR: f64 = 10.0;
+
+/// Coarse absolute regression floor on fast-path TRA throughput at 8 KB
+/// rows: three orders of magnitude below what a release build measures, so
+/// it only trips on a genuine fast-path regression (e.g. falling back to
+/// the bit-serial loop), not on a slow CI machine.
+const HOTPATH_OPS_FLOOR: f64 = 5_000.0;
+
+/// Required driver plan-cache hit rate for a repeated same-shape op loop.
+const PLAN_CACHE_HIT_RATE_FLOOR: f64 = 0.9;
+
+struct HotpathResult {
+    row_bytes: usize,
+    mix: &'static str,
+    fault_armed: bool,
+    reps: u64,
+    wall_ns_fast: f64,
+    wall_ns_scalar: f64,
+    ops_per_s_fast: f64,
+    ops_per_s_scalar: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+/// Deterministic pseudo-random row content (keeps the bench free of RNG
+/// state while still exercising data-dependent TRA outcomes).
+fn seeded_row(bits: usize, row: usize, salt: usize) -> ambit_dram::BitRow {
+    ambit_dram::BitRow::from_fn(bits, |i| {
+        let x = (i as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((row as u64) << 32)
+            .wrapping_add(salt as u64);
+        (x ^ (x >> 29)).count_ones() % 2 == 1
+    })
+}
+
+/// Runs one op-mix loop on a subarray and returns a state fingerprint
+/// (every row plus the last sensed value) for the byte-identity check.
+fn run_hotpath_mix(
+    sa: &mut ambit_dram::Subarray,
+    mix: &str,
+    reps: u64,
+) -> Vec<ambit_dram::BitRow> {
+    use ambit_dram::Wordline;
+    let rows = sa.rows();
+    let mut last_sense = None;
+    for i in 0..reps as usize {
+        match mix {
+            // Rotating fault-free TRAs: each overwrites its three source
+            // rows with their majority, so state evolves across reps.
+            "tra" => {
+                let wls = [
+                    Wordline::data(i % rows),
+                    Wordline::data((i + 2) % rows),
+                    Wordline::data((i + 5) % rows),
+                ];
+                last_sense = Some(sa.activate(&wls).expect("TRA executes").clone());
+                sa.precharge().expect("precharge after TRA");
+            }
+            // RowClone-FPM copies: ACTIVATE src, back-to-back ACTIVATE dst.
+            "copy" => {
+                sa.activate(&[Wordline::data(i % rows)]).expect("activate src");
+                last_sense = Some(
+                    sa.activate(&[Wordline::data((i + 3) % rows)])
+                        .expect("copy activate")
+                        .clone(),
+                );
+                sa.precharge().expect("precharge after copy");
+            }
+            // Alternating copy and TRA, the shape of a real AAP program.
+            "mixed" => {
+                if i % 2 == 0 {
+                    sa.activate(&[Wordline::data(i % rows)]).expect("activate src");
+                    sa.activate(&[Wordline::data((i + 3) % rows)]).expect("copy");
+                } else {
+                    let wls = [
+                        Wordline::data(i % rows),
+                        Wordline::data((i + 2) % rows),
+                        Wordline::data((i + 5) % rows),
+                    ];
+                    last_sense = Some(sa.activate(&wls).expect("TRA executes").clone());
+                }
+                sa.precharge().expect("precharge");
+            }
+            other => panic!("unknown mix {other}"),
+        }
+    }
+    let mut fingerprint: Vec<ambit_dram::BitRow> = (0..rows).map(|r| sa.peek_row(r)).collect();
+    fingerprint.extend(last_sense);
+    fingerprint
+}
+
+/// Measures one (row width, op mix) point: identical seeded subarrays run
+/// the same loop with the fast path enabled and forced-scalar, wall-clock
+/// timed, and their final states are compared bit for bit.
+fn measure_hotpath(
+    row_bytes: usize,
+    mix: &'static str,
+    reps: u64,
+    fault_rate: f64,
+) -> HotpathResult {
+    use ambit_dram::Subarray;
+    const ROWS: usize = 8;
+    let bits = row_bytes * 8;
+    let mk = |force_scalar: bool| {
+        let mut sa = Subarray::new(ROWS, bits);
+        sa.set_scalar_reference(force_scalar);
+        if fault_rate > 0.0 {
+            sa.set_tra_fault_rate(fault_rate).expect("valid rate");
+        }
+        for r in 0..ROWS {
+            sa.poke_row(r, seeded_row(bits, r, row_bytes));
+        }
+        sa
+    };
+
+    let mut fast = mk(false);
+    let t0 = std::time::Instant::now();
+    let fp_fast = run_hotpath_mix(&mut fast, mix, reps);
+    let wall_fast = t0.elapsed();
+
+    let mut scalar = mk(true);
+    let t1 = std::time::Instant::now();
+    let fp_scalar = run_hotpath_mix(&mut scalar, mix, reps);
+    let wall_scalar = t1.elapsed();
+
+    let wall_ns_fast = wall_fast.as_nanos().max(1) as f64;
+    let wall_ns_scalar = wall_scalar.as_nanos().max(1) as f64;
+    HotpathResult {
+        row_bytes,
+        mix,
+        fault_armed: fault_rate > 0.0,
+        reps,
+        wall_ns_fast,
+        wall_ns_scalar,
+        ops_per_s_fast: reps as f64 * 1e9 / wall_ns_fast,
+        ops_per_s_scalar: reps as f64 * 1e9 / wall_ns_scalar,
+        speedup: wall_ns_scalar / wall_ns_fast,
+        identical: fp_fast == fp_scalar,
+    }
+}
+
+/// Exercises the driver plan cache with a repeated same-shape query loop
+/// (the bitmap-index / BitWeaving access pattern) and returns (reps, hits,
+/// misses).
+fn measure_plan_cache(reps: u64) -> (u64, u64, u64) {
+    let mut mem = AmbitMemory::ddr3_module();
+    let bits = mem.row_bits();
+    let a = mem.alloc(bits).expect("alloc");
+    let b = mem.alloc(bits).expect("alloc");
+    let d = mem.alloc(bits).expect("alloc");
+    mem.poke_bits(a, &vec![true; bits]).expect("poke");
+    mem.poke_bits(b, &vec![false; bits]).expect("poke");
+    for _ in 0..reps {
+        mem.bitwise(BitwiseOp::And, a, Some(b), d).expect("and");
+    }
+    let (hits, misses) = mem.plan_cache_stats();
+    (reps, hits, misses)
+}
+
+fn render_hotpath_snapshot(
+    results: &[HotpathResult],
+    plan_cache: (u64, u64, u64),
+    reps_tra: u64,
+) -> String {
+    let (pc_reps, pc_hits, pc_misses) = plan_cache;
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"ambit-bench-hotpath/v1\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"rows\": 8, \"reps_tra\": {}, \"quick\": {}}},\n",
+        reps_tra,
+        quick_mode()
+    ));
+    out.push_str("  \"sweep\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"row_bytes\": {}, \"mix\": \"{}\", \"fault_armed\": {}, \"reps\": {}, \"wall_ns_fast\": {}, \"wall_ns_scalar\": {}, \"ops_per_s_fast\": {}, \"ops_per_s_scalar\": {}, \"speedup\": {}, \"identical\": {}}}{}\n",
+            r.row_bytes,
+            json::escape(r.mix),
+            r.fault_armed,
+            r.reps,
+            json::number(r.wall_ns_fast),
+            json::number(r.wall_ns_scalar),
+            json::number(r.ops_per_s_fast),
+            json::number(r.ops_per_s_scalar),
+            json::number(r.speedup),
+            r.identical,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"plan_cache\": {{\"reps\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {}}}\n",
+        pc_reps,
+        pc_hits,
+        pc_misses,
+        json::number(pc_hits as f64 / (pc_hits + pc_misses).max(1) as f64)
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Validates a hotpath snapshot: schema marker, per-entry fields, byte
+/// identity everywhere, the ≥[`TRA_SPEEDUP_FLOOR`] fast-path speedup and
+/// the [`HOTPATH_OPS_FLOOR`] absolute floor on fault-free 8 KB TRA, and the
+/// plan-cache hit rate.
+fn validate_hotpath_snapshot(text: &str) -> Result<usize, Vec<String>> {
+    let mut errors = Vec::new();
+    let doc = match Json::parse(text) {
+        Ok(d) => d,
+        Err(e) => return Err(vec![format!("not valid JSON: {e}")]),
+    };
+    if doc.get("schema").and_then(Json::as_str) != Some("ambit-bench-hotpath/v1") {
+        errors.push("missing or wrong \"schema\" marker".into());
+    }
+    let Some(sweep) = doc.get("sweep").and_then(Json::as_arr) else {
+        errors.push("\"sweep\" missing or not an array".into());
+        return Err(errors);
+    };
+    if sweep.is_empty() {
+        errors.push("\"sweep\" is empty".into());
+    }
+    let mut tra_8k_checked = false;
+    for (i, entry) in sweep.iter().enumerate() {
+        let mix = entry.get("mix").and_then(Json::as_str).unwrap_or("?");
+        let row_bytes = entry.get("row_bytes").and_then(Json::as_u64).unwrap_or(0);
+        for key in [
+            "wall_ns_fast",
+            "wall_ns_scalar",
+            "ops_per_s_fast",
+            "ops_per_s_scalar",
+            "speedup",
+        ] {
+            if entry.get(key).and_then(Json::as_f64).is_none() {
+                errors.push(format!(
+                    "sweep[{i}] ({mix}@{row_bytes}B): {key} missing or not a number"
+                ));
+            }
+        }
+        match entry.get("identical") {
+            Some(Json::Bool(true)) => {}
+            _ => errors.push(format!(
+                "sweep[{i}] ({mix}@{row_bytes}B): fast and scalar paths not byte-identical"
+            )),
+        }
+        let fault_armed = matches!(entry.get("fault_armed"), Some(Json::Bool(true)));
+        if mix == "tra" && !fault_armed && row_bytes == 8192 {
+            tra_8k_checked = true;
+            if let Some(speedup) = entry.get("speedup").and_then(Json::as_f64) {
+                if speedup < TRA_SPEEDUP_FLOOR {
+                    errors.push(format!(
+                        "sweep[{i}]: fault-free 8 KB TRA speedup {speedup:.1}x below the {TRA_SPEEDUP_FLOOR:.0}x floor"
+                    ));
+                }
+            }
+            if let Some(ops) = entry.get("ops_per_s_fast").and_then(Json::as_f64) {
+                if ops < HOTPATH_OPS_FLOOR {
+                    errors.push(format!(
+                        "sweep[{i}]: fast-path 8 KB TRA throughput {ops:.0} ops/s below the coarse {HOTPATH_OPS_FLOOR:.0} ops/s regression floor"
+                    ));
+                }
+            }
+        }
+    }
+    if !tra_8k_checked {
+        errors.push("sweep has no fault-free 8 KB TRA entry to hold to the speedup floor".into());
+    }
+    match doc.get("plan_cache").and_then(|p| p.get("hit_rate")).and_then(Json::as_f64) {
+        Some(rate) if rate >= PLAN_CACHE_HIT_RATE_FLOOR => {}
+        Some(rate) => errors.push(format!(
+            "plan cache hit rate {rate:.3} below the {PLAN_CACHE_HIT_RATE_FLOOR} floor"
+        )),
+        None => errors.push("plan_cache.hit_rate missing or not a number".into()),
+    }
+    if errors.is_empty() {
+        Ok(sweep.len())
+    } else {
+        Err(errors)
+    }
+}
+
+/// The `bench_snapshot hotpath` entry point: sweep row widths and op mixes
+/// over the word-parallel and scalar-reference data planes, print the
+/// table, self-validate (speedup, identity, plan-cache hit rate), write the
+/// JSON snapshot.
+fn hotpath_main() -> ExitCode {
+    let reps_tra: u64 = if quick_mode() { 6 } else { 24 };
+    let reps_cache: u64 = if quick_mode() { 16 } else { 64 };
+    let mut results = Vec::new();
+    for row_bytes in [1024usize, 4096, 8192] {
+        for mix in ["tra", "copy", "mixed"] {
+            results.push(measure_hotpath(row_bytes, mix, reps_tra, 0.0));
+        }
+    }
+    // A fault-armed subarray must fall back to the scalar reference so the
+    // deterministic per-bit flip stream replays unchanged.
+    results.push(measure_hotpath(8192, "tra", reps_tra, 0.001));
+    let plan_cache = measure_plan_cache(reps_cache);
+
+    println!("hotpath sweep, {reps_tra} reps/point (8-row subarrays):");
+    for r in &results {
+        println!(
+            "  {:>5}B {:>5}{}: fast {:>12.0} ops/s  scalar {:>10.0} ops/s  speedup {:8.1}x  identical {}",
+            r.row_bytes,
+            r.mix,
+            if r.fault_armed { " (fault-armed)" } else { "" },
+            r.ops_per_s_fast,
+            r.ops_per_s_scalar,
+            r.speedup,
+            r.identical,
+        );
+    }
+    let (pc_reps, pc_hits, pc_misses) = plan_cache;
+    println!(
+        "  plan cache: {pc_reps} same-shape ops -> {pc_hits} hits / {pc_misses} misses"
+    );
+
+    let snapshot = render_hotpath_snapshot(&results, plan_cache, reps_tra);
+    if let Err(errors) = validate_hotpath_snapshot(&snapshot) {
+        for e in &errors {
+            eprintln!("self-validation failed: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let path = std::env::var("AMBIT_BENCH_HOTPATH_SNAPSHOT")
+        .unwrap_or_else(|_| "BENCH_hotpath.json".to_string());
+    if let Err(e) = std::fs::write(&path, &snapshot) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {path} (8 KB TRA fast path >= {TRA_SPEEDUP_FLOOR:.0}x over the scalar reference, byte-identical)"
+    );
+    ExitCode::SUCCESS
+}
+
 /// The `bench_snapshot batch` entry point: sweep bank counts, print the
 /// scaling table, self-validate, write the JSON snapshot.
 fn batch_main() -> ExitCode {
@@ -441,6 +794,33 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.len() == 2 && args[1] == "batch" {
         return batch_main();
+    }
+    if args.len() == 2 && args[1] == "hotpath" {
+        return hotpath_main();
+    }
+    if args.len() == 3 && args[1] == "--validate-hotpath" {
+        let text = match std::fs::read_to_string(&args[2]) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", args[2]);
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_hotpath_snapshot(&text) {
+            Ok(n) => {
+                println!(
+                    "{}: valid hotpath snapshot, {n} sweep points byte-identical",
+                    args[2]
+                );
+                ExitCode::SUCCESS
+            }
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("{}: {e}", args[2]);
+                }
+                ExitCode::FAILURE
+            }
+        };
     }
     if args.len() == 3 && args[1] == "--validate-batch" {
         let text = match std::fs::read_to_string(&args[2]) {

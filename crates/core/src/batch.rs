@@ -83,7 +83,11 @@ impl BatchReceipt {
 
 /// One queued operation: the same shapes the eager
 /// [`AmbitMemory`](crate::AmbitMemory) entry points accept.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq`/`Eq`/`Hash` make the op usable as the driver's
+/// compiled-program cache key: handles are never reused after `free`, so an
+/// op value identifies a (handle set, shape) pair for the life of the cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) enum BatchOp {
     /// `dst = op(src1, src2)`.
     Bitwise {

@@ -189,10 +189,13 @@ impl AmbitController {
         self.timer.set_energy_model(model);
     }
 
-    /// Attaches a telemetry registry to the command timer: every issued
-    /// command updates per-bank ACT/PRE/RD/WR counters, the
-    /// wordlines-raised histogram, and the per-command energy histogram.
+    /// Attaches a telemetry registry to the command timer and the device:
+    /// every issued command updates per-bank ACT/PRE/RD/WR counters, the
+    /// wordlines-raised histogram, and the per-command energy histogram, and
+    /// every multi-row charge share increments the word-parallel vs scalar
+    /// path-split counter.
     pub fn set_telemetry(&mut self, registry: Registry) {
+        self.device.set_telemetry(&registry);
         self.timer.set_telemetry(registry);
     }
 

@@ -14,6 +14,7 @@
 //! striped across banks first (for bank-level parallelism) and then across
 //! subarrays.
 
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 use ambit_dram::{
@@ -117,6 +118,17 @@ pub struct AmbitMemory {
     /// Registered per-op instruments, when a telemetry registry is
     /// attached.
     telemetry: Option<DriverTelemetry>,
+    /// Compiled-program cache keyed by the op (which pins both the handle
+    /// set and the shape, hence the chunk layout): repeated same-shape ops —
+    /// bitmap-index query loops, BitWeaving scans — skip validation and
+    /// compilation. Handles are never reused, and a chunk layout is
+    /// immutable after allocation, so entries only go stale when a handle is
+    /// freed ([`free`](AmbitMemory::free) clears the cache).
+    plan_cache: RefCell<HashMap<BatchOp, Vec<ChunkProgram>>>,
+    /// Cache hit/miss counts, mirrored into
+    /// `ambit_driver_plan_cache_{hits,misses}` when telemetry is attached.
+    plan_cache_hits: Cell<u64>,
+    plan_cache_misses: Cell<u64>,
 }
 
 /// Cached telemetry handles for the driver's per-operation view.
@@ -130,6 +142,9 @@ struct DriverTelemetry {
     /// Per-mnemonic op counters (small linear cache keyed by the op's
     /// `&'static str` mnemonic).
     ops: Vec<(&'static str, Counter)>,
+    /// Compiled-program cache hits and misses.
+    plan_cache_hits: Counter,
+    plan_cache_misses: Counter,
 }
 
 impl DriverTelemetry {
@@ -147,11 +162,23 @@ impl DriverTelemetry {
             &[],
             &[5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0, 1280.0, 2560.0],
         );
+        let plan_cache_hits = registry.counter(
+            "ambit_driver_plan_cache_hits",
+            "Bulk ops whose compiled chunk programs were served from the plan cache",
+            &[],
+        );
+        let plan_cache_misses = registry.counter(
+            "ambit_driver_plan_cache_misses",
+            "Bulk ops that were validated and compiled from scratch",
+            &[],
+        );
         DriverTelemetry {
             registry,
             latency_ns,
             energy_nj,
             ops: Vec::new(),
+            plan_cache_hits,
+            plan_cache_misses,
         }
     }
 
@@ -241,6 +268,9 @@ impl AmbitMemory {
             spares_used: vec![vec![0; geometry.subarrays_per_bank]; banks],
             bad_rows: Vec::new(),
             telemetry: None,
+            plan_cache: RefCell::new(HashMap::new()),
+            plan_cache_hits: Cell::new(0),
+            plan_cache_misses: Cell::new(0),
         }
     }
 
@@ -773,10 +803,38 @@ impl AmbitMemory {
     }
 
     /// Validates one batch operation against the allocator state and
-    /// compiles its per-chunk command programs. Shared by the eager entry
-    /// points and the batch engine, so batched execution is semantically
-    /// identical to serial execution by construction.
+    /// compiles its per-chunk command programs, consulting the plan cache
+    /// first. Shared by the eager entry points and the batch engine, so
+    /// batched execution is semantically identical to serial execution by
+    /// construction.
+    ///
+    /// Failed plans are not cached: an op that validated badly once is
+    /// recompiled (and re-fails) on retry, so error reporting stays exact.
     fn plan_op(&self, entry: &BatchOp) -> Result<Vec<ChunkProgram>> {
+        if let Some(hit) = self.plan_cache.borrow().get(entry) {
+            self.plan_cache_hits.set(self.plan_cache_hits.get() + 1);
+            if let Some(tel) = &self.telemetry {
+                tel.plan_cache_hits.inc();
+            }
+            return Ok(hit.clone());
+        }
+        let chunks = self.plan_op_uncached(entry)?;
+        self.plan_cache_misses.set(self.plan_cache_misses.get() + 1);
+        if let Some(tel) = &self.telemetry {
+            tel.plan_cache_misses.inc();
+        }
+        self.plan_cache
+            .borrow_mut()
+            .insert(entry.clone(), chunks.clone());
+        Ok(chunks)
+    }
+
+    /// Plan-cache hit and miss counts since construction (hits, misses).
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (self.plan_cache_hits.get(), self.plan_cache_misses.get())
+    }
+
+    fn plan_op_uncached(&self, entry: &BatchOp) -> Result<Vec<ChunkProgram>> {
         match entry {
             BatchOp::Bitwise { op, src1, src2, dst } => {
                 if op.source_count() == 2 && src2.is_none() {
@@ -1038,10 +1096,14 @@ impl AmbitMemory {
     /// Frees the allocation. Freed rows are not currently recycled (the
     /// allocator is an arena, sufficient for experiment workloads).
     ///
+    /// Clears the plan cache: cached programs embedding the freed handle
+    /// must not short-circuit the unknown-handle validation on later calls.
+    ///
     /// # Errors
     ///
     /// Returns an unknown-handle error if already freed.
     pub fn free(&mut self, handle: BitVectorHandle) -> Result<()> {
+        self.plan_cache.borrow_mut().clear();
         self.vectors
             .remove(&handle.0)
             .map(|_| ())
@@ -1393,6 +1455,42 @@ mod tests {
         assert_eq!(spans[0].duration_ns(), r1.latency_ps() / PS_PER_NS);
         // Per-bank ACT counters flowed through to the controller level.
         assert!(reg.counter_family_total("ambit_acts_total").unwrap() > 0);
+    }
+
+    #[test]
+    fn plan_cache_hits_repeated_ops_and_clears_on_free() {
+        let mut mem = memory();
+        mem.set_telemetry(Registry::default());
+        let bits = mem.row_bits() * 2;
+        let a = mem.alloc(bits).unwrap();
+        let b = mem.alloc(bits).unwrap();
+        let d = mem.alloc(bits).unwrap();
+        mem.poke_bits(a, &vec![true; bits]).unwrap();
+        mem.poke_bits(b, &vec![false; bits]).unwrap();
+
+        // Same-shape query loop: first iteration compiles, the rest hit.
+        for _ in 0..4 {
+            mem.bitwise(BitwiseOp::And, a, Some(b), d).unwrap();
+        }
+        assert_eq!(mem.plan_cache_stats(), (3, 1));
+        // A different shape misses separately.
+        mem.bitwise(BitwiseOp::Or, a, Some(b), d).unwrap();
+        assert_eq!(mem.plan_cache_stats(), (3, 2));
+
+        // Cached plans are bit-identical to freshly compiled ones.
+        assert_eq!(mem.popcount(d).unwrap(), bits);
+
+        let reg = mem.telemetry().unwrap().clone();
+        assert_eq!(reg.counter_value("ambit_driver_plan_cache_hits", &[]), Some(3));
+        assert_eq!(reg.counter_value("ambit_driver_plan_cache_misses", &[]), Some(2));
+
+        // Freeing a handle clears the cache: the stale program must not
+        // bypass unknown-handle validation.
+        mem.free(b).unwrap();
+        assert!(mem.bitwise(BitwiseOp::And, a, Some(b), d).is_err());
+        mem.poke_bits(a, &vec![true; bits]).unwrap();
+        mem.bitwise(BitwiseOp::Not, a, None, d).unwrap();
+        assert_eq!(mem.plan_cache_stats().0, 3, "no hits after the clear");
     }
 
     #[test]

@@ -209,6 +209,8 @@ impl Bank {
             total.precharges += s.precharges;
             total.column_reads += s.column_reads;
             total.column_writes += s.column_writes;
+            total.word_parallel_charge_shares += s.word_parallel_charge_shares;
+            total.scalar_charge_shares += s.scalar_charge_shares;
         }
         total
     }

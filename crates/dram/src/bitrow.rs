@@ -208,6 +208,89 @@ impl BitRow {
         BitRow { words, len: a.len }
     }
 
+    /// In-place bitwise NOT of the row (within `len` bits).
+    ///
+    /// The allocation-free counterpart of [`not`](BitRow::not), used on the
+    /// simulator's restore path where a fresh row per wordline would
+    /// dominate the cost of an activation.
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Overwrites this row with the contents of `src`, reusing the existing
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, src: &BitRow) {
+        assert_eq!(self.len, src.len, "copy_from: length mismatch");
+        self.words.copy_from_slice(&src.words);
+    }
+
+    /// Writes the bitwise majority of `a`, `b`, `c` into this row, reusing
+    /// the existing allocation ([`majority`](BitRow::majority) without the
+    /// output allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any length differs from this row's.
+    pub fn majority_into(&mut self, a: &BitRow, b: &BitRow, c: &BitRow) {
+        self.majority_signed_into(a, false, b, false, c, false);
+    }
+
+    /// Writes the bitwise majority of the three inputs — each optionally
+    /// complemented first — into this row, 64 bitlines per word operation.
+    ///
+    /// This is the charge-sharing outcome of a triple-row activation with
+    /// `invert_*` marking inputs connected through bitline-bar (n-wordlines
+    /// of dual-contact cells, paper Section 4): a cell on the negated side
+    /// pulls the *sensed* value toward the complement of its contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any length differs from this row's.
+    pub fn majority_signed_into(
+        &mut self,
+        a: &BitRow,
+        invert_a: bool,
+        b: &BitRow,
+        invert_b: bool,
+        c: &BitRow,
+        invert_c: bool,
+    ) {
+        assert_eq!(self.len, a.len, "majority: length mismatch");
+        assert_eq!(self.len, b.len, "majority: length mismatch");
+        assert_eq!(self.len, c.len, "majority: length mismatch");
+        let flip = |w: u64, invert: bool| if invert { !w } else { w };
+        for (i, out) in self.words.iter_mut().enumerate() {
+            let x = flip(a.words[i], invert_a);
+            let y = flip(b.words[i], invert_b);
+            let z = flip(c.words[i], invert_c);
+            *out = (x & y) | (y & z) | (z & x);
+        }
+        self.mask_tail();
+    }
+
+    /// Combines this row with `other` word-by-word in place:
+    /// `self[i] = f(self[i], other[i])` for each backing word. Tail bits
+    /// beyond `len` are re-masked afterwards, so `f` may produce them
+    /// freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn zip_with_into(&mut self, other: &BitRow, f: impl Fn(u64, u64) -> u64) {
+        assert_eq!(self.len, other.len, "bitwise op: length mismatch");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a = f(*a, b);
+        }
+        self.mask_tail();
+    }
+
     /// Copies `bytes.len()` bytes into the row starting at bit offset
     /// `bit_offset` (which must be byte aligned).
     ///
@@ -443,6 +526,82 @@ mod tests {
         let got: Vec<usize> = r.iter_ones().collect();
         let expect: Vec<usize> = (0..300).filter(|i| i % 37 == 0).collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn not_assign_matches_not_and_masks_tail() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for len in [1usize, 63, 64, 65, 130, 512] {
+            let r = BitRow::random(len, &mut rng);
+            let mut m = r.clone();
+            m.not_assign();
+            assert_eq!(m, r.not(), "len {len}");
+            m.not_assign();
+            assert_eq!(m, r, "double negation, len {len}");
+        }
+    }
+
+    #[test]
+    fn copy_from_reuses_allocation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let src = BitRow::random(200, &mut rng);
+        let mut dst = BitRow::ones(200);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn copy_from_length_mismatch_panics() {
+        BitRow::zeros(8).copy_from(&BitRow::zeros(16));
+    }
+
+    #[test]
+    fn majority_into_matches_majority() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let a = BitRow::random(321, &mut rng);
+        let b = BitRow::random(321, &mut rng);
+        let c = BitRow::random(321, &mut rng);
+        let mut out = BitRow::zeros(321);
+        out.majority_into(&a, &b, &c);
+        assert_eq!(out, BitRow::majority(&a, &b, &c));
+    }
+
+    #[test]
+    fn majority_signed_matches_scalar_definition() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        // 65 bits: exercises the masked tail, where complemented inputs
+        // would otherwise leak ones past `len`.
+        let a = BitRow::random(65, &mut rng);
+        let b = BitRow::random(65, &mut rng);
+        let c = BitRow::random(65, &mut rng);
+        for mask in 0u8..8 {
+            let (ia, ib, ic) = (mask & 1 != 0, mask & 2 != 0, mask & 4 != 0);
+            let mut out = BitRow::zeros(65);
+            out.majority_signed_into(&a, ia, &b, ib, &c, ic);
+            for i in 0..65 {
+                let votes = (a.get(i) ^ ia) as u8 + (b.get(i) ^ ib) as u8 + (c.get(i) ^ ic) as u8;
+                assert_eq!(out.get(i), votes >= 2, "mask {mask:03b} bit {i}");
+            }
+            assert_eq!(out, {
+                let sel = |r: &BitRow, inv: bool| if inv { r.not() } else { r.clone() };
+                BitRow::majority(&sel(&a, ia), &sel(&b, ib), &sel(&c, ic))
+            });
+        }
+    }
+
+    #[test]
+    fn zip_with_into_matches_allocating_ops() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let a = BitRow::random(190, &mut rng);
+        let b = BitRow::random(190, &mut rng);
+        let mut x = a.clone();
+        x.zip_with_into(&b, |p, q| p ^ q);
+        assert_eq!(x, a.xor(&b));
+        // NAND produces tail bits; zip_with_into must re-mask them.
+        let mut n = a.clone();
+        n.zip_with_into(&b, |p, q| !(p & q));
+        assert_eq!(n, a.and(&b).not());
     }
 
     #[test]

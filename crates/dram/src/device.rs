@@ -1,5 +1,7 @@
 //! A whole DRAM device: channels → ranks → banks → subarrays.
 
+use ambit_telemetry::Registry;
+
 use crate::bank::Bank;
 use crate::bitrow::BitRow;
 use crate::error::Result;
@@ -190,8 +192,30 @@ impl DramDevice {
             total.precharges += s.precharges;
             total.column_reads += s.column_reads;
             total.column_writes += s.column_writes;
+            total.word_parallel_charge_shares += s.word_parallel_charge_shares;
+            total.scalar_charge_shares += s.scalar_charge_shares;
         }
         total
+    }
+
+    /// Registers the charge-share path-split counters
+    /// (`ambit_charge_share_path_total{path=...}`) with `registry` and
+    /// installs them in every subarray, making the word-parallel vs scalar
+    /// split observable in the Prometheus exposition.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        let help = "Multi-row charge shares by resolution path";
+        let word_parallel = registry.counter(
+            "ambit_charge_share_path_total",
+            help,
+            &[("path", "word_parallel")],
+        );
+        let scalar = registry.counter("ambit_charge_share_path_total", help, &[("path", "scalar")]);
+        for bank in &mut self.banks {
+            for i in 0..bank.subarray_count() {
+                bank.subarray_mut(i)
+                    .set_charge_share_counters(word_parallel.clone(), scalar.clone());
+            }
+        }
     }
 }
 

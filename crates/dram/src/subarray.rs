@@ -26,6 +26,8 @@
 
 use std::collections::HashMap;
 
+use ambit_telemetry::Counter;
+
 use crate::bitrow::BitRow;
 use crate::error::{DramError, Result};
 
@@ -118,12 +120,74 @@ pub struct SubarrayStats {
     pub column_reads: u64,
     /// Column writes into the row buffer.
     pub column_writes: u64,
+    /// Multi-row charge shares resolved on the word-parallel fast path
+    /// (64 bitlines per u64 operation).
+    pub word_parallel_charge_shares: u64,
+    /// Multi-row charge shares resolved by the bit-serial scalar reference
+    /// path (non-TRA arities, forced-scalar mode, or armed fault RNG).
+    pub scalar_charge_shares: u64,
+}
+
+/// Upper bound on simultaneously raised wordlines before the dedup list
+/// spills to the heap. Ambit never raises more than three (a TRA), so the
+/// inline capacity covers every protocol-issued activation without
+/// allocating.
+const INLINE_WORDLINES: usize = 4;
+
+/// A small list of wordlines that stays inline (no heap allocation) for all
+/// activations the Ambit command set can issue, spilling to a `Vec` only for
+/// hypothetical wider activations driven directly through the model API.
+#[derive(Debug, Clone)]
+enum WordlineList {
+    Inline {
+        buf: [Wordline; INLINE_WORDLINES],
+        len: usize,
+    },
+    Heap(Vec<Wordline>),
+}
+
+impl WordlineList {
+    fn new() -> Self {
+        WordlineList::Inline {
+            buf: [Wordline {
+                row: 0,
+                side: BitlineSide::Bitline,
+            }; INLINE_WORDLINES],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, wl: Wordline) {
+        match self {
+            WordlineList::Inline { buf, len } => {
+                if *len < INLINE_WORDLINES {
+                    buf[*len] = wl;
+                    *len += 1;
+                } else {
+                    let mut spilled = buf[..*len].to_vec();
+                    spilled.push(wl);
+                    *self = WordlineList::Heap(spilled);
+                }
+            }
+            WordlineList::Heap(v) => v.push(wl),
+        }
+    }
+
+    fn as_slice(&self) -> &[Wordline] {
+        match self {
+            WordlineList::Inline { buf, len } => &buf[..*len],
+            WordlineList::Heap(v) => v,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
 enum State {
     Precharged,
-    Activated { sense: BitRow, raised: Vec<Wordline> },
+    Activated {
+        sense: BitRow,
+        raised: WordlineList,
+    },
 }
 
 /// Functional model of one DRAM subarray.
@@ -158,21 +222,37 @@ enum State {
 pub struct Subarray {
     rows: usize,
     bits: usize,
-    storage: HashMap<usize, BitRow>,
+    /// Dense physical-row-indexed storage; `None` means the row was never
+    /// written and holds all-zero cells. Row payloads are still allocated
+    /// lazily, so huge geometries stay cheap to instantiate.
+    storage: Vec<Option<BitRow>>,
     state: State,
     tie_break: TieBreak,
     tie_rng: u64,
     retention_ns: Option<u64>,
-    last_refresh_ns: HashMap<usize, u64>,
+    /// Last refresh timestamp per physical row. Only maintained while a
+    /// retention window is armed; arming stamps every row (see
+    /// [`set_retention_window`](Subarray::set_retention_window)).
+    last_refresh_ns: Vec<u64>,
     now_ns: u64,
     stats: SubarrayStats,
     /// Stuck-at cell faults, keyed by (physical row, bit).
     faults: HashMap<(usize, usize), CellFault>,
-    /// Row remapping (logical → physical) installed by post-test repair.
-    row_map: HashMap<usize, usize>,
+    /// Row remapping (logical → physical) installed by post-test repair;
+    /// identity unless a spare-row remap was installed.
+    row_map: Vec<usize>,
     /// Per-bitline transient TRA failure probability (from the circuit
     /// model's Monte Carlo), in units of 2^-64.
     tra_fault_threshold: u64,
+    /// When set, every multi-row charge share takes the bit-serial scalar
+    /// reference path even if the word-parallel fast path would apply.
+    force_scalar: bool,
+    /// Shared all-zero row standing in for never-written storage slots on
+    /// the fast path (avoids materializing a row per activation).
+    zeros: BitRow,
+    /// Optional telemetry counters for the fast/slow charge-share split.
+    word_parallel_counter: Option<Counter>,
+    scalar_counter: Option<Counter>,
 }
 
 impl Subarray {
@@ -182,17 +262,21 @@ impl Subarray {
         Subarray {
             rows,
             bits,
-            storage: HashMap::new(),
+            storage: vec![None; rows],
             state: State::Precharged,
             tie_break: TieBreak::default(),
             tie_rng: 0x9e37_79b9_7f4a_7c15,
             retention_ns: None,
-            last_refresh_ns: HashMap::new(),
+            last_refresh_ns: vec![0; rows],
             now_ns: 0,
             stats: SubarrayStats::default(),
             faults: HashMap::new(),
-            row_map: HashMap::new(),
+            row_map: (0..rows).collect(),
             tra_fault_threshold: 0,
+            force_scalar: false,
+            zeros: BitRow::zeros(bits),
+            word_parallel_counter: None,
+            scalar_counter: None,
         }
     }
 
@@ -223,8 +307,41 @@ impl Subarray {
 
     /// Enables strict retention checking: charge-sharing activations on rows
     /// older than `window_ns` fail with [`DramError::RetentionViolation`].
+    ///
+    /// Refresh timestamps are only maintained while a window is armed (the
+    /// disarmed hot path skips the bookkeeping entirely), so arming acts as
+    /// a refresh boundary: every row is stamped as freshly refreshed at the
+    /// moment the window is installed.
     pub fn set_retention_window(&mut self, window_ns: Option<u64>) {
+        let arming = window_ns.is_some() && self.retention_ns.is_none();
         self.retention_ns = window_ns;
+        if arming {
+            self.last_refresh_ns.fill(self.now_ns);
+        }
+    }
+
+    /// Forces every multi-row charge share through the bit-serial scalar
+    /// reference path, even where the word-parallel fast path applies.
+    ///
+    /// The two paths are byte-identical for fault-free activations (pinned
+    /// by the equivalence proptests); this switch exists so benchmarks and
+    /// tests can measure and compare the retained reference implementation.
+    pub fn set_scalar_reference(&mut self, force: bool) {
+        self.force_scalar = force;
+    }
+
+    /// Whether multi-row charge shares are forced through the scalar
+    /// reference path.
+    pub fn scalar_reference(&self) -> bool {
+        self.force_scalar
+    }
+
+    /// Installs telemetry counters incremented on each multi-row charge
+    /// share, split by resolution path (word-parallel fast path vs the
+    /// bit-serial scalar reference).
+    pub fn set_charge_share_counters(&mut self, word_parallel: Counter, scalar: Counter) {
+        self.word_parallel_counter = Some(word_parallel);
+        self.scalar_counter = Some(scalar);
     }
 
     /// Injects a stuck-at fault at `(row, bit)` (physical coordinates).
@@ -245,7 +362,7 @@ impl Subarray {
         self.faults.insert((row, bit), fault);
         // The fault takes effect immediately on the stored value.
         let data = self.peek_physical(row);
-        self.storage.insert(row, self.apply_faults(row, data));
+        self.storage[row] = Some(self.apply_faults(row, data));
         Ok(())
     }
 
@@ -270,7 +387,7 @@ impl Subarray {
                 });
             }
         }
-        self.row_map.insert(from, to);
+        self.row_map[from] = to;
         Ok(())
     }
 
@@ -302,7 +419,7 @@ impl Subarray {
     }
 
     fn resolve(&self, row: usize) -> usize {
-        self.row_map.get(&row).copied().unwrap_or(row)
+        self.row_map[row]
     }
 
     fn apply_faults(&self, physical_row: usize, mut data: BitRow) -> BitRow {
@@ -325,10 +442,16 @@ impl Subarray {
     }
 
     fn peek_physical(&self, row: usize) -> BitRow {
-        self.storage
-            .get(&row)
-            .cloned()
+        self.storage[row]
+            .clone()
             .unwrap_or_else(|| BitRow::zeros(self.bits))
+    }
+
+    /// Borrowing read of a physical row, with never-written rows resolving
+    /// to the shared all-zero row (the allocation-free fast-path sibling of
+    /// [`peek_physical`](Subarray::peek_physical)).
+    fn row_ref(&self, physical_row: usize) -> &BitRow {
+        self.storage[physical_row].as_ref().unwrap_or(&self.zeros)
     }
 
     /// Advances the subarray's notion of time (used for retention checks).
@@ -343,10 +466,7 @@ impl Subarray {
 
     /// Refreshes every row (marks all cells fully charged/empty as stored).
     pub fn refresh_all(&mut self) {
-        let now = self.now_ns;
-        for row in 0..self.rows {
-            self.last_refresh_ns.insert(row, now);
-        }
+        self.last_refresh_ns.fill(self.now_ns);
     }
 
     /// Directly reads a row's cell contents, bypassing the command protocol.
@@ -367,9 +487,11 @@ impl Subarray {
         assert!(row < self.rows, "row {} out of range {}", row, self.rows);
         assert_eq!(data.len(), self.bits, "row width mismatch");
         let row = self.resolve(row);
-        self.last_refresh_ns.insert(row, self.now_ns);
+        if self.retention_ns.is_some() {
+            self.last_refresh_ns[row] = self.now_ns;
+        }
         let data = self.apply_faults(row, data);
-        self.storage.insert(row, data);
+        self.storage[row] = Some(data);
     }
 
     /// Issues an ACTIVATE raising the given wordlines simultaneously.
@@ -395,7 +517,9 @@ impl Subarray {
         if wordlines.is_empty() {
             return Err(DramError::EmptyActivation);
         }
-        let mut deduped: Vec<Wordline> = Vec::with_capacity(wordlines.len());
+        // Dedup into a fixed-capacity inline list: Ambit raises at most
+        // three wordlines, so this never allocates on the command path.
+        let mut deduped = WordlineList::new();
         for &wl in wordlines {
             if wl.row >= self.rows {
                 return Err(DramError::RowOutOfRange {
@@ -403,44 +527,58 @@ impl Subarray {
                     rows: self.rows,
                 });
             }
-            if deduped.iter().any(|d| d.row == wl.row && d.side != wl.side) {
+            if deduped
+                .as_slice()
+                .iter()
+                .any(|d| d.row == wl.row && d.side != wl.side)
+            {
                 return Err(DramError::ConflictingWordlines { row: wl.row });
             }
-            if !deduped.contains(&wl) {
+            if !deduped.as_slice().contains(&wl) {
                 deduped.push(wl);
             }
         }
 
-        match &mut self.state {
+        match &self.state {
             State::Precharged => {
-                self.check_retention(&deduped)?;
-                let sense = self.charge_share(&deduped)?;
+                self.check_retention(deduped.as_slice())?;
+                let sense = self.charge_share(deduped.as_slice())?;
                 self.stats.activations += 1;
-                if deduped.len() >= 2 {
+                if deduped.as_slice().len() >= 2 {
                     self.stats.multi_row_activations += 1;
                 }
-                if deduped.len() == 3 {
+                if deduped.as_slice().len() == 3 {
                     self.stats.triple_row_activations += 1;
                 }
-                self.restore(&deduped, &sense);
+                self.restore(deduped.as_slice(), &sense);
                 self.state = State::Activated {
                     sense,
                     raised: deduped,
                 };
             }
-            State::Activated { sense, raised } => {
-                let sense = sense.clone();
-                let mut raised = std::mem::take(raised);
-                for &wl in &deduped {
-                    if raised.iter().any(|r| r.row == wl.row && r.side != wl.side) {
+            State::Activated { .. } => {
+                // Take the state apart so restore can borrow the sense row
+                // instead of cloning it for every back-to-back ACTIVATE.
+                let State::Activated { sense, mut raised } =
+                    std::mem::replace(&mut self.state, State::Precharged)
+                else {
+                    unreachable!("matched Activated above");
+                };
+                for &wl in deduped.as_slice() {
+                    if raised
+                        .as_slice()
+                        .iter()
+                        .any(|r| r.row == wl.row && r.side != wl.side)
+                    {
+                        self.state = State::Activated { sense, raised };
                         return Err(DramError::ConflictingWordlines { row: wl.row });
                     }
-                    if !raised.contains(&wl) {
+                    if !raised.as_slice().contains(&wl) {
                         raised.push(wl);
                     }
                 }
                 self.stats.copy_activations += 1;
-                self.restore(&deduped, &sense);
+                self.restore(deduped.as_slice(), &sense);
                 self.state = State::Activated { sense, raised };
             }
         }
@@ -510,27 +648,39 @@ impl Subarray {
     /// * [`DramError::ColumnOutOfRange`] if the range exceeds the row.
     pub fn write_bytes(&mut self, byte_offset: usize, data: &[u8]) -> Result<()> {
         let row_bytes = self.bits / 8;
-        match &mut self.state {
-            State::Precharged => Err(DramError::BankNotActivated),
-            State::Activated { sense, raised } => {
-                if byte_offset + data.len() > row_bytes {
-                    return Err(DramError::ColumnOutOfRange {
-                        byte_offset: byte_offset + data.len(),
-                        row_bytes,
-                    });
-                }
-                sense.write_bytes(byte_offset * 8, data);
-                let sense = sense.clone();
-                let raised = raised.clone();
-                self.stats.column_writes += 1;
-                self.restore(&raised, &sense);
-                Ok(())
-            }
+        if !matches!(self.state, State::Activated { .. }) {
+            return Err(DramError::BankNotActivated);
         }
+        if byte_offset + data.len() > row_bytes {
+            return Err(DramError::ColumnOutOfRange {
+                byte_offset: byte_offset + data.len(),
+                row_bytes,
+            });
+        }
+        // Take the state apart so restore can borrow sense and raised in
+        // place instead of cloning both per column write.
+        let State::Activated { mut sense, raised } =
+            std::mem::replace(&mut self.state, State::Precharged)
+        else {
+            unreachable!("checked Activated above");
+        };
+        sense.write_bytes(byte_offset * 8, data);
+        self.stats.column_writes += 1;
+        self.restore(raised.as_slice(), &sense);
+        self.state = State::Activated { sense, raised };
+        Ok(())
     }
 
     /// Computes the per-bitline charge-sharing outcome for an activation
     /// from the precharged state.
+    ///
+    /// The 3-row case — the only multi-row shape the Ambit protocol issues —
+    /// normally takes a word-parallel fast path (64 bitlines per u64
+    /// operation). The bit-serial loop is retained as the scalar reference:
+    /// it handles every other arity, resolves ties, and owns the per-bit RNG
+    /// draw used for transient fault injection, whose deterministic stream
+    /// must not change shape. Fault-armed subarrays
+    /// (`tra_fault_threshold > 0`) therefore always take the scalar path.
     fn charge_share(&mut self, wordlines: &[Wordline]) -> Result<BitRow> {
         if wordlines.len() == 1 {
             // Common case: single-row activation senses the row directly
@@ -542,10 +692,50 @@ impl Subarray {
                 BitlineSide::BitlineBar => data.not(),
             });
         }
+        if wordlines.len() == 3 && self.tra_fault_threshold == 0 && !self.force_scalar {
+            let sense = self.charge_share_tra_word_parallel(wordlines);
+            self.stats.word_parallel_charge_shares += 1;
+            if let Some(c) = &self.word_parallel_counter {
+                c.inc();
+            }
+            return Ok(sense);
+        }
+        let sense = self.charge_share_scalar(wordlines)?;
+        self.stats.scalar_charge_shares += 1;
+        if let Some(c) = &self.scalar_counter {
+            c.inc();
+        }
+        Ok(sense)
+    }
 
-        // Multi-row: per-bitline signed deviation. A cell with value v on the
-        // bitline side pulls the bitline toward v; on the bitline-bar side it
-        // pulls the *sensed value* toward !v.
+    /// Word-parallel TRA charge share: the sensed row is the majority of
+    /// the three raised rows, with bar-side inputs complemented word-wise.
+    ///
+    /// Three wordlines contribute an odd signed score per bitline (±1 each,
+    /// so the total is ±1 or ±3) — a tie is arithmetically impossible, which
+    /// is why this path needs no tie-break policy and, when fault injection
+    /// is disarmed, consumes no RNG draws: it is bit-exact with the scalar
+    /// reference by construction.
+    fn charge_share_tra_word_parallel(&self, wordlines: &[Wordline]) -> BitRow {
+        let bar = |wl: &Wordline| wl.side == BitlineSide::BitlineBar;
+        let row = |wl: &Wordline| self.row_ref(self.resolve(wl.row));
+        let mut sense = BitRow::zeros(self.bits);
+        sense.majority_signed_into(
+            row(&wordlines[0]),
+            bar(&wordlines[0]),
+            row(&wordlines[1]),
+            bar(&wordlines[1]),
+            row(&wordlines[2]),
+            bar(&wordlines[2]),
+        );
+        sense
+    }
+
+    /// Bit-serial scalar reference for multi-row charge sharing: per-bitline
+    /// signed deviation. A cell with value v on the bitline side pulls the
+    /// bitline toward v; on the bitline-bar side it pulls the *sensed value*
+    /// toward !v.
+    fn charge_share_scalar(&mut self, wordlines: &[Wordline]) -> Result<BitRow> {
         let mut result = BitRow::zeros(self.bits);
         let rows: Vec<(BitRow, BitlineSide)> = wordlines
             .iter()
@@ -587,16 +777,41 @@ impl Subarray {
     }
 
     /// Drives the sense value back into all raised cells (restore phase).
+    ///
+    /// Each raised row is overwritten in place — copy then a single in-place
+    /// negation for bar-side wordlines — so the steady state allocates
+    /// nothing (a fresh row is cloned only the first time a slot is
+    /// written).
     fn restore(&mut self, wordlines: &[Wordline], sense: &BitRow) {
+        let retention_armed = self.retention_ns.is_some();
         for wl in wordlines {
-            let value = match wl.side {
-                BitlineSide::Bitline => sense.clone(),
-                BitlineSide::BitlineBar => sense.not(),
-            };
             let row = self.resolve(wl.row);
-            self.last_refresh_ns.insert(row, self.now_ns);
-            let value = self.apply_faults(row, value);
-            self.storage.insert(row, value);
+            if retention_armed {
+                self.last_refresh_ns[row] = self.now_ns;
+            }
+            match &mut self.storage[row] {
+                Some(value) => {
+                    value.copy_from(sense);
+                    if wl.side == BitlineSide::BitlineBar {
+                        value.not_assign();
+                    }
+                }
+                slot @ None => {
+                    let mut value = sense.clone();
+                    if wl.side == BitlineSide::BitlineBar {
+                        value.not_assign();
+                    }
+                    *slot = Some(value);
+                }
+            }
+            if !self.faults.is_empty() {
+                let value = self.storage[row].as_mut().expect("slot filled above");
+                for (&(r, bit), &fault) in &self.faults {
+                    if r == row {
+                        value.set(bit, matches!(fault, CellFault::StuckAtOne));
+                    }
+                }
+            }
         }
     }
 
@@ -611,7 +826,7 @@ impl Subarray {
             return Ok(());
         }
         for wl in wordlines {
-            let last = self.last_refresh_ns.get(&wl.row).copied().unwrap_or(0);
+            let last = self.last_refresh_ns[self.resolve(wl.row)];
             let elapsed = self.now_ns.saturating_sub(last);
             if elapsed > window {
                 return Err(DramError::RetentionViolation {

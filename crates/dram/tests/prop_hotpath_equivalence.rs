@@ -1,0 +1,215 @@
+//! Equivalence suite for the word-parallel charge-share fast path.
+//!
+//! The 3-row TRA fast path must be byte-identical to the retained bit-serial
+//! scalar reference (`Subarray::set_scalar_reference`) across arbitrary row
+//! contents, bitline/bitline-bar side mixes, and every `TieBreak` policy —
+//! and arming transient fault injection must keep producing the exact same
+//! deterministic flip stream as before the fast path existed (fault-armed
+//! subarrays always take the scalar path).
+
+use ambit_dram::{BitRow, CellFault, Subarray, TieBreak, Wordline};
+use proptest::prelude::*;
+
+fn bitrow_strategy(len: usize) -> impl Strategy<Value = BitRow> {
+    proptest::collection::vec(any::<bool>(), len)
+        .prop_map(move |bits| BitRow::from_fn(len, |i| bits[i]))
+}
+
+fn wordline(row: usize, bar: bool) -> Wordline {
+    if bar {
+        Wordline::negated(row)
+    } else {
+        Wordline::data(row)
+    }
+}
+
+/// Runs the same TRA on a fast-path and a forced-scalar subarray and checks
+/// that the sensed value and every restored row agree bit for bit.
+fn assert_tra_equivalent(
+    rows: &(BitRow, BitRow, BitRow),
+    sides: (bool, bool, bool),
+    policy: TieBreak,
+) -> std::result::Result<(), TestCaseError> {
+    let bits = rows.0.len();
+    let mk = |force_scalar: bool| {
+        let mut sa = Subarray::new(8, bits);
+        sa.set_scalar_reference(force_scalar);
+        sa.set_tie_break(policy);
+        sa.poke_row(0, rows.0.clone());
+        sa.poke_row(1, rows.1.clone());
+        sa.poke_row(2, rows.2.clone());
+        sa
+    };
+    let wls = [
+        wordline(0, sides.0),
+        wordline(1, sides.1),
+        wordline(2, sides.2),
+    ];
+    let mut fast = mk(false);
+    let mut scalar = mk(true);
+    let sensed_fast = fast.activate(&wls).unwrap().clone();
+    let sensed_scalar = scalar.activate(&wls).unwrap().clone();
+    prop_assert_eq!(&sensed_fast, &sensed_scalar);
+    fast.precharge().unwrap();
+    scalar.precharge().unwrap();
+    for row in 0..3 {
+        prop_assert_eq!(fast.peek_row(row), scalar.peek_row(row));
+    }
+    prop_assert_eq!(fast.stats().word_parallel_charge_shares, 1);
+    prop_assert_eq!(fast.stats().scalar_charge_shares, 0);
+    prop_assert_eq!(scalar.stats().word_parallel_charge_shares, 0);
+    prop_assert_eq!(scalar.stats().scalar_charge_shares, 1);
+    Ok(())
+}
+
+/// The model's documented RNG: xorshift64* from the fixed seed, one draw
+/// per bitline per fault-armed multi-row activation. Reimplemented here so
+/// any change to the draw stream's shape or order fails the replay tests.
+struct ReferenceRng(u64);
+
+impl ReferenceRng {
+    fn new() -> Self {
+        ReferenceRng(0x9e37_79b9_7f4a_7c15)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn tra_fast_path_matches_scalar_reference(
+        a in bitrow_strategy(130),
+        b in bitrow_strategy(130),
+        c in bitrow_strategy(130),
+        sa_bar in any::<bool>(),
+        sb_bar in any::<bool>(),
+        sc_bar in any::<bool>(),
+    ) {
+        // 130 bits exercises the masked tail of the last word. Ties are
+        // impossible at arity 3, so every policy must behave identically.
+        for policy in [TieBreak::Error, TieBreak::Zero, TieBreak::One, TieBreak::Random] {
+            assert_tra_equivalent(
+                &(a.clone(), b.clone(), c.clone()),
+                (sa_bar, sb_bar, sc_bar),
+                policy,
+            )?;
+        }
+    }
+
+    #[test]
+    fn two_row_activations_stay_on_the_scalar_path(
+        a in bitrow_strategy(64),
+        b in bitrow_strategy(64),
+    ) {
+        // Non-TRA arities can tie, so they must resolve through the scalar
+        // reference — and the forced-scalar switch must be a no-op there.
+        for policy in [TieBreak::Zero, TieBreak::One, TieBreak::Random] {
+            let mk = |force_scalar: bool| {
+                let mut sa = Subarray::new(8, 64);
+                sa.set_scalar_reference(force_scalar);
+                sa.set_tie_break(policy);
+                sa.poke_row(0, a.clone());
+                sa.poke_row(1, b.clone());
+                sa
+            };
+            let mut fast = mk(false);
+            let mut scalar = mk(true);
+            let wls = [Wordline::data(0), Wordline::data(1)];
+            let s1 = fast.activate(&wls).unwrap().clone();
+            let s2 = scalar.activate(&wls).unwrap().clone();
+            prop_assert_eq!(s1, s2);
+            prop_assert_eq!(fast.stats().word_parallel_charge_shares, 0);
+            prop_assert_eq!(fast.stats().scalar_charge_shares, 1);
+        }
+    }
+
+    #[test]
+    fn armed_fault_injection_replays_the_reference_stream(
+        a in bitrow_strategy(128),
+        b in bitrow_strategy(128),
+        c in bitrow_strategy(128),
+        rate_millis in 1u32..400,
+    ) {
+        // A fault-armed subarray must take the scalar path and flip exactly
+        // the bitlines the documented per-bit RNG stream dictates — same
+        // seed, same flipped bits, regardless of the fast path's existence.
+        let rate = rate_millis as f64 / 1000.0;
+        let mut sa = Subarray::new(8, 128);
+        sa.set_tra_fault_rate(rate).unwrap();
+        sa.poke_row(0, a.clone());
+        sa.poke_row(1, b.clone());
+        sa.poke_row(2, c.clone());
+        let wls = [Wordline::data(0), Wordline::data(1), Wordline::data(2)];
+        let sensed = sa.activate(&wls).unwrap().clone();
+        prop_assert_eq!(sa.stats().scalar_charge_shares, 1);
+        prop_assert_eq!(sa.stats().word_parallel_charge_shares, 0);
+
+        let threshold = (rate * u64::MAX as f64) as u64;
+        let mut rng = ReferenceRng::new();
+        let clean = BitRow::majority(&a, &b, &c);
+        let expect = BitRow::from_fn(128, |i| clean.get(i) ^ (rng.next() < threshold));
+        prop_assert_eq!(sensed, expect);
+    }
+}
+
+#[test]
+fn stuck_at_faults_agree_across_paths() {
+    // Stuck-at faults are baked into storage at write time, so the fast
+    // path (which reads storage directly) must see exactly what the scalar
+    // reference sees, and restore must re-pin the faulty cells.
+    let mk = |force_scalar: bool| {
+        let mut sa = Subarray::new(8, 96);
+        sa.set_scalar_reference(force_scalar);
+        sa.inject_fault(0, 5, CellFault::StuckAtOne).unwrap();
+        sa.inject_fault(2, 64, CellFault::StuckAtZero).unwrap();
+        sa.poke_row(0, BitRow::from_fn(96, |i| i % 3 == 0));
+        sa.poke_row(1, BitRow::from_fn(96, |i| i % 5 == 0));
+        sa.poke_row(2, BitRow::from_fn(96, |i| i % 7 == 0));
+        sa.activate(&[Wordline::data(0), Wordline::data(1), Wordline::negated(2)])
+            .unwrap();
+        sa.precharge().unwrap();
+        sa
+    };
+    let fast = mk(false);
+    let scalar = mk(true);
+    assert_eq!(fast.sense(), scalar.sense());
+    for row in 0..3 {
+        assert_eq!(fast.peek_row(row), scalar.peek_row(row), "row {row}");
+    }
+    assert!(!fast.peek_row(2).get(64), "stuck-at-zero survives restore");
+    assert!(fast.peek_row(0).get(5), "stuck-at-one survives restore");
+}
+
+#[test]
+fn fault_replay_is_identical_across_instances() {
+    // Two identically configured subarrays replay the same flip sequence
+    // across several consecutive fault-armed TRAs (the RNG stream advances
+    // identically), pinning campaign replays to their pre-fast-path traces.
+    let run = || {
+        let mut sa = Subarray::new(8, 256);
+        sa.set_tra_fault_rate(0.05).unwrap();
+        let mut sensed = Vec::new();
+        for round in 0..4u64 {
+            sa.poke_row(0, BitRow::from_fn(256, |i| (i as u64 + round).is_multiple_of(3)));
+            sa.poke_row(1, BitRow::from_fn(256, |i| (i as u64 + round).is_multiple_of(4)));
+            sa.poke_row(2, BitRow::from_fn(256, |i| (i as u64 + round).is_multiple_of(5)));
+            sensed.push(
+                sa.activate(&[Wordline::data(0), Wordline::data(1), Wordline::data(2)])
+                    .unwrap()
+                    .clone(),
+            );
+            sa.precharge().unwrap();
+        }
+        sensed
+    };
+    assert_eq!(run(), run());
+}

@@ -11,6 +11,11 @@
 //! * per-command and per-operation energy/latency histograms,
 //! * `ambit_resilient_*` recovery counters mirroring the
 //!   [`RecoveryReport`], plus retry/remap/degrade trace events,
+//! * `ambit_driver_plan_cache_{hits,misses}` from the compiled-program
+//!   cache, and `ambit_charge_share_path_total{path=...}` showing which
+//!   activations resolved word-parallel versus through the bit-serial
+//!   scalar reference (fault-armed subarrays, like this campaign's, pin
+//!   to the scalar path for replay determinism),
 //! * the analytic Figure 9 envelope as gauges, for comparison on the same
 //!   scrape.
 //!
