@@ -16,7 +16,7 @@
 //! dataflow as bulk in-DRAM operations (the slices are row-aligned
 //! bitvectors), leaving only the final `count(*)` popcount on the CPU.
 
-use ambit_core::{AmbitMemory, BitVectorHandle, BitwiseOp, OpReceipt};
+use ambit_core::{AmbitError, AmbitMemory, BitVectorHandle, BitwiseOp, OpReceipt};
 use ambit_sys::SystemConfig;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -228,29 +228,29 @@ pub struct AmbitColumn {
 impl AmbitColumn {
     /// Loads a bit-sliced column into Ambit memory (workload setup).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the device lacks capacity.
-    pub fn load(mem: &mut AmbitMemory, column: &BitSlicedColumn) -> Self {
+    /// Returns [`AmbitError::OutOfMemory`] if the device lacks capacity
+    /// and propagates other driver errors.
+    pub fn load(mem: &mut AmbitMemory, column: &BitSlicedColumn) -> Result<Self, AmbitError> {
         let row_bits = mem.row_bits();
         let padded = column.rows().div_ceil(row_bits) * row_bits;
-        let slices = (0..column.bits())
-            .map(|j| {
-                let h = mem.alloc(padded).expect("device capacity");
-                let words = column.slice(j);
-                let bits: Vec<bool> = (0..padded)
-                    .map(|i| i < column.rows() && (words[i / 64] >> (i % 64)) & 1 == 1)
-                    .collect();
-                mem.poke_bits(h, &bits).expect("load slice");
-                h
-            })
-            .collect();
-        AmbitColumn {
+        let mut slices = Vec::with_capacity(column.bits());
+        for j in 0..column.bits() {
+            let h = mem.alloc(padded)?;
+            let words = column.slice(j);
+            let bits: Vec<bool> = (0..padded)
+                .map(|i| i < column.rows() && (words[i / 64] >> (i % 64)) & 1 == 1)
+                .collect();
+            mem.poke_bits(h, &bits)?;
+            slices.push(h);
+        }
+        Ok(AmbitColumn {
             slices,
             rows: column.rows(),
             bits: column.bits(),
             padded,
-        }
+        })
     }
 
     /// One in-DRAM BitWeaving pass: leaves the packed `(v < c, v == c)`
@@ -265,45 +265,53 @@ impl AmbitColumn {
         not_v: BitVectorHandle,
         tmp: BitVectorHandle,
         total: &mut Option<OpReceipt>,
-    ) {
+    ) -> Result<(), AmbitError> {
         let run = |mem: &mut AmbitMemory,
                    op: BitwiseOp,
                    a: BitVectorHandle,
                    b: Option<BitVectorHandle>,
                    d: BitVectorHandle,
-                   total: &mut Option<OpReceipt>| {
-            let r = mem.bitwise(op, a, b, d).expect("bulk op");
+                   total: &mut Option<OpReceipt>|
+         -> Result<(), AmbitError> {
+            let r = mem.bitwise(op, a, b, d)?;
             match total {
                 Some(t) => t.absorb(&r),
                 None => *total = Some(r),
             }
+            Ok(())
         };
-        run(mem, BitwiseOp::InitZero, lt, None, lt, total);
-        run(mem, BitwiseOp::InitOne, eq, None, eq, total);
+        run(mem, BitwiseOp::InitZero, lt, None, lt, total)?;
+        run(mem, BitwiseOp::InitOne, eq, None, eq, total)?;
         for j in 0..self.bits {
             let v = self.slices[j];
             let c_bit = c >> (self.bits - 1 - j) & 1 == 1;
-            run(mem, BitwiseOp::Not, v, None, not_v, total);
+            run(mem, BitwiseOp::Not, v, None, not_v, total)?;
             if c_bit {
-                run(mem, BitwiseOp::And, eq, Some(not_v), tmp, total);
-                run(mem, BitwiseOp::Or, lt, Some(tmp), lt, total);
-                run(mem, BitwiseOp::And, eq, Some(v), eq, total);
+                run(mem, BitwiseOp::And, eq, Some(not_v), tmp, total)?;
+                run(mem, BitwiseOp::Or, lt, Some(tmp), lt, total)?;
+                run(mem, BitwiseOp::And, eq, Some(v), eq, total)?;
             } else {
-                run(mem, BitwiseOp::And, eq, Some(not_v), eq, total);
+                run(mem, BitwiseOp::And, eq, Some(not_v), eq, total)?;
             }
         }
+        Ok(())
     }
 
     /// Evaluates any [`Predicate`] entirely with bulk in-DRAM operations.
     /// Returns the predicate match count and the controller receipt
     /// spanning the whole scan.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the device lacks capacity for the scratch vectors.
-    pub fn scan(&self, mem: &mut AmbitMemory, predicate: Predicate) -> (usize, OpReceipt) {
-        let (count, receipt, _) = self.scan_with_result(mem, predicate);
-        (count, receipt)
+    /// Returns [`AmbitError::OutOfMemory`] if the device lacks capacity
+    /// for the scratch vectors and propagates other driver errors.
+    pub fn scan(
+        &self,
+        mem: &mut AmbitMemory,
+        predicate: Predicate,
+    ) -> Result<(usize, OpReceipt), AmbitError> {
+        let (count, receipt, _) = self.scan_with_result(mem, predicate)?;
+        Ok((count, receipt))
     }
 
     /// As [`scan`](Self::scan), but also returns the handle of the packed
@@ -311,21 +319,21 @@ impl AmbitColumn {
     /// AND partial results without a round trip (see
     /// [`AmbitTable`](crate::table::AmbitTable)).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the device lacks capacity for the scratch vectors.
+    /// Returns [`AmbitError::OutOfMemory`] if the device lacks capacity
+    /// for the scratch vectors and propagates other driver errors.
     pub fn scan_with_result(
         &self,
         mem: &mut AmbitMemory,
         predicate: Predicate,
-    ) -> (usize, OpReceipt, BitVectorHandle) {
+    ) -> Result<(usize, OpReceipt, BitVectorHandle), AmbitError> {
         let padded = self.padded;
-        let alloc = |mem: &mut AmbitMemory| mem.alloc(padded).expect("capacity");
-        let lt1 = alloc(mem);
-        let eq1 = alloc(mem);
-        let not_v = alloc(mem);
-        let tmp = alloc(mem);
-        let out = alloc(mem);
+        let lt1 = mem.alloc(padded)?;
+        let eq1 = mem.alloc(padded)?;
+        let not_v = mem.alloc(padded)?;
+        let tmp = mem.alloc(padded)?;
+        let out = mem.alloc(padded)?;
 
         let mut total: Option<OpReceipt> = None;
         let run = |mem: &mut AmbitMemory,
@@ -333,64 +341,72 @@ impl AmbitColumn {
                    a: BitVectorHandle,
                    b: Option<BitVectorHandle>,
                    d: BitVectorHandle,
-                   total: &mut Option<OpReceipt>| {
-            let r = mem.bitwise(op, a, b, d).expect("bulk op");
+                   total: &mut Option<OpReceipt>|
+         -> Result<(), AmbitError> {
+            let r = mem.bitwise(op, a, b, d)?;
             match total {
                 Some(t) => t.absorb(&r),
                 None => *total = Some(r),
             }
+            Ok(())
         };
 
         match predicate {
             Predicate::Lt(c) => {
-                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total);
-                run(mem, BitwiseOp::Copy, lt1, None, out, &mut total);
+                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total)?;
+                run(mem, BitwiseOp::Copy, lt1, None, out, &mut total)?;
             }
             Predicate::Le(c) => {
-                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total);
-                run(mem, BitwiseOp::Or, lt1, Some(eq1), out, &mut total);
+                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total)?;
+                run(mem, BitwiseOp::Or, lt1, Some(eq1), out, &mut total)?;
             }
             Predicate::Gt(c) => {
-                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total);
-                run(mem, BitwiseOp::Nor, lt1, Some(eq1), out, &mut total);
+                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total)?;
+                run(mem, BitwiseOp::Nor, lt1, Some(eq1), out, &mut total)?;
             }
             Predicate::Ge(c) => {
-                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total);
-                run(mem, BitwiseOp::Not, lt1, None, out, &mut total);
+                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total)?;
+                run(mem, BitwiseOp::Not, lt1, None, out, &mut total)?;
             }
             Predicate::Eq(c) => {
-                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total);
-                run(mem, BitwiseOp::Copy, eq1, None, out, &mut total);
+                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total)?;
+                run(mem, BitwiseOp::Copy, eq1, None, out, &mut total)?;
             }
             Predicate::Ne(c) => {
-                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total);
-                run(mem, BitwiseOp::Not, eq1, None, out, &mut total);
+                self.lt_eq_pass(mem, c, lt1, eq1, not_v, tmp, &mut total)?;
+                run(mem, BitwiseOp::Not, eq1, None, out, &mut total)?;
             }
             Predicate::Between(c1, c2) => {
-                let lt2 = alloc(mem);
-                let eq2 = alloc(mem);
-                self.lt_eq_pass(mem, c1, lt1, eq1, not_v, tmp, &mut total);
-                self.lt_eq_pass(mem, c2, lt2, eq2, not_v, tmp, &mut total);
+                let lt2 = mem.alloc(padded)?;
+                let eq2 = mem.alloc(padded)?;
+                self.lt_eq_pass(mem, c1, lt1, eq1, not_v, tmp, &mut total)?;
+                self.lt_eq_pass(mem, c2, lt2, eq2, not_v, tmp, &mut total)?;
                 // out = !lt1 & (lt2 | eq2)
-                run(mem, BitwiseOp::Or, lt2, Some(eq2), tmp, &mut total);
-                run(mem, BitwiseOp::Not, lt1, None, not_v, &mut total);
-                run(mem, BitwiseOp::And, tmp, Some(not_v), out, &mut total);
+                run(mem, BitwiseOp::Or, lt2, Some(eq2), tmp, &mut total)?;
+                run(mem, BitwiseOp::Not, lt1, None, not_v, &mut total)?;
+                run(mem, BitwiseOp::And, tmp, Some(not_v), out, &mut total)?;
             }
         }
 
-        let receipt = total.expect("at least one op ran");
+        let receipt = total.expect("every predicate arm issues at least one op");
         // count(*): CPU popcount over the logical rows only.
-        let bits = mem.peek_bits(out).expect("result");
+        let bits = mem.peek_bits(out)?;
         let count = bits[..self.rows].iter().filter(|&&b| b).count();
-        (count, receipt, out)
+        Ok((count, receipt, out))
     }
 
     /// Evaluates `c1 <= v <= c2` in DRAM (the Figure 11 predicate).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the device lacks capacity for the scratch vectors.
-    pub fn scan_between(&self, mem: &mut AmbitMemory, c1: u32, c2: u32) -> (usize, OpReceipt) {
+    /// Returns [`AmbitError::OutOfMemory`] if the device lacks capacity
+    /// for the scratch vectors and propagates other driver errors.
+    pub fn scan_between(
+        &self,
+        mem: &mut AmbitMemory,
+        c1: u32,
+        c2: u32,
+    ) -> Result<(usize, OpReceipt), AmbitError> {
         self.scan(mem, Predicate::Between(c1, c2))
     }
 }
@@ -443,6 +459,10 @@ impl BitWeavingResult {
 /// Runs one Figure 11 data point: functional execution of both paths
 /// (cross-checked) plus timing.
 ///
+/// # Errors
+///
+/// Propagates driver errors (device capacity, co-location).
+///
 /// # Panics
 ///
 /// Panics if the two paths disagree on the match count.
@@ -450,7 +470,7 @@ pub fn run_bitweaving(
     config: &SystemConfig,
     mut mem: AmbitMemory,
     workload: &BitWeavingWorkload,
-) -> BitWeavingResult {
+) -> Result<BitWeavingResult, AmbitError> {
     let (values, c1, c2) = workload.generate();
     let column = BitSlicedColumn::from_values(&values, workload.bits);
 
@@ -466,17 +486,17 @@ pub fn run_bitweaving(
         + config.popcount_time_s(result_bytes, col_bytes);
 
     // Ambit execution.
-    let acol = AmbitColumn::load(&mut mem, &column);
-    let (count, receipt) = acol.scan_between(&mut mem, c1, c2);
+    let acol = AmbitColumn::load(&mut mem, &column)?;
+    let (count, receipt) = acol.scan_between(&mut mem, c1, c2)?;
     assert_eq!(count, ref_count, "Ambit scan disagrees with reference");
     let ambit_s = receipt.latency_ps() as f64 * 1e-12
         + config.popcount_time_s(result_bytes, col_bytes);
 
-    BitWeavingResult {
+    Ok(BitWeavingResult {
         baseline_s,
         ambit_s,
         matches: count,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -549,7 +569,7 @@ mod tests {
             bits: 6,
             seed: 11,
         };
-        let r = run_bitweaving(&SystemConfig::gem5_calibrated(), small_mem(), &w);
+        let r = run_bitweaving(&SystemConfig::gem5_calibrated(), small_mem(), &w).unwrap();
         // ~1/3 selectivity.
         assert!(
             (r.matches as f64 / 4000.0 - 0.33).abs() < 0.1,
@@ -569,12 +589,14 @@ mod tests {
             &cfg,
             module(),
             &BitWeavingWorkload { rows: 512 * 1024, bits: 4, seed: 1 },
-        );
+        )
+        .unwrap();
         let wide = run_bitweaving(
             &cfg,
             module(),
             &BitWeavingWorkload { rows: 512 * 1024, bits: 16, seed: 1 },
-        );
+        )
+        .unwrap();
         assert!(
             wide.speedup() > narrow.speedup(),
             "wide {} vs narrow {}",
@@ -629,8 +651,8 @@ mod tests {
         ];
         for p in preds {
             let mut mem = small_mem();
-            let acol = AmbitColumn::load(&mut mem, &col);
-            let (count, _) = acol.scan(&mut mem, p);
+            let acol = AmbitColumn::load(&mut mem, &col).unwrap();
+            let (count, _) = acol.scan(&mut mem, p).unwrap();
             let expect = values.iter().filter(|&&v| p.matches(v)).count();
             assert_eq!(count, expect, "{p}");
         }
@@ -642,12 +664,12 @@ mod tests {
         let (values, _, _) = w.generate();
         let col = BitSlicedColumn::from_values(&values, w.bits);
         let mut mem = small_mem();
-        let acol = AmbitColumn::load(&mut mem, &col);
-        let (lt, _) = acol.scan(&mut mem, Predicate::Lt(30));
-        let (ge, _) = acol.scan(&mut mem, Predicate::Ge(30));
+        let acol = AmbitColumn::load(&mut mem, &col).unwrap();
+        let (lt, _) = acol.scan(&mut mem, Predicate::Lt(30)).unwrap();
+        let (ge, _) = acol.scan(&mut mem, Predicate::Ge(30)).unwrap();
         assert_eq!(lt + ge, 1000, "Lt and Ge partition every row");
-        let (eq, _) = acol.scan(&mut mem, Predicate::Eq(30));
-        let (ne, _) = acol.scan(&mut mem, Predicate::Ne(30));
+        let (eq, _) = acol.scan(&mut mem, Predicate::Eq(30)).unwrap();
+        let (ne, _) = acol.scan(&mut mem, Predicate::Ne(30)).unwrap();
         assert_eq!(eq + ne, 1000);
     }
 }

@@ -47,19 +47,20 @@ pub struct BitPlaneImage {
 impl BitPlaneImage {
     /// Creates a `width × height` 1-bit image, all zeros.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the device lacks capacity.
-    pub fn new(mut mem: AmbitMemory, width: usize, height: usize) -> Self {
+    /// Returns [`AmbitError::OutOfMemory`] if the device lacks capacity
+    /// for the plane and its scratch vectors.
+    pub fn new(mut mem: AmbitMemory, width: usize, height: usize) -> Result<Self, AmbitError> {
         let bits = width * height;
         let row = mem.row_bits();
         let padded = bits.div_ceil(row) * row;
-        let plane = mem.alloc(padded).expect("capacity");
-        let s0 = mem.alloc(padded).expect("capacity");
-        let s1 = mem.alloc(padded).expect("capacity");
-        let mask = mem.alloc(padded).expect("capacity");
-        let value = mem.alloc(padded).expect("capacity");
-        BitPlaneImage {
+        let plane = mem.alloc(padded)?;
+        let s0 = mem.alloc(padded)?;
+        let s1 = mem.alloc(padded)?;
+        let mask = mem.alloc(padded)?;
+        let value = mem.alloc(padded)?;
+        Ok(BitPlaneImage {
             mem,
             plane,
             scratch: (s0, s1),
@@ -68,38 +69,57 @@ impl BitPlaneImage {
             width,
             height,
             padded,
-        }
+        })
     }
 
     /// Pixel accessor.
     ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    ///
     /// # Panics
     ///
     /// Panics if out of bounds.
-    pub fn pixel(&self, x: usize, y: usize) -> bool {
+    pub fn pixel(&self, x: usize, y: usize) -> Result<bool, AmbitError> {
         assert!(x < self.width && y < self.height, "pixel out of bounds");
-        self.mem.peek_bits(self.plane).expect("plane")[y * self.width + x]
+        Ok(self.mem.peek_bits(self.plane)?[y * self.width + x])
     }
 
     /// Host-side pixel write (setup).
     ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    ///
     /// # Panics
     ///
     /// Panics if out of bounds.
-    pub fn set_pixel(&mut self, x: usize, y: usize, v: bool) {
+    pub fn set_pixel(&mut self, x: usize, y: usize, v: bool) -> Result<(), AmbitError> {
         assert!(x < self.width && y < self.height, "pixel out of bounds");
-        let mut bits = self.mem.peek_bits(self.plane).expect("plane");
+        let mut bits = self.mem.peek_bits(self.plane)?;
         bits[y * self.width + x] = v;
-        self.mem.poke_bits(self.plane, &bits).expect("plane");
+        self.mem.poke_bits(self.plane, &bits)
     }
 
     /// Sets every pixel in the axis-aligned rectangle to `fill`, using one
     /// in-DRAM masked initialization.
     ///
+    /// # Errors
+    ///
+    /// Propagates driver errors from the in-DRAM merge.
+    ///
     /// # Panics
     ///
     /// Panics if the rectangle exceeds the image.
-    pub fn fill_rect(&mut self, x0: usize, y0: usize, w: usize, h: usize, fill: bool) -> OpReceipt {
+    pub fn fill_rect(
+        &mut self,
+        x0: usize,
+        y0: usize,
+        w: usize,
+        h: usize,
+        fill: bool,
+    ) -> Result<OpReceipt, AmbitError> {
         assert!(x0 + w <= self.width && y0 + h <= self.height, "rect out of bounds");
         let mut mask_bits = vec![false; self.padded];
         for y in y0..y0 + h {
@@ -107,11 +127,10 @@ impl BitPlaneImage {
                 mask_bits[y * self.width + x] = true;
             }
         }
-        self.mem.poke_bits(self.mask, &mask_bits).expect("mask");
+        self.mem.poke_bits(self.mask, &mask_bits)?;
         let value_bits = vec![fill; self.padded];
-        self.mem.poke_bits(self.value, &value_bits).expect("value");
+        self.mem.poke_bits(self.value, &value_bits)?;
         masked_init(&mut self.mem, self.plane, self.value, self.mask, self.scratch)
-            .expect("masked init")
     }
 }
 
@@ -159,24 +178,38 @@ mod tests {
     #[test]
     fn fill_rect_touches_only_the_rectangle() {
         let m = mem();
-        let mut img = BitPlaneImage::new(m, 16, 8);
-        img.set_pixel(0, 0, true);
-        img.fill_rect(4, 2, 8, 4, true);
-        assert!(img.pixel(0, 0), "outside pixel preserved");
-        assert!(img.pixel(4, 2) && img.pixel(11, 5), "corners filled");
-        assert!(!img.pixel(3, 2) && !img.pixel(12, 5), "borders untouched");
+        let mut img = BitPlaneImage::new(m, 16, 8).unwrap();
+        img.set_pixel(0, 0, true).unwrap();
+        img.fill_rect(4, 2, 8, 4, true).unwrap();
+        assert!(img.pixel(0, 0).unwrap(), "outside pixel preserved");
+        assert!(img.pixel(4, 2).unwrap() && img.pixel(11, 5).unwrap(), "corners filled");
+        assert!(!img.pixel(3, 2).unwrap() && !img.pixel(12, 5).unwrap(), "borders untouched");
         // Clear a sub-rectangle.
-        img.fill_rect(6, 3, 2, 2, false);
-        assert!(!img.pixel(6, 3) && !img.pixel(7, 4));
-        assert!(img.pixel(5, 3), "outside the clear remains set");
+        img.fill_rect(6, 3, 2, 2, false).unwrap();
+        assert!(!img.pixel(6, 3).unwrap() && !img.pixel(7, 4).unwrap());
+        assert!(img.pixel(5, 3).unwrap(), "outside the clear remains set");
     }
 
     #[test]
     fn masked_init_is_a_handful_of_bulk_ops() {
         let m = mem();
-        let mut img = BitPlaneImage::new(m, 8, 8);
-        let receipt = img.fill_rect(0, 0, 8, 8, true);
+        let mut img = BitPlaneImage::new(m, 8, 8).unwrap();
+        let receipt = img.fill_rect(0, 0, 8, 8, true).unwrap();
         // not + and + and + or = 2 + 4 + 4 + 4 = 14 AAPs for one chunk.
         assert_eq!(receipt.aaps, 14);
+    }
+
+    /// Regression: an image too large for the device used to panic inside
+    /// `BitPlaneImage::new` ("capacity"); it must surface the typed
+    /// out-of-memory error instead.
+    #[test]
+    fn oversized_image_returns_out_of_memory() {
+        // tiny(): 2 banks x 2 subarrays x 14 data rows x 128 bits =
+        // 7168 data bits; a 4096-pixel plane needs 5 x 4096 bits.
+        let err = BitPlaneImage::new(mem(), 64, 64).unwrap_err();
+        assert!(
+            matches!(err, AmbitError::OutOfMemory { .. }),
+            "expected OutOfMemory, got {err:?}"
+        );
     }
 }

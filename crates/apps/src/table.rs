@@ -4,7 +4,7 @@
 //! predicates evaluate column by column; the per-column result bitvectors
 //! combine with bulk ANDs, which is exactly where Ambit slots in.
 
-use ambit_core::{AmbitMemory, BitwiseOp, OpReceipt};
+use ambit_core::{AmbitError, AmbitMemory, BitwiseOp, OpReceipt};
 
 use crate::bitweaving::{AmbitColumn, BitSlicedColumn, Predicate};
 
@@ -147,20 +147,21 @@ pub struct AmbitTable {
 impl AmbitTable {
     /// Loads every column of `table` into Ambit memory.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the device lacks capacity.
-    pub fn load(mem: &mut AmbitMemory, table: &BitWeavingTable) -> Self {
+    /// Returns [`AmbitError::OutOfMemory`] if the device lacks capacity
+    /// and propagates other driver errors.
+    pub fn load(mem: &mut AmbitMemory, table: &BitWeavingTable) -> Result<Self, AmbitError> {
         let columns = table
             .columns
             .iter()
             .map(|c| AmbitColumn::load(mem, c))
-            .collect();
-        AmbitTable {
+            .collect::<Result<_, _>>()?;
+        Ok(AmbitTable {
             columns,
             names: table.names.clone(),
             rows: table.rows,
-        }
+        })
     }
 
     /// In-DRAM execution of `select count(*) where p1 AND p2 AND …`:
@@ -168,14 +169,20 @@ impl AmbitTable {
     /// results AND together with bulk operations, and the final count is
     /// a CPU popcount.
     ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::OutOfMemory`] if the device lacks capacity
+    /// for the scans and propagates other driver errors.
+    ///
     /// # Panics
     ///
-    /// Panics on unknown columns, empty predicates, or device capacity.
+    /// Panics on unknown columns or an empty predicate list (API misuse,
+    /// not a runtime condition).
     pub fn count_where(
         &self,
         mem: &mut AmbitMemory,
         predicates: &[ColumnPredicate],
-    ) -> (usize, OpReceipt) {
+    ) -> Result<(usize, OpReceipt), AmbitError> {
         assert!(!predicates.is_empty(), "query needs at least one predicate");
         let mut receipt: Option<OpReceipt> = None;
         let mut acc: Option<ambit_core::BitVectorHandle> = None;
@@ -187,7 +194,7 @@ impl AmbitTable {
                 .position(|n| n == &p.column)
                 .unwrap_or_else(|| panic!("no column named {}", p.column));
             let (_, scan_receipt, result) =
-                self.columns[idx].scan_with_result(mem, p.predicate);
+                self.columns[idx].scan_with_result(mem, p.predicate)?;
             match &mut receipt {
                 Some(r) => r.absorb(&scan_receipt),
                 None => receipt = Some(scan_receipt),
@@ -195,9 +202,7 @@ impl AmbitTable {
             acc = Some(match acc {
                 None => result,
                 Some(acc_h) => {
-                    let r = mem
-                        .bitwise(BitwiseOp::And, acc_h, Some(result), acc_h)
-                        .expect("and");
+                    let r = mem.bitwise(BitwiseOp::And, acc_h, Some(result), acc_h)?;
                     receipt.as_mut().expect("set above").absorb(&r);
                     acc_h
                 }
@@ -205,9 +210,9 @@ impl AmbitTable {
         }
 
         let acc = acc.expect("at least one predicate");
-        let bits = mem.peek_bits(acc).expect("result");
+        let bits = mem.peek_bits(acc)?;
         let count = bits[..self.rows].iter().filter(|&&b| b).count();
-        (count, receipt.expect("at least one scan"))
+        Ok((count, receipt.expect("at least one scan")))
     }
 }
 
@@ -271,8 +276,8 @@ mod tests {
             TimingParams::ddr3_1600(),
             AapMode::Overlapped,
         );
-        let at = AmbitTable::load(&mut mem, &t);
-        let (count, receipt) = at.count_where(&mut mem, &query());
+        let at = AmbitTable::load(&mut mem, &t).unwrap();
+        let (count, receipt) = at.count_where(&mut mem, &query()).unwrap();
         assert_eq!(count, t.count_where_naive(&query()));
         assert!(receipt.aaps > 0);
     }

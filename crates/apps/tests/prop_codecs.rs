@@ -1,0 +1,161 @@
+//! Property-based round-trips for the two codecs the application layer is
+//! built on: WAH compression (compress → decompress must be the identity,
+//! and the compressed form must be canonical) and the BitWeaving vertical
+//! pack/scan (every `Predicate` variant over a packed column must agree
+//! with the scalar per-value reference).
+
+use ambit_apps::bitweaving::{BitSlicedColumn, Predicate};
+use ambit_apps::WahBitmap;
+use proptest::prelude::*;
+
+/// Decompress a WAH bitmap back to the plain bool vector it encodes.
+fn decompress(w: &WahBitmap) -> Vec<bool> {
+    let mut out = vec![false; w.len_bits()];
+    for i in w.iter_ones() {
+        out[i] = true;
+    }
+    out
+}
+
+/// Bitmaps with interesting structure for a run-length codec: a mix of
+/// long runs (fills) and noisy regions (literals), at a length that is
+/// deliberately not 31-aligned most of the time.
+fn structured_bitmap() -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(
+        prop_oneof![
+            // A run of identical bits (exercises fill words).
+            (any::<bool>(), 1usize..150)
+                .prop_map(|(v, n)| std::iter::repeat_n(v, n).collect::<Vec<bool>>()),
+            // A noisy stretch (exercises literal words).
+            proptest::collection::vec(any::<bool>(), 1..40),
+        ],
+        1..10,
+    )
+    .prop_map(|segments| segments.concat())
+}
+
+fn predicate_strategy() -> impl Strategy<Value = Predicate> {
+    let c = any::<u32>();
+    prop_oneof![
+        c.prop_map(Predicate::Lt),
+        c.prop_map(Predicate::Le),
+        c.prop_map(Predicate::Gt),
+        c.prop_map(Predicate::Ge),
+        c.prop_map(Predicate::Eq),
+        c.prop_map(Predicate::Ne),
+        (c, c).prop_map(|(a, b)| Predicate::Between(a.min(b), a.max(b))),
+    ]
+}
+
+/// Reduces a predicate's constants into the column's value domain — the
+/// slice-wise scan only consumes the low `bits` of each constant, so the
+/// scalar reference must compare against the same clamped values.
+fn clamp(p: Predicate, mask: u32) -> Predicate {
+    match p {
+        Predicate::Lt(c) => Predicate::Lt(c & mask),
+        Predicate::Le(c) => Predicate::Le(c & mask),
+        Predicate::Gt(c) => Predicate::Gt(c & mask),
+        Predicate::Ge(c) => Predicate::Ge(c & mask),
+        Predicate::Eq(c) => Predicate::Eq(c & mask),
+        Predicate::Ne(c) => Predicate::Ne(c & mask),
+        Predicate::Between(c1, c2) => {
+            let (c1, c2) = (c1 & mask, c2 & mask);
+            Predicate::Between(c1.min(c2), c1.max(c2))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// compress → decompress is the identity, bit for bit.
+    #[test]
+    fn wah_compress_decompress_roundtrips(data in structured_bitmap()) {
+        let w = WahBitmap::from_bools(&data);
+        prop_assert_eq!(w.len_bits(), data.len());
+        prop_assert_eq!(decompress(&w), data);
+    }
+
+    /// Re-compressing a decompressed bitmap yields the identical encoding:
+    /// the compressor always emits the canonical form, so equal logical
+    /// content can be compared word-by-word.
+    #[test]
+    fn wah_canonical_form_is_a_fixed_point(data in structured_bitmap()) {
+        let once = WahBitmap::from_bools(&data);
+        let twice = WahBitmap::from_bools(&decompress(&once));
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(once.compressed_words(), twice.compressed_words());
+    }
+
+    /// Compressed-domain AND/OR agree with the operation on the plain
+    /// bitvectors — decompress(f(compress a, compress b)) == f(a, b).
+    #[test]
+    fn wah_compressed_algebra_matches_plain(
+        a in structured_bitmap(),
+        b in structured_bitmap(),
+    ) {
+        // The merge requires equal lengths; truncate to the shorter input.
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let wa = WahBitmap::from_bools(a);
+        let wb = WahBitmap::from_bools(b);
+        let and: Vec<bool> = (0..n).map(|i| a[i] && b[i]).collect();
+        let or: Vec<bool> = (0..n).map(|i| a[i] || b[i]).collect();
+        prop_assert_eq!(decompress(&wa.and(&wb)), and);
+        prop_assert_eq!(decompress(&wa.or(&wb)), or);
+    }
+
+    /// WAH never inflates beyond one word per 31-bit group (canonical form
+    /// merges every run), and fully uniform inputs collapse to fills.
+    #[test]
+    fn wah_compressed_size_is_bounded(data in structured_bitmap()) {
+        let w = WahBitmap::from_bools(&data);
+        prop_assert!(w.compressed_words() <= data.len().div_ceil(31).max(1));
+        if data.iter().all(|&b| b == data[0]) {
+            prop_assert_eq!(w.compressed_words(), 1, "uniform input is one fill");
+        }
+    }
+
+    /// The vertical pack/scan pipeline matches the scalar reference for
+    /// every predicate variant, on every row, including the masked tail
+    /// beyond the last full 64-row word.
+    #[test]
+    fn bitweaving_scan_matches_scalar_reference(
+        bits in 1usize..13,
+        values in proptest::collection::vec(any::<u32>(), 1..300),
+        p in predicate_strategy(),
+    ) {
+        let mask = (1u32 << bits) - 1;
+        let p = clamp(p, mask);
+        let values: Vec<u32> = values.iter().map(|&v| v & mask).collect();
+        let col = BitSlicedColumn::from_values(&values, bits);
+        let packed = col.scan(p);
+        for (row, &v) in values.iter().enumerate() {
+            let got = packed[row / 64] >> (row % 64) & 1 == 1;
+            prop_assert_eq!(got, p.matches(v), "{} on value {} (row {})", p, v, row);
+        }
+        // Tail masking: the packed result carries no bits past the rows.
+        let total: usize = packed.iter().map(|w| w.count_ones() as usize).sum();
+        prop_assert_eq!(total, values.iter().filter(|&&v| p.matches(v)).count());
+    }
+
+    /// The pack itself is lossless at every width: each value reconstructs
+    /// exactly from its MSB-first slices.
+    #[test]
+    fn bitweaving_pack_is_lossless_at_every_width(
+        bits in 1usize..=32,
+        values in proptest::collection::vec(any::<u32>(), 1..120),
+    ) {
+        let mask = if bits == 32 { u32::MAX } else { (1 << bits) - 1 };
+        let values: Vec<u32> = values.iter().map(|&v| v & mask).collect();
+        let col = BitSlicedColumn::from_values(&values, bits);
+        for (row, &v) in values.iter().enumerate() {
+            let mut rebuilt = 0u32;
+            for j in 0..bits {
+                let bit = col.slice(j)[row / 64] >> (row % 64) & 1;
+                rebuilt |= (bit as u32) << (bits - 1 - j);
+            }
+            prop_assert_eq!(rebuilt, v, "row {}", row);
+        }
+    }
+}

@@ -36,8 +36,8 @@ fn bench_scans(c: &mut Criterion) {
                         TimingParams::ddr3_1600(),
                         AapMode::Overlapped,
                     );
-                    let acol = AmbitColumn::load(&mut mem, column);
-                    black_box(acol.scan_between(&mut mem, c1, c2).0)
+                    let acol = AmbitColumn::load(&mut mem, column).expect("load column");
+                    black_box(acol.scan_between(&mut mem, c1, c2).expect("scan").0)
                 });
             },
         );

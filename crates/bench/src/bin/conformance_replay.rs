@@ -1,0 +1,140 @@
+//! Differential-conformance fuzz driver and repro replayer.
+//!
+//! ```text
+//! conformance_replay fuzz [--seed S] [--count N] [--faults]
+//! conformance_replay replay <repro.json>
+//! ```
+//!
+//! `fuzz` generates `N` seeded programs and runs each through the N-way
+//! execution oracle (eager, batch serial, batch bank-parallel, forced
+//! scalar, resilient, plus the CPU golden model). The first divergence is
+//! minimized and written to `CONFORMANCE_repro.json` in the current
+//! directory, and the process exits 1. `AMBIT_QUICK=1` caps the default
+//! count at 200 programs for CI smoke runs.
+//!
+//! `replay` loads a repro JSON file and re-runs it: exit 0 if the recorded
+//! failure reproduces (same failing paths), exit 2 if it does not.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use ambit_conformance::{generate, run_oracle, GeneratorConfig, Repro};
+
+const REPRO_FILE: &str = "CONFORMANCE_repro.json";
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: conformance_replay fuzz [--seed S] [--count N] [--faults]\n\
+         \x20      conformance_replay replay <repro.json>"
+    );
+    ExitCode::from(64)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("fuzz") => fuzz(&args[1..]),
+        Some("replay") => match args.get(1) {
+            Some(path) => replay(path),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+fn fuzz(args: &[String]) -> ExitCode {
+    let mut seed: u64 = 1;
+    let mut count: usize = if env::var("AMBIT_QUICK").is_ok() { 200 } else { 1000 };
+    let mut faults = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--count" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => count = v,
+                None => return usage(),
+            },
+            "--faults" => faults = true,
+            _ => return usage(),
+        }
+    }
+
+    let cfg = if faults { GeneratorConfig::with_faults() } else { GeneratorConfig::default() };
+    let mut fault_armed = 0usize;
+    for i in 0..count {
+        let program_seed = seed.wrapping_add(i as u64);
+        let program = generate(program_seed, &cfg);
+        if program.fault_tra_rate.is_some() {
+            fault_armed += 1;
+        }
+        let report = run_oracle(&program, None);
+        if report.ok() {
+            continue;
+        }
+        eprintln!("seed {program_seed}: divergence detected");
+        for f in &report.failures {
+            eprintln!("  [{}] {}", f.path, f.detail);
+        }
+        match Repro::capture(&program, None) {
+            Some(repro) => {
+                let text = repro.to_json().to_string();
+                if let Err(e) = fs::write(REPRO_FILE, &text) {
+                    eprintln!("failed to write {REPRO_FILE}: {e}");
+                } else {
+                    eprintln!(
+                        "minimized repro ({} ops, {} vectors) written to {REPRO_FILE}",
+                        repro.program.ops.len(),
+                        repro.program.vectors.len()
+                    );
+                }
+            }
+            // The divergence did not survive re-execution (flaky
+            // environment); still report the failure.
+            None => eprintln!("divergence did not reproduce during capture"),
+        }
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "conformance: {count} programs from seed {seed} ({fault_armed} fault-armed), \
+         0 divergences"
+    );
+    ExitCode::SUCCESS
+}
+
+fn replay(path: &str) -> ExitCode {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(66);
+        }
+    };
+    let repro = match Repro::from_json_text(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::from(65);
+        }
+    };
+    let report = repro.replay();
+    if repro.reproduces() {
+        println!("repro reproduces: {} failing path(s)", report.failures.len());
+        for f in &report.failures {
+            println!("  [{}] {}", f.path, f.detail);
+        }
+        ExitCode::SUCCESS
+    } else if report.ok() {
+        println!("repro does NOT reproduce: all paths now conform");
+        ExitCode::from(2)
+    } else {
+        println!("repro failure set changed:");
+        for f in &report.failures {
+            println!("  [{}] {}", f.path, f.detail);
+        }
+        ExitCode::from(2)
+    }
+}

@@ -38,7 +38,8 @@ fn main() {
                 &config,
                 AmbitMemory::ddr3_module(),
                 &BitWeavingWorkload { rows: r, bits: b, seed: 0xb17 },
-            );
+            )
+            .expect("bitweaving run");
             row.push(fmt_ratio(result.speedup()));
             all.push((b, r, result.speedup()));
         }

@@ -1,0 +1,195 @@
+//! The seeded program generator.
+//!
+//! `generate(seed, &cfg)` deterministically expands a 64-bit seed into a
+//! valid [`Program`]: a random environment (timing set, AAP mode, tie-break
+//! policy), a random allocation plan partitioned into co-location
+//! *families* (vectors sharing a bit length and a driver allocation group —
+//! the only operand combinations the driver accepts), and a random DAG of
+//! bulk operations over those families. A slice of the seed space is
+//! fault-armed: those programs get a TRA fault rate and are restricted to
+//! the plain bitwise ops the resilient executor exposes.
+
+use ambit_core::BitwiseOp;
+use ambit_dram::{AapMode, TieBreak};
+
+use crate::program::{GeometryKind, ProgOp, Program, TimingKind, VectorSpec};
+use crate::refrng::ReferenceRng;
+
+/// Knobs bounding the generated programs.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of co-location families (inclusive range, each ≥ 1).
+    pub families: (usize, usize),
+    /// Vectors per family (inclusive range; ≥ 2 so binary ops are
+    /// expressible).
+    pub vectors_per_family: (usize, usize),
+    /// Vector length bound in *rows* of the tiny geometry (lengths are
+    /// drawn in bits, so odd tails below a row boundary are common).
+    pub max_rows_per_vector: usize,
+    /// Operation count (inclusive range, each ≥ 1).
+    pub ops: (usize, usize),
+    /// Probability that a program is fault-armed (0 disables arming;
+    /// fault-armed programs are all-bitwise and single-family so the
+    /// resilient executor can run them).
+    pub fault_chance: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            families: (1, 3),
+            vectors_per_family: (2, 4),
+            max_rows_per_vector: 3,
+            ops: (1, 12),
+            fault_chance: 0.0,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// The default configuration with fault arming enabled for roughly one
+    /// program in four.
+    pub fn with_faults() -> Self {
+        GeneratorConfig { fault_chance: 0.25, ..GeneratorConfig::default() }
+    }
+}
+
+/// All ten bulk ops (the seven Figure 9 ops plus copy and the two inits).
+const BITWISE_OPS: [BitwiseOp; 10] = [
+    BitwiseOp::Not,
+    BitwiseOp::And,
+    BitwiseOp::Or,
+    BitwiseOp::Nand,
+    BitwiseOp::Nor,
+    BitwiseOp::Xor,
+    BitwiseOp::Xnor,
+    BitwiseOp::Copy,
+    BitwiseOp::InitZero,
+    BitwiseOp::InitOne,
+];
+
+fn range(rng: &mut ReferenceRng, (lo, hi): (usize, usize)) -> usize {
+    debug_assert!(lo >= 1 && hi >= lo);
+    lo + rng.below((hi - lo + 1) as u64) as usize
+}
+
+/// Deterministically expands `seed` into a valid program.
+///
+/// The same `(seed, config)` pair always yields the same program, across
+/// runs and machines; the program always passes [`Program::validate`].
+pub fn generate(seed: u64, cfg: &GeneratorConfig) -> Program {
+    let mut rng = ReferenceRng::with_seed(seed);
+    let geometry = GeometryKind::Tiny;
+    let row_bits = geometry.geometry().row_bytes * 8;
+
+    let fault_armed = cfg.fault_chance > 0.0 && rng.chance(cfg.fault_chance);
+    // Fault-armed programs run through the TMR-replicated resilient
+    // executor (3× the footprint plus retry scratch), so keep them small.
+    let n_families = if fault_armed { 1 } else { range(&mut rng, cfg.families) };
+    let max_rows = if fault_armed { cfg.max_rows_per_vector.min(2) } else { cfg.max_rows_per_vector };
+
+    let mut vectors = Vec::new();
+    let mut families: Vec<Vec<usize>> = Vec::new();
+    for family in 0..n_families {
+        let n_vectors = if fault_armed {
+            range(&mut rng, (2, cfg.vectors_per_family.1.min(3)))
+        } else {
+            range(&mut rng, cfg.vectors_per_family)
+        };
+        // Lengths in bits, biased to land off row boundaries so tail-bit
+        // handling stays under test.
+        let bits = 1 + rng.below((max_rows * row_bits) as u64) as usize;
+        let members = (0..n_vectors)
+            .map(|_| {
+                vectors.push(VectorSpec {
+                    bits,
+                    group: family as u32,
+                    data_seed: rng.next(),
+                });
+                vectors.len() - 1
+            })
+            .collect();
+        families.push(members);
+    }
+
+    let n_ops = if fault_armed { range(&mut rng, (1, 4)) } else { range(&mut rng, cfg.ops) };
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        let family = &families[rng.below(families.len() as u64) as usize];
+        let pick = |rng: &mut ReferenceRng| family[rng.below(family.len() as u64) as usize];
+        let kind = rng.below(100);
+        let op = if fault_armed || kind < 70 {
+            let op = *rng.pick(&BITWISE_OPS);
+            let src1 = pick(&mut rng);
+            let src2 = (op.source_count() == 2).then(|| pick(&mut rng));
+            ProgOp::Bitwise { op, src1, src2, dst: pick(&mut rng) }
+        } else if kind < 85 {
+            ProgOp::Maj3 {
+                a: pick(&mut rng),
+                b: pick(&mut rng),
+                c: pick(&mut rng),
+                dst: pick(&mut rng),
+            }
+        } else {
+            let op = if rng.below(2) == 0 { BitwiseOp::And } else { BitwiseOp::Or };
+            let srcs = (0..range(&mut rng, (2, 4))).map(|_| pick(&mut rng)).collect();
+            ProgOp::Fold { op, srcs, dst: pick(&mut rng) }
+        };
+        ops.push(op);
+    }
+
+    let program = Program {
+        seed,
+        geometry,
+        timing: *rng.pick(&TimingKind::ALL),
+        aap_mode: if rng.below(2) == 0 { AapMode::Naive } else { AapMode::Overlapped },
+        tie_break: *rng.pick(&[TieBreak::Error, TieBreak::Zero, TieBreak::One, TieBreak::Random]),
+        fault_tra_rate: fault_armed.then(|| 0.001 * (1 + rng.below(5)) as f64),
+        vectors,
+        ops,
+    };
+    debug_assert_eq!(program.validate(), Ok(()));
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig::with_faults();
+        for seed in 1..50 {
+            assert_eq!(generate(seed, &cfg), generate(seed, &cfg));
+        }
+    }
+
+    #[test]
+    fn generated_programs_validate() {
+        let cfg = GeneratorConfig::with_faults();
+        for seed in 1..500 {
+            let p = generate(seed, &cfg);
+            p.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn seed_space_covers_all_shapes() {
+        let cfg = GeneratorConfig::with_faults();
+        let programs: Vec<Program> = (1..400).map(|s| generate(s, &cfg)).collect();
+        let any = |f: &dyn Fn(&Program) -> bool| programs.iter().any(f);
+        assert!(any(&|p| p.fault_tra_rate.is_some()));
+        assert!(any(&|p| p.fault_tra_rate.is_none()));
+        assert!(any(&|p| p.ops.iter().any(|o| matches!(o, ProgOp::Maj3 { .. }))));
+        assert!(any(&|p| p.ops.iter().any(|o| matches!(o, ProgOp::Fold { .. }))));
+        assert!(any(&|p| p.aap_mode == AapMode::Naive));
+        assert!(any(&|p| p.timing == TimingKind::Ddr4_2400));
+        assert!(any(&|p| p.vectors[0].bits % (p.geometry.geometry().row_bytes * 8) != 0));
+        assert!(any(&|p| p.vectors.len() > 4));
+        // Fault-armed programs stay resilient-compatible.
+        assert!(programs
+            .iter()
+            .filter(|p| p.fault_tra_rate.is_some())
+            .all(Program::resilient_compatible));
+    }
+}

@@ -1,0 +1,131 @@
+//! The pure-CPU golden model.
+//!
+//! Evaluates a [`Program`] over plain `Vec<bool>` state, one bit at a
+//! time, using [`BitwiseOp::apply_words`] as the single source of truth for
+//! per-op semantics (the same primitive the driver's scalar reference
+//! uses). Every execution path in the oracle is compared against this.
+
+use ambit_core::BitwiseOp;
+
+use crate::program::{ProgOp, Program};
+
+fn bitwise(op: BitwiseOp, a: &[bool], b: Option<&[bool]>) -> Vec<bool> {
+    (0..a.len())
+        .map(|i| {
+            let aw = u64::from(a[i]);
+            let bw = u64::from(b.is_some_and(|b| b[i]));
+            op.apply_words(aw, bw) & 1 == 1
+        })
+        .collect()
+}
+
+/// Runs `program` on the CPU and returns the final contents of every
+/// vector, in declaration order.
+///
+/// Ops execute strictly in program order; aliasing (destination also a
+/// source) reads the pre-op value, matching the driver, which stages
+/// sources into the B-group before overwriting the destination.
+pub fn run(program: &Program) -> Vec<Vec<bool>> {
+    let mut state = program.initial_data();
+    for op in &program.ops {
+        let (dst, value) = match op {
+            ProgOp::Bitwise { op, src1, src2, dst } => (
+                *dst,
+                bitwise(*op, &state[*src1], src2.map(|s| state[s].as_slice())),
+            ),
+            ProgOp::Maj3 { a, b, c, dst } => {
+                let (a, b, c) = (&state[*a], &state[*b], &state[*c]);
+                (
+                    *dst,
+                    (0..a.len())
+                        .map(|i| {
+                            u8::from(a[i]) + u8::from(b[i]) + u8::from(c[i]) >= 2
+                        })
+                        .collect(),
+                )
+            }
+            ProgOp::Fold { op, srcs, dst } => {
+                let mut acc = state[srcs[0]].clone();
+                for &s in &srcs[1..] {
+                    acc = bitwise(*op, &acc, Some(&state[s]));
+                }
+                (*dst, acc)
+            }
+        };
+        state[dst] = value;
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{GeometryKind, TimingKind, VectorSpec};
+    use ambit_dram::{AapMode, TieBreak};
+
+    fn program(ops: Vec<ProgOp>) -> Program {
+        Program {
+            seed: 0,
+            geometry: GeometryKind::Tiny,
+            timing: TimingKind::Ddr3_1600,
+            aap_mode: AapMode::Overlapped,
+            tie_break: TieBreak::Error,
+            fault_tra_rate: None,
+            vectors: vec![
+                VectorSpec { bits: 8, group: 0, data_seed: 10 },
+                VectorSpec { bits: 8, group: 0, data_seed: 11 },
+                VectorSpec { bits: 8, group: 0, data_seed: 12 },
+            ],
+            ops,
+        }
+    }
+
+    #[test]
+    fn bitwise_ops_match_manual_truth_tables() {
+        let p = program(vec![ProgOp::Bitwise {
+            op: BitwiseOp::Nand,
+            src1: 0,
+            src2: Some(1),
+            dst: 2,
+        }]);
+        let init = p.initial_data();
+        let out = run(&p);
+        for i in 0..8 {
+            assert_eq!(out[2][i], !(init[0][i] && init[1][i]));
+        }
+        // Untouched vectors keep their initial data.
+        assert_eq!(out[0], init[0]);
+        assert_eq!(out[1], init[1]);
+    }
+
+    #[test]
+    fn maj3_and_fold_compose_in_program_order() {
+        let p = program(vec![
+            ProgOp::Maj3 { a: 0, b: 1, c: 2, dst: 2 },
+            ProgOp::Fold { op: BitwiseOp::Or, srcs: vec![0, 1, 2], dst: 0 },
+        ]);
+        let init = p.initial_data();
+        let out = run(&p);
+        for i in 0..8 {
+            let maj = [init[0][i], init[1][i], init[2][i]]
+                .iter()
+                .filter(|&&b| b)
+                .count()
+                >= 2;
+            assert_eq!(out[2][i], maj);
+            assert_eq!(out[0][i], init[0][i] || init[1][i] || maj);
+        }
+    }
+
+    #[test]
+    fn aliased_destination_reads_pre_op_value() {
+        let p = program(vec![ProgOp::Bitwise {
+            op: BitwiseOp::Xor,
+            src1: 0,
+            src2: Some(0),
+            dst: 0,
+        }]);
+        let out = run(&p);
+        assert!(out[0].iter().all(|&b| !b), "x ^ x must clear the vector");
+    }
+}

@@ -1,0 +1,457 @@
+//! The N-way differential execution oracle.
+//!
+//! Runs one [`Program`] through every execution path the stack offers —
+//! eager driver calls, the batch engine under both issue policies, the
+//! device with its analog model replaced by the scalar reference, and (for
+//! all-bitwise programs) the resilient executor — and checks every path's
+//! final memory image byte-for-byte against the pure-CPU golden model.
+//! Every path's command trace is additionally validated by the
+//! [`TraceChecker`], so a run that happens to produce the right bits
+//! through an illegal command sequence still fails.
+//!
+//! Fault-armed programs (nonzero TRA fault rate) run through the resilient
+//! executor only: the other paths have no recovery story, and the fault
+//! RNG draw streams differ per path, so cross-path byte identity is not a
+//! meaningful property under injected faults. For those, the oracle checks
+//! recovered-result correctness (golden equality unless the executor
+//! declared itself degraded) and internal consistency of the recovery
+//! report.
+
+use ambit_core::{
+    AllocGroup, AmbitError, AmbitMemory, BatchBuilder, BitVectorHandle, IssuePolicy,
+    ResilientConfig, ResilientExecutor,
+};
+use ambit_dram::BankId;
+
+use crate::golden;
+use crate::program::{ProgOp, Program};
+use crate::trace_check::TraceChecker;
+
+/// Names of the fault-free execution paths, in oracle order.
+pub const FAULT_FREE_PATHS: [&str; 5] = [
+    "eager",
+    "batch_serial",
+    "batch_bank_parallel",
+    "forced_scalar",
+    "resilient",
+];
+
+/// The fault-armed path name.
+pub const RESILIENT_PATH: &str = "resilient";
+
+/// A test-only divergence seed: after `path` finishes, flip bit `bit` of
+/// vector `vector`'s readback. Used to prove the oracle detects, minimizes,
+/// and deterministically replays real divergences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mutation {
+    /// Which path's readback to corrupt.
+    pub path: String,
+    /// Vector index to corrupt.
+    pub vector: usize,
+    /// Bit index to flip.
+    pub bit: usize,
+}
+
+/// One oracle failure: a divergence, a driver error, a trace violation, or
+/// an introspection mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// The execution path that failed.
+    pub path: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// The outcome of one oracle run.
+#[derive(Debug, Clone, Default)]
+pub struct OracleReport {
+    /// Everything that went wrong (empty on a conforming run).
+    pub failures: Vec<Failure>,
+}
+
+impl OracleReport {
+    /// Whether the run was fully conforming.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn fail(&mut self, path: &str, detail: String) {
+        self.failures.push(Failure { path: path.to_string(), detail });
+    }
+}
+
+/// Runs the full oracle on `program`, optionally seeding a divergence.
+///
+/// Fault-free programs run through every applicable path; fault-armed
+/// programs run through the resilient executor only (see module docs).
+pub fn run_oracle(program: &Program, mutation: Option<&Mutation>) -> OracleReport {
+    if program.fault_tra_rate.is_some() {
+        run_fault_armed(program, mutation)
+    } else {
+        run_differential(program, mutation)
+    }
+}
+
+fn first_mismatch(got: &[bool], want: &[bool]) -> Option<usize> {
+    (0..want.len().max(got.len())).find(|&i| got.get(i) != want.get(i))
+}
+
+fn compare(
+    report: &mut OracleReport,
+    path: &str,
+    golden: &[Vec<bool>],
+    readback: &[Vec<bool>],
+) {
+    for (v, want) in golden.iter().enumerate() {
+        if let Some(bit) = first_mismatch(&readback[v], want) {
+            report.fail(
+                path,
+                format!(
+                    "vector {v} diverges from golden at bit {bit}: got {:?}, want {:?}",
+                    readback[v].get(bit),
+                    want.get(bit)
+                ),
+            );
+        }
+    }
+}
+
+fn apply_mutation(
+    readback: &mut [Vec<bool>],
+    path: &str,
+    mutation: Option<&Mutation>,
+) {
+    if let Some(m) = mutation {
+        if m.path == path {
+            if let Some(v) = readback.get_mut(m.vector) {
+                let len = v.len().max(1);
+                if let Some(bit) = v.get_mut(m.bit % len) {
+                    *bit = !*bit;
+                }
+            }
+        }
+    }
+}
+
+/// Builds the memory for one path: geometry, timing, AAP mode, tie-break
+/// policy, tracing on.
+fn build_memory(program: &Program, forced_scalar: bool) -> AmbitMemory {
+    let mut mem = AmbitMemory::new(
+        program.geometry.geometry(),
+        program.timing.params(),
+        program.aap_mode,
+    );
+    mem.controller_mut().device_mut().set_tie_break(program.tie_break);
+    if forced_scalar {
+        let geometry = *mem.controller().geometry();
+        let device = mem.controller_mut().device_mut();
+        for flat in 0..geometry.total_banks() {
+            let bank = device.bank_mut(BankId::from_flat_index(flat, &geometry));
+            for s in 0..bank.subarray_count() {
+                bank.subarray_mut(s).set_scalar_reference(true);
+            }
+        }
+    }
+    mem.controller_mut().timer_mut().set_tracing(true);
+    mem
+}
+
+fn check_trace(report: &mut OracleReport, path: &str, program: &Program, mem: &AmbitMemory) {
+    let checker = TraceChecker::new(program.timing.params(), program.aap_mode);
+    let trace = mem.controller().timer().trace().unwrap_or(&[]);
+    for violation in checker.check(trace) {
+        report.fail(path, format!("trace invariant violated: {violation}"));
+    }
+}
+
+/// How a path issues the program's ops.
+enum Issue {
+    Eager,
+    Batch(IssuePolicy),
+}
+
+fn run_driver_path(
+    program: &Program,
+    path: &str,
+    issue: &Issue,
+    forced_scalar: bool,
+    report: &mut OracleReport,
+) -> Option<Vec<Vec<bool>>> {
+    let mut mem = build_memory(program, forced_scalar);
+    let mut handles: Vec<BitVectorHandle> = Vec::with_capacity(program.vectors.len());
+    for spec in &program.vectors {
+        match mem.alloc_in_group(spec.bits, AllocGroup(spec.group)) {
+            Ok(h) => handles.push(h),
+            Err(e) => {
+                report.fail(path, format!("alloc failed: {e}"));
+                return None;
+            }
+        }
+    }
+    for (spec, &h) in program.vectors.iter().zip(&handles) {
+        if let Err(e) = mem.write_bits(h, &spec.initial_data()) {
+            report.fail(path, format!("write failed: {e}"));
+            return None;
+        }
+    }
+
+    let run = |mem: &mut AmbitMemory| -> Result<(), String> {
+        match issue {
+            Issue::Eager => {
+                for op in &program.ops {
+                    match op {
+                        ProgOp::Bitwise { op, src1, src2, dst } => {
+                            mem.bitwise(*op, handles[*src1], src2.map(|s| handles[s]), handles[*dst])
+                                .map_err(|e| e.to_string())?;
+                        }
+                        ProgOp::Maj3 { a, b, c, dst } => {
+                            mem.bitwise_maj3(handles[*a], handles[*b], handles[*c], handles[*dst])
+                                .map_err(|e| e.to_string())?;
+                        }
+                        ProgOp::Fold { op, srcs, dst } => {
+                            let srcs: Vec<_> = srcs.iter().map(|&s| handles[s]).collect();
+                            mem.bitwise_fold(*op, &srcs, handles[*dst])
+                                .map_err(|e| e.to_string())?;
+                        }
+                    }
+                }
+            }
+            Issue::Batch(policy) => {
+                let mut batch = BatchBuilder::new();
+                for op in &program.ops {
+                    match op {
+                        ProgOp::Bitwise { op, src1, src2, dst } => {
+                            batch.bitwise(
+                                *op,
+                                handles[*src1],
+                                src2.map(|s| handles[s]),
+                                handles[*dst],
+                            );
+                        }
+                        ProgOp::Maj3 { a, b, c, dst } => {
+                            batch.maj3(handles[*a], handles[*b], handles[*c], handles[*dst]);
+                        }
+                        ProgOp::Fold { op, srcs, dst } => {
+                            let srcs: Vec<_> = srcs.iter().map(|&s| handles[s]).collect();
+                            batch.fold(*op, &srcs, handles[*dst]);
+                        }
+                    }
+                }
+                // The batch's introspection view must agree with the
+                // program: same op count, same handles read and written.
+                let views = batch.op_views();
+                if views.len() != program.ops.len() {
+                    return Err(format!(
+                        "batch introspection lists {} ops, program has {}",
+                        views.len(),
+                        program.ops.len()
+                    ));
+                }
+                for (i, (view, op)) in views.iter().zip(&program.ops).enumerate() {
+                    let want_reads: Vec<BitVectorHandle> = match op {
+                        ProgOp::Bitwise { src1, src2, .. } => {
+                            let mut r = vec![handles[*src1]];
+                            r.extend(src2.map(|s| handles[s]));
+                            r
+                        }
+                        ProgOp::Maj3 { a, b, c, .. } => {
+                            vec![handles[*a], handles[*b], handles[*c]]
+                        }
+                        ProgOp::Fold { srcs, .. } => srcs.iter().map(|&s| handles[s]).collect(),
+                    };
+                    let want_writes = match op {
+                        ProgOp::Bitwise { dst, .. }
+                        | ProgOp::Maj3 { dst, .. }
+                        | ProgOp::Fold { dst, .. } => handles[*dst],
+                    };
+                    if view.reads != want_reads || view.writes != want_writes {
+                        return Err(format!("batch introspection mismatch at op {i}"));
+                    }
+                }
+                mem.execute_batch(&batch, *policy).map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
+    };
+    if let Err(e) = run(&mut mem) {
+        report.fail(path, format!("execution failed: {e}"));
+        return None;
+    }
+
+    let mut readback = Vec::with_capacity(handles.len());
+    for &h in &handles {
+        match mem.read_bits(h) {
+            Ok(bits) => readback.push(bits),
+            Err(e) => {
+                report.fail(path, format!("readback failed: {e}"));
+                return None;
+            }
+        }
+    }
+    check_trace(report, path, program, &mem);
+    Some(readback)
+}
+
+fn run_resilient_path(
+    program: &Program,
+    report: &mut OracleReport,
+) -> Option<(Vec<Vec<bool>>, bool)> {
+    let path = RESILIENT_PATH;
+    let mut mem = build_memory(program, false);
+    if let Some(rate) = program.fault_tra_rate {
+        if let Err(e) = mem.set_tra_fault_rate(rate) {
+            report.fail(path, format!("fault arming failed: {e}"));
+            return None;
+        }
+    }
+    let mut exec = ResilientExecutor::new(mem, ResilientConfig::default());
+    let mut handles = Vec::with_capacity(program.vectors.len());
+    for spec in &program.vectors {
+        match exec.alloc(spec.bits) {
+            Ok(h) => handles.push(h),
+            // TMR needs 3x the rows of the plain paths; a program sized to
+            // plain capacity can legitimately overflow here. Skipping the
+            // path is a capacity limit, not a conformance divergence.
+            Err(AmbitError::OutOfMemory { .. }) => return None,
+            Err(e) => {
+                report.fail(path, format!("alloc failed: {e}"));
+                return None;
+            }
+        }
+    }
+    for (spec, &h) in program.vectors.iter().zip(&handles) {
+        if let Err(e) = exec.write(h, &spec.initial_data()) {
+            report.fail(path, format!("write failed: {e}"));
+            return None;
+        }
+    }
+    for (i, op) in program.ops.iter().enumerate() {
+        let ProgOp::Bitwise { op, src1, src2, dst } = op else {
+            report.fail(path, format!("op {i} is not resilient-compatible"));
+            return None;
+        };
+        if let Err(e) = exec.bitwise(*op, handles[*src1], src2.map(|s| handles[s]), handles[*dst])
+        {
+            report.fail(path, format!("execution failed at op {i}: {e}"));
+            return None;
+        }
+    }
+    let mut readback = Vec::with_capacity(handles.len());
+    for &h in &handles {
+        match exec.read(h) {
+            Ok(bits) => readback.push(bits),
+            Err(e) => {
+                report.fail(path, format!("readback failed: {e}"));
+                return None;
+            }
+        }
+    }
+
+    // Recovery-report consistency: counters are monotone sums, so any
+    // detected fault must be accounted for by at least one recovery action.
+    let r = *exec.report();
+    if r.faults_detected > 0 && r.retries == 0 && r.cpu_fallbacks == 0 && r.corrected_bits == 0 {
+        report.fail(
+            path,
+            format!(
+                "report inconsistency: {} faults detected but no recovery recorded",
+                r.faults_detected
+            ),
+        );
+    }
+    if program.fault_tra_rate.is_none() && r.faults_detected > 0 {
+        report.fail(
+            path,
+            format!("{} faults detected on a fault-free run", r.faults_detected),
+        );
+    }
+    let degraded = exec.is_degraded();
+    check_trace(report, path, program, exec.memory());
+    Some((readback, degraded))
+}
+
+fn run_differential(program: &Program, mutation: Option<&Mutation>) -> OracleReport {
+    let mut report = OracleReport::default();
+    let golden = golden::run(program);
+
+    let driver_paths: [(&str, Issue, bool); 4] = [
+        ("eager", Issue::Eager, false),
+        ("batch_serial", Issue::Batch(IssuePolicy::Serial), false),
+        ("batch_bank_parallel", Issue::Batch(IssuePolicy::BankParallel), false),
+        ("forced_scalar", Issue::Eager, true),
+    ];
+    for (path, issue, forced_scalar) in &driver_paths {
+        if let Some(mut readback) =
+            run_driver_path(program, path, issue, *forced_scalar, &mut report)
+        {
+            apply_mutation(&mut readback, path, mutation);
+            compare(&mut report, path, &golden, &readback);
+        }
+    }
+    if program.resilient_compatible() {
+        if let Some((mut readback, _)) = run_resilient_path(program, &mut report) {
+            apply_mutation(&mut readback, RESILIENT_PATH, mutation);
+            compare(&mut report, RESILIENT_PATH, &golden, &readback);
+        }
+    }
+    report
+}
+
+fn run_fault_armed(program: &Program, mutation: Option<&Mutation>) -> OracleReport {
+    let mut report = OracleReport::default();
+    let golden = golden::run(program);
+    if let Some((mut readback, degraded)) = run_resilient_path(program, &mut report) {
+        apply_mutation(&mut readback, RESILIENT_PATH, mutation);
+        // TMR voting plus retry/scrub must recover the golden result
+        // unless the executor explicitly declared the run degraded.
+        if !degraded {
+            compare(&mut report, RESILIENT_PATH, &golden, &readback);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    #[test]
+    fn small_fault_free_programs_conform() {
+        let cfg = GeneratorConfig::default();
+        for seed in 1..12 {
+            let program = generate(seed, &cfg);
+            let report = run_oracle(&program, None);
+            assert!(
+                report.ok(),
+                "seed {seed} diverged:\n{:#?}",
+                report.failures
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_hook_seeds_a_detectable_divergence() {
+        let program = generate(3, &GeneratorConfig::default());
+        let mutation = Mutation { path: "eager".into(), vector: 0, bit: 0 };
+        let report = run_oracle(&program, Some(&mutation));
+        assert!(!report.ok());
+        assert!(report.failures.iter().all(|f| f.path == "eager"));
+        // The same program without the mutation conforms.
+        assert!(run_oracle(&program, None).ok());
+    }
+
+    #[test]
+    fn fault_armed_programs_recover_or_degrade() {
+        let cfg = GeneratorConfig { fault_chance: 1.0, ..GeneratorConfig::default() };
+        let mut armed = 0;
+        for seed in 1..10 {
+            let program = generate(seed, &cfg);
+            assert!(program.fault_tra_rate.is_some());
+            armed += 1;
+            let report = run_oracle(&program, None);
+            assert!(report.ok(), "seed {seed} failed:\n{:#?}", report.failures);
+        }
+        assert!(armed > 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The reproduction's documented reference RNG: xorshift64\* from a fixed
+//! seed.
+//!
+//! This is the exact generator the fault-injection model draws from (one
+//! draw per bitline per fault-armed multi-row activation), reimplemented
+//! independently of `ambit-dram` so any change to the draw stream's shape or
+//! order fails the replay tests that pin it. It doubles as the conformance
+//! fuzzer's program generator RNG: deterministic, seedable, dependency-free.
+
+/// The model's fixed default seed (`Subarray`'s fault RNG starts here).
+pub const DEFAULT_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// xorshift64\* with the multiplier from Vigna's reference implementation.
+///
+/// # Examples
+///
+/// ```
+/// use ambit_conformance::ReferenceRng;
+///
+/// let mut a = ReferenceRng::new();
+/// let mut b = ReferenceRng::new();
+/// assert_eq!(a.next(), b.next()); // fully deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReferenceRng(u64);
+
+impl ReferenceRng {
+    /// The generator at the model's documented fixed seed — bit-for-bit the
+    /// stream `Subarray`'s fault arming consumes.
+    pub fn new() -> Self {
+        ReferenceRng(DEFAULT_SEED)
+    }
+
+    /// A generator seeded for fuzzing. A zero seed (xorshift's absorbing
+    /// state) falls back to the default seed.
+    pub fn with_seed(seed: u64) -> Self {
+        ReferenceRng(if seed == 0 { DEFAULT_SEED } else { seed })
+    }
+
+    /// The next 64-bit draw.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A draw uniform in `0..bound` (`bound` must be nonzero; modulo bias
+    /// is irrelevant at test scales).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next() % bound
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`), matching the
+    /// model's threshold comparison: `draw < p * u64::MAX`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        let threshold = (p.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+        self.next() < threshold
+    }
+
+    /// A deterministic bit pattern of `bits` booleans.
+    pub fn bits(&mut self, bits: usize) -> Vec<bool> {
+        (0..bits).map(|_| self.next() & 1 == 1).collect()
+    }
+
+    /// Picks one element of a slice (panics on an empty slice).
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+impl Default for ReferenceRng {
+    fn default() -> Self {
+        ReferenceRng::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_seed_stream_is_pinned() {
+        // First three draws from the documented seed — changing the
+        // algorithm or seed breaks fault-campaign replay compatibility.
+        let mut rng = ReferenceRng::new();
+        let first = [rng.next(), rng.next(), rng.next()];
+        let mut again = ReferenceRng::with_seed(DEFAULT_SEED);
+        assert_eq!(first, [again.next(), again.next(), again.next()]);
+        assert_ne!(first[0], first[1]);
+    }
+
+    #[test]
+    fn zero_seed_is_not_absorbing() {
+        let mut rng = ReferenceRng::with_seed(0);
+        assert_ne!(rng.next(), 0);
+        assert_eq!(ReferenceRng::with_seed(0), ReferenceRng::new());
+    }
+
+    #[test]
+    fn helpers_are_in_range() {
+        let mut rng = ReferenceRng::with_seed(7);
+        for _ in 0..100 {
+            assert!(rng.below(13) < 13);
+        }
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert_eq!(rng.bits(17).len(), 17);
+    }
+}

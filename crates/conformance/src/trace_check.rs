@@ -1,0 +1,535 @@
+//! The DDR trace-invariant checker.
+//!
+//! Replays a [`CommandTimer`](ambit_dram::CommandTimer) trace through an
+//! independent per-bank state machine and reports every sequencing or
+//! timing violation. The checker is deliberately *not* built on the timer's
+//! own bookkeeping: it re-derives legality from [`TimingParams`] so a bug
+//! in the timer's scheduling shows up as a violation instead of being
+//! self-certified.
+//!
+//! Invariants checked:
+//!
+//! * per-bank command timestamps never regress;
+//! * PRECHARGE / READ / WRITE only address a bank with an open row;
+//! * at most two ACTIVATEs per open interval (the second is the AAP /
+//!   RowClone copy activation; a third means a re-ACTIVATE of a new row
+//!   without an intervening PRECHARGE);
+//! * an AAP's two activations target different rows (when row tags are
+//!   recorded);
+//! * ACTIVATE respects tRP after the previous PRECHARGE; the copy
+//!   activation respects the mode's overlap window (tRCD for
+//!   [`AapMode::Overlapped`], tRAS for [`AapMode::Naive`]);
+//! * PRECHARGE respects tRAS, the overlapped-AAP restore extension, and
+//!   write recovery (tCL + tWR after the last WRITE);
+//! * READ/WRITE respect tRCD and never land in a multi-wordline (TRA) or
+//!   two-activation (AAP) interval, where the sense amplifiers hold
+//!   computation state rather than a clean row;
+//! * column bursts serialize on the shared bus at tCCD granularity, with
+//!   the single exception of a linked READ+WRITE pair at the same instant
+//!   (the pipelined RowClone-PSM transfer, which occupies one slot);
+//! * every multi-wordline or two-activation interval is closed by a
+//!   PRECHARGE before the trace ends (triple-row state must never be left
+//!   exposed).
+
+use ambit_dram::{AapMode, TimingParams, TraceCommand, TraceEntry};
+
+/// One detected violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceViolation {
+    /// Index of the offending entry in the checked trace.
+    pub index: usize,
+    /// Bank the entry addressed.
+    pub bank: usize,
+    /// Issue time of the offending entry.
+    pub at_ps: u64,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+/// The invariant a [`TraceViolation`] broke.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A bank's trace went backwards in time.
+    TimestampRegression {
+        /// The bank's previous command time.
+        prev_ps: u64,
+    },
+    /// PRECHARGE addressed a bank with no open row.
+    PrechargeWithoutOpenRow,
+    /// READ/WRITE addressed a bank with no open row.
+    ColumnWithoutOpenRow,
+    /// Third ACTIVATE in one open interval — a re-ACTIVATE without
+    /// PRECHARGE.
+    ReactivateWithoutPrecharge,
+    /// An AAP's copy activation re-raised the row already open.
+    RedundantCopyActivate {
+        /// The duplicated row address.
+        row: usize,
+    },
+    /// ACTIVATE before the previous PRECHARGE's tRP elapsed.
+    EarlyActivate {
+        /// Earliest legal issue time.
+        earliest_ps: u64,
+    },
+    /// AAP copy activation before the mode's overlap window opened.
+    EarlySecondActivate {
+        /// Earliest legal issue time.
+        earliest_ps: u64,
+    },
+    /// PRECHARGE before tRAS / restore / write recovery completed.
+    EarlyPrecharge {
+        /// Earliest legal issue time.
+        earliest_ps: u64,
+    },
+    /// READ/WRITE before tRCD (or the previous burst's tCCD) elapsed on
+    /// the bank.
+    EarlyColumn {
+        /// Earliest legal issue time.
+        earliest_ps: u64,
+    },
+    /// READ/WRITE inside a multi-wordline or two-activation interval.
+    ColumnDuringAmbitInterval,
+    /// More than a linked READ+WRITE pair on the bus at one instant.
+    BusConflict,
+    /// Column bursts closer than tCCD on the shared bus.
+    CcdViolation {
+        /// Earliest legal issue time.
+        earliest_ps: u64,
+    },
+    /// A TRA/AAP interval reached the end of the trace without PRECHARGE.
+    UnclosedAmbitInterval,
+}
+
+impl std::fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace[{}] bank {} @ {} ps: {:?}",
+            self.index, self.bank, self.at_ps, self.kind
+        )
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct BankState {
+    open: bool,
+    /// `(at_ps, wordlines, row)` of each ACTIVATE in the open interval.
+    acts: Vec<(u64, usize, Option<usize>)>,
+    /// Whether any ACTIVATE in the interval raised > 1 wordline.
+    multi: bool,
+    pre_ready_ps: u64,
+    act_ready_ps: u64,
+    col_ready_ps: u64,
+    last_ps: Option<u64>,
+    /// Trace index of the interval's last ACTIVATE (for end-of-trace
+    /// reporting).
+    last_act_index: usize,
+}
+
+/// Validates traces against one timing set and AAP mode.
+#[derive(Debug, Clone)]
+pub struct TraceChecker {
+    timing: TimingParams,
+    mode: AapMode,
+}
+
+impl TraceChecker {
+    /// A checker for traces produced under `timing` and `mode`.
+    pub fn new(timing: TimingParams, mode: AapMode) -> Self {
+        TraceChecker { timing, mode }
+    }
+
+    /// Checks every invariant over `trace` and returns all violations, in
+    /// trace order (bus violations are appended after per-bank ones).
+    pub fn check(&self, trace: &[TraceEntry]) -> Vec<TraceViolation> {
+        let mut violations = Vec::new();
+        let mut banks: Vec<BankState> = Vec::new();
+        let t = &self.timing;
+
+        for (index, entry) in trace.iter().enumerate() {
+            if entry.bank >= banks.len() {
+                banks.resize(entry.bank + 1, BankState::default());
+            }
+            let b = &mut banks[entry.bank];
+            let mut flag = |kind: ViolationKind| {
+                violations.push(TraceViolation {
+                    index,
+                    bank: entry.bank,
+                    at_ps: entry.at_ps,
+                    kind,
+                });
+            };
+            if let Some(prev) = b.last_ps {
+                if entry.at_ps < prev {
+                    flag(ViolationKind::TimestampRegression { prev_ps: prev });
+                }
+            }
+            b.last_ps = Some(entry.at_ps);
+
+            match entry.command {
+                TraceCommand::Activate { wordlines, row } => {
+                    if !b.open {
+                        if entry.at_ps < b.act_ready_ps {
+                            flag(ViolationKind::EarlyActivate { earliest_ps: b.act_ready_ps });
+                        }
+                        b.open = true;
+                        b.acts = vec![(entry.at_ps, wordlines, row)];
+                        b.multi = wordlines > 1;
+                        b.pre_ready_ps = entry.at_ps + t.t_ras_ps;
+                        b.col_ready_ps = entry.at_ps + t.t_rcd_ps;
+                        b.last_act_index = index;
+                    } else if b.acts.len() >= 2 {
+                        flag(ViolationKind::ReactivateWithoutPrecharge);
+                        b.last_act_index = index;
+                    } else {
+                        let (first_ps, _, first_row) = b.acts[0];
+                        let earliest = match self.mode {
+                            AapMode::Naive => first_ps + t.t_ras_ps,
+                            AapMode::Overlapped => first_ps + t.t_rcd_ps,
+                        };
+                        if entry.at_ps < earliest {
+                            flag(ViolationKind::EarlySecondActivate { earliest_ps: earliest });
+                        }
+                        if let (Some(r1), Some(r2)) = (first_row, row) {
+                            if r1 == r2 {
+                                flag(ViolationKind::RedundantCopyActivate { row: r2 });
+                            }
+                        }
+                        b.pre_ready_ps = match self.mode {
+                            AapMode::Naive => b.pre_ready_ps.max(entry.at_ps + t.t_ras_ps),
+                            AapMode::Overlapped => b
+                                .pre_ready_ps
+                                .max(first_ps + t.t_ras_ps + t.t_overlap_extra_ps),
+                        };
+                        b.col_ready_ps = b.col_ready_ps.max(entry.at_ps + t.t_rcd_ps);
+                        b.multi |= wordlines > 1;
+                        b.acts.push((entry.at_ps, wordlines, row));
+                        b.last_act_index = index;
+                    }
+                }
+                TraceCommand::Precharge => {
+                    if !b.open {
+                        flag(ViolationKind::PrechargeWithoutOpenRow);
+                    } else {
+                        if entry.at_ps < b.pre_ready_ps {
+                            flag(ViolationKind::EarlyPrecharge { earliest_ps: b.pre_ready_ps });
+                        }
+                        b.open = false;
+                        b.acts.clear();
+                        b.multi = false;
+                        b.act_ready_ps = entry.at_ps + t.t_rp_ps;
+                    }
+                }
+                TraceCommand::Read | TraceCommand::Write => {
+                    if !b.open {
+                        flag(ViolationKind::ColumnWithoutOpenRow);
+                    } else {
+                        if b.multi || b.acts.len() >= 2 {
+                            flag(ViolationKind::ColumnDuringAmbitInterval);
+                        }
+                        if entry.at_ps < b.col_ready_ps {
+                            flag(ViolationKind::EarlyColumn { earliest_ps: b.col_ready_ps });
+                        }
+                        b.col_ready_ps = b.col_ready_ps.max(entry.at_ps + t.t_ccd_ps);
+                        if entry.command == TraceCommand::Write {
+                            b.pre_ready_ps =
+                                b.pre_ready_ps.max(entry.at_ps + t.t_cl_ps + t.t_wr_ps);
+                        }
+                    }
+                }
+            }
+        }
+
+        for (bank, b) in banks.iter().enumerate() {
+            if b.open && (b.multi || b.acts.len() >= 2) {
+                violations.push(TraceViolation {
+                    index: b.last_act_index,
+                    bank,
+                    at_ps: b.acts.last().map_or(0, |a| a.0),
+                    kind: ViolationKind::UnclosedAmbitInterval,
+                });
+            }
+        }
+
+        violations.extend(self.check_bus(trace));
+        violations
+    }
+
+    /// The shared-bus tCCD pass: column bursts sorted by time, grouped
+    /// into slots, with the linked READ+WRITE pair counting as one slot.
+    fn check_bus(&self, trace: &[TraceEntry]) -> Vec<TraceViolation> {
+        let mut violations = Vec::new();
+        let mut cols: Vec<(usize, &TraceEntry)> = trace
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                matches!(e.command, TraceCommand::Read | TraceCommand::Write)
+            })
+            .collect();
+        cols.sort_by_key(|(index, e)| (e.at_ps, *index));
+
+        let mut prev_slot: Option<u64> = None;
+        let mut i = 0;
+        while i < cols.len() {
+            let slot_ps = cols[i].1.at_ps;
+            let mut j = i;
+            while j < cols.len() && cols[j].1.at_ps == slot_ps {
+                j += 1;
+            }
+            let group = &cols[i..j];
+            // One burst, or one linked READ+WRITE pair, per slot.
+            let linked_pair = group.len() == 2
+                && group
+                    .iter()
+                    .any(|(_, e)| e.command == TraceCommand::Read)
+                && group
+                    .iter()
+                    .any(|(_, e)| e.command == TraceCommand::Write);
+            if group.len() > 1 && !linked_pair {
+                for &(index, e) in &group[1..] {
+                    violations.push(TraceViolation {
+                        index,
+                        bank: e.bank,
+                        at_ps: e.at_ps,
+                        kind: ViolationKind::BusConflict,
+                    });
+                }
+            }
+            if let Some(prev) = prev_slot {
+                let earliest = prev + self.timing.t_ccd_ps;
+                if slot_ps < earliest {
+                    let (index, e) = group[0];
+                    violations.push(TraceViolation {
+                        index,
+                        bank: e.bank,
+                        at_ps: e.at_ps,
+                        kind: ViolationKind::CcdViolation { earliest_ps: earliest },
+                    });
+                }
+            }
+            prev_slot = Some(slot_ps);
+            i = j;
+        }
+        violations
+    }
+
+    /// [`check`](Self::check), formatted as a single error for test
+    /// assertions.
+    ///
+    /// # Errors
+    ///
+    /// One line per violation.
+    pub fn assert_clean(&self, trace: &[TraceEntry]) -> Result<(), String> {
+        let violations = self.check(trace);
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(at_ps: u64, bank: usize, command: TraceCommand) -> TraceEntry {
+        TraceEntry { at_ps, bank, command }
+    }
+
+    fn act(at_ps: u64, bank: usize, wordlines: usize, row: Option<usize>) -> TraceEntry {
+        e(at_ps, bank, TraceCommand::Activate { wordlines, row })
+    }
+
+    fn checker(mode: AapMode) -> TraceChecker {
+        TraceChecker::new(TimingParams::ddr3_1600(), mode)
+    }
+
+    fn kinds(violations: &[TraceViolation]) -> Vec<&ViolationKind> {
+        violations.iter().map(|v| &v.kind).collect()
+    }
+
+    #[test]
+    fn clean_overlapped_aap_passes() {
+        // TRA activate, copy activate at +tRCD, precharge at
+        // tRAS + overlap extra: the canonical overlapped AAP.
+        let trace = [
+            act(0, 0, 3, Some(0)),
+            act(10_000, 0, 1, Some(20)),
+            e(39_000, 0, TraceCommand::Precharge),
+        ];
+        checker(AapMode::Overlapped).assert_clean(&trace).unwrap();
+    }
+
+    #[test]
+    fn clean_naive_aap_passes() {
+        let trace = [
+            act(0, 0, 3, Some(0)),
+            act(35_000, 0, 1, Some(20)),
+            e(70_000, 0, TraceCommand::Precharge),
+        ];
+        checker(AapMode::Naive).assert_clean(&trace).unwrap();
+    }
+
+    #[test]
+    fn clean_read_sequence_passes() {
+        let trace = [
+            act(0, 0, 1, Some(18)),
+            e(10_000, 0, TraceCommand::Read),
+            e(15_000, 0, TraceCommand::Read),
+            e(40_000, 0, TraceCommand::Precharge),
+        ];
+        checker(AapMode::Overlapped).assert_clean(&trace).unwrap();
+    }
+
+    #[test]
+    fn timestamp_regression_fires() {
+        let trace = [act(10_000, 0, 1, None), e(50_000, 0, TraceCommand::Precharge), act(5_000, 0, 1, None)];
+        assert!(kinds(&checker(AapMode::Overlapped).check(&trace))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::TimestampRegression { .. })));
+    }
+
+    #[test]
+    fn third_activate_fires() {
+        let trace = [
+            act(0, 0, 1, None),
+            act(35_000, 0, 1, None),
+            act(80_000, 0, 1, None),
+        ];
+        assert!(kinds(&checker(AapMode::Naive).check(&trace))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::ReactivateWithoutPrecharge)));
+    }
+
+    #[test]
+    fn redundant_copy_activate_fires() {
+        let trace = [
+            act(0, 0, 1, Some(5)),
+            act(10_000, 0, 1, Some(5)),
+            e(39_000, 0, TraceCommand::Precharge),
+        ];
+        assert!(kinds(&checker(AapMode::Overlapped).check(&trace))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::RedundantCopyActivate { row: 5 })));
+    }
+
+    #[test]
+    fn early_precharge_and_activate_fire() {
+        let trace = [
+            act(0, 0, 1, None),
+            e(20_000, 0, TraceCommand::Precharge), // < tRAS = 35 ns
+            act(25_000, 0, 1, None),               // < PRE + tRP = 30 ns
+        ];
+        let got = checker(AapMode::Overlapped).check(&trace);
+        assert!(kinds(&got)
+            .iter()
+            .any(|k| matches!(k, ViolationKind::EarlyPrecharge { earliest_ps: 35_000 })));
+        assert!(kinds(&got)
+            .iter()
+            .any(|k| matches!(k, ViolationKind::EarlyActivate { earliest_ps: 30_000 })));
+    }
+
+    #[test]
+    fn early_second_activate_fires_per_mode() {
+        let trace = [act(0, 0, 1, None), act(5_000, 0, 1, None)];
+        assert!(kinds(&checker(AapMode::Overlapped).check(&trace))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::EarlySecondActivate { earliest_ps: 10_000 })));
+        let trace = [act(0, 0, 1, None), act(20_000, 0, 1, None)];
+        assert!(kinds(&checker(AapMode::Naive).check(&trace))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::EarlySecondActivate { earliest_ps: 35_000 })));
+        // The same gap is legal under Overlapped.
+        assert!(!kinds(&checker(AapMode::Overlapped).check(&trace))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::EarlySecondActivate { .. })));
+    }
+
+    #[test]
+    fn write_recovery_extends_precharge_window() {
+        let trace = [
+            act(0, 0, 1, None),
+            e(30_000, 0, TraceCommand::Write),
+            // tRAS satisfied, but WRITE@30 ns + tCL + tWR = 55 ns is not.
+            e(40_000, 0, TraceCommand::Precharge),
+        ];
+        assert!(kinds(&checker(AapMode::Overlapped).check(&trace))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::EarlyPrecharge { earliest_ps: 55_000 })));
+    }
+
+    #[test]
+    fn column_rules_fire() {
+        let closed = [e(0, 0, TraceCommand::Read)];
+        assert!(kinds(&checker(AapMode::Overlapped).check(&closed))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::ColumnWithoutOpenRow)));
+
+        let orphan_pre = [e(0, 0, TraceCommand::Precharge)];
+        assert!(kinds(&checker(AapMode::Overlapped).check(&orphan_pre))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::PrechargeWithoutOpenRow)));
+
+        let early = [act(0, 0, 1, None), e(5_000, 0, TraceCommand::Read)];
+        assert!(kinds(&checker(AapMode::Overlapped).check(&early))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::EarlyColumn { earliest_ps: 10_000 })));
+
+        let tra_read = [act(0, 0, 3, None), e(20_000, 0, TraceCommand::Read)];
+        assert!(kinds(&checker(AapMode::Overlapped).check(&tra_read))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::ColumnDuringAmbitInterval)));
+    }
+
+    #[test]
+    fn bus_rules_fire_but_linked_pairs_pass() {
+        let base = |cmds: [TraceEntry; 2]| {
+            let mut t = vec![act(0, 0, 1, None), act(0, 1, 1, None)];
+            t.extend(cmds);
+            t
+        };
+        // Linked READ+WRITE at one instant: legal (one slot).
+        let linked = base([
+            e(20_000, 0, TraceCommand::Read),
+            e(20_000, 1, TraceCommand::Write),
+        ]);
+        assert!(!kinds(&checker(AapMode::Overlapped).check(&linked))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::BusConflict | ViolationKind::CcdViolation { .. })));
+
+        // Two READs at one instant: bus conflict.
+        let conflict = base([
+            e(20_000, 0, TraceCommand::Read),
+            e(20_000, 1, TraceCommand::Read),
+        ]);
+        assert!(kinds(&checker(AapMode::Overlapped).check(&conflict))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::BusConflict)));
+
+        // Bursts closer than tCCD (5 ns at DDR3-1600): violation.
+        let close = base([
+            e(20_000, 0, TraceCommand::Read),
+            e(22_000, 1, TraceCommand::Read),
+        ]);
+        assert!(kinds(&checker(AapMode::Overlapped).check(&close))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::CcdViolation { earliest_ps: 25_000 })));
+    }
+
+    #[test]
+    fn unclosed_ambit_interval_fires() {
+        let tra = [act(0, 0, 2, None)];
+        assert!(kinds(&checker(AapMode::Overlapped).check(&tra))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::UnclosedAmbitInterval)));
+
+        // A plain open row at end-of-trace is the normal open-row policy.
+        let open_row = [act(0, 0, 1, None)];
+        checker(AapMode::Overlapped).assert_clean(&open_row).unwrap();
+    }
+}

@@ -147,6 +147,28 @@ impl BatchOp {
     }
 }
 
+/// A read-only view of one queued batch operation: the operation kind, the
+/// handles it reads, and the handle it writes.
+///
+/// This is the introspection surface golden models and conformance oracles
+/// use to recompute a batch's expected results on the CPU without executing
+/// it — the view mirrors exactly what
+/// [`execute_batch`](crate::AmbitMemory::execute_batch) will run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOpView {
+    /// Telemetry mnemonic of the operation (`bbop_and`, `maj3`,
+    /// `fold_or`, …).
+    pub mnemonic: &'static str,
+    /// The bitwise operation, for ops that are a plain
+    /// [`BitwiseOp`] application ([`None`] for majority).
+    pub op: Option<BitwiseOp>,
+    /// Handles the op reads, in operand order (destination excluded even
+    /// when it is also a source).
+    pub reads: Vec<BitVectorHandle>,
+    /// The handle the op writes.
+    pub writes: BitVectorHandle,
+}
+
 /// Builder for a batch of bulk bitwise operations with inter-op
 /// dependencies.
 ///
@@ -261,6 +283,23 @@ impl BatchBuilder {
     fn push(&mut self, op: BatchOp) -> OpId {
         self.ops.push(op);
         OpId(self.ops.len() - 1)
+    }
+
+    /// Read-only views of every queued op, in submission order — the
+    /// program-introspection hook for golden models (see [`BatchOpView`]).
+    pub fn op_views(&self) -> Vec<BatchOpView> {
+        self.ops
+            .iter()
+            .map(|o| BatchOpView {
+                mnemonic: o.mnemonic(),
+                op: match o {
+                    BatchOp::Bitwise { op, .. } | BatchOp::Fold { op, .. } => Some(*op),
+                    BatchOp::Maj3 { .. } => None,
+                },
+                reads: o.reads(),
+                writes: o.writes(),
+            })
+            .collect()
     }
 
     /// Plans the batch into dependency waves: every op in a wave is

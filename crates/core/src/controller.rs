@@ -285,7 +285,11 @@ impl AmbitController {
                             b.precharge()?;
                         }
                     }
-                    let (s, e) = self.timer.aap(flat, wl1.len(), wl2.len())?;
+                    let (s, e) = self.timer.aap_tagged(
+                        flat,
+                        (wl1.len(), wl1.first().map(|w| w.row)),
+                        (wl2.len(), wl2.first().map(|w| w.row)),
+                    )?;
                     start_ps.get_or_insert(s);
                     end_ps = e;
                     aaps += 1;
@@ -301,7 +305,7 @@ impl AmbitController {
                             b.precharge()?;
                         }
                     }
-                    let (s, e) = self.timer.ap(flat, wl.len())?;
+                    let (s, e) = self.timer.ap_tagged(flat, (wl.len(), wl.first().map(|w| w.row)))?;
                     start_ps.get_or_insert(s);
                     end_ps = e;
                     aps += 1;
@@ -328,7 +332,7 @@ impl AmbitController {
         let row = self.layout.data_row(k)?;
         let flat = bank.flat_index(self.device.geometry());
         let lines = self.device.geometry().row_bytes.div_ceil(64);
-        self.timer.issue_activate(flat, 1)?;
+        self.timer.issue_activate_tagged(flat, 1, Some(row))?;
         let mut last = self.timer.now_ps();
         for _ in 0..lines {
             last = self.timer.issue_read(flat)?;
@@ -369,7 +373,7 @@ impl AmbitController {
         let row = self.layout.data_row(k)?;
         let flat = bank.flat_index(self.device.geometry());
         let lines = self.device.geometry().row_bytes.div_ceil(64);
-        self.timer.issue_activate(flat, 1)?;
+        self.timer.issue_activate_tagged(flat, 1, Some(row))?;
         let mut last = self.timer.now_ps();
         for _ in 0..lines {
             last = self.timer.issue_write(flat)?;

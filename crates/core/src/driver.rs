@@ -757,7 +757,8 @@ impl AmbitMemory {
                         None => op_total = Some(receipt),
                     }
                 }
-                let receipt = op_total.ok_or(AmbitError::EmptyAllocation)?;
+                // A fully-elided plan (self-copy) issues nothing.
+                let receipt = op_total.unwrap_or_else(|| self.noop_receipt());
                 if policy == IssuePolicy::Serial {
                     self.ctrl.timer_mut().advance_to(receipt.end_ps);
                 }
@@ -875,6 +876,13 @@ impl AmbitMemory {
                     if !colocated {
                         return Err(AmbitError::NotColocated { chunk });
                     }
+                    // A self-copy is a no-op: eliding it avoids the
+                    // degenerate AAP(x, x), which re-activates the row
+                    // already open (wasted restore cycles, and a redundant
+                    // copy activation on the command trace).
+                    if *op == BitwiseOp::Copy && c1.d_index == cd.d_index {
+                        continue;
+                    }
                     let program = compile(
                         *op,
                         RowAddress::D(c1.d_index),
@@ -986,9 +994,22 @@ impl AmbitMemory {
                 None => total = Some(receipt),
             }
         }
-        // An allocation always has at least one chunk; surface the
-        // impossible case as a typed error, not a panic.
-        total.ok_or(AmbitError::EmptyAllocation)
+        // A fully-elided plan (e.g. a self-copy, which is a no-op) issues
+        // no commands and costs nothing.
+        Ok(total.unwrap_or_else(|| self.noop_receipt()))
+    }
+
+    /// A zero-cost receipt at the current simulated time, for operations
+    /// whose plan elides every command (e.g. a self-copy).
+    fn noop_receipt(&self) -> OpReceipt {
+        let now = self.ctrl.timer().now_ps();
+        OpReceipt {
+            start_ps: now,
+            end_ps: now,
+            energy_nj: 0.0,
+            aaps: 0,
+            aps: 0,
+        }
     }
 
     /// Writes host bits into the vector through the DRAM protocol (timed).

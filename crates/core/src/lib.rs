@@ -62,7 +62,7 @@ pub mod resilient;
 mod throughput;
 
 pub use addressing::{RowAddress, SubarrayLayout};
-pub use batch::{BatchBuilder, BatchReceipt, IssuePolicy, OpId};
+pub use batch::{BatchBuilder, BatchOpView, BatchReceipt, IssuePolicy, OpId};
 pub use compiler::{compile_fold, fold_savings, fold_supported};
 pub use controller::{AmbitController, OpReceipt};
 pub use driver::{AllocGroup, AmbitMemory, BadRowEntry, BitVectorHandle};

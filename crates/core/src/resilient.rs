@@ -508,9 +508,32 @@ impl ResilientExecutor {
         let operand_degraded =
             ea.degraded || ed.degraded || eb.as_ref().is_some_and(|e| e.degraded);
 
+        // When `dst` aliases a source, a failed in-DRAM attempt overwrites
+        // that source, so every recovery path (retry, repair-from-truth,
+        // CPU fallback) must start from the pre-op operand value, not the
+        // clobbered one. Snapshot the voted operand up front in that case.
+        let a_snap = if ea.tmr.replicas() == ed.tmr.replicas() {
+            Some(ea.tmr.read_voted(&self.mem)?.data)
+        } else {
+            None
+        };
+        let b_snap = match &eb {
+            Some(e) if e.tmr.replicas() == ed.tmr.replicas() => {
+                Some(e.tmr.read_voted(&self.mem)?.data)
+            }
+            _ => None,
+        };
+
         let mut completed = false;
         if !self.degraded && !operand_degraded {
-            match self.try_in_dram(op, &ea.tmr, eb.as_ref().map(|e| &e.tmr), &ed.tmr)? {
+            match self.try_in_dram(
+                op,
+                &ea.tmr,
+                eb.as_ref().map(|e| &e.tmr),
+                &ed.tmr,
+                a_snap.as_deref(),
+                b_snap.as_deref(),
+            )? {
                 AttemptOutcome::Done => completed = true,
                 AttemptOutcome::Fallback { retries, suspects } => {
                     if !self.cfg.allow_cpu_fallback {
@@ -523,7 +546,13 @@ impl ResilientExecutor {
             }
         }
         if !completed {
-            let truth = self.cpu_compute(op, &ea.tmr, eb.as_ref().map(|e| &e.tmr))?;
+            let truth = self.cpu_compute(
+                op,
+                &ea.tmr,
+                eb.as_ref().map(|e| &e.tmr),
+                a_snap.as_deref(),
+                b_snap.as_deref(),
+            )?;
             ed.tmr.write(&mut self.mem, &truth)?;
             self.report.cpu_fallbacks += 1;
         }
@@ -588,12 +617,18 @@ impl ResilientExecutor {
     /// One in-DRAM execution attempt loop: TMR op, voted verification,
     /// budgeted retries with source scrubs, then repair-from-truth or
     /// degradation.
+    ///
+    /// `a_snap` / `b_snap` carry the pre-op voted value of a source that
+    /// aliases `dst` (see [`ResilientExecutor::bitwise`]); retries restore
+    /// such a source from its snapshot instead of scrubbing it in place.
     fn try_in_dram(
         &mut self,
         op: BitwiseOp,
         a: &TmrVector,
         b: Option<&TmrVector>,
         dst: &TmrVector,
+        a_snap: Option<&[bool]>,
+        b_snap: Option<&[bool]>,
     ) -> Result<AttemptOutcome> {
         let bits = dst.len_bits();
         let mut retries = 0u32;
@@ -622,7 +657,7 @@ impl ResilientExecutor {
                             .attr("cause", "retention")
                             .attr("attempt", retries as u64),
                     );
-                    self.scrub_sources(a, b)?;
+                    self.scrub_sources(a, b, a_snap, b_snap)?;
                     continue;
                 }
                 Err(e) => return Err(e),
@@ -662,7 +697,7 @@ impl ResilientExecutor {
                 );
                 // Backoff in commands: scrub the sources so the retry
                 // starts from consistent replicas.
-                self.scrub_sources(a, b)?;
+                self.scrub_sources(a, b, a_snap, b_snap)?;
                 continue;
             }
 
@@ -682,7 +717,7 @@ impl ResilientExecutor {
             // Low rate: repair the flagged bits from ground truth and
             // accept. Unflagged bits are wrong only if all three replicas
             // flipped identically — probability `rate³` per bit.
-            let truth = self.cpu_compute(op, a, b)?;
+            let truth = self.cpu_compute(op, a, b, a_snap, b_snap)?;
             let mut data = read.data;
             for &i in &read.corrected {
                 data[i] = truth[i];
@@ -694,28 +729,56 @@ impl ResilientExecutor {
         }
     }
 
-    fn scrub_sources(&mut self, a: &TmrVector, b: Option<&TmrVector>) -> Result<()> {
-        let mut repaired = a.scrub(&mut self.mem)?;
+    /// Scrubs both sources before a retry. A source that aliases the
+    /// destination (snapshot present) holds the previous attempt's result,
+    /// so it is restored from its pre-op snapshot instead of scrubbed.
+    fn scrub_sources(
+        &mut self,
+        a: &TmrVector,
+        b: Option<&TmrVector>,
+        a_snap: Option<&[bool]>,
+        b_snap: Option<&[bool]>,
+    ) -> Result<()> {
+        let mut repaired = match a_snap {
+            Some(data) => {
+                a.write(&mut self.mem, data)?;
+                0
+            }
+            None => a.scrub(&mut self.mem)?,
+        };
         self.report.scrubs += 1;
         if let Some(b) = b {
-            repaired += b.scrub(&mut self.mem)?;
+            repaired += match b_snap {
+                Some(data) => {
+                    b.write(&mut self.mem, data)?;
+                    0
+                }
+                None => b.scrub(&mut self.mem)?,
+            };
             self.report.scrubs += 1;
         }
         self.report.corrected_bits += repaired as u64;
         Ok(())
     }
 
-    /// Computes the operation CPU-side from the voted source values.
+    /// Computes the operation CPU-side from the voted source values, using
+    /// the pre-op snapshot for any source that aliases the destination.
     fn cpu_compute(
         &self,
         op: BitwiseOp,
         a: &TmrVector,
         b: Option<&TmrVector>,
+        a_snap: Option<&[bool]>,
+        b_snap: Option<&[bool]>,
     ) -> Result<Vec<bool>> {
-        let va = a.read_voted(&self.mem)?.data;
-        let vb = match b {
-            Some(b) => Some(b.read_voted(&self.mem)?.data),
-            None => None,
+        let va = match a_snap {
+            Some(data) => data.to_vec(),
+            None => a.read_voted(&self.mem)?.data,
+        };
+        let vb = match (b, b_snap) {
+            (Some(_), Some(data)) => Some(data.to_vec()),
+            (Some(b), None) => Some(b.read_voted(&self.mem)?.data),
+            (None, _) => None,
         };
         Ok((0..va.len())
             .map(|i| {

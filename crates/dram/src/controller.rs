@@ -49,6 +49,11 @@ pub enum TraceCommand {
     Activate {
         /// Wordlines raised (1 = ordinary, 2/3 = Ambit multi-row).
         wordlines: usize,
+        /// Row address of the first raised wordline, when the issuer knows
+        /// it (the timer itself is address-free, so untagged issues record
+        /// `None`). Trace validators use this to tell a legal AAP copy
+        /// activation apart from an illegal re-ACTIVATE of a new row.
+        row: Option<usize>,
     },
     /// PRECHARGE.
     Precharge,
@@ -464,6 +469,23 @@ impl CommandTimer {
     /// This auto-scheduling path never fails; the `Result` is reserved for
     /// future strict-mode use and for API symmetry with the device model.
     pub fn issue_activate(&mut self, bank: usize, wordlines: usize) -> Result<u64> {
+        self.issue_activate_tagged(bank, wordlines, None)
+    }
+
+    /// [`issue_activate`](Self::issue_activate) with the target row address
+    /// recorded on the trace, so validators can check row-level sequencing
+    /// (e.g. PRECHARGE before re-ACTIVATE of a different row). Timing is
+    /// identical to the untagged form — the tag is trace metadata only.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`issue_activate`](Self::issue_activate).
+    pub fn issue_activate_tagged(
+        &mut self,
+        bank: usize,
+        wordlines: usize,
+        row: Option<usize>,
+    ) -> Result<u64> {
         let inter = self.inter_bank_ready();
         let timing = self.timing;
         let mode = self.mode;
@@ -502,7 +524,7 @@ impl CommandTimer {
         };
         self.bank_mut(bank).acts += 1;
         self.note_act(t);
-        self.record(t, bank, TraceCommand::Activate { wordlines });
+        self.record(t, bank, TraceCommand::Activate { wordlines, row });
         self.horizon_ps = self.horizon_ps.max(t);
         self.now_ps = floor + self.timing.t_ck_ps;
         self.energy.record_activate(&self.energy_model, wordlines);
@@ -669,11 +691,26 @@ impl CommandTimer {
     /// Returns [`DramError::BankAlreadyActivated`] if the bank has an open
     /// row (AAP must start from the precharged state).
     pub fn aap(&mut self, bank: usize, w1: usize, w2: usize) -> Result<(u64, u64)> {
+        self.aap_tagged(bank, (w1, None), (w2, None))
+    }
+
+    /// [`aap`](Self::aap) with the row address of each activation recorded
+    /// on the trace (trace metadata only; timing is identical).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`aap`](Self::aap).
+    pub fn aap_tagged(
+        &mut self,
+        bank: usize,
+        (w1, r1): (usize, Option<usize>),
+        (w2, r2): (usize, Option<usize>),
+    ) -> Result<(u64, u64)> {
         if self.bank_mut(bank).active {
             return Err(DramError::BankAlreadyActivated);
         }
-        let start = self.issue_activate(bank, w1)?;
-        self.issue_activate(bank, w2)?;
+        let start = self.issue_activate_tagged(bank, w1, r1)?;
+        self.issue_activate_tagged(bank, w2, r2)?;
         let end = self.issue_precharge(bank)?;
         self.stats.aaps += 1;
         if let Some(tel) = &self.telemetry {
@@ -690,10 +727,20 @@ impl CommandTimer {
     /// Returns [`DramError::BankAlreadyActivated`] if the bank has an open
     /// row.
     pub fn ap(&mut self, bank: usize, w: usize) -> Result<(u64, u64)> {
+        self.ap_tagged(bank, (w, None))
+    }
+
+    /// [`ap`](Self::ap) with the activation's row address recorded on the
+    /// trace (trace metadata only; timing is identical).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ap`](Self::ap).
+    pub fn ap_tagged(&mut self, bank: usize, (w, r): (usize, Option<usize>)) -> Result<(u64, u64)> {
         if self.bank_mut(bank).active {
             return Err(DramError::BankAlreadyActivated);
         }
-        let start = self.issue_activate(bank, w)?;
+        let start = self.issue_activate_tagged(bank, w, r)?;
         let end = self.issue_precharge(bank)?;
         self.stats.aps += 1;
         if let Some(tel) = &self.telemetry {
@@ -832,12 +879,27 @@ mod tests {
         t.aap(2, 1, 3).unwrap();
         let trace = t.trace().unwrap();
         assert_eq!(trace.len(), 3);
-        assert_eq!(trace[0].command, TraceCommand::Activate { wordlines: 1 });
-        assert_eq!(trace[1].command, TraceCommand::Activate { wordlines: 3 });
+        assert_eq!(trace[0].command, TraceCommand::Activate { wordlines: 1, row: None });
+        assert_eq!(trace[1].command, TraceCommand::Activate { wordlines: 3, row: None });
         assert_eq!(trace[2].command, TraceCommand::Precharge);
         assert!(trace.iter().all(|e| e.bank == 2));
         // Per-bank trace times are monotone.
         assert!(trace.windows(2).all(|w| w[0].at_ps <= w[1].at_ps));
+    }
+
+    #[test]
+    fn tagged_issues_record_row_addresses() {
+        let mut t = timer(AapMode::Overlapped);
+        t.set_tracing(true);
+        t.aap_tagged(0, (1, Some(8)), (1, Some(9))).unwrap();
+        t.ap_tagged(0, (3, Some(0))).unwrap();
+        let trace = t.trace().unwrap();
+        assert_eq!(trace[0].command, TraceCommand::Activate { wordlines: 1, row: Some(8) });
+        assert_eq!(trace[1].command, TraceCommand::Activate { wordlines: 1, row: Some(9) });
+        assert_eq!(trace[3].command, TraceCommand::Activate { wordlines: 3, row: Some(0) });
+        // Tagging is metadata only: stats and timing match the plain forms.
+        assert_eq!(t.stats().aaps, 1);
+        assert_eq!(t.stats().aps, 1);
     }
 
     #[test]

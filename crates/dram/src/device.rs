@@ -33,12 +33,22 @@ impl DramDevice {
     /// Creates a device with all cells zero.
     pub fn new(geometry: DramGeometry) -> Self {
         let banks = (0..geometry.total_banks())
-            .map(|_| {
-                Bank::new(
+            .map(|bank| {
+                let mut b = Bank::new(
                     geometry.subarrays_per_bank,
                     geometry.rows_per_subarray,
                     geometry.row_bits(),
-                )
+                );
+                // Decorrelate each subarray's tie/fault RNG: physically
+                // independent arrays must not share a fault stream, or one
+                // transient fault pattern repeats across TMR replicas and
+                // defeats majority voting. Flat index 0 keeps the
+                // documented default stream.
+                for s in 0..geometry.subarrays_per_bank {
+                    b.subarray_mut(s)
+                        .reseed_rng((bank * geometry.subarrays_per_bank + s) as u64);
+                }
+                b
             })
             .collect();
         DramDevice { geometry, banks }

@@ -197,7 +197,7 @@ impl FrFcfsScheduler {
             if timer.bank_active(req.bank) {
                 timer.issue_precharge(req.bank)?;
             }
-            timer.issue_activate(req.bank, 1)?;
+            timer.issue_activate_tagged(req.bank, 1, Some(req.row))?;
             self.set_open_row(
                 req.bank,
                 OpenRow {

@@ -418,6 +418,27 @@ impl Subarray {
         self.tra_fault_threshold as f64 / u64::MAX as f64
     }
 
+    /// Mixes `salt` into the tie/fault RNG seed, decorrelating this
+    /// subarray's draw stream from its siblings'. Physically independent
+    /// subarrays must not share a fault stream: with identical streams, a
+    /// transient TRA fault hits every TMR replica at the same bit in the
+    /// same cycle, so majority voting silently agrees on the corrupted
+    /// value. Salt 0 keeps the documented default stream (the one the
+    /// reference-RNG equivalence tests replay).
+    pub fn reseed_rng(&mut self, salt: u64) {
+        if salt == 0 {
+            return;
+        }
+        // splitmix64 finalizer: full-avalanche mixing so consecutive salts
+        // yield unrelated xorshift64* start states.
+        let mut z = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        // Never land on xorshift's absorbing zero state.
+        self.tie_rng = if z == 0 { 0x9e37_79b9_7f4a_7c15 } else { z };
+    }
+
     fn resolve(&self, row: usize) -> usize {
         self.row_map[row]
     }

@@ -7,6 +7,7 @@
 //! deterministic flip stream as before the fast path existed (fault-armed
 //! subarrays always take the scalar path).
 
+use ambit_conformance::ReferenceRng;
 use ambit_dram::{BitRow, CellFault, Subarray, TieBreak, Wordline};
 use proptest::prelude::*;
 
@@ -62,25 +63,10 @@ fn assert_tra_equivalent(
     Ok(())
 }
 
-/// The model's documented RNG: xorshift64* from the fixed seed, one draw
-/// per bitline per fault-armed multi-row activation. Reimplemented here so
-/// any change to the draw stream's shape or order fails the replay tests.
-struct ReferenceRng(u64);
-
-impl ReferenceRng {
-    fn new() -> Self {
-        ReferenceRng(0x9e37_79b9_7f4a_7c15)
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-}
+// The model's documented RNG (xorshift64* from the fixed seed, one draw per
+// bitline per fault-armed multi-row activation) is `ReferenceRng`, shared
+// from `ambit_conformance`: any change to the draw stream's shape or order
+// fails the replay tests below.
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]

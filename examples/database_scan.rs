@@ -23,8 +23,8 @@ fn main() {
 
     // The same dataflow as bulk in-DRAM operations.
     let mut mem = AmbitMemory::ddr3_module();
-    let acol = AmbitColumn::load(&mut mem, &column);
-    let (am_count, receipt) = acol.scan_between(&mut mem, c1, c2);
+    let acol = AmbitColumn::load(&mut mem, &column).expect("load column");
+    let (am_count, receipt) = acol.scan_between(&mut mem, c1, c2).expect("scan");
     println!(
         "Ambit scan:      count(*) = {am_count}  ({} AAPs + {} APs, {:.1} us in DRAM)",
         receipt.aaps,

@@ -2,6 +2,7 @@
 //! the paper's Figure 8 — at the command-trace level, the way a logic
 //! analyzer on the DDR bus would see them.
 
+use ambit_conformance::TraceChecker;
 use ambit_repro::core::{AmbitController, BitwiseOp, RowAddress};
 use ambit_repro::dram::{AapMode, BankId, DramGeometry, TimingParams, TraceCommand};
 
@@ -21,12 +22,21 @@ fn wordline_counts(ctrl: &AmbitController) -> Vec<(usize, &'static str)> {
         .expect("tracing enabled")
         .iter()
         .map(|e| match e.command {
-            TraceCommand::Activate { wordlines } => (wordlines, "ACT"),
+            TraceCommand::Activate { wordlines, .. } => (wordlines, "ACT"),
             TraceCommand::Precharge => (0, "PRE"),
             TraceCommand::Read => (0, "RD"),
             TraceCommand::Write => (0, "WR"),
         })
         .collect()
+}
+
+/// Every trace in this file must also satisfy the generic DDR sequencing
+/// invariants enforced by the conformance checker.
+fn assert_trace_clean(ctrl: &AmbitController) {
+    let checker = TraceChecker::new(TimingParams::ddr3_1600(), AapMode::Overlapped);
+    checker
+        .assert_clean(ctrl.timer().trace().expect("tracing enabled"))
+        .unwrap();
 }
 
 #[test]
@@ -50,6 +60,7 @@ fn and_trace_matches_figure_8a() {
         (3, "ACT"), (1, "ACT"), (0, "PRE"), // AAP(B12 → TRA, Dk)
     ];
     assert_eq!(wordline_counts(&ctrl), expect);
+    assert_trace_clean(&ctrl);
 }
 
 #[test]
@@ -71,6 +82,7 @@ fn not_trace_matches_section_5_2() {
         (1, "ACT"), (1, "ACT"), (0, "PRE"),
     ];
     assert_eq!(wordline_counts(&ctrl), expect);
+    assert_trace_clean(&ctrl);
 }
 
 #[test]
@@ -98,6 +110,7 @@ fn xor_trace_matches_figure_8c() {
         (3, "ACT"), (1, "ACT"), (0, "PRE"), // AAP(B12, Dk)
     ];
     assert_eq!(wordline_counts(&ctrl), expect);
+    assert_trace_clean(&ctrl);
 }
 
 #[test]
@@ -118,4 +131,5 @@ fn trace_timing_matches_receipt() {
     // The receipt's end is tRP after the final PRECHARGE's issue.
     let last_pre = trace.last().unwrap();
     assert_eq!(last_pre.at_ps + 10_000, receipt.end_ps);
+    assert_trace_clean(&ctrl);
 }

@@ -29,15 +29,8 @@ fn truth(op: BitwiseOp, a: &[bool], b: &[bool]) -> Vec<bool> {
 /// Deterministic pseudo-random data (the campaign owns the real RNG; the
 /// workload just needs fixed irregular bit patterns).
 fn data(bits: usize, salt: u64) -> Vec<bool> {
-    let mut x = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-    (0..bits)
-        .map(|_| {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            x & 1 == 1
-        })
-        .collect()
+    ambit_conformance::ReferenceRng::with_seed(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+        .bits(bits)
 }
 
 fn run_megabit_workload(seed: u64) -> (usize, RecoveryReport) {

@@ -96,6 +96,7 @@ fn figure11_speedup_grows_with_bits_and_shows_crossover() {
             AmbitMemory::ddr3_module(),
             &BitWeavingWorkload { rows, bits, seed: 3 },
         )
+        .unwrap()
         .speedup()
     };
     let b8 = run(512 * 1024, 8);

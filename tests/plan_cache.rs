@@ -1,0 +1,96 @@
+//! Regression tests for the driver's compiled-plan cache: repeat ops must
+//! hit, `free()` must clear the whole cache (a cached program embedding a
+//! freed handle must never bypass unknown-handle validation), and the
+//! hit/miss statistics must account for every planning call exactly.
+
+use ambit_repro::core::{AmbitMemory, BatchBuilder, BitwiseOp, IssuePolicy};
+use ambit_repro::dram::{AapMode, DramGeometry, TimingParams};
+
+fn tiny() -> AmbitMemory {
+    AmbitMemory::new(
+        DramGeometry::tiny(),
+        TimingParams::ddr3_1600(),
+        AapMode::Overlapped,
+    )
+}
+
+#[test]
+fn repeat_ops_hit_and_stats_account_for_every_plan() {
+    let mut mem = tiny();
+    let bits = mem.row_bits();
+    let a = mem.alloc(bits).unwrap();
+    let b = mem.alloc(bits).unwrap();
+    let d = mem.alloc(bits).unwrap();
+    mem.poke_bits(a, &vec![true; bits]).unwrap();
+    mem.poke_bits(b, &vec![false; bits]).unwrap();
+    assert_eq!(mem.plan_cache_stats(), (0, 0), "cache starts empty");
+
+    // First issue compiles (miss), the repeats reuse the plan (hits).
+    for _ in 0..5 {
+        mem.bitwise(BitwiseOp::Xor, a, Some(b), d).unwrap();
+    }
+    assert_eq!(mem.plan_cache_stats(), (4, 1));
+
+    // Any field of the op key — opcode or operand — is a distinct entry.
+    mem.bitwise(BitwiseOp::And, a, Some(b), d).unwrap();
+    mem.bitwise(BitwiseOp::Xor, b, Some(a), d).unwrap();
+    assert_eq!(mem.plan_cache_stats(), (4, 3));
+
+    // Cached execution must still compute the right value.
+    mem.bitwise(BitwiseOp::Xor, a, Some(b), d).unwrap();
+    assert_eq!(mem.popcount(d).unwrap(), bits, "1 XOR 0 = 1 per bit");
+    assert_eq!(mem.plan_cache_stats(), (5, 3));
+}
+
+#[test]
+fn batch_execution_shares_the_same_cache() {
+    let mut mem = tiny();
+    let bits = mem.row_bits();
+    let a = mem.alloc(bits).unwrap();
+    let b = mem.alloc(bits).unwrap();
+    let d = mem.alloc(bits).unwrap();
+    mem.poke_bits(a, &vec![true; bits]).unwrap();
+    mem.poke_bits(b, &vec![true; bits]).unwrap();
+
+    let mut batch = BatchBuilder::new();
+    batch.bitwise(BitwiseOp::And, a, Some(b), d);
+    mem.execute_batch(&batch, IssuePolicy::BankParallel).unwrap();
+    let (hits_after_batch, misses_after_batch) = mem.plan_cache_stats();
+    assert_eq!(misses_after_batch, 1, "batch planning populates the cache");
+
+    // The eager path reuses the plan the batch compiled.
+    mem.bitwise(BitwiseOp::And, a, Some(b), d).unwrap();
+    assert_eq!(mem.plan_cache_stats(), (hits_after_batch + 1, 1));
+}
+
+#[test]
+fn free_clears_the_cache_and_stale_handles_are_rejected() {
+    let mut mem = tiny();
+    let bits = mem.row_bits();
+    let a = mem.alloc(bits).unwrap();
+    let b = mem.alloc(bits).unwrap();
+    let d = mem.alloc(bits).unwrap();
+    mem.poke_bits(a, &vec![true; bits]).unwrap();
+    mem.poke_bits(b, &vec![true; bits]).unwrap();
+
+    mem.bitwise(BitwiseOp::And, a, Some(b), d).unwrap();
+    mem.bitwise(BitwiseOp::And, a, Some(b), d).unwrap();
+    assert_eq!(mem.plan_cache_stats(), (1, 1));
+
+    mem.free(b).unwrap();
+    // The same-shape op must NOT serve the stale cached plan: the freed
+    // handle has to fail unknown-handle validation.
+    assert!(
+        mem.bitwise(BitwiseOp::And, a, Some(b), d).is_err(),
+        "freed operand must be rejected, not served from cache"
+    );
+    // Double-free is a stale-handle error too.
+    assert!(mem.free(b).is_err());
+
+    // Ops on still-live handles recompile from scratch after the clear.
+    let (hits_before, misses_before) = mem.plan_cache_stats();
+    mem.bitwise(BitwiseOp::Not, a, None, d).unwrap();
+    let (hits, misses) = mem.plan_cache_stats();
+    assert_eq!(hits, hits_before, "no hit may survive the clear");
+    assert_eq!(misses, misses_before + 1);
+}
