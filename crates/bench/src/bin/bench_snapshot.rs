@@ -37,6 +37,23 @@
 //! * `bench_snapshot --validate-hotpath <path>` re-checks a previously
 //!   written hotpath snapshot.
 //!
+//! A fourth mode benchmarks device characterization and variation-aware
+//! placement:
+//!
+//! * `bench_snapshot characterization` characterizes one seeded chip
+//!   ([`ChipProfile`]) across a voltage/temperature corner sweep, verifies
+//!   the profile's byte-stable JSON round trip, then A/B-compares the
+//!   resilient executor at the worst-case corner: profile-blind placement
+//!   versus variation-aware placement (profile-steered allocation,
+//!   alloc-time weak-row pre-remap, per-bin retry de-rating) on the same
+//!   `FaultCampaign::from_profile` fault load. Writes
+//!   `BENCH_characterization.json` (override:
+//!   `AMBIT_BENCH_CHARACTERIZATION_SNAPSHOT`) and self-validates ≥2×
+//!   fewer recovery actions (retries + remaps + degrades + pre-remaps)
+//!   with byte-identical final vector contents.
+//! * `bench_snapshot --validate-characterization <path>` re-checks a
+//!   previously written characterization snapshot.
+//!
 //! The energy figures are *measured through the metrics pipeline* (the
 //! controller's `ambit_command_energy_nj` histogram), not read back from
 //! the receipts, so this snapshot also exercises the telemetry path end to
@@ -45,11 +62,15 @@
 use std::process::ExitCode;
 
 use ambit_bench::quick_mode;
+use ambit_circuit::{CharacterizationConfig, ChipProfile, CircuitParams};
 use ambit_core::{
     AllocGroup, AmbitConfig, AmbitController, AmbitMemory, BatchBuilder, BitwiseOp, IssuePolicy,
-    RowAddress,
+    PlacementProfile, ResilienceConfig, ResilientExecutor, RowAddress, SubarrayLayout,
 };
-use ambit_dram::{BankId, DramGeometry, EnergyModel, PS_PER_NS};
+use ambit_dram::{
+    AapMode, BankId, CampaignConfig, DramGeometry, EnergyModel, FaultCampaign, TimingParams,
+    PS_PER_NS,
+};
 use ambit_telemetry::json::{self, Json};
 use ambit_telemetry::Registry;
 
@@ -790,10 +811,491 @@ fn batch_main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Required factor between the profile-blind and variation-aware recovery
+/// action counts (retries + remaps + degrades + pre-remaps).
+const ACTION_REDUCTION_FLOOR: f64 = 2.0;
+
+/// The blind run must do real recovery work for the comparison to mean
+/// anything; below this the A/B is vacuous and the snapshot is rejected.
+const MIN_BLIND_ACTIONS: u64 = 4;
+
+/// Base process-variation level of the simulated chip: inside the paper's
+/// ±6 % reliable envelope at the nominal corner, marginal once undervolted
+/// and heated.
+const BASE_VARIATION_LEVEL: f64 = 0.06;
+
+/// The Table 2 worst-case corner the A/B runs at: deepest undervolt and
+/// hottest temperature of the sweep.
+const AB_VOLTAGE: f64 = 0.8;
+const AB_TEMP_C: f64 = 85.0;
+
+/// Target band for the default-placement subarray's TRA failure rate at
+/// the worst-case corner: high enough that profile-blind placement pays
+/// steady retries, low enough that it stays under the degrade bound (the
+/// regime where placement, not abandonment, decides the recovery bill).
+const AB_RATE_BAND: (f64, f64) = (0.004, 0.012);
+
+/// The strongest subarray must be genuinely strong at the corner, and not
+/// the one blind placement happens to use.
+const AB_STRONG_MAX: f64 = 1e-3;
+
+/// Chip-seed scan range: the first seed whose profile puts the blind
+/// placement target in [`AB_RATE_BAND`] with a strong alternative is the
+/// benchmark chip. Deterministic — the scan order never changes.
+const SEED_SCAN_BASE: u64 = 0xC0FF_EE00;
+const SEED_SCAN_WIDTH: u64 = 64;
+
+/// Characterization config for the bench geometry at one V/T corner.
+fn corner_config(
+    geometry: &DramGeometry,
+    first_data_row: usize,
+    seed: u64,
+    trials: u64,
+    voltage: f64,
+    temperature_c: f64,
+) -> CharacterizationConfig {
+    let mut cfg = CharacterizationConfig::for_geometry(
+        geometry.total_banks(),
+        geometry.subarrays_per_bank,
+        geometry.rows_per_subarray,
+        geometry.row_bits(),
+    );
+    cfg.seed = seed;
+    cfg.first_eligible_row = first_data_row;
+    cfg.variation_level = BASE_VARIATION_LEVEL;
+    cfg.trials_per_subarray = trials;
+    cfg.voltage_scale = voltage;
+    cfg.temperature_c = temperature_c;
+    cfg
+}
+
+/// Scans chip seeds at the worst-case corner for one where profile-blind
+/// placement (always subarray flat 0) lands on a marginal subarray while a
+/// genuinely strong one exists — the chip for which characterization pays.
+fn pick_ab_chip(
+    params: &CircuitParams,
+    geometry: &DramGeometry,
+    first_data_row: usize,
+    trials: u64,
+) -> Option<ChipProfile> {
+    for k in 0..SEED_SCAN_WIDTH {
+        let cfg = corner_config(
+            geometry,
+            first_data_row,
+            SEED_SCAN_BASE + k,
+            trials,
+            AB_VOLTAGE,
+            AB_TEMP_C,
+        );
+        let chip = ChipProfile::characterize(params, &cfg).expect("corner config is valid");
+        let rates = chip.rates();
+        let blind_rate = rates[0];
+        let strongest = rates.iter().copied().fold(f64::INFINITY, f64::min);
+        if (AB_RATE_BAND.0..=AB_RATE_BAND.1).contains(&blind_rate)
+            && strongest <= AB_STRONG_MAX
+            && strongest < blind_rate
+        {
+            return Some(chip);
+        }
+    }
+    None
+}
+
+struct CornerResult {
+    voltage: f64,
+    temperature_c: f64,
+    effective_level: f64,
+    min_rate: f64,
+    max_rate: f64,
+    weak_subarrays: usize,
+    weak_cells: usize,
+}
+
+/// Characterizes the chip seed at one corner and summarizes the map.
+fn measure_corner(
+    params: &CircuitParams,
+    geometry: &DramGeometry,
+    first_data_row: usize,
+    seed: u64,
+    trials: u64,
+    voltage: f64,
+    temperature_c: f64,
+) -> CornerResult {
+    let cfg = corner_config(geometry, first_data_row, seed, trials, voltage, temperature_c);
+    let chip = ChipProfile::characterize(params, &cfg).expect("corner config is valid");
+    let rates = chip.rates();
+    CornerResult {
+        voltage,
+        temperature_c,
+        effective_level: cfg.effective_level(),
+        min_rate: rates.iter().copied().fold(f64::INFINITY, f64::min),
+        max_rate: rates.iter().copied().fold(0.0, f64::max),
+        weak_subarrays: chip.weak_subarray_count(),
+        weak_cells: chip.weak_cells().iter().map(Vec::len).sum(),
+    }
+}
+
+/// Deterministic operand bits (keeps the A/B free of RNG state).
+fn seeded_bits(bits: usize, salt: u64) -> Vec<bool> {
+    (0..bits)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(salt);
+            (x ^ (x >> 31)).count_ones() % 2 == 1
+        })
+        .collect()
+}
+
+struct AbSide {
+    retries: u64,
+    remaps: u64,
+    degrades: u64,
+    preremaps: u64,
+    cpu_fallbacks: u64,
+    actions: u64,
+    finals: Vec<Vec<bool>>,
+}
+
+/// Runs the A/B workload on one side: same chip, same
+/// [`FaultCampaign::from_profile`] fault load, with or without the
+/// variation-aware stack (profile-steered placement, alloc-time weak-row
+/// pre-remap, per-bin retry de-rating).
+fn run_ab_side(chip: &ChipProfile, aware: bool, ops: usize) -> AbSide {
+    let geometry = DramGeometry::tiny();
+    let mut mem = AmbitMemory::new(geometry, TimingParams::ddr3_1600(), AapMode::Overlapped);
+    if aware {
+        mem.install_profile(PlacementProfile {
+            order: chip.strength_order(),
+            weak_cells: chip.weak_cells(),
+            bins: chip.bin_codes(),
+        })
+        .expect("profile matches the bench geometry");
+    }
+    mem.reserve_spare_rows(3).expect("spares fit in the subarray");
+    let campaign = FaultCampaign::from_profile(
+        CampaignConfig {
+            seed: 0xBE9C_0001,
+            base_tra_rate: 0.0,
+            stuck_cells_per_subarray: 0,
+            weak_cells_per_subarray: 0,
+            decay_probability: 0.0,
+            first_eligible_row: chip.config.first_eligible_row,
+            ..CampaignConfig::default()
+        },
+        &geometry,
+        &chip.rates(),
+        &chip.weak_cells(),
+    )
+    .expect("profile shape matches the geometry");
+    let cfg = if aware {
+        ResilienceConfig {
+            bin_retry_multipliers: [0.5, 1.0, 2.0],
+            ..ResilienceConfig::default()
+        }
+    } else {
+        ResilienceConfig::default()
+    };
+    let mut exec = ResilientExecutor::with_campaign(mem, cfg, campaign)
+        .expect("campaign applies to the bench geometry");
+    let registry = Registry::default();
+    exec.set_telemetry(registry.clone());
+
+    let bits = exec.memory().row_bits();
+    let a = exec.alloc(bits).expect("alloc a");
+    let b = exec.alloc(bits).expect("alloc b");
+    let out = exec.alloc(bits).expect("alloc out");
+    let da = seeded_bits(bits, 0x51);
+    let db = seeded_bits(bits, 0xA7);
+    exec.write(a, &da).expect("write a");
+    exec.write(b, &db).expect("write b");
+    let cycle = [BitwiseOp::And, BitwiseOp::Or, BitwiseOp::Xor];
+    for k in 0..ops {
+        exec.bitwise(cycle[k % cycle.len()], a, Some(b), out)
+            .expect("resilient op completes");
+    }
+    let finals = vec![
+        exec.read(a).expect("read a"),
+        exec.read(b).expect("read b"),
+        exec.read(out).expect("read out"),
+    ];
+    let report = *exec.report();
+    let preremaps = registry
+        .counter_value("ambit_characterization_preremaps_total", &[])
+        .unwrap_or(0);
+    let degrades = u64::from(report.degraded);
+    AbSide {
+        retries: report.retries,
+        remaps: report.remaps,
+        degrades,
+        preremaps,
+        cpu_fallbacks: report.cpu_fallbacks,
+        actions: report.retries + report.remaps + degrades + preremaps,
+        finals,
+    }
+}
+
+/// CPU ground truth for the A/B workload's final vector contents.
+fn ab_truth(bits: usize, ops: usize) -> Vec<Vec<bool>> {
+    let da = seeded_bits(bits, 0x51);
+    let db = seeded_bits(bits, 0xA7);
+    let cycle = [BitwiseOp::And, BitwiseOp::Or, BitwiseOp::Xor];
+    let last = cycle[(ops - 1) % cycle.len()];
+    let out = (0..bits)
+        .map(|i| last.apply_words(da[i] as u64, db[i] as u64) & 1 == 1)
+        .collect();
+    vec![da, db, out]
+}
+
+fn render_characterization_snapshot(
+    chip: &ChipProfile,
+    corners: &[CornerResult],
+    roundtrip_identical: bool,
+    ops: usize,
+    blind: &AbSide,
+    aware: &AbSide,
+    identical: bool,
+) -> String {
+    let side = |s: &AbSide| {
+        format!(
+            "{{\"retries\": {}, \"remaps\": {}, \"degrades\": {}, \"preremaps\": {}, \"cpu_fallbacks\": {}, \"actions\": {}}}",
+            s.retries, s.remaps, s.degrades, s.preremaps, s.cpu_fallbacks, s.actions
+        )
+    };
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"ambit-bench-characterization/v1\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"seed\": \"{}\", \"banks\": {}, \"subarrays_per_bank\": {}, \"rows_per_subarray\": {}, \"row_bits\": {}, \"trials_per_subarray\": {}, \"base_variation_level\": {}, \"quick\": {}}},\n",
+        chip.config.seed,
+        chip.config.banks,
+        chip.config.subarrays_per_bank,
+        chip.config.rows_per_subarray,
+        chip.config.row_bits,
+        chip.config.trials_per_subarray,
+        json::number(BASE_VARIATION_LEVEL),
+        quick_mode()
+    ));
+    out.push_str(&format!(
+        "  \"profile_roundtrip_identical\": {roundtrip_identical},\n"
+    ));
+    out.push_str("  \"sweep\": [\n");
+    for (i, c) in corners.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"voltage\": {}, \"temperature_c\": {}, \"effective_level\": {}, \"min_rate\": {}, \"max_rate\": {}, \"weak_subarrays\": {}, \"weak_cells\": {}}}{}\n",
+            json::number(c.voltage),
+            json::number(c.temperature_c),
+            json::number(c.effective_level),
+            json::number(c.min_rate),
+            json::number(c.max_rate),
+            c.weak_subarrays,
+            c.weak_cells,
+            if i + 1 < corners.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"ab\": {{\"voltage\": {}, \"temperature_c\": {}, \"ops\": {}, \"blind\": {}, \"aware\": {}, \"action_ratio\": {}, \"identical\": {}}}\n",
+        json::number(AB_VOLTAGE),
+        json::number(AB_TEMP_C),
+        ops,
+        side(blind),
+        side(aware),
+        json::number(blind.actions as f64 / aware.actions.max(1) as f64),
+        identical
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Validates a characterization snapshot: schema marker, byte-stable
+/// profile round trip, a non-empty corner sweep, byte-identical A/B
+/// results, and the ≥[`ACTION_REDUCTION_FLOOR`]× recovery-action reduction
+/// from variation-aware placement.
+fn validate_characterization_snapshot(text: &str) -> Result<usize, Vec<String>> {
+    let mut errors = Vec::new();
+    let doc = match Json::parse(text) {
+        Ok(d) => d,
+        Err(e) => return Err(vec![format!("not valid JSON: {e}")]),
+    };
+    if doc.get("schema").and_then(Json::as_str) != Some("ambit-bench-characterization/v1") {
+        errors.push("missing or wrong \"schema\" marker".into());
+    }
+    for key in [
+        "banks",
+        "subarrays_per_bank",
+        "rows_per_subarray",
+        "row_bits",
+        "trials_per_subarray",
+    ] {
+        if doc.get("config").and_then(|c| c.get(key)).and_then(Json::as_u64).is_none() {
+            errors.push(format!("config.{key} missing or not an integer"));
+        }
+    }
+    if !matches!(doc.get("profile_roundtrip_identical"), Some(Json::Bool(true))) {
+        errors.push("profile JSON round trip was not byte-identical".into());
+    }
+    match doc.get("sweep").and_then(Json::as_arr) {
+        Some(sweep) if !sweep.is_empty() => {
+            for (i, c) in sweep.iter().enumerate() {
+                for key in ["voltage", "temperature_c", "effective_level", "min_rate", "max_rate"] {
+                    if c.get(key).and_then(Json::as_f64).is_none() {
+                        errors.push(format!("sweep[{i}]: {key} missing or not a number"));
+                    }
+                }
+            }
+        }
+        _ => errors.push("\"sweep\" missing, not an array, or empty".into()),
+    }
+    let Some(ab) = doc.get("ab") else {
+        errors.push("\"ab\" section missing".into());
+        return Err(errors);
+    };
+    let actions = |who: &str| -> Option<u64> {
+        ab.get(who).and_then(|s| s.get("actions")).and_then(Json::as_u64)
+    };
+    match (actions("blind"), actions("aware")) {
+        (Some(blind), Some(aware)) => {
+            if blind < MIN_BLIND_ACTIONS {
+                errors.push(format!(
+                    "blind placement saw only {blind} recovery actions (< {MIN_BLIND_ACTIONS}); the A/B is vacuous"
+                ));
+            }
+            if (blind as f64) < ACTION_REDUCTION_FLOOR * aware as f64 {
+                errors.push(format!(
+                    "variation-aware placement reduced recovery actions only {blind} -> {aware}, below the {ACTION_REDUCTION_FLOOR}x floor"
+                ));
+            }
+        }
+        _ => errors.push("ab.blind.actions / ab.aware.actions missing or not integers".into()),
+    }
+    if !matches!(ab.get("identical"), Some(Json::Bool(true))) {
+        errors.push("blind and aware final vector contents were not byte-identical".into());
+    }
+    if errors.is_empty() {
+        Ok(doc.get("sweep").and_then(Json::as_arr).map_or(0, <[Json]>::len))
+    } else {
+        Err(errors)
+    }
+}
+
+/// The `bench_snapshot characterization` entry point: pick the chip seed,
+/// sweep V/T corners, verify the profile round trip, A/B the resilient
+/// executor at the worst-case corner, self-validate, write the snapshot.
+fn characterization_main() -> ExitCode {
+    let params = CircuitParams::ddr3_55nm();
+    let geometry = DramGeometry::tiny();
+    let first_data_row = SubarrayLayout::new(geometry.rows_per_subarray)
+        .data_row(0)
+        .expect("tiny geometry has data rows");
+    let trials: u64 = if quick_mode() { 600 } else { 2_500 };
+    let ops: usize = if quick_mode() { 12 } else { 24 };
+
+    let Some(chip) = pick_ab_chip(&params, &geometry, first_data_row, trials) else {
+        eprintln!(
+            "no chip seed in [{SEED_SCAN_BASE:#x}, +{SEED_SCAN_WIDTH}) puts blind placement in the {AB_RATE_BAND:?} band with a strong alternative"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    // Acceptance: persist -> load -> re-persist must be byte-identical.
+    let json_once = chip.to_json();
+    let roundtrip_identical = ChipProfile::from_json(&json_once)
+        .map(|reloaded| reloaded.to_json() == json_once)
+        .unwrap_or(false);
+
+    let corners: &[(f64, f64)] = if quick_mode() {
+        &[(1.0, 45.0), (AB_VOLTAGE, AB_TEMP_C)]
+    } else {
+        &[
+            (1.0, 45.0),
+            (1.0, 85.0),
+            (0.9, 45.0),
+            (0.9, 85.0),
+            (0.8, 45.0),
+            (AB_VOLTAGE, AB_TEMP_C),
+        ]
+    };
+    let corner_results: Vec<CornerResult> = corners
+        .iter()
+        .map(|&(v, t)| {
+            measure_corner(&params, &geometry, first_data_row, chip.config.seed, trials, v, t)
+        })
+        .collect();
+
+    println!(
+        "characterization sweep, chip seed {:#x}, {trials} trials/subarray:",
+        chip.config.seed
+    );
+    for c in &corner_results {
+        println!(
+            "  {:.1} V {:>3.0} C: level {:.3}  rates [{:.4}, {:.4}]  weak subarrays {}  weak cells {}",
+            c.voltage, c.temperature_c, c.effective_level, c.min_rate, c.max_rate,
+            c.weak_subarrays, c.weak_cells,
+        );
+    }
+
+    let blind = run_ab_side(&chip, false, ops);
+    let aware = run_ab_side(&chip, true, ops);
+    let truth = ab_truth(geometry.row_bits(), ops);
+    let identical = blind.finals == aware.finals && blind.finals == truth;
+    println!(
+        "A/B at {AB_VOLTAGE} V {AB_TEMP_C} C, {ops} ops: blind {} actions ({} retries, {} remaps, {} degrades) vs aware {} actions ({} retries, {} remaps, {} preremaps); identical {identical}",
+        blind.actions, blind.retries, blind.remaps, blind.degrades,
+        aware.actions, aware.retries, aware.remaps, aware.preremaps,
+    );
+
+    let snapshot = render_characterization_snapshot(
+        &chip, &corner_results, roundtrip_identical, ops, &blind, &aware, identical,
+    );
+    if let Err(errors) = validate_characterization_snapshot(&snapshot) {
+        for e in &errors {
+            eprintln!("self-validation failed: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let path = std::env::var("AMBIT_BENCH_CHARACTERIZATION_SNAPSHOT")
+        .unwrap_or_else(|_| "BENCH_characterization.json".to_string());
+    if let Err(e) = std::fs::write(&path, &snapshot) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {path} (variation-aware placement >= {ACTION_REDUCTION_FLOOR:.0}x fewer recovery actions, byte-identical results)"
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.len() == 2 && args[1] == "batch" {
         return batch_main();
+    }
+    if args.len() == 2 && args[1] == "characterization" {
+        return characterization_main();
+    }
+    if args.len() == 3 && args[1] == "--validate-characterization" {
+        let text = match std::fs::read_to_string(&args[2]) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", args[2]);
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_characterization_snapshot(&text) {
+            Ok(n) => {
+                println!(
+                    "{}: valid characterization snapshot, {n} corners swept, A/B within floors",
+                    args[2]
+                );
+                ExitCode::SUCCESS
+            }
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("{}: {e}", args[2]);
+                }
+                ExitCode::FAILURE
+            }
+        };
     }
     if args.len() == 2 && args[1] == "hotpath" {
         return hotpath_main();

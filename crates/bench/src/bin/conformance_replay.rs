@@ -1,16 +1,19 @@
 //! Differential-conformance fuzz driver and repro replayer.
 //!
 //! ```text
-//! conformance_replay fuzz [--seed S] [--count N] [--faults]
+//! conformance_replay fuzz [--seed S] [--count N] [--faults] [--profiles]
 //! conformance_replay replay <repro.json>
 //! ```
 //!
 //! `fuzz` generates `N` seeded programs and runs each through the N-way
 //! execution oracle (eager, batch serial, batch bank-parallel, forced
-//! scalar, resilient, plus the CPU golden model). The first divergence is
-//! minimized and written to `CONFORMANCE_repro.json` in the current
-//! directory, and the process exits 1. `AMBIT_QUICK=1` caps the default
-//! count at 200 programs for CI smoke runs.
+//! scalar, resilient, plus the CPU golden model). `--faults` arms a slice
+//! of the programs with a uniform TRA fault rate; `--profiles` arms a
+//! slice with a random device characterization map (variation-aware
+//! placement, spare-row pre-remap, per-subarray fault campaign). The first
+//! divergence is minimized and written to `CONFORMANCE_repro.json` in the
+//! current directory, and the process exits 1. `AMBIT_QUICK=1` caps the
+//! default count at 200 programs for CI smoke runs.
 //!
 //! `replay` loads a repro JSON file and re-runs it: exit 0 if the recorded
 //! failure reproduces (same failing paths), exit 2 if it does not.
@@ -25,7 +28,7 @@ const REPRO_FILE: &str = "CONFORMANCE_repro.json";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: conformance_replay fuzz [--seed S] [--count N] [--faults]\n\
+        "usage: conformance_replay fuzz [--seed S] [--count N] [--faults] [--profiles]\n\
          \x20      conformance_replay replay <repro.json>"
     );
     ExitCode::from(64)
@@ -47,6 +50,7 @@ fn fuzz(args: &[String]) -> ExitCode {
     let mut seed: u64 = 1;
     let mut count: usize = if env::var("AMBIT_QUICK").is_ok() { 200 } else { 1000 };
     let mut faults = false;
+    let mut profiles = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -59,17 +63,28 @@ fn fuzz(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--faults" => faults = true,
+            "--profiles" => profiles = true,
             _ => return usage(),
         }
     }
 
-    let cfg = if faults { GeneratorConfig::with_faults() } else { GeneratorConfig::default() };
+    let mut cfg = GeneratorConfig::default();
+    if faults {
+        cfg.fault_chance = GeneratorConfig::with_faults().fault_chance;
+    }
+    if profiles {
+        cfg.profile_chance = GeneratorConfig::with_profiles().profile_chance;
+    }
     let mut fault_armed = 0usize;
+    let mut profile_armed = 0usize;
     for i in 0..count {
         let program_seed = seed.wrapping_add(i as u64);
         let program = generate(program_seed, &cfg);
         if program.fault_tra_rate.is_some() {
             fault_armed += 1;
+        }
+        if program.profile_seed.is_some() {
+            profile_armed += 1;
         }
         let report = run_oracle(&program, None);
         if report.ok() {
@@ -99,8 +114,8 @@ fn fuzz(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "conformance: {count} programs from seed {seed} ({fault_armed} fault-armed), \
-         0 divergences"
+        "conformance: {count} programs from seed {seed} ({fault_armed} fault-armed, \
+         {profile_armed} profile-armed), 0 divergences"
     );
     ExitCode::SUCCESS
 }

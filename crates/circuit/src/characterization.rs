@@ -1,0 +1,707 @@
+//! Device characterization: per-subarray TRA reliability maps.
+//!
+//! Real DRAM chips do not fail uniformly — "Functionally-Complete Boolean
+//! Logic in Real DRAM Chips" (ETH 2024) measures per-subarray success-rate
+//! maps, weak columns, and strong voltage/temperature sensitivity on
+//! commodity parts. This module reproduces that workflow in simulation: it
+//! runs the existing Monte Carlo harness (`run_monte_carlo`) once per
+//! subarray under a jittered [`VariationModel`](crate::VariationModel)
+//! level, derated for a voltage/temperature corner, and folds the results
+//! into a persistable [`ChipProfile`]:
+//!
+//! * a TRA failure rate per subarray (the success-rate map),
+//! * a small list of *weak cells* per subarray — the most leakage-prone
+//!   cell of each weak column, as `(row, column)` pairs, and
+//! * a reliability/retention [`SubarrayBin`] (strong / nominal / weak)
+//!   that downstream recovery uses to de-rate retry budgets.
+//!
+//! The profile round-trips through the telemetry crate's hand-rolled JSON
+//! byte-stably: persist → load → re-persist is byte-identical for a fixed
+//! seed, so profiles can be checked into CI artifacts and replayed.
+//! Consumers: `ambit_dram::FaultCampaign::from_profile` arms a fault
+//! campaign from the map, and `ambit_core`'s allocator places data
+//! strongest-first and pre-remaps the weak cells before first use.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use ambit_telemetry::json::{self, Json, JsonError};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::montecarlo::run_monte_carlo;
+use crate::params::CircuitParams;
+
+/// Schema marker embedded in persisted profiles.
+pub const CHIP_PROFILE_SCHEMA: &str = "ambit-chip-profile/v1";
+
+/// Nominal operating temperature in °C; corners are measured against this.
+pub const NOMINAL_TEMP_C: f64 = 45.0;
+
+/// Extra effective variation per 100 °C above nominal (first-order model
+/// of retention/leakage worsening with temperature).
+const TEMP_LEVEL_PER_100C: f64 = 0.2;
+
+/// Extra effective variation per unit of supply undervolt (first-order
+/// model of the shrinking sense margin as VDD scales down).
+const VOLT_LEVEL_GAIN: f64 = 2.0;
+
+/// Hard clamp on the effective variation level handed to
+/// [`VariationModel::at_level`](crate::VariationModel::at_level).
+const MAX_LEVEL: f64 = 0.45;
+
+/// Subarrays with a TRA failure rate below this are binned Strong.
+const STRONG_MAX_RATE: f64 = 1e-3;
+
+/// Subarrays with a TRA failure rate below this (and above
+/// [`STRONG_MAX_RATE`]) are binned Nominal; anything higher is Weak.
+const NOMINAL_MAX_RATE: f64 = 2e-2;
+
+/// Errors raised by profile generation and (de)serialization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CharacterizationError {
+    /// The configured geometry has zero banks, subarrays, or row bits.
+    EmptyGeometry,
+    /// No rows are eligible to host weak cells.
+    NoEligibleRows {
+        /// First row eligible for weak cells.
+        first_eligible_row: usize,
+        /// Rows per subarray.
+        rows: usize,
+    },
+    /// `trials_per_subarray` was zero.
+    NoTrials,
+    /// A tuning knob was outside its legal range.
+    InvalidKnob {
+        /// Name of the offending knob.
+        knob: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A persisted profile failed to parse as JSON.
+    Parse(JsonError),
+    /// A persisted profile parsed but did not match the expected schema.
+    Schema {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CharacterizationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CharacterizationError::EmptyGeometry => {
+                write!(f, "characterization geometry has no banks, subarrays, or bits")
+            }
+            CharacterizationError::NoEligibleRows {
+                first_eligible_row,
+                rows,
+            } => write!(
+                f,
+                "first eligible row {first_eligible_row} leaves no weak-cell rows in a {rows}-row subarray"
+            ),
+            CharacterizationError::NoTrials => {
+                write!(f, "characterization requires at least one Monte Carlo trial per subarray")
+            }
+            CharacterizationError::InvalidKnob { knob, value } => {
+                write!(f, "characterization knob {knob} = {value} is out of range")
+            }
+            CharacterizationError::Parse(e) => write!(f, "chip profile is not valid JSON: {e}"),
+            CharacterizationError::Schema { detail } => {
+                write!(f, "chip profile schema mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CharacterizationError {}
+
+impl From<JsonError> for CharacterizationError {
+    fn from(e: JsonError) -> Self {
+        CharacterizationError::Parse(e)
+    }
+}
+
+/// Reliability/retention bin of one subarray, classified from its measured
+/// TRA failure rate. Strong bins fail fast to remap; weak bins earn extra
+/// retry budget in the resilient executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SubarrayBin {
+    /// Failure rate below 0.1 % — retries are almost never useful.
+    Strong,
+    /// Failure rate between 0.1 % and 2 %.
+    Nominal,
+    /// Failure rate of 2 % or more — transient faults dominate, so extra
+    /// retries pay off before falling back.
+    Weak,
+}
+
+impl SubarrayBin {
+    /// Classifies a failure rate into a bin.
+    pub fn from_rate(rate: f64) -> Self {
+        if rate < STRONG_MAX_RATE {
+            SubarrayBin::Strong
+        } else if rate < NOMINAL_MAX_RATE {
+            SubarrayBin::Nominal
+        } else {
+            SubarrayBin::Weak
+        }
+    }
+
+    /// Stable string form used in persisted profiles.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SubarrayBin::Strong => "strong",
+            SubarrayBin::Nominal => "nominal",
+            SubarrayBin::Weak => "weak",
+        }
+    }
+
+    /// Parses the persisted string form.
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s {
+            "strong" => Some(SubarrayBin::Strong),
+            "nominal" => Some(SubarrayBin::Nominal),
+            "weak" => Some(SubarrayBin::Weak),
+            _ => None,
+        }
+    }
+
+    /// Compact numeric code (0 strong, 1 nominal, 2 weak) for plain-data
+    /// consumers that cannot depend on this crate.
+    pub fn code(&self) -> u8 {
+        match self {
+            SubarrayBin::Strong => 0,
+            SubarrayBin::Nominal => 1,
+            SubarrayBin::Weak => 2,
+        }
+    }
+}
+
+/// Knobs for one characterization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizationConfig {
+    /// Seed for the jitter + Monte Carlo + weak-cell sampling stream.
+    pub seed: u64,
+    /// Banks on the device.
+    pub banks: usize,
+    /// Subarrays per bank.
+    pub subarrays_per_bank: usize,
+    /// Rows per subarray.
+    pub rows_per_subarray: usize,
+    /// Row width in bits (columns per subarray).
+    pub row_bits: usize,
+    /// First row eligible to host weak cells; lower rows are reserved for
+    /// the Ambit control group and must stay clean.
+    pub first_eligible_row: usize,
+    /// Nominal process-variation level (e.g. 0.10 for ±10 %).
+    pub variation_level: f64,
+    /// Per-subarray level jitter: each subarray draws its level uniformly
+    /// from `level * [1 - spread, 1 + spread]`.
+    pub subarray_spread: f64,
+    /// Monte Carlo trials per subarray.
+    pub trials_per_subarray: u64,
+    /// Supply voltage as a fraction of nominal VDD (1.0 = nominal;
+    /// undervolting below 1.0 shrinks the sense margin).
+    pub voltage_scale: f64,
+    /// Operating temperature in °C ([`NOMINAL_TEMP_C`] = nominal).
+    pub temperature_c: f64,
+    /// Expected weak cells per subarray per unit of failure rate; the
+    /// count is `round(rate * weak_cell_scale)` capped at
+    /// [`max_weak_cells`](Self::max_weak_cells).
+    pub weak_cell_scale: f64,
+    /// Upper bound on weak cells recorded per subarray.
+    pub max_weak_cells: usize,
+}
+
+impl CharacterizationConfig {
+    /// Nominal-corner configuration for the given geometry.
+    pub fn for_geometry(
+        banks: usize,
+        subarrays_per_bank: usize,
+        rows_per_subarray: usize,
+        row_bits: usize,
+    ) -> Self {
+        CharacterizationConfig {
+            seed: 0xC0FF_EE00,
+            banks,
+            subarrays_per_bank,
+            rows_per_subarray,
+            row_bits,
+            first_eligible_row: 8,
+            variation_level: 0.10,
+            subarray_spread: 0.4,
+            trials_per_subarray: 4_000,
+            voltage_scale: 1.0,
+            temperature_c: NOMINAL_TEMP_C,
+            weak_cell_scale: 150.0,
+            max_weak_cells: 4,
+        }
+    }
+
+    /// The effective variation level after folding in the
+    /// voltage/temperature corner: undervolt and heat both widen the
+    /// distribution the Monte Carlo samples from (first-order derating,
+    /// clamped to the model's legal range).
+    pub fn effective_level(&self) -> f64 {
+        let temp = 1.0 + TEMP_LEVEL_PER_100C * (self.temperature_c - NOMINAL_TEMP_C) / 100.0;
+        let volt = 1.0 + VOLT_LEVEL_GAIN * (1.0 - self.voltage_scale);
+        (self.variation_level * temp.max(0.0) * volt.max(0.0)).clamp(0.0, MAX_LEVEL)
+    }
+
+    fn validate(&self) -> Result<(), CharacterizationError> {
+        if self.banks == 0 || self.subarrays_per_bank == 0 || self.row_bits == 0 {
+            return Err(CharacterizationError::EmptyGeometry);
+        }
+        if self.first_eligible_row >= self.rows_per_subarray {
+            return Err(CharacterizationError::NoEligibleRows {
+                first_eligible_row: self.first_eligible_row,
+                rows: self.rows_per_subarray,
+            });
+        }
+        if self.trials_per_subarray == 0 {
+            return Err(CharacterizationError::NoTrials);
+        }
+        let knobs = [
+            ("variation_level", self.variation_level, 0.0, 0.99),
+            ("subarray_spread", self.subarray_spread, 0.0, 1.0),
+            ("voltage_scale", self.voltage_scale, 0.1, 2.0),
+            ("temperature_c", self.temperature_c, -60.0, 200.0),
+            ("weak_cell_scale", self.weak_cell_scale, 0.0, 1e9),
+        ];
+        for (knob, value, lo, hi) in knobs {
+            if !value.is_finite() || value < lo || value > hi {
+                return Err(CharacterizationError::InvalidKnob { knob, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Characterization result for one subarray.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubarrayProfile {
+    /// Flat bank index.
+    pub bank: usize,
+    /// Subarray index within the bank.
+    pub subarray: usize,
+    /// Measured TRA failure rate in `[0, 1]`.
+    pub tra_failure_rate: f64,
+    /// Reliability/retention bin classified from the rate.
+    pub bin: SubarrayBin,
+    /// Weak cells as `(row, column)` pairs — the most leakage-prone cell
+    /// of each weak column found during characterization, sorted.
+    pub weak_cells: Vec<(usize, usize)>,
+}
+
+/// A persistable per-subarray reliability map of one simulated chip.
+///
+/// Subarrays are stored row-major: flat index
+/// `bank * subarrays_per_bank + subarray`, matching
+/// `ambit_dram::BankId::flat_index` composition order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipProfile {
+    /// The configuration that produced this profile.
+    pub config: CharacterizationConfig,
+    /// Per-subarray results, row-major.
+    pub subarrays: Vec<SubarrayProfile>,
+}
+
+impl ChipProfile {
+    /// Runs the per-subarray Monte Carlo characterization. Deterministic
+    /// for a fixed `config.seed`.
+    pub fn characterize(
+        params: &CircuitParams,
+        config: &CharacterizationConfig,
+    ) -> Result<Self, CharacterizationError> {
+        config.validate()?;
+        let base = config.effective_level();
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut subarrays = Vec::with_capacity(config.banks * config.subarrays_per_bank);
+        for bank in 0..config.banks {
+            for subarray in 0..config.subarrays_per_bank {
+                let jitter = 1.0 + config.subarray_spread * (rng.gen::<f64>() * 2.0 - 1.0);
+                let sub_level = (base * jitter).clamp(0.0, MAX_LEVEL);
+                let rate = run_monte_carlo(params, sub_level, config.trials_per_subarray, &mut rng)
+                    .failure_rate();
+                let eligible_rows = config.rows_per_subarray - config.first_eligible_row;
+                let capacity = eligible_rows * config.row_bits;
+                let want = ((rate * config.weak_cell_scale).round() as usize)
+                    .min(config.max_weak_cells)
+                    .min(capacity);
+                let mut taken = HashSet::new();
+                let mut weak_cells = Vec::with_capacity(want);
+                while weak_cells.len() < want {
+                    let row = config.first_eligible_row + rng.gen_range(0..eligible_rows);
+                    let col = rng.gen_range(0..config.row_bits);
+                    if taken.insert((row, col)) {
+                        weak_cells.push((row, col));
+                    }
+                }
+                weak_cells.sort_unstable();
+                subarrays.push(SubarrayProfile {
+                    bank,
+                    subarray,
+                    tra_failure_rate: rate,
+                    bin: SubarrayBin::from_rate(rate),
+                    weak_cells,
+                });
+            }
+        }
+        Ok(ChipProfile {
+            config: config.clone(),
+            subarrays,
+        })
+    }
+
+    /// Per-subarray TRA failure rates, row-major — the shape
+    /// `FaultCampaign::plan_with_rates` / `from_profile` expect.
+    pub fn rates(&self) -> Vec<f64> {
+        self.subarrays.iter().map(|s| s.tra_failure_rate).collect()
+    }
+
+    /// Per-subarray weak cells, row-major.
+    pub fn weak_cells(&self) -> Vec<Vec<(usize, usize)>> {
+        self.subarrays.iter().map(|s| s.weak_cells.clone()).collect()
+    }
+
+    /// Per-subarray bin codes (0 strong, 1 nominal, 2 weak), row-major —
+    /// the plain-data form consumed by `ambit_core`.
+    pub fn bin_codes(&self) -> Vec<u8> {
+        self.subarrays.iter().map(|s| s.bin.code()).collect()
+    }
+
+    /// `(bank, subarray)` pairs sorted strongest (lowest failure rate)
+    /// first, ties broken by flat index. This is the placement order the
+    /// variation-aware allocator follows.
+    pub fn strength_order(&self) -> Vec<(usize, usize)> {
+        let mut idx: Vec<usize> = (0..self.subarrays.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.subarrays[a]
+                .tra_failure_rate
+                .partial_cmp(&self.subarrays[b].tra_failure_rate)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.into_iter()
+            .map(|i| (self.subarrays[i].bank, self.subarrays[i].subarray))
+            .collect()
+    }
+
+    /// Number of subarrays binned [`SubarrayBin::Weak`].
+    pub fn weak_subarray_count(&self) -> usize {
+        self.subarrays
+            .iter()
+            .filter(|s| s.bin == SubarrayBin::Weak)
+            .count()
+    }
+
+    /// Serializes the profile to its canonical JSON form. The rendering
+    /// is byte-stable: [`from_json`](Self::from_json) followed by
+    /// `to_json` reproduces the exact same bytes.
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"schema\": \"{}\",\n  \"seed\": \"{}\",\n",
+            CHIP_PROFILE_SCHEMA, c.seed
+        ));
+        out.push_str(&format!(
+            "  \"banks\": {}, \"subarrays_per_bank\": {}, \"rows_per_subarray\": {}, \"row_bits\": {}, \"first_eligible_row\": {},\n",
+            c.banks, c.subarrays_per_bank, c.rows_per_subarray, c.row_bits, c.first_eligible_row
+        ));
+        out.push_str(&format!(
+            "  \"variation_level\": {}, \"subarray_spread\": {}, \"voltage_scale\": {}, \"temperature_c\": {},\n",
+            json::number(c.variation_level),
+            json::number(c.subarray_spread),
+            json::number(c.voltage_scale),
+            json::number(c.temperature_c)
+        ));
+        out.push_str(&format!(
+            "  \"trials_per_subarray\": {}, \"weak_cell_scale\": {}, \"max_weak_cells\": {},\n",
+            c.trials_per_subarray,
+            json::number(c.weak_cell_scale),
+            c.max_weak_cells
+        ));
+        out.push_str("  \"subarrays\": [\n");
+        for (i, s) in self.subarrays.iter().enumerate() {
+            let cells: Vec<String> = s
+                .weak_cells
+                .iter()
+                .map(|&(r, c)| format!("[{r}, {c}]"))
+                .collect();
+            out.push_str(&format!(
+                "    {{\"bank\": {}, \"subarray\": {}, \"tra_failure_rate\": {}, \"bin\": \"{}\", \"weak_cells\": [{}]}}{}\n",
+                s.bank,
+                s.subarray,
+                json::number(s.tra_failure_rate),
+                s.bin.as_str(),
+                cells.join(", "),
+                if i + 1 < self.subarrays.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a profile persisted by [`to_json`](Self::to_json).
+    pub fn from_json(text: &str) -> Result<Self, CharacterizationError> {
+        let doc = Json::parse(text)?;
+        let schema = |detail: &str| CharacterizationError::Schema {
+            detail: detail.to_string(),
+        };
+        if doc.get("schema").and_then(Json::as_str) != Some(CHIP_PROFILE_SCHEMA) {
+            return Err(schema(&format!("expected schema {CHIP_PROFILE_SCHEMA}")));
+        }
+        let seed = doc
+            .get("seed")
+            .and_then(Json::as_str)
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| schema("seed must be a decimal string"))?;
+        let usize_field = |key: &str| -> Result<usize, CharacterizationError> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| schema(&format!("missing integer field {key}")))
+        };
+        let f64_field = |key: &str| -> Result<f64, CharacterizationError> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| schema(&format!("missing number field {key}")))
+        };
+        let config = CharacterizationConfig {
+            seed,
+            banks: usize_field("banks")?,
+            subarrays_per_bank: usize_field("subarrays_per_bank")?,
+            rows_per_subarray: usize_field("rows_per_subarray")?,
+            row_bits: usize_field("row_bits")?,
+            first_eligible_row: usize_field("first_eligible_row")?,
+            variation_level: f64_field("variation_level")?,
+            subarray_spread: f64_field("subarray_spread")?,
+            voltage_scale: f64_field("voltage_scale")?,
+            temperature_c: f64_field("temperature_c")?,
+            trials_per_subarray: doc
+                .get("trials_per_subarray")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| schema("missing integer field trials_per_subarray"))?,
+            weak_cell_scale: f64_field("weak_cell_scale")?,
+            max_weak_cells: usize_field("max_weak_cells")?,
+        };
+        let entries = doc
+            .get("subarrays")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| schema("missing subarrays array"))?;
+        if entries.len() != config.banks * config.subarrays_per_bank {
+            return Err(schema(&format!(
+                "subarray count {} does not match geometry {}x{}",
+                entries.len(),
+                config.banks,
+                config.subarrays_per_bank
+            )));
+        }
+        let mut subarrays = Vec::with_capacity(entries.len());
+        for e in entries {
+            let bank = e
+                .get("bank")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| schema("subarray entry missing bank"))? as usize;
+            let subarray = e
+                .get("subarray")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| schema("subarray entry missing subarray"))?
+                as usize;
+            let tra_failure_rate = e
+                .get("tra_failure_rate")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| schema("subarray entry missing tra_failure_rate"))?;
+            let bin = e
+                .get("bin")
+                .and_then(Json::as_str)
+                .and_then(SubarrayBin::from_str_opt)
+                .ok_or_else(|| schema("subarray entry has no valid bin"))?;
+            let mut weak_cells = Vec::new();
+            for cell in e
+                .get("weak_cells")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| schema("subarray entry missing weak_cells"))?
+            {
+                let pair = cell
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| schema("weak cell must be a [row, column] pair"))?;
+                let row = pair[0]
+                    .as_u64()
+                    .ok_or_else(|| schema("weak cell row must be an integer"))?
+                    as usize;
+                let col = pair[1]
+                    .as_u64()
+                    .ok_or_else(|| schema("weak cell column must be an integer"))?
+                    as usize;
+                if row >= config.rows_per_subarray || col >= config.row_bits {
+                    return Err(schema(&format!(
+                        "weak cell ({row}, {col}) out of range for {}x{} subarray",
+                        config.rows_per_subarray, config.row_bits
+                    )));
+                }
+                weak_cells.push((row, col));
+            }
+            subarrays.push(SubarrayProfile {
+                bank,
+                subarray,
+                tra_failure_rate,
+                bin,
+                weak_cells,
+            });
+        }
+        Ok(ChipProfile { config, subarrays })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CharacterizationConfig {
+        let mut c = CharacterizationConfig::for_geometry(2, 2, 32, 128);
+        c.trials_per_subarray = 1_500;
+        c
+    }
+
+    #[test]
+    fn characterization_is_deterministic_per_seed() {
+        let params = CircuitParams::ddr3_55nm();
+        let a = ChipProfile::characterize(&params, &cfg()).unwrap();
+        let b = ChipProfile::characterize(&params, &cfg()).unwrap();
+        assert_eq!(a, b);
+        let mut other = cfg();
+        other.seed ^= 1;
+        let c = ChipProfile::characterize(&params, &other).unwrap();
+        assert_ne!(a.rates(), c.rates(), "seed change should move the map");
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_stable() {
+        let params = CircuitParams::ddr3_55nm();
+        let mut config = cfg();
+        config.seed = u64::MAX - 3; // exercise the >2^53 decimal-string path
+        config.voltage_scale = 0.85;
+        config.temperature_c = 85.0;
+        let profile = ChipProfile::characterize(&params, &config).unwrap();
+        let text = profile.to_json();
+        let loaded = ChipProfile::from_json(&text).unwrap();
+        assert_eq!(loaded, profile);
+        assert_eq!(loaded.to_json(), text, "persist -> load -> re-persist must be byte-identical");
+    }
+
+    #[test]
+    fn worse_corner_raises_failure_rates() {
+        let params = CircuitParams::ddr3_55nm();
+        let mut nominal = cfg();
+        nominal.variation_level = 0.12;
+        let mut corner = nominal.clone();
+        corner.voltage_scale = 0.8;
+        corner.temperature_c = 85.0;
+        assert!(corner.effective_level() > nominal.effective_level());
+        let n = ChipProfile::characterize(&params, &nominal).unwrap();
+        let c = ChipProfile::characterize(&params, &corner).unwrap();
+        let sum = |p: &ChipProfile| p.rates().iter().sum::<f64>();
+        assert!(
+            sum(&c) > sum(&n),
+            "undervolt + heat should raise aggregate failure rate: {} vs {}",
+            sum(&c),
+            sum(&n)
+        );
+    }
+
+    #[test]
+    fn strength_order_is_sorted_by_rate() {
+        let params = CircuitParams::ddr3_55nm();
+        let mut config = cfg();
+        config.variation_level = 0.14;
+        let profile = ChipProfile::characterize(&params, &config).unwrap();
+        let order = profile.strength_order();
+        assert_eq!(order.len(), 4);
+        let rate_of = |pair: (usize, usize)| {
+            profile
+                .subarrays
+                .iter()
+                .find(|s| (s.bank, s.subarray) == pair)
+                .unwrap()
+                .tra_failure_rate
+        };
+        for w in order.windows(2) {
+            assert!(rate_of(w[0]) <= rate_of(w[1]));
+        }
+    }
+
+    #[test]
+    fn weak_cells_respect_eligible_rows_and_bounds() {
+        let params = CircuitParams::ddr3_55nm();
+        let mut config = cfg();
+        config.variation_level = 0.2; // force weak subarrays with cells
+        let profile = ChipProfile::characterize(&params, &config).unwrap();
+        let total: usize = profile.subarrays.iter().map(|s| s.weak_cells.len()).sum();
+        assert!(total > 0, "a ±20 % chip should have weak cells");
+        for s in &profile.subarrays {
+            assert!(s.weak_cells.len() <= config.max_weak_cells);
+            for &(row, col) in &s.weak_cells {
+                assert!(row >= config.first_eligible_row);
+                assert!(row < config.rows_per_subarray);
+                assert!(col < config.row_bits);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let params = CircuitParams::ddr3_55nm();
+        let mut empty = cfg();
+        empty.banks = 0;
+        assert_eq!(
+            ChipProfile::characterize(&params, &empty),
+            Err(CharacterizationError::EmptyGeometry)
+        );
+        let mut rows = cfg();
+        rows.first_eligible_row = rows.rows_per_subarray;
+        assert!(matches!(
+            ChipProfile::characterize(&params, &rows),
+            Err(CharacterizationError::NoEligibleRows { .. })
+        ));
+        let mut level = cfg();
+        level.variation_level = 1.5;
+        assert!(matches!(
+            ChipProfile::characterize(&params, &level),
+            Err(CharacterizationError::InvalidKnob { knob: "variation_level", .. })
+        ));
+        let mut trials = cfg();
+        trials.trials_per_subarray = 0;
+        assert_eq!(
+            ChipProfile::characterize(&params, &trials),
+            Err(CharacterizationError::NoTrials)
+        );
+    }
+
+    #[test]
+    fn bin_classification_thresholds() {
+        assert_eq!(SubarrayBin::from_rate(0.0), SubarrayBin::Strong);
+        assert_eq!(SubarrayBin::from_rate(5e-3), SubarrayBin::Nominal);
+        assert_eq!(SubarrayBin::from_rate(0.05), SubarrayBin::Weak);
+        for bin in [SubarrayBin::Strong, SubarrayBin::Nominal, SubarrayBin::Weak] {
+            assert_eq!(SubarrayBin::from_str_opt(bin.as_str()), Some(bin));
+        }
+        assert_eq!(SubarrayBin::from_str_opt("bogus"), None);
+    }
+
+    #[test]
+    fn from_json_rejects_schema_violations() {
+        assert!(matches!(
+            ChipProfile::from_json("not json"),
+            Err(CharacterizationError::Parse(_))
+        ));
+        assert!(matches!(
+            ChipProfile::from_json("{\"schema\": \"other/v1\"}"),
+            Err(CharacterizationError::Schema { .. })
+        ));
+    }
+}

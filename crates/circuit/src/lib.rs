@@ -14,7 +14,10 @@
 //!   offset);
 //! * [`montecarlo`] — the Table 2 experiment: TRA failure rates across
 //!   ±0–25 % variation, plus the adversarial worst-case margin (paper:
-//!   reliable to ±6 %).
+//!   reliable to ±6 %);
+//! * [`characterization`] — per-subarray device maps ([`ChipProfile`]):
+//!   Monte Carlo success rates, weak-cell lists, and reliability bins
+//!   under voltage/temperature corners, persisted as byte-stable JSON.
 //!
 //! # Example
 //!
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod characterization;
 pub mod charge;
 mod leakage;
 pub mod montecarlo;
@@ -39,9 +43,13 @@ mod sense_amp;
 mod transistor;
 pub mod variation;
 
+pub use characterization::{
+    CharacterizationConfig, CharacterizationError, ChipProfile, SubarrayBin, SubarrayProfile,
+    CHIP_PROFILE_SCHEMA,
+};
 pub use montecarlo::{
-    per_subarray_rates, run_monte_carlo, table2_sweep, worst_case_margin, worst_case_ok,
-    MonteCarloResult,
+    per_subarray_rates, run_monte_carlo, sweep_levels, table2_sweep, worst_case_margin,
+    worst_case_ok, MonteCarloError, MonteCarloResult, TABLE2_LEVELS,
 };
 pub use leakage::LeakageModel;
 pub use params::CircuitParams;

@@ -1,10 +1,36 @@
 //! Monte Carlo and worst-case reliability analysis of triple-row
 //! activation — the reproduction of the paper's Section 6 / Table 2.
 
+use std::fmt;
+
 use rand::Rng;
 
 use crate::params::CircuitParams;
 use crate::variation::{TraInstance, VariationModel};
+
+/// The variation levels of the paper's Table 2 (±0 % … ±25 %).
+pub const TABLE2_LEVELS: [f64; 6] = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25];
+
+/// Errors raised by the checked Monte Carlo sweep entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MonteCarloError {
+    /// A sweep was requested over an empty list of variation levels, so
+    /// there is no "last" (worst-case) result to report.
+    EmptySweep,
+}
+
+impl fmt::Display for MonteCarloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonteCarloError::EmptySweep => {
+                write!(f, "sweep requested over an empty list of variation levels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MonteCarloError {}
 
 /// Result of a Monte Carlo TRA reliability run at one variation level.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +88,23 @@ pub fn run_monte_carlo(
     }
 }
 
+/// Runs one Monte Carlo per entry of `levels`, rejecting an empty sweep
+/// with a typed error instead of letting callers panic on `last()`.
+pub fn sweep_levels(
+    params: &CircuitParams,
+    levels: &[f64],
+    trials_per_level: u64,
+    rng: &mut impl Rng,
+) -> Result<Vec<MonteCarloResult>, MonteCarloError> {
+    if levels.is_empty() {
+        return Err(MonteCarloError::EmptySweep);
+    }
+    Ok(levels
+        .iter()
+        .map(|&level| run_monte_carlo(params, level, trials_per_level, rng))
+        .collect())
+}
+
 /// Sweeps the paper's Table 2 levels (±0 % … ±25 %) and returns one result
 /// per level.
 pub fn table2_sweep(
@@ -69,10 +112,8 @@ pub fn table2_sweep(
     trials_per_level: u64,
     rng: &mut impl Rng,
 ) -> Vec<MonteCarloResult> {
-    [0.0, 0.05, 0.10, 0.15, 0.20, 0.25]
-        .iter()
-        .map(|&level| run_monte_carlo(params, level, trials_per_level, rng))
-        .collect()
+    sweep_levels(params, &TABLE2_LEVELS, trials_per_level, rng)
+        .expect("TABLE2_LEVELS is non-empty")
 }
 
 /// Samples one TRA failure rate per subarray for a fault-injection
@@ -171,20 +212,40 @@ mod tests {
     fn table2_failure_rate_is_monotone_in_level() {
         let params = p();
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let sweep = table2_sweep(&params, 20_000, &mut rng);
+        let sweep = sweep_levels(&params, &TABLE2_LEVELS, 20_000, &mut rng)
+            .expect("TABLE2_LEVELS is non-empty");
         for pair in sweep.windows(2) {
             assert!(
                 pair[1].failure_rate() >= pair[0].failure_rate(),
                 "failure rate should not decrease: {pair:?}"
             );
         }
-        // And the ±25 % rate is substantial (paper: 26.19 %).
-        let last = sweep.last().unwrap();
+        // And the ±25 % rate is substantial (paper: 26.19 %). The checked
+        // sweep guarantees a non-empty result, so indexing the tail is safe.
+        let last = &sweep[sweep.len() - 1];
         assert!(
             last.failure_percent() > 10.0,
             "±25 %: {:.1} %",
             last.failure_percent()
         );
+    }
+
+    #[test]
+    fn empty_sweep_is_a_typed_error_not_a_panic() {
+        let params = p();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let err = sweep_levels(&params, &[], 100, &mut rng).unwrap_err();
+        assert_eq!(err, MonteCarloError::EmptySweep);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn sweep_levels_matches_table2_sweep() {
+        let params = p();
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let checked = sweep_levels(&params, &TABLE2_LEVELS, 2_000, &mut a).unwrap();
+        assert_eq!(checked, table2_sweep(&params, 2_000, &mut b));
     }
 
     #[test]

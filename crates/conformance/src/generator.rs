@@ -32,6 +32,14 @@ pub struct GeneratorConfig {
     /// fault-armed programs are all-bitwise and single-family so the
     /// resilient executor can run them).
     pub fault_chance: f64,
+    /// Probability that a program is profile-armed (0 disables): it gets a
+    /// random device-characterization seed, and the oracle's resilient
+    /// path regenerates that [`ChipProfile`](ambit_circuit::ChipProfile),
+    /// installs variation-aware placement, and arms the derived fault
+    /// campaign. Profile-armed programs share the fault-armed shape
+    /// restrictions (all-bitwise, single-family) and never also carry a
+    /// uniform TRA fault rate.
+    pub profile_chance: f64,
 }
 
 impl Default for GeneratorConfig {
@@ -42,6 +50,7 @@ impl Default for GeneratorConfig {
             max_rows_per_vector: 3,
             ops: (1, 12),
             fault_chance: 0.0,
+            profile_chance: 0.0,
         }
     }
 }
@@ -51,6 +60,12 @@ impl GeneratorConfig {
     /// program in four.
     pub fn with_faults() -> Self {
         GeneratorConfig { fault_chance: 0.25, ..GeneratorConfig::default() }
+    }
+
+    /// The default configuration with profile arming enabled for roughly
+    /// one program in four.
+    pub fn with_profiles() -> Self {
+        GeneratorConfig { profile_chance: 0.25, ..GeneratorConfig::default() }
     }
 }
 
@@ -83,15 +98,20 @@ pub fn generate(seed: u64, cfg: &GeneratorConfig) -> Program {
     let row_bits = geometry.geometry().row_bytes * 8;
 
     let fault_armed = cfg.fault_chance > 0.0 && rng.chance(cfg.fault_chance);
-    // Fault-armed programs run through the TMR-replicated resilient
-    // executor (3× the footprint plus retry scratch), so keep them small.
-    let n_families = if fault_armed { 1 } else { range(&mut rng, cfg.families) };
-    let max_rows = if fault_armed { cfg.max_rows_per_vector.min(2) } else { cfg.max_rows_per_vector };
+    // The profile draw is gated on the knob being nonzero so existing
+    // fault-only configurations keep their exact draw streams.
+    let profile_armed = !fault_armed && cfg.profile_chance > 0.0 && rng.chance(cfg.profile_chance);
+    let armed = fault_armed || profile_armed;
+    // Fault- and profile-armed programs run through the TMR-replicated
+    // resilient executor (3× the footprint plus retry scratch), so keep
+    // them small.
+    let n_families = if armed { 1 } else { range(&mut rng, cfg.families) };
+    let max_rows = if armed { cfg.max_rows_per_vector.min(2) } else { cfg.max_rows_per_vector };
 
     let mut vectors = Vec::new();
     let mut families: Vec<Vec<usize>> = Vec::new();
     for family in 0..n_families {
-        let n_vectors = if fault_armed {
+        let n_vectors = if armed {
             range(&mut rng, (2, cfg.vectors_per_family.1.min(3)))
         } else {
             range(&mut rng, cfg.vectors_per_family)
@@ -112,13 +132,13 @@ pub fn generate(seed: u64, cfg: &GeneratorConfig) -> Program {
         families.push(members);
     }
 
-    let n_ops = if fault_armed { range(&mut rng, (1, 4)) } else { range(&mut rng, cfg.ops) };
+    let n_ops = if armed { range(&mut rng, (1, 4)) } else { range(&mut rng, cfg.ops) };
     let mut ops = Vec::with_capacity(n_ops);
     for _ in 0..n_ops {
         let family = &families[rng.below(families.len() as u64) as usize];
         let pick = |rng: &mut ReferenceRng| family[rng.below(family.len() as u64) as usize];
         let kind = rng.below(100);
-        let op = if fault_armed || kind < 70 {
+        let op = if armed || kind < 70 {
             let op = *rng.pick(&BITWISE_OPS);
             let src1 = pick(&mut rng);
             let src2 = (op.source_count() == 2).then(|| pick(&mut rng));
@@ -145,6 +165,7 @@ pub fn generate(seed: u64, cfg: &GeneratorConfig) -> Program {
         aap_mode: if rng.below(2) == 0 { AapMode::Naive } else { AapMode::Overlapped },
         tie_break: *rng.pick(&[TieBreak::Error, TieBreak::Zero, TieBreak::One, TieBreak::Random]),
         fault_tra_rate: fault_armed.then(|| 0.001 * (1 + rng.below(5)) as f64),
+        profile_seed: profile_armed.then(|| rng.next()),
         vectors,
         ops,
     };
@@ -191,5 +212,29 @@ mod tests {
             .iter()
             .filter(|p| p.fault_tra_rate.is_some())
             .all(Program::resilient_compatible));
+        // The fault-only configuration never arms profiles, so its draw
+        // streams are untouched by the profile knob.
+        assert!(programs.iter().all(|p| p.profile_seed.is_none()));
+    }
+
+    #[test]
+    fn profile_arming_is_deterministic_exclusive_and_resilient_compatible() {
+        let cfg = GeneratorConfig::with_profiles();
+        let programs: Vec<Program> = (1..200).map(|s| generate(s, &cfg)).collect();
+        for (seed, p) in (1..200u64).zip(&programs) {
+            assert_eq!(p, &generate(seed, &cfg), "seed {seed} not deterministic");
+            p.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+        let armed: Vec<&Program> =
+            programs.iter().filter(|p| p.profile_seed.is_some()).collect();
+        assert!(!armed.is_empty(), "profile_chance 0.25 armed nothing in 200 seeds");
+        assert!(armed.len() < programs.len());
+        for p in &armed {
+            // Profile arming is exclusive with uniform fault arming and
+            // keeps the resilient-only shape restrictions.
+            assert!(p.fault_tra_rate.is_none());
+            assert!(p.resilient_compatible());
+            assert!(p.vectors.iter().all(|v| v.group == 0));
+        }
     }
 }

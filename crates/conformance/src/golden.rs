@@ -71,6 +71,7 @@ mod tests {
             aap_mode: AapMode::Overlapped,
             tie_break: TieBreak::Error,
             fault_tra_rate: None,
+            profile_seed: None,
             vectors: vec![
                 VectorSpec { bits: 8, group: 0, data_seed: 10 },
                 VectorSpec { bits: 8, group: 0, data_seed: 11 },

@@ -16,12 +16,20 @@
 //! recovered-result correctness (golden equality unless the executor
 //! declared itself degraded) and internal consistency of the recovery
 //! report.
+//!
+//! Profile-armed programs (a `profile_seed`) work the same way, but the
+//! fault model is a regenerated device characterization map
+//! ([`ChipProfile`]): the resilient path installs variation-aware
+//! placement with spare-row pre-remap, arms the per-subarray fault
+//! campaign derived from the map, and the oracle additionally checks that
+//! the recovery report stays consistent with the driver's bad-row map.
 
+use ambit_circuit::{CharacterizationConfig, ChipProfile, CircuitParams};
 use ambit_core::{
     AllocGroup, AmbitError, AmbitMemory, BatchBuilder, BitVectorHandle, IssuePolicy,
-    ResilientConfig, ResilientExecutor,
+    PlacementProfile, ResilientConfig, ResilientExecutor, SubarrayLayout,
 };
-use ambit_dram::BankId;
+use ambit_dram::{BankId, CampaignConfig, FaultCampaign};
 
 use crate::golden;
 use crate::program::{ProgOp, Program};
@@ -82,10 +90,11 @@ impl OracleReport {
 
 /// Runs the full oracle on `program`, optionally seeding a divergence.
 ///
-/// Fault-free programs run through every applicable path; fault-armed
-/// programs run through the resilient executor only (see module docs).
+/// Fault-free programs run through every applicable path; fault-armed and
+/// profile-armed programs run through the resilient executor only (see
+/// module docs).
 pub fn run_oracle(program: &Program, mutation: Option<&Mutation>) -> OracleReport {
-    if program.fault_tra_rate.is_some() {
+    if program.fault_tra_rate.is_some() || program.profile_seed.is_some() {
         run_fault_armed(program, mutation)
     } else {
         run_differential(program, mutation)
@@ -292,6 +301,66 @@ fn run_driver_path(
     Some(readback)
 }
 
+/// Spare rows reserved per subarray on profile-armed runs, and the cap on
+/// weak cells the regenerated map may record per subarray — kept equal so
+/// alloc-time pre-remap cannot exhaust spares through the map alone.
+const PROFILE_SPARE_ROWS: usize = 3;
+
+/// Monte Carlo trials per subarray when regenerating a profile-armed
+/// program's characterization map. Small, because the fuzzer pays this
+/// cost once per armed program.
+const PROFILE_TRIALS: u64 = 300;
+
+/// Rebuilds the characterization map named by a profile-armed program's
+/// seed and arms `mem` with it: variation-aware placement, spare rows for
+/// the pre-remap path, and the per-subarray fault campaign derived from
+/// the same map. Deterministic per seed.
+fn arm_profile(program: &Program, seed: u64, mem: &mut AmbitMemory) -> Result<FaultCampaign, String> {
+    let geometry = program.geometry.geometry();
+    // Weak cells must stay out of the B/C control group; the first Ambit
+    // data row is the first eligible host.
+    let first_data_row = SubarrayLayout::new(geometry.rows_per_subarray)
+        .data_row(0)
+        .map_err(|e| format!("no data rows in geometry: {e}"))?;
+    let config = CharacterizationConfig {
+        seed,
+        first_eligible_row: first_data_row,
+        trials_per_subarray: PROFILE_TRIALS,
+        max_weak_cells: PROFILE_SPARE_ROWS,
+        ..CharacterizationConfig::for_geometry(
+            geometry.total_banks(),
+            geometry.subarrays_per_bank,
+            geometry.rows_per_subarray,
+            geometry.row_bits(),
+        )
+    };
+    let chip = ChipProfile::characterize(&CircuitParams::ddr3_55nm(), &config)
+        .map_err(|e| format!("characterization failed: {e}"))?;
+    mem.install_profile(PlacementProfile {
+        order: chip.strength_order(),
+        weak_cells: chip.weak_cells(),
+        bins: chip.bin_codes(),
+    })
+    .map_err(|e| format!("profile install failed: {e}"))?;
+    mem.reserve_spare_rows(PROFILE_SPARE_ROWS)
+        .map_err(|e| format!("spare reservation failed: {e}"))?;
+    FaultCampaign::from_profile(
+        CampaignConfig {
+            seed: seed ^ 0x9E37_79B9_7F4A_7C15,
+            base_tra_rate: 0.0,
+            stuck_cells_per_subarray: 0,
+            weak_cells_per_subarray: 0,
+            decay_probability: 0.0,
+            first_eligible_row: first_data_row,
+            ..CampaignConfig::default()
+        },
+        &geometry,
+        &chip.rates(),
+        &chip.weak_cells(),
+    )
+    .map_err(|e| format!("campaign derivation failed: {e}"))
+}
+
 fn run_resilient_path(
     program: &Program,
     report: &mut OracleReport,
@@ -304,15 +373,36 @@ fn run_resilient_path(
             return None;
         }
     }
-    let mut exec = ResilientExecutor::new(mem, ResilientConfig::default());
+    let mut exec = match program.profile_seed {
+        Some(seed) => {
+            let campaign = match arm_profile(program, seed, &mut mem) {
+                Ok(c) => c,
+                Err(e) => {
+                    report.fail(path, e);
+                    return None;
+                }
+            };
+            match ResilientExecutor::with_campaign(mem, ResilientConfig::default(), campaign) {
+                Ok(exec) => exec,
+                Err(e) => {
+                    report.fail(path, format!("campaign arming failed: {e}"));
+                    return None;
+                }
+            }
+        }
+        None => ResilientExecutor::new(mem, ResilientConfig::default()),
+    };
     let mut handles = Vec::with_capacity(program.vectors.len());
     for spec in &program.vectors {
         match exec.alloc(spec.bits) {
             Ok(h) => handles.push(h),
             // TMR needs 3x the rows of the plain paths; a program sized to
             // plain capacity can legitimately overflow here. Skipping the
-            // path is a capacity limit, not a conformance divergence.
-            Err(AmbitError::OutOfMemory { .. }) => return None,
+            // path is a capacity limit, not a conformance divergence. The
+            // same goes for alloc-time pre-remap running the spare rows
+            // dry on an unlucky profile.
+            Err(AmbitError::OutOfMemory { .. })
+            | Err(AmbitError::SpareRowsExhausted { .. }) => return None,
             Err(e) => {
                 report.fail(path, format!("alloc failed: {e}"));
                 return None;
@@ -359,11 +449,30 @@ fn run_resilient_path(
             ),
         );
     }
-    if program.fault_tra_rate.is_none() && r.faults_detected > 0 {
+    if program.fault_tra_rate.is_none() && program.profile_seed.is_none() && r.faults_detected > 0
+    {
         report.fail(
             path,
             format!("{} faults detected on a fault-free run", r.faults_detected),
         );
+    }
+    if program.profile_seed.is_some() {
+        // Every runtime remap goes through the driver's spare-row path, so
+        // the bad-row map must account for at least that many rows (plus
+        // any alloc-time pre-remaps).
+        let bad_rows = exec.memory().bad_rows().len() as u64;
+        if bad_rows < r.remaps {
+            report.fail(
+                path,
+                format!(
+                    "report inconsistency: {} remaps recorded but only {bad_rows} bad row(s) mapped",
+                    r.remaps
+                ),
+            );
+        }
+        if exec.memory().profile().is_none() {
+            report.fail(path, "placement profile vanished after arming".into());
+        }
     }
     let degraded = exec.is_degraded();
     check_trace(report, path, program, exec.memory());
@@ -439,6 +548,25 @@ mod tests {
         assert!(report.failures.iter().all(|f| f.path == "eager"));
         // The same program without the mutation conforms.
         assert!(run_oracle(&program, None).ok());
+    }
+
+    #[test]
+    fn profile_armed_programs_recover_or_degrade() {
+        let cfg = GeneratorConfig { profile_chance: 1.0, ..GeneratorConfig::default() };
+        let mut armed = 0;
+        for seed in 1..8 {
+            let program = generate(seed, &cfg);
+            assert!(program.profile_seed.is_some());
+            assert!(program.fault_tra_rate.is_none());
+            armed += 1;
+            let report = run_oracle(&program, None);
+            assert!(report.ok(), "seed {seed} failed:\n{:#?}", report.failures);
+            // Same seed, same map, same outcome: the profile replay is
+            // deterministic end to end.
+            let again = run_oracle(&program, None);
+            assert_eq!(again.ok(), report.ok());
+        }
+        assert!(armed > 0);
     }
 
     #[test]

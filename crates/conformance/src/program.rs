@@ -195,6 +195,13 @@ pub struct Program {
     /// Per-bit TRA fault rate, when the program runs fault-armed (such
     /// programs go through the resilient executor only).
     pub fault_tra_rate: Option<f64>,
+    /// Seed of a device characterization map
+    /// ([`ChipProfile`](ambit_circuit::ChipProfile)) the resilient path
+    /// regenerates and arms before running: variation-aware placement,
+    /// spare-row pre-remap, and a per-subarray fault campaign derived from
+    /// the map. Profile-armed programs go through the resilient executor
+    /// only, like fault-armed ones.
+    pub profile_seed: Option<u64>,
     /// The allocation plan.
     pub vectors: Vec<VectorSpec>,
     /// The operation list, executed in order (parallel paths must preserve
@@ -305,6 +312,10 @@ impl Program {
                 self.fault_tra_rate.map_or(Json::Null, Json::Num),
             ),
             (
+                "profile_seed",
+                self.profile_seed.map_or(Json::Null, json::big),
+            ),
+            (
                 "vectors",
                 Json::Arr(
                     self.vectors
@@ -358,6 +369,11 @@ impl Program {
             None | Some(Json::Null) => None,
             Some(v) => Some(v.as_f64().ok_or("bad fault_tra_rate")?),
         };
+        // Missing-key tolerant so repros predating the field still load.
+        let profile_seed = match doc.get("profile_seed") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_u64_any().ok_or("bad profile_seed")?),
+        };
         let vectors = doc
             .get("vectors")
             .and_then(Json::as_arr)
@@ -388,6 +404,7 @@ impl Program {
             aap_mode,
             tie_break,
             fault_tra_rate,
+            profile_seed,
             vectors,
             ops,
         };
@@ -499,6 +516,7 @@ mod tests {
             aap_mode: AapMode::Overlapped,
             tie_break: TieBreak::Error,
             fault_tra_rate: None,
+            profile_seed: None,
             vectors: vec![
                 VectorSpec { bits: 128, group: 0, data_seed: 1 },
                 VectorSpec { bits: 128, group: 0, data_seed: 2 },
@@ -523,6 +541,28 @@ mod tests {
         let text = p.to_json().to_string();
         let back = Program::from_json(&crate::json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_profile_seed() {
+        // Full-width u64 seeds must survive (the writer emits them as
+        // decimal strings, beyond f64's integer range).
+        let p = Program { profile_seed: Some(u64::MAX - 7), ..sample() };
+        let text = p.to_json().to_string();
+        let back = Program::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn missing_profile_seed_key_parses_as_none() {
+        // Repro documents written before the field existed have no
+        // profile_seed key at all; they must still load.
+        let mut doc = sample().to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields.remove("profile_seed");
+        }
+        let back = Program::from_json(&doc).unwrap();
+        assert_eq!(back.profile_seed, None);
     }
 
     #[test]

@@ -75,6 +75,39 @@ pub struct BadRowEntry {
     pub spare_d_index: usize,
 }
 
+/// A plain-data device reliability map consumed by the allocator
+/// (variation-aware placement, paper Section 5.5.3 + ROADMAP item 4).
+///
+/// This is the `ambit-core` projection of a characterized chip: build one
+/// from `ambit_circuit::ChipProfile` via its `strength_order()` /
+/// `weak_cells()` / `bin_codes()` accessors (this crate deliberately does
+/// not depend on the circuit crate, so the profile arrives as plain
+/// vectors). Install it with
+/// [`AmbitMemory::install_profile`] *before the first allocation*:
+///
+/// * new chunks are placed following [`order`](Self::order) instead of the
+///   default bank-first stripe, so the hottest allocations (the first ones
+///   made in each group) land in the strongest subarrays;
+/// * any chunk whose physical row hosts a known weak cell is pre-remapped
+///   onto a spare row at allocation time via the existing
+///   [`AmbitMemory::remap_bit`] path — paying the repair *before* first
+///   use instead of after a detected corruption;
+/// * [`bins`](Self::bins) feed the resilient executor's per-bin retry
+///   de-rating.
+///
+/// Subarray-indexed vectors are row-major:
+/// `flat_bank * subarrays_per_bank + subarray`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlacementProfile {
+    /// Every `(flat_bank, subarray)` pair exactly once, strongest
+    /// (lowest failure rate) first.
+    pub order: Vec<(usize, usize)>,
+    /// Per subarray: known weak cells as `(physical_row, column)` pairs.
+    pub weak_cells: Vec<Vec<(usize, usize)>>,
+    /// Per subarray: reliability bin code (0 strong, 1 nominal, 2 weak).
+    pub bins: Vec<u8>,
+}
+
 /// Ambit device memory with a subarray-aware allocator on top of the
 /// [`AmbitController`].
 ///
@@ -115,6 +148,9 @@ pub struct AmbitMemory {
     spares_used: Vec<Vec<usize>>,
     /// Rows found permanently faulty and remapped (the bad-row map).
     bad_rows: Vec<BadRowEntry>,
+    /// Installed device characterization map, if any (variation-aware
+    /// placement + pre-remap).
+    profile: Option<PlacementProfile>,
     /// Registered per-op instruments, when a telemetry registry is
     /// attached.
     telemetry: Option<DriverTelemetry>,
@@ -145,6 +181,8 @@ struct DriverTelemetry {
     /// Compiled-program cache hits and misses.
     plan_cache_hits: Counter,
     plan_cache_misses: Counter,
+    /// Weak cells repaired proactively at allocation time.
+    preremaps: Counter,
 }
 
 impl DriverTelemetry {
@@ -172,6 +210,11 @@ impl DriverTelemetry {
             "Bulk ops that were validated and compiled from scratch",
             &[],
         );
+        let preremaps = registry.counter(
+            "ambit_characterization_preremaps_total",
+            "Weak rows remapped onto spares at allocation time from the installed chip profile",
+            &[],
+        );
         DriverTelemetry {
             registry,
             latency_ns,
@@ -179,7 +222,28 @@ impl DriverTelemetry {
             ops: Vec::new(),
             plan_cache_hits,
             plan_cache_misses,
+            preremaps,
         }
+    }
+
+    /// Publishes the profile-armed gauges (idempotent; called when a
+    /// profile is installed or telemetry is attached after one).
+    fn arm_profile_gauges(&self, profile: &PlacementProfile) {
+        self.registry
+            .gauge(
+                "ambit_characterization_profile_armed",
+                "1 when a device characterization profile drives placement",
+                &[],
+            )
+            .set(1.0);
+        let weak = profile.bins.iter().filter(|&&b| b >= 2).count();
+        self.registry
+            .gauge(
+                "ambit_characterization_weak_subarrays",
+                "Subarrays binned weak by the installed chip profile",
+                &[],
+            )
+            .set(weak as f64);
     }
 
     fn op_counter(&mut self, mnemonic: &'static str) -> &Counter {
@@ -267,6 +331,7 @@ impl AmbitMemory {
             spares_per_subarray: 0,
             spares_used: vec![vec![0; geometry.subarrays_per_bank]; banks],
             bad_rows: Vec::new(),
+            profile: None,
             telemetry: None,
             plan_cache: RefCell::new(HashMap::new()),
             plan_cache_hits: Cell::new(0),
@@ -304,7 +369,11 @@ impl AmbitMemory {
     /// registry to the controller for per-command instrumentation.
     pub fn set_telemetry(&mut self, registry: Registry) {
         self.ctrl.set_telemetry(registry.clone());
-        self.telemetry = Some(DriverTelemetry::new(registry));
+        let tel = DriverTelemetry::new(registry);
+        if let Some(profile) = &self.profile {
+            tel.arm_profile_gauges(profile);
+        }
+        self.telemetry = Some(tel);
     }
 
     /// The attached telemetry registry, if any.
@@ -393,7 +462,51 @@ impl AmbitMemory {
                 chunks,
             },
         );
-        Ok(BitVectorHandle(id))
+        let handle = BitVectorHandle(id);
+        // Variation-aware pre-remap: if a chunk's physical row hosts a
+        // known weak cell, pay the spare-row repair now, before first use.
+        // A failure (spares exhausted) surfaces at allocation time and the
+        // handle is rolled back; the rows stay consumed, like any freed
+        // arena rows.
+        if self.profile.is_some() {
+            if let Err(e) = self.preremap_weak_rows(handle) {
+                self.vectors.remove(&id);
+                return Err(e);
+            }
+        }
+        Ok(handle)
+    }
+
+    /// Remaps every chunk of `handle` whose physical row appears in the
+    /// profile's weak-cell map onto a spare row (one remap repairs the
+    /// whole row, however many weak cells it hosts).
+    fn preremap_weak_rows(&mut self, handle: BitVectorHandle) -> Result<()> {
+        let geometry = *self.ctrl.geometry();
+        let subarrays = geometry.subarrays_per_bank;
+        let row_bits = self.row_bits();
+        let meta = self.meta(handle)?.clone();
+        let mut targets = Vec::new();
+        {
+            let Some(profile) = &self.profile else {
+                return Ok(());
+            };
+            for (i, chunk) in meta.chunks.iter().enumerate() {
+                let flat = chunk.bank.flat_index(&geometry) * subarrays + chunk.subarray;
+                let physical = self.ctrl.layout().data_row(chunk.d_index)?;
+                if profile.weak_cells[flat].iter().any(|&(row, _)| row == physical) {
+                    targets.push(i);
+                }
+            }
+        }
+        for i in targets {
+            // Any bit of the chunk selects the same row; clamp to the
+            // logical length for a partial final chunk.
+            self.remap_bit(handle, (i * row_bits).min(meta.bits - 1))?;
+            if let Some(tel) = &self.telemetry {
+                tel.preremaps.inc();
+            }
+        }
+        Ok(())
     }
 
     /// Length of the bitvector in bits.
@@ -519,6 +632,94 @@ impl AmbitMemory {
         }
         self.spares_per_subarray = per_subarray;
         Ok(())
+    }
+
+    /// Installs a device characterization map ([`PlacementProfile`]) into
+    /// the allocator. From here on, new allocations are placed strongest
+    /// subarray first and chunks landing on known-weak rows are repaired
+    /// onto spare rows *at allocation time* (reserve spares with
+    /// [`reserve_spare_rows`](Self::reserve_spare_rows) first, or the
+    /// pre-remap will surface [`AmbitError::SpareRowsExhausted`] on
+    /// alloc). Must be called before any allocation, so the whole working
+    /// set follows the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::ProfileRejected`] if allocations already
+    /// exist or the profile's shape does not match the device geometry
+    /// (the order must visit every subarray exactly once; weak cells and
+    /// bins must be row-major over all subarrays and in range).
+    pub fn install_profile(&mut self, profile: PlacementProfile) -> Result<()> {
+        let geometry = *self.ctrl.geometry();
+        let banks = geometry.total_banks();
+        let subarrays = geometry.subarrays_per_bank;
+        let total = banks * subarrays;
+        let reject = |reason: &'static str| Err(AmbitError::ProfileRejected { reason });
+        if self.next_free.iter().flatten().any(|&n| n > 0) {
+            return reject("profile must be installed before any allocation");
+        }
+        if profile.order.len() != total {
+            return reject("placement order must visit every subarray exactly once");
+        }
+        let mut seen = vec![false; total];
+        for &(b, s) in &profile.order {
+            if b >= banks || s >= subarrays {
+                return reject("placement order references a subarray outside the geometry");
+            }
+            let flat = b * subarrays + s;
+            if seen[flat] {
+                return reject("placement order visits a subarray twice");
+            }
+            seen[flat] = true;
+        }
+        if profile.weak_cells.len() != total {
+            return reject("weak-cell map must cover every subarray");
+        }
+        let rows = geometry.rows_per_subarray;
+        let bits = self.row_bits();
+        for cells in &profile.weak_cells {
+            for &(row, col) in cells {
+                if row >= rows || col >= bits {
+                    return reject("weak cell outside the subarray");
+                }
+            }
+        }
+        if profile.bins.len() != total || profile.bins.iter().any(|&b| b > 2) {
+            return reject("bins must give every subarray a code in 0..=2");
+        }
+        if let Some(tel) = &self.telemetry {
+            tel.arm_profile_gauges(&profile);
+        }
+        self.profile = Some(profile);
+        Ok(())
+    }
+
+    /// The installed characterization profile, if any.
+    pub fn profile(&self) -> Option<&PlacementProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Worst reliability-bin code (0 strong, 1 nominal, 2 weak) across the
+    /// subarrays backing `handle`'s chunks; 1 (nominal) when no profile is
+    /// installed. The resilient executor uses this to de-rate its retry
+    /// budget per operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::UnknownHandle`] for stale handles.
+    pub fn handle_bin(&self, handle: BitVectorHandle) -> Result<u8> {
+        let meta = self.meta(handle)?;
+        let Some(profile) = &self.profile else {
+            return Ok(1);
+        };
+        let geometry = *self.ctrl.geometry();
+        let subarrays = geometry.subarrays_per_bank;
+        let mut worst = 0u8;
+        for chunk in &meta.chunks {
+            let flat = chunk.bank.flat_index(&geometry) * subarrays + chunk.subarray;
+            worst = worst.max(profile.bins[flat]);
+        }
+        Ok(worst)
     }
 
     /// Spare rows still unused across the whole device.
@@ -1165,20 +1366,30 @@ impl AmbitMemory {
     }
 
     /// Placement sequence for the first `chunks` chunk indices of `group`:
-    /// stripe across banks first, then subarrays.
+    /// stripe across banks first, then subarrays — or, when a
+    /// characterization profile is installed, walk its strongest-first
+    /// order so the earliest (hottest) allocations get the most reliable
+    /// subarrays. Groups keep their distinct starting offsets in both
+    /// modes, so cross-group non-co-location is preserved.
     fn group_placements(&mut self, group: AllocGroup, chunks: usize) -> Vec<(usize, usize)> {
         let geometry = *self.ctrl.geometry();
         let banks = geometry.total_banks();
         let subarrays = geometry.subarrays_per_bank;
+        let order = self.profile.as_ref().map(|p| p.order.clone());
         let seq = self.group_sequences.entry(group.0).or_default();
         while seq.len() < chunks {
             // Different groups start at different banks so that vectors from
             // unrelated groups do not collide in the same subarrays — and so
             // that cross-group operations genuinely fail co-location.
             let i = seq.len() + group.0 as usize;
-            let bank = i % banks;
-            let subarray = (i / banks) % subarrays;
-            seq.push((bank, subarray));
+            match &order {
+                Some(order) => seq.push(order[i % order.len()]),
+                None => {
+                    let bank = i % banks;
+                    let subarray = (i / banks) % subarrays;
+                    seq.push((bank, subarray));
+                }
+            }
         }
         seq[..chunks].to_vec()
     }
@@ -1527,5 +1738,190 @@ mod tests {
             mem.bitwise(BitwiseOp::Or, acc, Some(p), acc).unwrap();
         }
         assert_eq!(mem.popcount(acc).unwrap(), bits);
+    }
+
+    /// A full-permutation profile for the tiny geometry whose strongest
+    /// subarray is `(1, 1)` (flat 3).
+    fn tiny_profile(weak_cells: Vec<Vec<(usize, usize)>>) -> PlacementProfile {
+        PlacementProfile {
+            order: vec![(1, 1), (0, 0), (0, 1), (1, 0)],
+            weak_cells,
+            bins: vec![1, 2, 1, 0],
+        }
+    }
+
+    #[test]
+    fn profile_steers_placement_to_strongest_subarray() {
+        let mut mem = memory();
+        mem.install_profile(tiny_profile(vec![vec![]; 4])).unwrap();
+        let bits = mem.row_bits();
+        let a = mem.alloc(bits).unwrap();
+        let b = mem.alloc(bits).unwrap();
+        let geometry = *mem.ctrl.geometry();
+        for h in [a, b] {
+            let chunk = mem.meta(h).unwrap().chunks[0];
+            assert_eq!(
+                (chunk.bank.flat_index(&geometry), chunk.subarray),
+                (1, 1),
+                "single-chunk allocations in the default group follow order[0]"
+            );
+        }
+        // Multi-chunk allocations walk the order, not the default stripe.
+        let wide = mem.alloc(bits * 3).unwrap();
+        let placements: Vec<(usize, usize)> = mem.meta(wide).unwrap().chunks
+            [..3]
+            .iter()
+            .map(|c| (c.bank.flat_index(&geometry), c.subarray))
+            .collect();
+        assert_eq!(placements, vec![(1, 1), (0, 0), (0, 1)]);
+        // Ops still work under profiled placement.
+        let d = mem.alloc(bits).unwrap();
+        mem.poke_bits(a, &vec![true; bits]).unwrap();
+        mem.poke_bits(b, &vec![true; bits]).unwrap();
+        mem.bitwise(BitwiseOp::And, a, Some(b), d).unwrap();
+        assert_eq!(mem.popcount(d).unwrap(), bits);
+        // Bin codes: (1,1) is flat 3 → bin 0; the wide vector also touches
+        // flat 0 (bin 1) and flat 1 (bin 2).
+        assert_eq!(mem.handle_bin(a).unwrap(), 0);
+        assert_eq!(mem.handle_bin(wide).unwrap(), 2);
+    }
+
+    #[test]
+    fn handle_bin_defaults_to_nominal_without_profile() {
+        let mut mem = memory();
+        let h = mem.alloc(32).unwrap();
+        assert_eq!(mem.handle_bin(h).unwrap(), 1);
+        assert!(mem.handle_bin(BitVectorHandle(999)).is_err());
+    }
+
+    #[test]
+    fn profile_preremaps_weak_rows_at_alloc_time() {
+        let mut mem = memory();
+        mem.set_telemetry(Registry::default());
+        mem.reserve_spare_rows(2).unwrap();
+        // Poison the first two data rows of the strongest subarray (1, 1).
+        let weak_row_0 = mem.ctrl.layout().data_row(0).unwrap();
+        let weak_row_1 = mem.ctrl.layout().data_row(1).unwrap();
+        let mut weak = vec![vec![]; 4];
+        weak[3] = vec![(weak_row_0, 5), (weak_row_1, 17)];
+        mem.install_profile(tiny_profile(weak)).unwrap();
+
+        let bits = mem.row_bits();
+        let a = mem.alloc(bits).unwrap(); // lands on d0 → pre-remapped
+        let b = mem.alloc(bits).unwrap(); // lands on d1 → pre-remapped
+        assert_eq!(mem.bad_rows().len(), 2);
+        assert_eq!(mem.spare_rows_free(), 2 * 4 - 2);
+        let reg = mem.telemetry().unwrap().clone();
+        assert_eq!(
+            reg.counter_value("ambit_characterization_preremaps_total", &[]),
+            Some(2)
+        );
+        assert_eq!(
+            reg.gauge_value("ambit_characterization_profile_armed", &[]),
+            Some(1.0)
+        );
+        // The remapped rows behave like clean memory.
+        let d = mem.alloc(bits).unwrap();
+        mem.poke_bits(a, &vec![true; bits]).unwrap();
+        mem.poke_bits(b, &vec![true; bits]).unwrap();
+        mem.bitwise(BitwiseOp::Xor, a, Some(b), d).unwrap();
+        assert_eq!(mem.popcount(d).unwrap(), 0);
+    }
+
+    #[test]
+    fn preremap_surfaces_spare_exhaustion_at_alloc_not_mid_op() {
+        let mut mem = memory();
+        mem.reserve_spare_rows(1).unwrap();
+        // More weak rows in the strongest subarray than spares.
+        let weak_row_0 = mem.ctrl.layout().data_row(0).unwrap();
+        let weak_row_1 = mem.ctrl.layout().data_row(1).unwrap();
+        let mut weak = vec![vec![]; 4];
+        weak[3] = vec![(weak_row_0, 0), (weak_row_1, 0)];
+        mem.install_profile(tiny_profile(weak)).unwrap();
+
+        let bits = mem.row_bits();
+        let a = mem.alloc(bits).unwrap(); // consumes the only spare
+        assert_eq!(
+            mem.alloc(bits).unwrap_err(),
+            AmbitError::SpareRowsExhausted { bank: 1, subarray: 1 },
+            "exhaustion must surface at placement time"
+        );
+        // The failed allocation was rolled back; the earlier handle and
+        // later allocations still work.
+        assert_eq!(mem.bad_rows().len(), 1);
+        mem.poke_bits(a, &vec![true; bits]).unwrap();
+        assert_eq!(mem.popcount(a).unwrap(), bits);
+    }
+
+    #[test]
+    fn install_profile_validates_shape_and_timing() {
+        let reason = |err: AmbitError| match err {
+            AmbitError::ProfileRejected { reason } => reason,
+            other => panic!("expected ProfileRejected, got {other:?}"),
+        };
+        // Too-short order.
+        let mut mem = memory();
+        let mut p = tiny_profile(vec![vec![]; 4]);
+        p.order.pop();
+        assert!(reason(mem.install_profile(p).unwrap_err()).contains("exactly once"));
+        // Duplicate entry.
+        let mut p = tiny_profile(vec![vec![]; 4]);
+        p.order[1] = (1, 1);
+        assert!(reason(mem.install_profile(p).unwrap_err()).contains("twice"));
+        // Out-of-geometry entry.
+        let mut p = tiny_profile(vec![vec![]; 4]);
+        p.order[2] = (5, 0);
+        assert!(reason(mem.install_profile(p).unwrap_err()).contains("outside"));
+        // Weak cell out of range.
+        let mut weak = vec![vec![]; 4];
+        weak[0] = vec![(1000, 0)];
+        let p = tiny_profile(weak);
+        assert!(reason(mem.install_profile(p).unwrap_err()).contains("weak cell"));
+        // Bad bin code.
+        let mut p = tiny_profile(vec![vec![]; 4]);
+        p.bins[0] = 7;
+        assert!(reason(mem.install_profile(p).unwrap_err()).contains("bins"));
+        // After an allocation it is too late.
+        mem.alloc(8).unwrap();
+        let p = tiny_profile(vec![vec![]; 4]);
+        assert!(reason(mem.install_profile(p).unwrap_err()).contains("before any allocation"));
+    }
+
+    mod preremap_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Satellite invariant: pre-remapping a row and then operating
+            /// is byte-for-byte identical to the same ops on a clean,
+            /// never-remapped device.
+            #[test]
+            fn preremap_then_op_matches_clean_device(
+                seed in 0u64..500,
+                bit in 0usize..256,
+                op_idx in 0usize..3,
+            ) {
+                let op = [BitwiseOp::And, BitwiseOp::Or, BitwiseOp::Xor][op_idx];
+                let bits = 256; // two chunks on the tiny geometry
+                let run = |remap: bool| {
+                    let mut mem = memory();
+                    mem.reserve_spare_rows(2).unwrap();
+                    let a = mem.alloc(bits).unwrap();
+                    let b = mem.alloc(bits).unwrap();
+                    let d = mem.alloc(bits).unwrap();
+                    if remap {
+                        mem.remap_bit(a, bit).unwrap();
+                    }
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                    let da: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+                    let db: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+                    mem.poke_bits(a, &da).unwrap();
+                    mem.poke_bits(b, &db).unwrap();
+                    mem.bitwise(op, a, Some(b), d).unwrap();
+                    (mem.peek_bits(a).unwrap(), mem.peek_bits(d).unwrap())
+                };
+                prop_assert_eq!(run(true), run(false));
+            }
+        }
     }
 }

@@ -98,6 +98,12 @@ pub enum AmbitError {
         /// The raw op index.
         id: usize,
     },
+    /// A placement profile could not be installed into the driver (wrong
+    /// shape for the device geometry, or allocations already exist).
+    ProfileRejected {
+        /// What was wrong with the profile.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for AmbitError {
@@ -154,6 +160,9 @@ impl fmt::Display for AmbitError {
             AmbitError::UnknownOp { id } => {
                 write!(f, "op id {id} does not belong to this batch")
             }
+            AmbitError::ProfileRejected { reason } => {
+                write!(f, "placement profile rejected: {reason}")
+            }
         }
     }
 }
@@ -197,6 +206,7 @@ mod tests {
             AmbitError::EmptyBatch,
             AmbitError::DependencyCycle { op: 4 },
             AmbitError::UnknownOp { id: 7 },
+            AmbitError::ProfileRejected { reason: "wrong shape" },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

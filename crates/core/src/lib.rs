@@ -65,10 +65,12 @@ pub use addressing::{RowAddress, SubarrayLayout};
 pub use batch::{BatchBuilder, BatchOpView, BatchReceipt, IssuePolicy, OpId};
 pub use compiler::{compile_fold, fold_savings, fold_supported};
 pub use controller::{AmbitController, OpReceipt};
-pub use driver::{AllocGroup, AmbitMemory, BadRowEntry, BitVectorHandle};
+pub use driver::{AllocGroup, AmbitMemory, BadRowEntry, BitVectorHandle, PlacementProfile};
 pub use error::{AmbitError, Result};
 pub use ecc::{bitwise_tmr, TmrVector, VotedRead};
-pub use resilient::{RecoveryReport, ResilientConfig, ResilientExecutor, ResilientHandle};
+pub use resilient::{
+    RecoveryReport, ResilienceConfig, ResilientConfig, ResilientExecutor, ResilientHandle,
+};
 pub use isa::{BbopInstruction, BbopOutcome, ExecutionPath};
 pub use ops::{compile_majority, AmbitCmd, BitwiseOp};
 pub use physmap::{DataRowLocation, PhysicalMap};

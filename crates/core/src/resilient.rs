@@ -67,7 +67,21 @@ pub struct ResilientConfig {
     /// 5.4.3). When `false`, exhausted retries raise
     /// [`AmbitError::RetriesExhausted`] instead.
     pub allow_cpu_fallback: bool,
+    /// Per-reliability-bin multipliers applied to `max_retries` and
+    /// `retry_aap_budget`, indexed by the characterization bin of the
+    /// operation's vectors (0 strong, 1 nominal, 2 weak; an operation uses
+    /// the worst bin among its operands). A strong-bin multiplier below 1
+    /// makes healthy subarrays fail fast into the remap path; a weak-bin
+    /// multiplier above 1 buys known-marginal subarrays extra retries
+    /// before degrading. Without an installed
+    /// [`PlacementProfile`](crate::PlacementProfile) every vector is
+    /// nominal, so the default `[1.0, 1.0, 1.0]` leaves behavior unchanged.
+    pub bin_retry_multipliers: [f64; 3],
 }
+
+/// The public name for the executor's tunable recovery policy — one entry
+/// point for retry budgets and per-bin de-rating.
+pub type ResilienceConfig = ResilientConfig;
 
 impl Default for ResilientConfig {
     fn default() -> Self {
@@ -78,6 +92,7 @@ impl Default for ResilientConfig {
             degrade_threshold: 0.005,
             max_remap_attempts: 4,
             allow_cpu_fallback: true,
+            bin_retry_multipliers: [1.0, 1.0, 1.0],
         }
     }
 }
@@ -143,6 +158,10 @@ struct Entry {
     /// operations writing it run on the CPU (voting still masks its bad
     /// replica on reads).
     degraded: bool,
+    /// Characterization bin of the vector (worst bin over its three
+    /// replicas' subarrays), cached at allocation time; 1 (nominal) when no
+    /// placement profile is installed.
+    bin: u8,
 }
 
 enum AttemptOutcome {
@@ -210,6 +229,9 @@ struct ResilientTelemetry {
     refreshes: Counter,
     decay_flips: Counter,
     degraded: Gauge,
+    /// Operations whose retry budget was de-rated (multiplier ≠ 1) by the
+    /// characterization bin of their vectors.
+    derated_ops: Counter,
     /// Wall interval of operations that detected at least one suspect bit,
     /// simulated nanoseconds.
     detection_latency_ns: Histogram,
@@ -262,6 +284,10 @@ impl ResilientTelemetry {
                 "ambit_resilient_degraded",
                 "1 when the device has degraded to sticky CPU-only execution",
                 &[],
+            ),
+            derated_ops: c(
+                "ambit_characterization_derated_ops_total",
+                "Operations whose retry budget was de-rated by their characterization bin",
             ),
             detection_latency_ns: registry.histogram(
                 "ambit_fault_detection_latency_ns",
@@ -433,6 +459,10 @@ impl ResilientExecutor {
     /// device cannot hold three replicas.
     pub fn alloc(&mut self, bits: usize) -> Result<ResilientHandle> {
         let tmr = TmrVector::alloc(&mut self.mem, bits)?;
+        let mut bin = 0u8;
+        for &replica in tmr.replicas().iter() {
+            bin = bin.max(self.mem.handle_bin(replica)?);
+        }
         let id = self.next_id;
         self.next_id += 1;
         self.vectors.insert(
@@ -440,6 +470,7 @@ impl ResilientExecutor {
             Entry {
                 tmr,
                 degraded: false,
+                bin,
             },
         );
         Ok(ResilientHandle(id))
@@ -524,6 +555,23 @@ impl ResilientExecutor {
             _ => None,
         };
 
+        // De-rate the retry budget by the operation's characterization bin
+        // (the worst bin among its vectors): strong subarrays fail fast to
+        // the remap path, known-weak subarrays get extra retries.
+        let op_bin = ea
+            .bin
+            .max(ed.bin)
+            .max(eb.as_ref().map_or(0, |e| e.bin))
+            .min(2) as usize;
+        let multiplier = self.cfg.bin_retry_multipliers[op_bin].max(0.0);
+        let max_retries = (self.cfg.max_retries as f64 * multiplier).round() as u32;
+        let aap_budget = (self.cfg.retry_aap_budget as f64 * multiplier).round() as u64;
+        if multiplier != 1.0 {
+            if let Some(tel) = &self.telemetry {
+                tel.derated_ops.inc();
+            }
+        }
+
         let mut completed = false;
         if !self.degraded && !operand_degraded {
             match self.try_in_dram(
@@ -533,6 +581,8 @@ impl ResilientExecutor {
                 &ed.tmr,
                 a_snap.as_deref(),
                 b_snap.as_deref(),
+                max_retries,
+                aap_budget,
             )? {
                 AttemptOutcome::Done => completed = true,
                 AttemptOutcome::Fallback { retries, suspects } => {
@@ -621,6 +671,9 @@ impl ResilientExecutor {
     /// `a_snap` / `b_snap` carry the pre-op voted value of a source that
     /// aliases `dst` (see [`ResilientExecutor::bitwise`]); retries restore
     /// such a source from its snapshot instead of scrubbing it in place.
+    /// `max_retries` and `aap_budget` are the configured limits already
+    /// de-rated by the operation's characterization bin.
+    #[allow(clippy::too_many_arguments)]
     fn try_in_dram(
         &mut self,
         op: BitwiseOp,
@@ -629,6 +682,8 @@ impl ResilientExecutor {
         dst: &TmrVector,
         a_snap: Option<&[bool]>,
         b_snap: Option<&[bool]>,
+        max_retries: u32,
+        aap_budget: u64,
     ) -> Result<AttemptOutcome> {
         let bits = dst.len_bits();
         let mut retries = 0u32;
@@ -648,7 +703,7 @@ impl ResilientExecutor {
                 // A stale operand row: scrubbing rewrites (and thereby
                 // refreshes) the operands, then the op is retried.
                 Err(AmbitError::Dram(DramError::RetentionViolation { .. }))
-                    if retries < self.cfg.max_retries =>
+                    if retries < max_retries =>
                 {
                     retries += 1;
                     self.report.retries += 1;
@@ -685,8 +740,8 @@ impl ResilientExecutor {
             // Poisson noise.
             let expected_at_threshold = 3.0 * self.cfg.degrade_threshold * bits as f64;
             let degrade_bound = expected_at_threshold + 3.0 * expected_at_threshold.sqrt() + 3.0;
-            let budget_ok = aaps_spent + last_attempt_aaps <= self.cfg.retry_aap_budget;
-            if retries < self.cfg.max_retries && budget_ok {
+            let budget_ok = aaps_spent + last_attempt_aaps <= aap_budget;
+            if retries < max_retries && budget_ok {
                 retries += 1;
                 self.report.retries += 1;
                 self.emit_event(
@@ -1123,6 +1178,113 @@ mod tests {
         assert!(events.iter().any(|e| e.name == "resilient.retry"));
         assert!(events.iter().any(|e| e.name == "resilient.degrade"));
         assert_eq!(reg.spans().iter().filter(|s| s.name == "resilient.op").count(), 2);
+    }
+
+    #[test]
+    fn resilience_config_alias_and_defaults_pin_current_behavior() {
+        // Satellite: `ResilienceConfig` is the public entry point; the
+        // default multipliers must leave the pre-characterization policy
+        // untouched.
+        let cfg: ResilienceConfig = ResilienceConfig::default();
+        assert_eq!(cfg, ResilientConfig::default());
+        assert_eq!(cfg.bin_retry_multipliers, [1.0, 1.0, 1.0]);
+        assert_eq!(cfg.max_retries, 3);
+        assert_eq!(cfg.retry_aap_budget, 256);
+    }
+
+    /// A memory with a placement profile whose four subarrays carry `bins`
+    /// and no weak cells; the order keeps the default stripe irrelevant by
+    /// steering every allocation to subarray (0, 0) first.
+    fn profiled_memory(bins: Vec<u8>) -> AmbitMemory {
+        use crate::driver::PlacementProfile;
+        let mut mem = memory();
+        mem.install_profile(PlacementProfile {
+            order: vec![(0, 0), (0, 1), (1, 0), (1, 1)],
+            weak_cells: vec![Vec::new(); 4],
+            bins,
+        })
+        .unwrap();
+        mem
+    }
+
+    #[test]
+    fn weak_bin_buys_more_retries_before_degrading() {
+        let mut mem = profiled_memory(vec![2, 2, 2, 2]);
+        mem.set_tra_fault_rate(0.26).unwrap();
+        let cfg = ResilientConfig {
+            bin_retry_multipliers: [1.0, 1.0, 3.0],
+            ..ResilientConfig::default()
+        };
+        let mut exec = ResilientExecutor::new(mem, cfg);
+        exec.set_telemetry(Registry::default());
+        let bits = exec.memory().row_bits();
+        let (a, b, out) = (
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+        );
+        let da = pattern(bits, 2);
+        let db = pattern(bits, 3);
+        exec.write(a, &da).unwrap();
+        exec.write(b, &db).unwrap();
+        let report = exec.bitwise(BitwiseOp::And, a, Some(b), out).unwrap();
+        // Effective retry ceiling is 3 × 3 = 9: at a 26 % flip rate every
+        // attempt stays suspect, so the full de-rated budget is spent
+        // before the degrade decision.
+        assert_eq!(report.retries, 9, "{report:?}");
+        assert_eq!(exec.read(out).unwrap(), expected(BitwiseOp::And, &da, &db));
+        let reg = exec.telemetry().unwrap().clone();
+        assert_eq!(
+            reg.counter_value("ambit_characterization_derated_ops_total", &[]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn strong_bin_fails_fast_into_fallback() {
+        let mut mem = profiled_memory(vec![0, 0, 0, 0]);
+        mem.set_tra_fault_rate(0.26).unwrap();
+        let cfg = ResilientConfig {
+            bin_retry_multipliers: [0.0, 1.0, 1.0],
+            ..ResilientConfig::default()
+        };
+        let mut exec = ResilientExecutor::new(mem, cfg);
+        let bits = exec.memory().row_bits();
+        let (a, b, out) = (
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+        );
+        let da = pattern(bits, 2);
+        let db = pattern(bits, 5);
+        exec.write(a, &da).unwrap();
+        exec.write(b, &db).unwrap();
+        let report = exec.bitwise(BitwiseOp::Or, a, Some(b), out).unwrap();
+        // Strong subarrays should not burn retries on a clearly broken
+        // device: zero retries, straight to the catastrophic-rate degrade.
+        assert_eq!(report.retries, 0, "{report:?}");
+        assert!(report.degraded);
+        assert_eq!(exec.read(out).unwrap(), expected(BitwiseOp::Or, &da, &db));
+    }
+
+    #[test]
+    fn unprofiled_vectors_are_nominal_so_defaults_are_unchanged() {
+        // Without a profile every vector lands in bin 1, whose default
+        // multiplier is 1.0 — the pre-characterization retry count.
+        let mut mem = memory();
+        mem.set_tra_fault_rate(0.26).unwrap();
+        let mut exec = ResilientExecutor::new(mem, ResilientConfig::default());
+        let bits = exec.memory().row_bits();
+        let (a, b, out) = (
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+            exec.alloc(bits).unwrap(),
+        );
+        exec.write(a, &pattern(bits, 2)).unwrap();
+        exec.write(b, &pattern(bits, 3)).unwrap();
+        let report = exec.bitwise(BitwiseOp::And, a, Some(b), out).unwrap();
+        assert_eq!(report.retries, 3, "{report:?}");
+        assert_eq!(exec.vectors.get(&a.0).unwrap().bin, 1);
     }
 
     #[test]

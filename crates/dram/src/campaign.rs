@@ -207,6 +207,62 @@ impl FaultCampaign {
         Self::plan_inner(config, geometry, Some(rates))
     }
 
+    /// Arms a campaign from a device characterization map: one measured
+    /// TRA rate per subarray plus per-subarray weak cells (row-major over
+    /// `flat_bank * subarrays_per_bank + subarray`, each cell a
+    /// `(row, bit)` pair). The weak cells are installed as stuck-at
+    /// faults with a seed-deterministic polarity, *in addition to* any
+    /// stuck/weak cells the config itself asks to sample — feed
+    /// `ambit_circuit::ChipProfile::rates()` / `weak_cells()` here to
+    /// replay a characterized chip instead of a synthetic one.
+    ///
+    /// # Errors
+    ///
+    /// As [`plan_with_rates`](Self::plan_with_rates); additionally rejects
+    /// a `weak_cells` slice of the wrong length
+    /// ([`DramError::RowOutOfRange`]) or a cell outside the subarray
+    /// ([`DramError::CellOutOfRange`]).
+    pub fn from_profile(
+        config: CampaignConfig,
+        geometry: &DramGeometry,
+        rates: &[f64],
+        weak_cells: &[Vec<(usize, usize)>],
+    ) -> Result<Self> {
+        let expected = geometry.total_banks() * geometry.subarrays_per_bank;
+        if weak_cells.len() != expected {
+            return Err(DramError::RowOutOfRange {
+                row: weak_cells.len(),
+                rows: expected,
+            });
+        }
+        let rows = geometry.rows_per_subarray;
+        let bits = geometry.row_bits();
+        for cells in weak_cells {
+            for &(row, bit) in cells {
+                if row >= rows || bit >= bits {
+                    return Err(DramError::CellOutOfRange {
+                        row,
+                        bit,
+                        rows,
+                        bits,
+                    });
+                }
+            }
+        }
+        let mut campaign = Self::plan_with_rates(config, geometry, rates)?;
+        for (flat, cells) in weak_cells.iter().enumerate() {
+            for &(row, bit) in cells {
+                let fault = if campaign.rng.gen::<bool>() {
+                    CellFault::StuckAtOne
+                } else {
+                    CellFault::StuckAtZero
+                };
+                campaign.plans[flat].stuck.push(StuckCell { row, bit, fault });
+            }
+        }
+        Ok(campaign)
+    }
+
     fn plan_inner(
         config: CampaignConfig,
         geometry: &DramGeometry,
@@ -501,6 +557,46 @@ mod tests {
         assert!(matches!(
             FaultCampaign::plan_with_rates(config(), &g, &[0.1, 0.2, 0.3, 1.5]),
             Err(DramError::InvalidFaultRate { .. })
+        ));
+    }
+
+    #[test]
+    fn from_profile_arms_rates_and_weak_cells_deterministically() {
+        let g = DramGeometry::tiny();
+        let rates = [0.001, 0.02, 0.0003, 0.15];
+        let weak: Vec<Vec<(usize, usize)>> =
+            vec![vec![(9, 3)], vec![], vec![(12, 77), (30, 0)], vec![(8, 127)]];
+        let cfg = CampaignConfig { stuck_cells_per_subarray: 1, ..config() };
+        let a = FaultCampaign::from_profile(cfg, &g, &rates, &weak).unwrap();
+        let b = FaultCampaign::from_profile(cfg, &g, &rates, &weak).unwrap();
+        assert_eq!(a.plans(), b.plans(), "profile replay is deterministic");
+        let got: Vec<f64> = a.plans().iter().map(|p| p.tra_rate).collect();
+        assert_eq!(got, rates);
+        // Profile weak cells land on top of the config's own sampled stuck cells.
+        assert_eq!(a.stuck_cell_count(), 4 + weak.iter().map(Vec::len).sum::<usize>());
+        assert!(a.plans()[2].stuck.iter().any(|c| (c.row, c.bit) == (12, 77)));
+        // Installs cleanly into a device of the planned geometry.
+        let mut device = DramDevice::new(g);
+        a.apply(&mut device).unwrap();
+    }
+
+    #[test]
+    fn from_profile_rejects_bad_shapes() {
+        let g = DramGeometry::tiny();
+        let rates = [0.0; 4];
+        assert!(matches!(
+            FaultCampaign::from_profile(config(), &g, &rates, &[vec![], vec![]]),
+            Err(DramError::RowOutOfRange { .. })
+        ));
+        let weak = vec![vec![(40, 0)], vec![], vec![], vec![]];
+        assert!(matches!(
+            FaultCampaign::from_profile(config(), &g, &rates, &weak),
+            Err(DramError::CellOutOfRange { row: 40, .. })
+        ));
+        let weak = vec![vec![(9, 200)], vec![], vec![], vec![]];
+        assert!(matches!(
+            FaultCampaign::from_profile(config(), &g, &rates, &weak),
+            Err(DramError::CellOutOfRange { bit: 200, .. })
         ));
     }
 
