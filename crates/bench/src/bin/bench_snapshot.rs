@@ -87,6 +87,22 @@ const BATCH_ENVELOPE_TOLERANCE: f64 = 0.10;
 /// ideal B×.
 const BATCH_SPEEDUP_FLOOR: f64 = 0.8;
 
+/// Required wall-clock speedup of the OS-threaded batch path over the
+/// single-threaded bank-parallel path at [`WALLCLOCK_FLOOR_BANKS`]+ banks.
+/// Only enforced when the snapshot records ≥ 2 available cores: on a
+/// single-core runner the threaded path cannot beat serial issue and the
+/// measurement only documents the overhead.
+const WALLCLOCK_SPEEDUP_FLOOR: f64 = 1.5;
+
+/// Bank count at which [`WALLCLOCK_SPEEDUP_FLOOR`] starts to apply; below
+/// this the functional work per wave is too small to amortize thread
+/// startup and the column is informational.
+const WALLCLOCK_FLOOR_BANKS: u64 = 8;
+
+/// Wall-clock samples per (policy, bank count); the snapshot keeps the
+/// fastest, which is the standard guard against scheduler noise.
+const WALLCLOCK_SAMPLES: usize = 3;
+
 /// Analytic Table 3 energy of one op over one row, from the paper's
 /// command-program structure (Figure 8) and the [`EnergyModel`]
 /// coefficients — written independently of the simulator so the snapshot
@@ -264,6 +280,7 @@ struct BatchResult {
     makespan_ns_parallel: f64,
     makespan_ns_serial: f64,
     speedup: f64,
+    wallclock_speedup: f64,
     measured_gops: f64,
     analytic_gops: f64,
     envelope_error_frac: f64,
@@ -271,12 +288,13 @@ struct BatchResult {
 
 /// Queues `per_bank` independent ANDs on each of `banks` banks, submitted
 /// round-robin so every bank's chain starts as early as the command bus
-/// allows; the whole batch is one dependency wave.
+/// allows; the whole batch is one dependency wave. Returns the builder and
+/// the destination handles for byte-identity readback.
 fn build_bank_sweep_batch(
     mem: &mut AmbitMemory,
     banks: usize,
     per_bank: usize,
-) -> BatchBuilder {
+) -> (BatchBuilder, Vec<ambit_core::BitVectorHandle>) {
     let bits = mem.row_bits();
     let mut operands = Vec::with_capacity(banks);
     for g in 0..banks {
@@ -293,25 +311,60 @@ fn build_bank_sweep_batch(
             batch.bitwise(BitwiseOp::And, *a, Some(*b), dsts[j]);
         }
     }
-    batch
+    let all_dsts = operands
+        .iter()
+        .flat_map(|(_, _, dsts)| dsts.iter().copied())
+        .collect();
+    (batch, all_dsts)
 }
 
 /// Measures one bank count of the sweep: bank-parallel makespan, serial
-/// baseline on an identical fresh module, and the analytic envelope at the
-/// same bank count.
+/// baseline on an identical fresh module, the analytic envelope at the
+/// same bank count, and the wall-clock speedup of the OS-threaded issue
+/// path over single-threaded bank-parallel issue (best of
+/// [`WALLCLOCK_SAMPLES`] each, asserted byte-identical first).
 fn measure_batch(banks: usize, per_bank: usize, config: &AmbitConfig) -> BatchResult {
     let geometry = DramGeometry {
         banks,
         ..DramGeometry::ddr3_module()
     };
+    // One sample: fresh module, timed execute_batch, dst readback.
     let run = |policy: IssuePolicy| {
         let mut mem = AmbitMemory::new(geometry, config.timing, config.mode);
-        let batch = build_bank_sweep_batch(&mut mem, banks, per_bank);
-        mem.execute_batch(&batch, policy)
-            .expect("bank sweep batch executes")
+        let (batch, dsts) = build_bank_sweep_batch(&mut mem, banks, per_bank);
+        let t0 = std::time::Instant::now();
+        let receipt = mem
+            .execute_batch(&batch, policy)
+            .expect("bank sweep batch executes");
+        let wall_s = t0.elapsed().as_secs_f64();
+        let readback: Vec<Vec<bool>> = dsts
+            .iter()
+            .map(|d| mem.peek_bits(*d).expect("dst readable"))
+            .collect();
+        (receipt, readback, wall_s)
     };
-    let parallel = run(IssuePolicy::BankParallel);
-    let serial = run(IssuePolicy::Serial);
+    let (parallel, parallel_bits, wall0_parallel) = run(IssuePolicy::BankParallel);
+    let (serial, _, _) = run(IssuePolicy::Serial);
+    let (threaded, threaded_bits, wall0_threaded) = run(IssuePolicy::BankParallelThreaded);
+    // The threaded path must be indistinguishable from serial issue in
+    // everything but wall clock: receipts (timing, energy, per-op windows,
+    // busy attribution) and final memory bytes.
+    assert_eq!(
+        threaded, parallel,
+        "threaded batch receipt diverges from bank-parallel at B={banks}"
+    );
+    assert_eq!(
+        threaded_bits, parallel_bits,
+        "threaded batch memory image diverges from bank-parallel at B={banks}"
+    );
+
+    let best = |policy: IssuePolicy, first: f64| {
+        (1..WALLCLOCK_SAMPLES)
+            .map(|_| run(policy).2)
+            .fold(first, f64::min)
+    };
+    let wall_parallel = best(IssuePolicy::BankParallel, wall0_parallel);
+    let wall_threaded = best(IssuePolicy::BankParallelThreaded, wall0_threaded);
 
     let ops = banks * per_bank;
     let makespan_s = parallel.makespan_ps() as f64 / 1e12;
@@ -326,30 +379,40 @@ fn measure_batch(banks: usize, per_bank: usize, config: &AmbitConfig) -> BatchRe
         makespan_ns_parallel: parallel.makespan_ps() as f64 / PS_PER_NS as f64,
         makespan_ns_serial: serial.makespan_ps() as f64 / PS_PER_NS as f64,
         speedup: serial.makespan_ps() as f64 / parallel.makespan_ps() as f64,
+        wallclock_speedup: wall_parallel / wall_threaded,
         measured_gops,
         analytic_gops,
         envelope_error_frac: (measured_gops - analytic_gops).abs() / analytic_gops,
     }
 }
 
+/// Cores available to the threaded batch path, as recorded in the
+/// snapshot so the validator knows whether the wall-clock floor is
+/// meaningful on the machine that produced it.
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 fn render_batch_snapshot(results: &[BatchResult], config: &AmbitConfig, per_bank: usize) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"ambit-bench-batch/v1\",\n");
+    out.push_str("  \"schema\": \"ambit-bench-batch/v2\",\n");
     out.push_str(&format!(
-        "  \"config\": {{\"timing\": \"ddr3_1600\", \"mode\": \"overlapped\", \"row_bytes\": {}, \"ops_per_bank\": {}, \"quick\": {}}},\n",
+        "  \"config\": {{\"timing\": \"ddr3_1600\", \"mode\": \"overlapped\", \"row_bytes\": {}, \"ops_per_bank\": {}, \"threads\": {}, \"quick\": {}}},\n",
         config.row_bytes,
         per_bank,
+        available_threads(),
         quick_mode()
     ));
     out.push_str("  \"sweep\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"banks\": {}, \"ops\": {}, \"makespan_ns_parallel\": {}, \"makespan_ns_serial\": {}, \"speedup\": {}, \"measured_gops\": {}, \"analytic_gops\": {}, \"envelope_error_frac\": {}}}{}\n",
+            "    {{\"banks\": {}, \"ops\": {}, \"makespan_ns_parallel\": {}, \"makespan_ns_serial\": {}, \"speedup\": {}, \"wallclock_speedup\": {}, \"measured_gops\": {}, \"analytic_gops\": {}, \"envelope_error_frac\": {}}}{}\n",
             r.banks,
             r.ops,
             json::number(r.makespan_ns_parallel),
             json::number(r.makespan_ns_serial),
             json::number(r.speedup),
+            json::number(r.wallclock_speedup),
             json::number(r.measured_gops),
             json::number(r.analytic_gops),
             json::number(r.envelope_error_frac),
@@ -362,21 +425,28 @@ fn render_batch_snapshot(results: &[BatchResult], config: &AmbitConfig, per_bank
 
 /// Validates a batch snapshot: schema marker, per-entry fields, measured
 /// throughput within [`BATCH_ENVELOPE_TOLERANCE`] of the analytic
-/// envelope, and speedup ≥ [`BATCH_SPEEDUP_FLOOR`]·B at every bank count.
+/// envelope, speedup ≥ [`BATCH_SPEEDUP_FLOOR`]·B at every bank count, and
+/// — when the recorded runner had ≥ 2 cores — wall-clock speedup ≥
+/// [`WALLCLOCK_SPEEDUP_FLOOR`] at [`WALLCLOCK_FLOOR_BANKS`]+ banks.
 fn validate_batch_snapshot(text: &str) -> Result<usize, Vec<String>> {
     let mut errors = Vec::new();
     let doc = match Json::parse(text) {
         Ok(d) => d,
         Err(e) => return Err(vec![format!("not valid JSON: {e}")]),
     };
-    if doc.get("schema").and_then(Json::as_str) != Some("ambit-bench-batch/v1") {
+    if doc.get("schema").and_then(Json::as_str) != Some("ambit-bench-batch/v2") {
         errors.push("missing or wrong \"schema\" marker".into());
     }
-    for key in ["row_bytes", "ops_per_bank"] {
+    for key in ["row_bytes", "ops_per_bank", "threads"] {
         if doc.get("config").and_then(|c| c.get(key)).and_then(Json::as_u64).is_none() {
             errors.push(format!("config.{key} missing or not an integer"));
         }
     }
+    let threads = doc
+        .get("config")
+        .and_then(|c| c.get("threads"))
+        .and_then(Json::as_u64)
+        .unwrap_or(1);
     let Some(sweep) = doc.get("sweep").and_then(Json::as_arr) else {
         errors.push("\"sweep\" missing or not an array".into());
         return Err(errors);
@@ -393,6 +463,7 @@ fn validate_batch_snapshot(text: &str) -> Result<usize, Vec<String>> {
             "makespan_ns_parallel",
             "makespan_ns_serial",
             "speedup",
+            "wallclock_speedup",
             "measured_gops",
             "analytic_gops",
             "envelope_error_frac",
@@ -415,6 +486,14 @@ fn validate_batch_snapshot(text: &str) -> Result<usize, Vec<String>> {
             if speedup < floor {
                 errors.push(format!(
                     "sweep[{i}] (B={banks}): bank-parallel speedup {speedup:.2}x below the {floor:.1}x floor"
+                ));
+            }
+        }
+        if let Some(wallclock) = entry.get("wallclock_speedup").and_then(Json::as_f64) {
+            if threads >= 2 && banks >= WALLCLOCK_FLOOR_BANKS && wallclock < WALLCLOCK_SPEEDUP_FLOOR
+            {
+                errors.push(format!(
+                    "sweep[{i}] (B={banks}): wall-clock speedup {wallclock:.2}x below the {WALLCLOCK_SPEEDUP_FLOOR:.1}x floor on a {threads}-core runner"
                 ));
             }
         }
@@ -775,15 +854,19 @@ fn batch_main() -> ExitCode {
         .map(|banks| measure_batch(banks, per_bank, &config))
         .collect();
 
-    println!("batch bank-scaling sweep @ DDR3-1600, {per_bank} and-ops/bank:");
+    println!(
+        "batch bank-scaling sweep @ DDR3-1600, {per_bank} and-ops/bank, {} cores:",
+        available_threads()
+    );
     for r in &results {
         println!(
-            "  B={}: {:6} ops  makespan {:8.0} ns (serial {:9.0} ns)  speedup {:5.2}x  {:7.1} GOps/s measured vs {:7.1} analytic (err {:.2}%)",
+            "  B={}: {:6} ops  makespan {:8.0} ns (serial {:9.0} ns)  speedup {:5.2}x  wallclock {:5.2}x  {:7.1} GOps/s measured vs {:7.1} analytic (err {:.2}%)",
             r.banks,
             r.ops,
             r.makespan_ns_parallel,
             r.makespan_ns_serial,
             r.speedup,
+            r.wallclock_speedup,
             r.measured_gops,
             r.analytic_gops,
             r.envelope_error_frac * 100.0,
@@ -804,7 +887,7 @@ fn batch_main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "wrote {path} (throughput within {:.0}% of the analytic envelope, speedup >= {:.1}*B)",
+        "wrote {path} (throughput within {:.0}% of the analytic envelope, speedup >= {:.1}*B, threaded path byte-identical)",
         BATCH_ENVELOPE_TOLERANCE * 100.0,
         BATCH_SPEEDUP_FLOOR
     );

@@ -1,7 +1,8 @@
 //! The N-way differential execution oracle.
 //!
 //! Runs one [`Program`] through every execution path the stack offers —
-//! eager driver calls, the batch engine under both issue policies, the
+//! eager driver calls, the batch engine under all three issue policies
+//! (serial, bank-parallel, and the OS-threaded wall-clock path), the
 //! device with its analog model replaced by the scalar reference, and (for
 //! all-bitwise programs) the resilient executor — and checks every path's
 //! final memory image byte-for-byte against the pure-CPU golden model.
@@ -36,10 +37,11 @@ use crate::program::{ProgOp, Program};
 use crate::trace_check::TraceChecker;
 
 /// Names of the fault-free execution paths, in oracle order.
-pub const FAULT_FREE_PATHS: [&str; 5] = [
+pub const FAULT_FREE_PATHS: [&str; 6] = [
     "eager",
     "batch_serial",
     "batch_bank_parallel",
+    "batch_threaded",
     "forced_scalar",
     "resilient",
 ];
@@ -483,10 +485,15 @@ fn run_differential(program: &Program, mutation: Option<&Mutation>) -> OracleRep
     let mut report = OracleReport::default();
     let golden = golden::run(program);
 
-    let driver_paths: [(&str, Issue, bool); 4] = [
+    let driver_paths: [(&str, Issue, bool); 5] = [
         ("eager", Issue::Eager, false),
         ("batch_serial", Issue::Batch(IssuePolicy::Serial), false),
         ("batch_bank_parallel", Issue::Batch(IssuePolicy::BankParallel), false),
+        (
+            "batch_threaded",
+            Issue::Batch(IssuePolicy::BankParallelThreaded),
+            false,
+        ),
         ("forced_scalar", Issue::Eager, true),
     ];
     for (path, issue, forced_scalar) in &driver_paths {

@@ -49,6 +49,25 @@ pub enum IssuePolicy {
     /// separates consecutive waves.
     #[default]
     BankParallel,
+    /// [`BankParallel`](Self::BankParallel) semantics — identical receipts,
+    /// traces, telemetry, and final memory image — but the functional work
+    /// additionally executes on real OS threads, one per bank with work
+    /// (`std::thread::scope`), so wall-clock time scales with cores.
+    ///
+    /// Execution is two-phase: a serial *timing pass* replays the exact
+    /// command sequence `BankParallel` issues (the command bus is one
+    /// global serializer, so timestamps depend on global issue order),
+    /// then a parallel *functional pass* runs each bank's program queue on
+    /// its own thread. Within one bank the queue preserves serial order,
+    /// and banks share no functional state, so results are byte-identical
+    /// by construction.
+    ///
+    /// Falls back to plain `BankParallel` (still correct, just wall-clock
+    /// serial) when any subarray has a transient TRA fault rate armed:
+    /// fault-armed charge shares consume the subarray's pinned per-bit RNG
+    /// stream, which the fallback keeps bit-exact by running the one code
+    /// path the stream was pinned against.
+    BankParallelThreaded,
 }
 
 /// Receipt for one executed batch: the merged timing/energy window, per-op
@@ -63,8 +82,12 @@ pub struct BatchReceipt {
     /// Dependency waves the batch was planned into.
     pub waves: usize,
     /// Open-row busy time each timing pipeline (bank, or `(bank, subarray)`
-    /// under SALP) accumulated during this batch, picoseconds. The vector
-    /// covers every pipeline the timer has touched so far.
+    /// under SALP) accumulated *during this batch only*, picoseconds — the
+    /// per-batch delta of the timer's cumulative busy attribution, so a
+    /// pipeline this batch never touched reads zero even if earlier batches
+    /// used it. Indexed by pipeline id; the vector's length covers every
+    /// pipeline the timer has ever tracked, not just the ones this batch
+    /// used.
     pub bank_busy_ps: Vec<u64>,
 }
 
@@ -133,6 +156,14 @@ impl BatchOp {
             | BatchOp::Maj3 { dst, .. }
             | BatchOp::Fold { dst, .. } => *dst,
         }
+    }
+
+    /// Whether the op references `handle` as a source or destination —
+    /// the plan-cache eviction predicate
+    /// [`AmbitMemory::free`](crate::AmbitMemory::free) uses to drop exactly
+    /// the cached plans a freed handle invalidates.
+    pub(crate) fn involves(&self, handle: BitVectorHandle) -> bool {
+        self.writes() == handle || self.reads().contains(&handle)
     }
 
     /// Telemetry mnemonic, matching what the eager entry points record.

@@ -5,8 +5,8 @@
 use std::collections::HashSet;
 
 use ambit_dram::{
-    AapMode, BankId, BitRow, CampaignTick, CommandTimer, DramDevice, DramError, DramGeometry,
-    EnergyModel, FaultCampaign, RefreshScheduler, TimingParams,
+    AapMode, Bank, BankId, BitRow, CampaignTick, CommandTimer, DramDevice, DramError,
+    DramGeometry, EnergyModel, FaultCampaign, RefreshScheduler, TimingParams,
 };
 use ambit_telemetry::Registry;
 
@@ -322,6 +322,125 @@ impl AmbitController {
         })
     }
 
+    /// Timer-only replay of a command program: issues exactly the
+    /// AAP/AP timing sequence [`run_program`](Self::run_program) would —
+    /// same pipeline index, same wordline tags, same order — without
+    /// touching the functional device.
+    ///
+    /// The threaded batch path splits `run_program` in two: this timing
+    /// pass runs serially on the submitting thread (the command bus is one
+    /// global serializer, so timestamps depend on global issue order),
+    /// while the functional half ([`run_bank_queues`](Self::run_bank_queues))
+    /// fans out across banks on OS threads. Because the timer calls here
+    /// are byte-for-byte the ones the serial path makes, receipts, traces,
+    /// and timer telemetry are identical by construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-decode and timing protocol errors.
+    pub(crate) fn time_program(
+        &mut self,
+        bank: BankId,
+        subarray: usize,
+        program: &[AmbitCmd],
+    ) -> Result<OpReceipt> {
+        let flat = self.timer_index(bank.flat_index(self.device.geometry()), subarray);
+        let energy_before = self.timer.energy().total_nj();
+        let mut start_ps = None;
+        let mut end_ps = 0;
+        let mut aaps = 0;
+        let mut aps = 0;
+
+        for cmd in program {
+            match *cmd {
+                AmbitCmd::Aap(a1, a2) => {
+                    let wl1 = self.layout.decode(a1)?;
+                    let wl2 = self.layout.decode(a2)?;
+                    let (s, e) = self.timer.aap_tagged(
+                        flat,
+                        (wl1.len(), wl1.first().map(|w| w.row)),
+                        (wl2.len(), wl2.first().map(|w| w.row)),
+                    )?;
+                    start_ps.get_or_insert(s);
+                    end_ps = e;
+                    aaps += 1;
+                }
+                AmbitCmd::Ap(a) => {
+                    let wl = self.layout.decode(a)?;
+                    let (s, e) = self.timer.ap_tagged(flat, (wl.len(), wl.first().map(|w| w.row)))?;
+                    start_ps.get_or_insert(s);
+                    end_ps = e;
+                    aps += 1;
+                }
+            }
+        }
+
+        Ok(OpReceipt {
+            start_ps: start_ps.unwrap_or(self.timer.now_ps()),
+            end_ps: end_ps.max(start_ps.unwrap_or(0)),
+            energy_nj: self.timer.energy().total_nj() - energy_before,
+            aaps,
+            aps,
+        })
+    }
+
+    /// Device-only execution of per-bank program queues, one OS thread per
+    /// bank with work (`std::thread::scope`) — the functional half of the
+    /// threaded batch path. `queues[flat_bank]` holds `(subarray, program)`
+    /// pairs in the order the serial path would have run them; within one
+    /// bank that order is preserved exactly, and banks share no functional
+    /// state, so the final device image (including per-subarray stats and
+    /// RNG streams) is byte-identical to serial execution.
+    ///
+    /// Control rows are lazily-initialized shared state, so they are
+    /// prepared serially here before any worker spawns.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the failing bank's error deterministically in flat-bank
+    /// order, not thread completion order.
+    pub(crate) fn run_bank_queues(
+        &mut self,
+        queues: &[Vec<(usize, &[AmbitCmd])>],
+    ) -> Result<()> {
+        let bits = self.row_bits();
+        for (flat, queue) in queues.iter().enumerate() {
+            for &(subarray, _) in queue {
+                if self.control_ready.insert((flat, subarray)) {
+                    let sa = self.device.banks_mut()[flat].subarray_mut(subarray);
+                    sa.poke_row(crate::addressing::ROW_C0, BitRow::zeros(bits));
+                    sa.poke_row(crate::addressing::ROW_C1, BitRow::ones(bits));
+                }
+            }
+        }
+        let salp = self.salp;
+        let layout = &self.layout;
+        let banks = self.device.banks_mut();
+        let results: Vec<Result<()>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = banks
+                .iter_mut()
+                .zip(queues)
+                .map(|(bank, queue)| {
+                    (!queue.is_empty()).then(|| {
+                        scope.spawn(move || {
+                            queue.iter().try_for_each(|&(subarray, program)| {
+                                run_program_on_bank(bank, layout, salp, subarray, program)
+                            })
+                        })
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| match w {
+                    Some(handle) => handle.join().expect("bank worker panicked"),
+                    None => Ok(()),
+                })
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+
     /// Reads data row `Dk` through the DRAM protocol (ACTIVATE, column
     /// reads, PRECHARGE), accounting channel time and energy.
     ///
@@ -430,6 +549,58 @@ impl AmbitController {
         sa.poke_row(crate::addressing::ROW_C1, BitRow::ones(bits));
     }
 }
+
+/// Executes one command program against a single bank's functional state —
+/// the device half of [`AmbitController::run_program`] with the timing half
+/// stripped out. A free function over `&mut Bank` so the threaded batch
+/// path can hand disjoint banks to distinct OS threads while the borrow
+/// checker proves the ownership split is race-free. Must mutate the bank in
+/// exactly the order `run_program` does (activate, activate, precharge per
+/// AAP; activate, precharge per AP) or threaded execution stops being
+/// byte-identical to serial.
+pub(crate) fn run_program_on_bank(
+    bank: &mut Bank,
+    layout: &SubarrayLayout,
+    salp: bool,
+    subarray: usize,
+    program: &[AmbitCmd],
+) -> Result<()> {
+    for cmd in program {
+        match *cmd {
+            AmbitCmd::Aap(a1, a2) => {
+                let wl1 = layout.decode(a1)?;
+                let wl2 = layout.decode(a2)?;
+                bank.activate(subarray, &wl1)?;
+                bank.activate(subarray, &wl2)?;
+                if salp {
+                    bank.precharge_subarray(subarray)?;
+                } else {
+                    bank.precharge()?;
+                }
+            }
+            AmbitCmd::Ap(a) => {
+                let wl = layout.decode(a)?;
+                bank.activate(subarray, &wl)?;
+                if salp {
+                    bank.precharge_subarray(subarray)?;
+                } else {
+                    bank.precharge()?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// The controller owns only plain data plus the already-thread-safe
+// telemetry handles, so it is `Send + Sync` by construction — the property
+// the threaded batch path and multi-tenant serving (ROADMAP item 1) rely
+// on. Keep this assertion next to the struct so a regression fails to
+// compile rather than failing at a distant use site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AmbitController>();
+};
 
 #[cfg(test)]
 mod tests {

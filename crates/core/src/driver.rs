@@ -14,8 +14,9 @@
 //! striped across banks first (for bank-level parallelism) and then across
 //! subarrays.
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use ambit_dram::{
     AapMode, BankId, BitRow, CampaignTick, CellFault, DramGeometry, FaultCampaign,
@@ -159,12 +160,17 @@ pub struct AmbitMemory {
     /// bitmap-index query loops, BitWeaving scans — skip validation and
     /// compilation. Handles are never reused, and a chunk layout is
     /// immutable after allocation, so entries only go stale when a handle is
-    /// freed ([`free`](AmbitMemory::free) clears the cache).
-    plan_cache: RefCell<HashMap<BatchOp, Vec<ChunkProgram>>>,
+    /// freed ([`free`](AmbitMemory::free) evicts exactly the entries that
+    /// reference the freed handle). Lock-guarded rather than `RefCell` so
+    /// shared-reference planning stays safe across OS threads and
+    /// `AmbitMemory` is `Sync`.
+    plan_cache: Mutex<HashMap<BatchOp, Vec<ChunkProgram>>>,
     /// Cache hit/miss counts, mirrored into
     /// `ambit_driver_plan_cache_{hits,misses}` when telemetry is attached.
-    plan_cache_hits: Cell<u64>,
-    plan_cache_misses: Cell<u64>,
+    /// Atomics (matching the telemetry crate's counters) so concurrent
+    /// readers of a shared `&AmbitMemory` never race.
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
 }
 
 /// Cached telemetry handles for the driver's per-operation view.
@@ -333,9 +339,9 @@ impl AmbitMemory {
             bad_rows: Vec::new(),
             profile: None,
             telemetry: None,
-            plan_cache: RefCell::new(HashMap::new()),
-            plan_cache_hits: Cell::new(0),
-            plan_cache_misses: Cell::new(0),
+            plan_cache: Mutex::new(HashMap::new()),
+            plan_cache_hits: AtomicU64::new(0),
+            plan_cache_misses: AtomicU64::new(0),
         }
     }
 
@@ -881,9 +887,14 @@ impl AmbitMemory {
     /// back-to-back, so ops placed in different banks overlap in simulated
     /// time on their per-bank pipelines; [`IssuePolicy::Serial`] advances
     /// the clock past each op before issuing the next (the baseline the
-    /// bank-parallel speedup is measured against). Results are bit-
-    /// identical across policies: ops within a wave touch disjoint
-    /// destinations, so functional order is immaterial.
+    /// bank-parallel speedup is measured against);
+    /// [`IssuePolicy::BankParallelThreaded`] keeps `BankParallel`'s
+    /// simulated-time semantics but runs the functional work on one OS
+    /// thread per bank, so wall-clock time also scales with cores (it
+    /// falls back to `BankParallel` while transient TRA faults are armed,
+    /// keeping the pinned per-bit RNG streams). Results are bit-identical
+    /// across policies: ops within a wave touch disjoint destinations, so
+    /// functional order is immaterial.
     ///
     /// # Errors
     ///
@@ -939,6 +950,16 @@ impl AmbitMemory {
             .map(|b| self.ctrl.timer().bank_busy_ps(b))
             .collect();
 
+        // The threaded policy splits execution in two: a serial timing pass
+        // (below, `time_program`) issuing exactly the command sequence the
+        // plain bank-parallel path issues, then a parallel functional pass
+        // over per-bank queues. Fault-armed devices fall back to the
+        // single-phase path so charge shares consume each subarray's pinned
+        // per-bit RNG stream through the one code path it was pinned
+        // against (see `IssuePolicy::BankParallelThreaded`).
+        let threaded = policy == IssuePolicy::BankParallelThreaded
+            && !self.ctrl.device().tra_fault_armed();
+
         let mut per_op: Vec<Option<OpReceipt>> = vec![None; batch.len()];
         for wave in &waves {
             let mut wave_end = 0u64;
@@ -951,8 +972,11 @@ impl AmbitMemory {
                     // Traffic (or prior external use) may have left a row
                     // open; AAP programs must start precharged.
                     self.ctrl.close_open_row(chunk.bank, chunk.subarray)?;
-                    let receipt =
-                        self.ctrl.run_program(chunk.bank, chunk.subarray, &chunk.program)?;
+                    let receipt = if threaded {
+                        self.ctrl.time_program(chunk.bank, chunk.subarray, &chunk.program)?
+                    } else {
+                        self.ctrl.run_program(chunk.bank, chunk.subarray, &chunk.program)?
+                    };
                     match &mut op_total {
                         Some(t) => t.absorb(&receipt),
                         None => op_total = Some(receipt),
@@ -968,12 +992,33 @@ impl AmbitMemory {
             }
             // Wave barrier: dependent ops start only after every producer's
             // final precharge has completed.
-            if policy == IssuePolicy::BankParallel {
+            if policy != IssuePolicy::Serial {
                 self.ctrl.timer_mut().advance_to(wave_end);
             }
         }
         if let Some(tr) = traffic {
             tr.service_arrived(self.ctrl.timer_mut())?;
+        }
+
+        if threaded {
+            // Functional pass: queue every chunk program on its bank in the
+            // order the serial path would have run it (wave, then op index,
+            // then chunk index), and fan the queues out one OS thread per
+            // bank. Co-location guarantees every program only touches its
+            // own (bank, subarray), so per-bank FIFO order is the only
+            // ordering the device can observe.
+            let geometry = *self.ctrl.geometry();
+            let mut queues: Vec<Vec<(usize, &[AmbitCmd])>> =
+                vec![Vec::new(); geometry.total_banks()];
+            for wave in &waves {
+                for &i in wave {
+                    for chunk in &plans[i] {
+                        queues[chunk.bank.flat_index(&geometry)]
+                            .push((chunk.subarray, chunk.program.as_slice()));
+                    }
+                }
+            }
+            self.ctrl.run_bank_queues(&queues)?;
         }
 
         let per_op: Vec<OpReceipt> = per_op
@@ -1013,27 +1058,42 @@ impl AmbitMemory {
     /// Failed plans are not cached: an op that validated badly once is
     /// recompiled (and re-fails) on retry, so error reporting stays exact.
     fn plan_op(&self, entry: &BatchOp) -> Result<Vec<ChunkProgram>> {
-        if let Some(hit) = self.plan_cache.borrow().get(entry) {
-            self.plan_cache_hits.set(self.plan_cache_hits.get() + 1);
+        let cached = self
+            .plan_cache
+            .lock()
+            .expect("plan cache lock poisoned")
+            .get(entry)
+            .cloned();
+        if let Some(hit) = cached {
+            self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
             if let Some(tel) = &self.telemetry {
                 tel.plan_cache_hits.inc();
             }
-            return Ok(hit.clone());
+            return Ok(hit);
         }
+        // Compile outside the lock: validation walks allocator metadata and
+        // can be slow, and a concurrent planner hitting a different shape
+        // should not wait on it. A racing miss on the same shape just
+        // compiles twice and last-insert wins — both compiles are
+        // deterministic functions of immutable chunk layouts.
         let chunks = self.plan_op_uncached(entry)?;
-        self.plan_cache_misses.set(self.plan_cache_misses.get() + 1);
+        self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
         if let Some(tel) = &self.telemetry {
             tel.plan_cache_misses.inc();
         }
         self.plan_cache
-            .borrow_mut()
+            .lock()
+            .expect("plan cache lock poisoned")
             .insert(entry.clone(), chunks.clone());
         Ok(chunks)
     }
 
     /// Plan-cache hit and miss counts since construction (hits, misses).
     pub fn plan_cache_stats(&self) -> (u64, u64) {
-        (self.plan_cache_hits.get(), self.plan_cache_misses.get())
+        (
+            self.plan_cache_hits.load(Ordering::Relaxed),
+            self.plan_cache_misses.load(Ordering::Relaxed),
+        )
     }
 
     fn plan_op_uncached(&self, entry: &BatchOp) -> Result<Vec<ChunkProgram>> {
@@ -1318,14 +1378,22 @@ impl AmbitMemory {
     /// Frees the allocation. Freed rows are not currently recycled (the
     /// allocator is an arena, sufficient for experiment workloads).
     ///
-    /// Clears the plan cache: cached programs embedding the freed handle
-    /// must not short-circuit the unknown-handle validation on later calls.
+    /// Evicts from the plan cache exactly the entries whose op references
+    /// the freed handle: those cached programs must not short-circuit the
+    /// unknown-handle validation on later calls. Unrelated cached plans
+    /// survive — handles are never reused after `free`, so a plan that
+    /// does not mention the freed handle can never go stale through it,
+    /// and long-lived query loops keep their warm cache across unrelated
+    /// frees.
     ///
     /// # Errors
     ///
     /// Returns an unknown-handle error if already freed.
     pub fn free(&mut self, handle: BitVectorHandle) -> Result<()> {
-        self.plan_cache.borrow_mut().clear();
+        self.plan_cache
+            .lock()
+            .expect("plan cache lock poisoned")
+            .retain(|op, _| !op.involves(handle));
         self.vectors
             .remove(&handle.0)
             .map(|_| ())
@@ -1394,6 +1462,17 @@ impl AmbitMemory {
         seq[..chunks].to_vec()
     }
 }
+
+// The driver is the top of the data plane: everything below it is plain
+// owned data or already-atomic telemetry, and its own shared state is a
+// lock-guarded plan cache plus atomic counters. `Send + Sync` here is what
+// lets callers share one memory across OS threads (e.g. a `Mutex` of
+// submitters plus lock-free readers); assert it at compile time so a
+// `Cell`/`RefCell` regression fails here, not at a distant spawn site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AmbitMemory>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -1690,7 +1769,7 @@ mod tests {
     }
 
     #[test]
-    fn plan_cache_hits_repeated_ops_and_clears_on_free() {
+    fn plan_cache_hits_repeated_ops_and_evicts_on_free() {
         let mut mem = memory();
         mem.set_telemetry(Registry::default());
         let bits = mem.row_bits() * 2;
@@ -1716,13 +1795,13 @@ mod tests {
         assert_eq!(reg.counter_value("ambit_driver_plan_cache_hits", &[]), Some(3));
         assert_eq!(reg.counter_value("ambit_driver_plan_cache_misses", &[]), Some(2));
 
-        // Freeing a handle clears the cache: the stale program must not
-        // bypass unknown-handle validation.
+        // Freeing a handle evicts every entry referencing it: the stale
+        // programs must not bypass unknown-handle validation.
         mem.free(b).unwrap();
         assert!(mem.bitwise(BitwiseOp::And, a, Some(b), d).is_err());
         mem.poke_bits(a, &vec![true; bits]).unwrap();
         mem.bitwise(BitwiseOp::Not, a, None, d).unwrap();
-        assert_eq!(mem.plan_cache_stats().0, 3, "no hits after the clear");
+        assert_eq!(mem.plan_cache_stats().0, 3, "no hits after the eviction");
     }
 
     #[test]

@@ -310,6 +310,57 @@ fn dependent_waves_execute_in_order() {
 }
 
 #[test]
+fn consecutive_batches_report_disjoint_per_batch_busy_deltas() {
+    // `BatchReceipt::bank_busy_ps` is documented as the per-batch delta of
+    // the timer's cumulative busy attribution. Pin that down: two
+    // consecutive batches on disjoint banks must report disjoint non-zero
+    // busy entries — a batch that never touched a pipeline reads zero for
+    // it even though an earlier batch kept it busy.
+    let mut mem = AmbitMemory::ddr3_module();
+    let bits = mem.row_bits();
+    let build = |mem: &mut AmbitMemory, groups: &[u32]| {
+        let mut batch = BatchBuilder::new();
+        for &g in groups {
+            let group = AllocGroup(g);
+            let a = mem.alloc_in_group(bits, group).unwrap();
+            let b = mem.alloc_in_group(bits, group).unwrap();
+            let d = mem.alloc_in_group(bits, group).unwrap();
+            mem.poke_bits(a, &vec![true; bits]).unwrap();
+            mem.poke_bits(b, &vec![true; bits]).unwrap();
+            batch.bitwise(BitwiseOp::And, a, Some(b), d);
+        }
+        batch
+    };
+
+    // Group g's single chunk lands in bank g, so the two batches occupy
+    // banks {0, 1} and {2, 3} respectively.
+    let batch = build(&mut mem, &[0, 1]);
+    let first = mem.execute_batch(&batch, IssuePolicy::BankParallel).unwrap();
+    let batch = build(&mut mem, &[2, 3]);
+    let second = mem.execute_batch(&batch, IssuePolicy::BankParallel).unwrap();
+
+    let busy = |receipt: &ambit_repro::core::BatchReceipt, bank: usize| {
+        receipt.bank_busy_ps.get(bank).copied().unwrap_or(0)
+    };
+    for bank in 0..2 {
+        assert!(busy(&first, bank) > 0, "first batch busy on bank {bank}");
+        assert_eq!(
+            busy(&second, bank),
+            0,
+            "second batch never touched bank {bank}; its delta must be zero"
+        );
+    }
+    for bank in 2..4 {
+        assert_eq!(
+            busy(&first, bank),
+            0,
+            "first batch never touched bank {bank}; its delta must be zero"
+        );
+        assert!(busy(&second, bank) > 0, "second batch busy on bank {bank}");
+    }
+}
+
+#[test]
 fn batch_emits_span_and_occupancy_gauges() {
     let mut mem = AmbitMemory::ddr3_module();
     mem.set_telemetry(Registry::new());

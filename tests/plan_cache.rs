@@ -1,7 +1,8 @@
 //! Regression tests for the driver's compiled-plan cache: repeat ops must
-//! hit, `free()` must clear the whole cache (a cached program embedding a
-//! freed handle must never bypass unknown-handle validation), and the
-//! hit/miss statistics must account for every planning call exactly.
+//! hit, `free()` must evict exactly the entries whose op references the
+//! freed handle (a cached program embedding a freed handle must never
+//! bypass unknown-handle validation, while unrelated plans stay warm), and
+//! the hit/miss statistics must account for every planning call exactly.
 
 use ambit_repro::core::{AmbitMemory, BatchBuilder, BitwiseOp, IssuePolicy};
 use ambit_repro::dram::{AapMode, DramGeometry, TimingParams};
@@ -64,7 +65,7 @@ fn batch_execution_shares_the_same_cache() {
 }
 
 #[test]
-fn free_clears_the_cache_and_stale_handles_are_rejected() {
+fn free_evicts_referencing_plans_and_stale_handles_are_rejected() {
     let mut mem = tiny();
     let bits = mem.row_bits();
     let a = mem.alloc(bits).unwrap();
@@ -87,10 +88,48 @@ fn free_clears_the_cache_and_stale_handles_are_rejected() {
     // Double-free is a stale-handle error too.
     assert!(mem.free(b).is_err());
 
-    // Ops on still-live handles recompile from scratch after the clear.
+    // A new-shape op on still-live handles compiles fresh (a miss, not a
+    // stale hit).
     let (hits_before, misses_before) = mem.plan_cache_stats();
     mem.bitwise(BitwiseOp::Not, a, None, d).unwrap();
     let (hits, misses) = mem.plan_cache_stats();
-    assert_eq!(hits, hits_before, "no hit may survive the clear");
+    assert_eq!(hits, hits_before, "new shape must not hit");
     assert_eq!(misses, misses_before + 1);
+}
+
+#[test]
+fn free_keeps_unrelated_cached_plans_warm() {
+    let mut mem = tiny();
+    let bits = mem.row_bits();
+    let a = mem.alloc(bits).unwrap();
+    let b = mem.alloc(bits).unwrap();
+    let d = mem.alloc(bits).unwrap();
+    let x = mem.alloc(bits).unwrap();
+    let y = mem.alloc(bits).unwrap();
+    mem.poke_bits(a, &vec![true; bits]).unwrap();
+    mem.poke_bits(b, &vec![true; bits]).unwrap();
+    mem.poke_bits(x, &vec![true; bits]).unwrap();
+
+    // Warm two independent plans: one referencing `b`, one not.
+    mem.bitwise(BitwiseOp::And, a, Some(b), d).unwrap();
+    mem.bitwise(BitwiseOp::Not, x, None, y).unwrap();
+    assert_eq!(mem.plan_cache_stats(), (0, 2));
+
+    // Eviction is targeted: freeing `b` must drop only the AND plan.
+    mem.free(b).unwrap();
+    mem.bitwise(BitwiseOp::Not, x, None, y).unwrap();
+    assert_eq!(
+        mem.plan_cache_stats(),
+        (1, 2),
+        "unrelated plan must survive the free and hit, not reset to cold"
+    );
+
+    // The evicted shape's handle really is gone.
+    assert!(mem.bitwise(BitwiseOp::And, a, Some(b), d).is_err());
+
+    // Freeing a destination handle also evicts the plans that wrote it.
+    mem.free(y).unwrap();
+    assert!(mem.bitwise(BitwiseOp::Not, x, None, y).is_err());
+    let (hits, misses) = mem.plan_cache_stats();
+    assert_eq!((hits, misses), (1, 2), "failed plans count neither way");
 }
