@@ -1,7 +1,7 @@
 //! Differential-conformance fuzz driver and repro replayer.
 //!
 //! ```text
-//! conformance_replay fuzz [--seed S] [--count N] [--faults] [--profiles]
+//! conformance_replay fuzz [--seed S] [--count N] [--faults] [--profiles] [--multi-channel]
 //! conformance_replay replay <repro.json>
 //! ```
 //!
@@ -10,7 +10,10 @@
 //! scalar, resilient, plus the CPU golden model). `--faults` arms a slice
 //! of the programs with a uniform TRA fault rate; `--profiles` arms a
 //! slice with a random device characterization map (variation-aware
-//! placement, spare-row pre-remap, per-subarray fault campaign). The first
+//! placement, spare-row pre-remap, per-subarray fault campaign);
+//! `--multi-channel` places a slice of the fault-free programs on the
+//! two-channel geometry so the channel-sharded threaded batch path is
+//! fuzzed against the serial paths. The first
 //! divergence is minimized and written to `CONFORMANCE_repro.json` in the
 //! current directory, and the process exits 1. `AMBIT_QUICK=1` caps the
 //! default count at 200 programs for CI smoke runs.
@@ -28,7 +31,8 @@ const REPRO_FILE: &str = "CONFORMANCE_repro.json";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: conformance_replay fuzz [--seed S] [--count N] [--faults] [--profiles]\n\
+        "usage: conformance_replay fuzz [--seed S] [--count N] [--faults] [--profiles] \
+         [--multi-channel]\n\
          \x20      conformance_replay replay <repro.json>"
     );
     ExitCode::from(64)
@@ -51,6 +55,7 @@ fn fuzz(args: &[String]) -> ExitCode {
     let mut count: usize = if env::var("AMBIT_QUICK").is_ok() { 200 } else { 1000 };
     let mut faults = false;
     let mut profiles = false;
+    let mut multi_channel = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -64,6 +69,7 @@ fn fuzz(args: &[String]) -> ExitCode {
             },
             "--faults" => faults = true,
             "--profiles" => profiles = true,
+            "--multi-channel" => multi_channel = true,
             _ => return usage(),
         }
     }
@@ -75,8 +81,12 @@ fn fuzz(args: &[String]) -> ExitCode {
     if profiles {
         cfg.profile_chance = GeneratorConfig::with_profiles().profile_chance;
     }
+    if multi_channel {
+        cfg.multi_channel_chance = GeneratorConfig::with_multi_channel().multi_channel_chance;
+    }
     let mut fault_armed = 0usize;
     let mut profile_armed = 0usize;
+    let mut dual_channel = 0usize;
     for i in 0..count {
         let program_seed = seed.wrapping_add(i as u64);
         let program = generate(program_seed, &cfg);
@@ -85,6 +95,9 @@ fn fuzz(args: &[String]) -> ExitCode {
         }
         if program.profile_seed.is_some() {
             profile_armed += 1;
+        }
+        if program.geometry.geometry().channels > 1 {
+            dual_channel += 1;
         }
         let report = run_oracle(&program, None);
         if report.ok() {
@@ -115,7 +128,7 @@ fn fuzz(args: &[String]) -> ExitCode {
     }
     println!(
         "conformance: {count} programs from seed {seed} ({fault_armed} fault-armed, \
-         {profile_armed} profile-armed), 0 divergences"
+         {profile_armed} profile-armed, {dual_channel} dual-channel), 0 divergences"
     );
     ExitCode::SUCCESS
 }

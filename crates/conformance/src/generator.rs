@@ -40,6 +40,14 @@ pub struct GeneratorConfig {
     /// restrictions (all-bitwise, single-family) and never also carry a
     /// uniform TRA fault rate.
     pub profile_chance: f64,
+    /// Probability that a fault-free program targets the two-channel
+    /// [`tiny_dual_channel`](ambit_dram::DramGeometry::tiny_dual_channel)
+    /// geometry instead of the single-channel tiny one (0 disables). The
+    /// draw is gated on the knob being nonzero, so existing configurations
+    /// keep their exact draw streams. Armed programs stay single-channel:
+    /// the knob exists to fuzz the channel-sharded threaded batch path,
+    /// which armed programs never take.
+    pub multi_channel_chance: f64,
 }
 
 impl Default for GeneratorConfig {
@@ -51,6 +59,7 @@ impl Default for GeneratorConfig {
             ops: (1, 12),
             fault_chance: 0.0,
             profile_chance: 0.0,
+            multi_channel_chance: 0.0,
         }
     }
 }
@@ -66,6 +75,12 @@ impl GeneratorConfig {
     /// one program in four.
     pub fn with_profiles() -> Self {
         GeneratorConfig { profile_chance: 0.25, ..GeneratorConfig::default() }
+    }
+
+    /// The default configuration with roughly one fault-free program in
+    /// four placed on the two-channel geometry.
+    pub fn with_multi_channel() -> Self {
+        GeneratorConfig { multi_channel_chance: 0.25, ..GeneratorConfig::default() }
     }
 }
 
@@ -94,14 +109,20 @@ fn range(rng: &mut ReferenceRng, (lo, hi): (usize, usize)) -> usize {
 /// runs and machines; the program always passes [`Program::validate`].
 pub fn generate(seed: u64, cfg: &GeneratorConfig) -> Program {
     let mut rng = ReferenceRng::with_seed(seed);
-    let geometry = GeometryKind::Tiny;
-    let row_bits = geometry.geometry().row_bytes * 8;
 
     let fault_armed = cfg.fault_chance > 0.0 && rng.chance(cfg.fault_chance);
     // The profile draw is gated on the knob being nonzero so existing
     // fault-only configurations keep their exact draw streams.
     let profile_armed = !fault_armed && cfg.profile_chance > 0.0 && rng.chance(cfg.profile_chance);
     let armed = fault_armed || profile_armed;
+    // Same gating for the geometry draw. Armed programs stay on the
+    // single-channel tiny geometry (they run the serial resilient path,
+    // which the knob is not aimed at). Both tiny variants share a row
+    // width, so the choice does not perturb the length draws below.
+    let multi_channel =
+        !armed && cfg.multi_channel_chance > 0.0 && rng.chance(cfg.multi_channel_chance);
+    let geometry = if multi_channel { GeometryKind::TinyDual } else { GeometryKind::Tiny };
+    let row_bits = geometry.geometry().row_bytes * 8;
     // Fault- and profile-armed programs run through the TMR-replicated
     // resilient executor (3× the footprint plus retry scratch), so keep
     // them small.
@@ -215,6 +236,30 @@ mod tests {
         // The fault-only configuration never arms profiles, so its draw
         // streams are untouched by the profile knob.
         assert!(programs.iter().all(|p| p.profile_seed.is_none()));
+        // ... and never draws the multi-channel geometry.
+        assert!(programs.iter().all(|p| p.geometry == GeometryKind::Tiny));
+    }
+
+    #[test]
+    fn multi_channel_knob_selects_dual_channel_and_skips_armed_programs() {
+        let cfg = GeneratorConfig {
+            fault_chance: 0.25,
+            multi_channel_chance: 0.5,
+            ..GeneratorConfig::default()
+        };
+        let programs: Vec<Program> = (1..300).map(|s| generate(s, &cfg)).collect();
+        for (seed, p) in (1..300u64).zip(&programs) {
+            assert_eq!(p, &generate(seed, &cfg), "seed {seed} not deterministic");
+            p.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+        let dual: Vec<&Program> =
+            programs.iter().filter(|p| p.geometry == GeometryKind::TinyDual).collect();
+        assert!(!dual.is_empty(), "multi_channel_chance 0.5 drew nothing in 300 seeds");
+        assert!(dual.len() < programs.len());
+        // Armed programs stay on the single-channel geometry.
+        assert!(dual.iter().all(|p| p.fault_tra_rate.is_none() && p.profile_seed.is_none()));
+        // The dual-channel name round-trips through the repro format.
+        assert_eq!(GeometryKind::from_name("tiny2ch"), Some(GeometryKind::TinyDual));
     }
 
     #[test]

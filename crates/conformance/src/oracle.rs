@@ -163,12 +163,20 @@ fn build_memory(program: &Program, forced_scalar: bool) -> AmbitMemory {
             }
         }
     }
+    // Force a multi-worker pool so the batch_threaded path exercises the
+    // channel-sharded timing pass (and the pool's merge machinery) even on
+    // single-core CI hosts, where the default pool would degrade it to the
+    // serial BankParallel code path.
+    mem.set_pool_threads(4);
     mem.controller_mut().timer_mut().set_tracing(true);
     mem
 }
 
 fn check_trace(report: &mut OracleReport, path: &str, program: &Program, mem: &AmbitMemory) {
-    let checker = TraceChecker::new(program.timing.params(), program.aap_mode);
+    let geometry = program.geometry.geometry();
+    // Column bursts serialize per channel, not globally.
+    let checker = TraceChecker::new(program.timing.params(), program.aap_mode)
+        .with_banks_per_channel(geometry.ranks * geometry.banks);
     let trace = mem.controller().timer().trace().unwrap_or(&[]);
     for violation in checker.check(trace) {
         report.fail(path, format!("trace invariant violated: {violation}"));
@@ -544,6 +552,21 @@ mod tests {
                 report.failures
             );
         }
+    }
+
+    #[test]
+    fn multi_channel_programs_conform() {
+        use crate::program::GeometryKind;
+        let cfg = GeneratorConfig { multi_channel_chance: 1.0, ..GeneratorConfig::default() };
+        let mut dual = 0;
+        for seed in 1..10 {
+            let program = generate(seed, &cfg);
+            assert_eq!(program.geometry, GeometryKind::TinyDual);
+            dual += 1;
+            let report = run_oracle(&program, None);
+            assert!(report.ok(), "seed {seed} diverged:\n{:#?}", report.failures);
+        }
+        assert!(dual > 0);
     }
 
     #[test]

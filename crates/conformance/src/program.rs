@@ -22,6 +22,11 @@ use crate::refrng::ReferenceRng;
 pub enum GeometryKind {
     /// [`DramGeometry::tiny`]: 2 banks × 2 subarrays × 32 rows × 128 bits.
     Tiny,
+    /// [`DramGeometry::tiny_dual_channel`]: the two-channel tiny variant.
+    /// The smallest geometry with more than one command bus, so oracle runs
+    /// over it exercise per-channel timing lanes and the channel-sharded
+    /// threaded batch path.
+    TinyDual,
     /// [`DramGeometry::micro17`]: the paper's full-size module.
     Micro17,
 }
@@ -31,6 +36,7 @@ impl GeometryKind {
     pub fn geometry(self) -> DramGeometry {
         match self {
             GeometryKind::Tiny => DramGeometry::tiny(),
+            GeometryKind::TinyDual => DramGeometry::tiny_dual_channel(),
             GeometryKind::Micro17 => DramGeometry::micro17(),
         }
     }
@@ -39,6 +45,7 @@ impl GeometryKind {
     pub fn name(self) -> &'static str {
         match self {
             GeometryKind::Tiny => "tiny",
+            GeometryKind::TinyDual => "tiny2ch",
             GeometryKind::Micro17 => "micro17",
         }
     }
@@ -47,6 +54,7 @@ impl GeometryKind {
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
             "tiny" => Some(GeometryKind::Tiny),
+            "tiny2ch" => Some(GeometryKind::TinyDual),
             "micro17" => Some(GeometryKind::Micro17),
             _ => None,
         }

@@ -26,7 +26,11 @@
 //!   computation state rather than a clean row;
 //! * column bursts serialize on the shared bus at tCCD granularity, with
 //!   the single exception of a linked READ+WRITE pair at the same instant
-//!   (the pipelined RowClone-PSM transfer, which occupies one slot);
+//!   (the pipelined RowClone-PSM transfer, which occupies one slot). Each
+//!   channel has its own data bus, so a checker built with
+//!   [`with_banks_per_channel`](TraceChecker::with_banks_per_channel)
+//!   applies the rule per channel — bursts on different channels may
+//!   legally overlap;
 //! * every multi-wordline or two-activation interval is closed by a
 //!   PRECHARGE before the trace ends (triple-row state must never be left
 //!   exposed).
@@ -131,12 +135,32 @@ struct BankState {
 pub struct TraceChecker {
     timing: TimingParams,
     mode: AapMode,
+    /// Flat bank indices per channel; `None` treats the whole trace as one
+    /// channel (the historical single-bus behavior).
+    banks_per_channel: Option<usize>,
 }
 
 impl TraceChecker {
-    /// A checker for traces produced under `timing` and `mode`.
+    /// A checker for traces produced under `timing` and `mode`, treating
+    /// every bank as sharing one data bus.
     pub fn new(timing: TimingParams, mode: AapMode) -> Self {
-        TraceChecker { timing, mode }
+        TraceChecker { timing, mode, banks_per_channel: None }
+    }
+
+    /// Splits the bus-serialization check per channel: trace banks are flat
+    /// indices, and each consecutive run of `banks` indices shares one
+    /// channel (for a device geometry this is `ranks * banks`). Bursts on
+    /// different channels may then overlap without violation; all per-bank
+    /// invariants are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    #[must_use]
+    pub fn with_banks_per_channel(mut self, banks: usize) -> Self {
+        assert!(banks > 0, "banks_per_channel must be nonzero");
+        self.banks_per_channel = Some(banks);
+        self
     }
 
     /// Checks every invariant over `trace` and returns all violations, in
@@ -257,17 +281,34 @@ impl TraceChecker {
 
     /// The shared-bus tCCD pass: column bursts sorted by time, grouped
     /// into slots, with the linked READ+WRITE pair counting as one slot.
+    /// Runs once per channel when a channel width is configured — each
+    /// channel's data bus serializes independently.
     fn check_bus(&self, trace: &[TraceEntry]) -> Vec<TraceViolation> {
+        let mut channels: Vec<Vec<(usize, &TraceEntry)>> = Vec::new();
+        for (index, entry) in trace.iter().enumerate() {
+            if !matches!(entry.command, TraceCommand::Read | TraceCommand::Write) {
+                continue;
+            }
+            let channel = self.banks_per_channel.map_or(0, |banks| entry.bank / banks);
+            if channel >= channels.len() {
+                channels.resize_with(channel + 1, Vec::new);
+            }
+            channels[channel].push((index, entry));
+        }
         let mut violations = Vec::new();
-        let mut cols: Vec<(usize, &TraceEntry)> = trace
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| {
-                matches!(e.command, TraceCommand::Read | TraceCommand::Write)
-            })
-            .collect();
-        cols.sort_by_key(|(index, e)| (e.at_ps, *index));
+        for mut cols in channels {
+            cols.sort_by_key(|(index, e)| (e.at_ps, *index));
+            self.check_channel_bus(&cols, &mut violations);
+        }
+        violations
+    }
 
+    /// One channel's slot walk (see [`check_bus`](Self::check_bus)).
+    fn check_channel_bus(
+        &self,
+        cols: &[(usize, &TraceEntry)],
+        violations: &mut Vec<TraceViolation>,
+    ) {
         let mut prev_slot: Option<u64> = None;
         let mut i = 0;
         while i < cols.len() {
@@ -310,7 +351,6 @@ impl TraceChecker {
             prev_slot = Some(slot_ps);
             i = j;
         }
-        violations
     }
 
     /// [`check`](Self::check), formatted as a single error for test
@@ -517,6 +557,55 @@ mod tests {
             e(22_000, 1, TraceCommand::Read),
         ]);
         assert!(kinds(&checker(AapMode::Overlapped).check(&close))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::CcdViolation { earliest_ps: 25_000 })));
+    }
+
+    #[test]
+    fn per_channel_bus_permits_cross_channel_overlap() {
+        // Banks 0-1 are channel 0, banks 2-3 channel 1 (2 banks/channel).
+        // Same-instant READs and sub-tCCD spacing across channels are
+        // legal — each channel has its own data bus.
+        let split = checker(AapMode::Overlapped).with_banks_per_channel(2);
+
+        // Same-instant READs on different channels.
+        let same_instant = [
+            act(0, 0, 1, None),
+            act(0, 2, 1, None),
+            e(20_000, 0, TraceCommand::Read),
+            e(20_000, 2, TraceCommand::Read),
+        ];
+        assert!(!kinds(&split.check(&same_instant))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::BusConflict | ViolationKind::CcdViolation { .. })));
+        // The single-bus checker flags the same trace, proving the split
+        // is what legalized it.
+        assert!(kinds(&checker(AapMode::Overlapped).check(&same_instant))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::BusConflict)));
+
+        // Sub-tCCD spacing (5 ns at DDR3-1600) across channels.
+        let close = [
+            act(0, 0, 1, None),
+            act(0, 2, 1, None),
+            e(20_000, 0, TraceCommand::Read),
+            e(22_000, 2, TraceCommand::Read),
+        ];
+        assert!(!kinds(&split.check(&close))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::BusConflict | ViolationKind::CcdViolation { .. })));
+        assert!(kinds(&checker(AapMode::Overlapped).check(&close))
+            .iter()
+            .any(|k| matches!(k, ViolationKind::CcdViolation { earliest_ps: 25_000 })));
+
+        // Within one channel the rules still bite.
+        let within = [
+            act(0, 2, 1, None),
+            act(0, 3, 1, None),
+            e(20_000, 2, TraceCommand::Read),
+            e(22_000, 3, TraceCommand::Read),
+        ];
+        assert!(kinds(&split.check(&within))
             .iter()
             .any(|k| matches!(k, ViolationKind::CcdViolation { earliest_ps: 25_000 })));
     }

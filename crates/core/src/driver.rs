@@ -30,6 +30,7 @@ use crate::compiler::{compile_fold, fold_supported};
 use crate::controller::{AmbitController, OpReceipt};
 use crate::error::{AmbitError, Result};
 use crate::ops::{compile, compile_majority, AmbitCmd, BitwiseOp};
+use crate::pool::{ExecutorPool, PoolStats};
 
 /// Opaque handle to an allocated Ambit bitvector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -171,6 +172,13 @@ pub struct AmbitMemory {
     /// readers of a shared `&AmbitMemory` never race.
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
+    /// Persistent worker pool for `BankParallelThreaded` batches: reused
+    /// across every batch this memory executes (both the channel-sharded
+    /// timing pass and the per-bank functional pass), replacing the
+    /// per-batch `thread::scope` spawns that made the threaded path lose
+    /// wall-clock to serial. Workers spawn lazily on first use; sized from
+    /// `available_parallelism` (override: `AMBIT_POOL_THREADS`).
+    pool: ExecutorPool,
 }
 
 /// Cached telemetry handles for the driver's per-operation view.
@@ -342,6 +350,7 @@ impl AmbitMemory {
             plan_cache: Mutex::new(HashMap::new()),
             plan_cache_hits: AtomicU64::new(0),
             plan_cache_misses: AtomicU64::new(0),
+            pool: ExecutorPool::with_default_size(),
         }
     }
 
@@ -375,6 +384,7 @@ impl AmbitMemory {
     /// registry to the controller for per-command instrumentation.
     pub fn set_telemetry(&mut self, registry: Registry) {
         self.ctrl.set_telemetry(registry.clone());
+        self.pool.set_telemetry(&registry);
         let tel = DriverTelemetry::new(registry);
         if let Some(profile) = &self.profile {
             tel.arm_profile_gauges(profile);
@@ -397,6 +407,25 @@ impl AmbitMemory {
     /// Total energy consumed so far, nanojoules.
     pub fn energy_nj(&self) -> f64 {
         self.ctrl.timer().energy().total_nj()
+    }
+
+    /// Activity counters of the persistent executor pool backing
+    /// [`IssuePolicy::BankParallelThreaded`] batches: worker reuse vs cold
+    /// spawns is the wall-clock win the pool exists for.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Replaces the executor pool with one bounded to `threads` workers
+    /// (the old pool's workers shut down gracefully; its counters reset).
+    /// With `threads == 1` the driver degrades
+    /// [`IssuePolicy::BankParallelThreaded`] to plain `BankParallel` — the
+    /// same degradation a one-core host gets automatically.
+    pub fn set_pool_threads(&mut self, threads: usize) {
+        self.pool = ExecutorPool::new(threads);
+        if let Some(tel) = &self.telemetry {
+            self.pool.set_telemetry(&tel.registry);
+        }
     }
 
     /// Current simulated time, picoseconds.
@@ -950,45 +979,82 @@ impl AmbitMemory {
             .map(|b| self.ctrl.timer().bank_busy_ps(b))
             .collect();
 
-        // The threaded policy splits execution in two: a serial timing pass
-        // (below, `time_program`) issuing exactly the command sequence the
-        // plain bank-parallel path issues, then a parallel functional pass
-        // over per-bank queues. Fault-armed devices fall back to the
-        // single-phase path so charge shares consume each subarray's pinned
-        // per-bit RNG stream through the one code path it was pinned
-        // against (see `IssuePolicy::BankParallelThreaded`).
+        // The threaded policy splits execution in two: a timing pass
+        // (serial, or channel-sharded when a wave spans multiple channels)
+        // issuing exactly the command sequence the plain bank-parallel path
+        // issues, then a parallel functional pass over per-bank queues.
+        // Two degradations keep it byte-identical and never slower:
+        // fault-armed devices fall back to the single-phase path so charge
+        // shares consume each subarray's pinned per-bit RNG stream through
+        // the one code path it was pinned against (see
+        // `IssuePolicy::BankParallelThreaded`), and a single-worker pool
+        // (one-core host, or `AMBIT_POOL_THREADS=1`) degrades to plain
+        // `BankParallel` — with no second core there is only spawn overhead
+        // to pay.
         let threaded = policy == IssuePolicy::BankParallelThreaded
+            && self.pool.target_workers() >= 2
             && !self.ctrl.device().tra_fault_armed();
 
         let mut per_op: Vec<Option<OpReceipt>> = vec![None; batch.len()];
         for wave in &waves {
             let mut wave_end = 0u64;
-            for &i in wave {
-                let mut op_total: Option<OpReceipt> = None;
-                for chunk in &plans[i] {
-                    if let Some(tr) = traffic.as_deref_mut() {
-                        tr.service_arrived(self.ctrl.timer_mut())?;
-                    }
-                    // Traffic (or prior external use) may have left a row
-                    // open; AAP programs must start precharged.
-                    self.ctrl.close_open_row(chunk.bank, chunk.subarray)?;
-                    let receipt = if threaded {
-                        self.ctrl.time_program(chunk.bank, chunk.subarray, &chunk.program)?
-                    } else {
-                        self.ctrl.run_program(chunk.bank, chunk.subarray, &chunk.program)?
-                    };
-                    match &mut op_total {
-                        Some(t) => t.absorb(&receipt),
-                        None => op_total = Some(receipt),
+            // A fully-elided plan's noop receipt reads `now_ps` at its
+            // mid-wave position in the serial loop; waves containing one
+            // keep the serial path so that timestamp stays byte-identical.
+            let wave_has_noop = wave.iter().any(|&i| plans[i].is_empty());
+            if threaded && traffic.is_none() && !wave_has_noop {
+                // Sharded timing: every chunk of the wave in serial issue
+                // order (op index, then chunk index), timed one shard per
+                // channel and merged back deterministically. Receipts come
+                // back in the same serial order, so absorbing them here is
+                // indistinguishable from the serial loop below.
+                let mut chunk_ops: Vec<usize> = Vec::new();
+                let mut chunks: Vec<(BankId, usize, &[AmbitCmd])> = Vec::new();
+                for &i in wave {
+                    for chunk in &plans[i] {
+                        chunk_ops.push(i);
+                        chunks.push((chunk.bank, chunk.subarray, chunk.program.as_slice()));
                     }
                 }
-                // A fully-elided plan (self-copy) issues nothing.
-                let receipt = op_total.unwrap_or_else(|| self.noop_receipt());
-                if policy == IssuePolicy::Serial {
-                    self.ctrl.timer_mut().advance_to(receipt.end_ps);
+                let receipts = self.ctrl.time_chunks_sharded(&chunks, &self.pool)?;
+                for (&i, receipt) in chunk_ops.iter().zip(&receipts) {
+                    match &mut per_op[i] {
+                        Some(t) => t.absorb(receipt),
+                        None => per_op[i] = Some(*receipt),
+                    }
                 }
-                wave_end = wave_end.max(receipt.end_ps);
-                per_op[i] = Some(receipt);
+                for &i in wave {
+                    let receipt = per_op[i].expect("every wave op has chunks here");
+                    wave_end = wave_end.max(receipt.end_ps);
+                }
+            } else {
+                for &i in wave {
+                    let mut op_total: Option<OpReceipt> = None;
+                    for chunk in &plans[i] {
+                        if let Some(tr) = traffic.as_deref_mut() {
+                            tr.service_arrived(self.ctrl.timer_mut())?;
+                        }
+                        // Traffic (or prior external use) may have left a row
+                        // open; AAP programs must start precharged.
+                        self.ctrl.close_open_row(chunk.bank, chunk.subarray)?;
+                        let receipt = if threaded {
+                            self.ctrl.time_program(chunk.bank, chunk.subarray, &chunk.program)?
+                        } else {
+                            self.ctrl.run_program(chunk.bank, chunk.subarray, &chunk.program)?
+                        };
+                        match &mut op_total {
+                            Some(t) => t.absorb(&receipt),
+                            None => op_total = Some(receipt),
+                        }
+                    }
+                    // A fully-elided plan (self-copy) issues nothing.
+                    let receipt = op_total.unwrap_or_else(|| self.noop_receipt());
+                    if policy == IssuePolicy::Serial {
+                        self.ctrl.timer_mut().advance_to(receipt.end_ps);
+                    }
+                    wave_end = wave_end.max(receipt.end_ps);
+                    per_op[i] = Some(receipt);
+                }
             }
             // Wave barrier: dependent ops start only after every producer's
             // final precharge has completed.
@@ -1003,7 +1069,7 @@ impl AmbitMemory {
         if threaded {
             // Functional pass: queue every chunk program on its bank in the
             // order the serial path would have run it (wave, then op index,
-            // then chunk index), and fan the queues out one OS thread per
+            // then chunk index), and fan the queues out one pool job per
             // bank. Co-location guarantees every program only touches its
             // own (bank, subarray), so per-bank FIFO order is the only
             // ordering the device can observe.
@@ -1018,7 +1084,7 @@ impl AmbitMemory {
                     }
                 }
             }
-            self.ctrl.run_bank_queues(&queues)?;
+            self.ctrl.run_bank_queues(&queues, &self.pool)?;
         }
 
         let per_op: Vec<OpReceipt> = per_op

@@ -104,6 +104,14 @@ pub enum AmbitError {
         /// What was wrong with the profile.
         reason: &'static str,
     },
+    /// A job running on the persistent [`ExecutorPool`](crate::ExecutorPool)
+    /// panicked. The panic was caught on the worker thread (the pool stays
+    /// usable) and its payload is carried here instead of aborting the
+    /// process.
+    ExecutorPanicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
 }
 
 impl fmt::Display for AmbitError {
@@ -163,6 +171,9 @@ impl fmt::Display for AmbitError {
             AmbitError::ProfileRejected { reason } => {
                 write!(f, "placement profile rejected: {reason}")
             }
+            AmbitError::ExecutorPanicked { message } => {
+                write!(f, "executor pool job panicked: {message}")
+            }
         }
     }
 }
@@ -207,6 +218,7 @@ mod tests {
             AmbitError::DependencyCycle { op: 4 },
             AmbitError::UnknownOp { id: 7 },
             AmbitError::ProfileRejected { reason: "wrong shape" },
+            AmbitError::ExecutorPanicked { message: "boom".into() },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

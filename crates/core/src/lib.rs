@@ -58,6 +58,7 @@ mod error;
 pub mod isa;
 pub mod ops;
 mod physmap;
+mod pool;
 pub mod resilient;
 mod throughput;
 
@@ -74,4 +75,5 @@ pub use resilient::{
 pub use isa::{BbopInstruction, BbopOutcome, ExecutionPath};
 pub use ops::{compile_majority, AmbitCmd, BitwiseOp};
 pub use physmap::{DataRowLocation, PhysicalMap};
+pub use pool::{ExecutorPool, PoolStats};
 pub use throughput::AmbitConfig;

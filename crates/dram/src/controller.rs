@@ -63,6 +63,30 @@ pub enum TraceCommand {
     Write,
 }
 
+/// Per-channel command-bus state: one DDR channel is one command bus, one
+/// data bus, and one tRRD/tFAW activation window. Everything order-dependent
+/// on a channel lives here, which is what lets a per-channel timing shard
+/// replay its channel's commands bit-identically off the main timer.
+#[derive(Debug, Clone, Default)]
+struct ChannelLane {
+    /// Current time on this channel's command bus (the cycle after the last
+    /// issued command).
+    now_ps: u64,
+    /// Earliest time this channel's data bus can carry the next column
+    /// burst: per-bank timelines overlap freely on row commands, but
+    /// READ/WRITE bursts from any bank of the channel stay tCCD apart.
+    bus_col_ready_ps: u64,
+    /// Issue times of recent ACTIVATEs on this channel, for tFAW.
+    recent_acts: VecDeque<u64>,
+    /// Issue time of the most recent ACTIVATE on this channel, for tRRD.
+    last_act_ps: Option<u64>,
+    /// Energy accumulated by commands issued on this channel. Kept
+    /// per-lane (and summed on read) so a receipt's energy delta is a pure
+    /// function of that channel's own command sequence — independent of how
+    /// other channels' f64 additions interleave with it.
+    energy: EnergyAccount,
+}
+
 /// Per-bank timing state.
 #[derive(Debug, Clone, Copy, Default)]
 struct BankTiming {
@@ -125,19 +149,23 @@ pub struct CommandTimer {
     timing: TimingParams,
     mode: AapMode,
     energy_model: EnergyModel,
-    energy: EnergyAccount,
-    now_ps: u64,
+    /// Per-channel command-bus state. The DDR command/data buses are
+    /// per-channel resources (`DramGeometry::channels`), so each lane keeps
+    /// its own clock, column-bus slot, tRRD/tFAW window, and energy
+    /// accumulator. With the default single-channel stride every bank maps
+    /// to lane 0 and the timer behaves exactly like the historical
+    /// one-global-bus model.
+    lanes: Vec<ChannelLane>,
+    /// Timing-pipeline indices per channel lane: lane = bank / stride.
+    /// `usize::MAX` (the default) puts every bank on one lane.
+    lane_stride: usize,
+    /// Global clock floor established by [`advance_to`]
+    /// (CommandTimer::advance_to); lanes created after an advance start
+    /// here instead of at 0.
+    floor_ps: u64,
     banks: Vec<BankTiming>,
-    /// Issue times of recent ACTIVATEs, for the tFAW window.
-    recent_acts: VecDeque<u64>,
-    /// Issue time of the most recent ACTIVATE to any bank, for tRRD.
-    last_act_ps: Option<u64>,
-    /// Whether tRRD/tFAW are enforced across banks.
+    /// Whether tRRD/tFAW are enforced across banks (within a channel).
     enforce_inter_bank: bool,
-    /// Earliest time the shared data bus can carry the next column burst:
-    /// per-bank timelines overlap freely on row commands, but READ/WRITE
-    /// bursts from *any* bank share one bus and stay tCCD apart.
-    bus_col_ready_ps: u64,
     /// Latest command issue time seen on any bank (wall-clock horizon).
     horizon_ps: u64,
     stats: TimerStats,
@@ -252,13 +280,11 @@ impl CommandTimer {
             timing,
             mode,
             energy_model: EnergyModel::ddr3_1333(),
-            energy: EnergyAccount::new(),
-            now_ps: 0,
+            lanes: vec![ChannelLane::default()],
+            lane_stride: usize::MAX,
+            floor_ps: 0,
             banks: vec![BankTiming::default(); 16],
-            recent_acts: VecDeque::new(),
-            last_act_ps: None,
             enforce_inter_bank: false,
-            bus_col_ready_ps: 0,
             horizon_ps: 0,
             stats: TimerStats::default(),
             trace: None,
@@ -354,14 +380,72 @@ impl CommandTimer {
         self.enforce_inter_bank = enforce;
     }
 
-    /// Current time (the cycle after the last issued command), picoseconds.
-    pub fn now_ps(&self) -> u64 {
-        self.now_ps
+    /// Partitions timing pipelines into channel lanes: pipeline `p` issues
+    /// on the command bus of lane `p / stride`. The default (`usize::MAX`)
+    /// keeps every pipeline on one lane — the historical single-bus model,
+    /// correct for single-channel geometries. Multi-channel controllers set
+    /// the stride to `ranks * banks` pipelines per channel (scaled by
+    /// subarrays under SALP) so each channel gets its own independent
+    /// command/data bus, which is what the hardware has.
+    ///
+    /// Call before issuing commands (or while all lanes are idle and
+    /// equally advanced): re-striding does not migrate accumulated lane
+    /// state between lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn set_channel_stride(&mut self, stride: usize) {
+        assert!(stride > 0, "channel stride must be nonzero");
+        self.lane_stride = stride;
     }
 
-    /// Advances the clock to at least `t_ps` (models idle gaps).
+    /// The channel lane a timing pipeline issues on under the current
+    /// stride (see [`set_channel_stride`](Self::set_channel_stride)).
+    pub fn lane_of(&self, bank: usize) -> usize {
+        if self.lane_stride == usize::MAX {
+            0
+        } else {
+            bank / self.lane_stride
+        }
+    }
+
+    fn lane_mut(&mut self, lane: usize) -> &mut ChannelLane {
+        while self.lanes.len() <= lane {
+            self.lanes.push(ChannelLane {
+                now_ps: self.floor_ps,
+                ..ChannelLane::default()
+            });
+        }
+        &mut self.lanes[lane]
+    }
+
+    fn lane_now(&self, bank: usize) -> u64 {
+        self.lanes
+            .get(self.lane_of(bank))
+            .map_or(self.floor_ps, |l| l.now_ps)
+    }
+
+    /// Current time (the cycle after the last issued command), picoseconds.
+    /// With multiple channel lanes this is the most advanced lane's clock;
+    /// for the per-lane view use [`bank_now_ps`](Self::bank_now_ps).
+    pub fn now_ps(&self) -> u64 {
+        self.lanes.iter().map(|l| l.now_ps).max().unwrap_or(self.floor_ps)
+    }
+
+    /// Current time on the command bus that serves `bank`'s channel lane.
+    /// Equal to [`now_ps`](Self::now_ps) on single-channel timers.
+    pub fn bank_now_ps(&self, bank: usize) -> u64 {
+        self.lane_now(bank)
+    }
+
+    /// Advances every channel lane's clock to at least `t_ps` (models idle
+    /// gaps and wave barriers; lanes created later also start here).
     pub fn advance_to(&mut self, t_ps: u64) {
-        self.now_ps = self.now_ps.max(t_ps);
+        self.floor_ps = self.floor_ps.max(t_ps);
+        for lane in &mut self.lanes {
+            lane.now_ps = lane.now_ps.max(t_ps);
+        }
         self.horizon_ps = self.horizon_ps.max(t_ps);
     }
 
@@ -392,13 +476,14 @@ impl CommandTimer {
     /// row is precharged as early as legal. This is the per-bank ready-time
     /// batch planners use to reason about overlapping bank timelines.
     pub fn bank_ready_ps(&self, bank: usize) -> u64 {
+        let now = self.lane_now(bank);
         let Some(b) = self.banks.get(bank) else {
-            return self.now_ps;
+            return now;
         };
         if b.active {
-            self.now_ps.max(b.pre_ready_ps) + self.timing.t_rp_ps
+            now.max(b.pre_ready_ps) + self.timing.t_rp_ps
         } else {
-            self.now_ps.max(b.act_ready_ps)
+            now.max(b.act_ready_ps)
         }
     }
 
@@ -416,9 +501,26 @@ impl CommandTimer {
         self.banks.len()
     }
 
-    /// Accumulated energy account.
-    pub fn energy(&self) -> &EnergyAccount {
-        &self.energy
+    /// Accumulated energy account, aggregated across channel lanes in lane
+    /// order (deterministic: each lane's f64 sums depend only on its own
+    /// command sequence).
+    pub fn energy(&self) -> EnergyAccount {
+        let mut total = EnergyAccount::new();
+        for lane in &self.lanes {
+            total.merge(&lane.energy);
+        }
+        total
+    }
+
+    /// Total energy (nanojoules) accumulated on the channel lane that
+    /// serves `bank`. Receipts compute per-program energy as a delta of
+    /// this value: a program issues on exactly one pipeline, so the delta
+    /// is a pure function of that lane's own command sequence and is
+    /// identical whether the lane replays serially or on a shard.
+    pub fn bank_energy_nj(&self, bank: usize) -> f64 {
+        self.lanes
+            .get(self.lane_of(bank))
+            .map_or(0.0, |l| l.energy.total_nj())
     }
 
     /// Issue statistics.
@@ -433,26 +535,30 @@ impl CommandTimer {
         &mut self.banks[bank]
     }
 
-    fn inter_bank_ready(&self) -> u64 {
+    fn inter_bank_ready(&self, lane: usize) -> u64 {
         if !self.enforce_inter_bank {
             return 0;
         }
+        let Some(lane) = self.lanes.get(lane) else {
+            return 0;
+        };
         let mut ready = 0;
-        if let Some(last) = self.last_act_ps {
+        if let Some(last) = lane.last_act_ps {
             ready = ready.max(last + self.timing.t_rrd_ps);
         }
-        if self.recent_acts.len() >= 4 {
-            let oldest = self.recent_acts[self.recent_acts.len() - 4];
+        if lane.recent_acts.len() >= 4 {
+            let oldest = lane.recent_acts[lane.recent_acts.len() - 4];
             ready = ready.max(oldest + self.timing.t_faw_ps);
         }
         ready
     }
 
-    fn note_act(&mut self, t: u64) {
-        self.last_act_ps = Some(t);
-        self.recent_acts.push_back(t);
-        while self.recent_acts.len() > 4 {
-            self.recent_acts.pop_front();
+    fn note_act(&mut self, lane: usize, t: u64) {
+        let lane = self.lane_mut(lane);
+        lane.last_act_ps = Some(t);
+        lane.recent_acts.push_back(t);
+        while lane.recent_acts.len() > 4 {
+            lane.recent_acts.pop_front();
         }
     }
 
@@ -486,10 +592,11 @@ impl CommandTimer {
         wordlines: usize,
         row: Option<usize>,
     ) -> Result<u64> {
-        let inter = self.inter_bank_ready();
         let timing = self.timing;
         let mode = self.mode;
-        let floor = self.now_ps;
+        let lane = self.lane_of(bank);
+        let floor = self.lane_mut(lane).now_ps;
+        let inter = self.inter_bank_ready(lane);
         let b = self.bank_mut(bank);
         let t = if b.active {
             // Back-to-back ACTIVATE (copy).
@@ -523,11 +630,13 @@ impl CommandTimer {
             t
         };
         self.bank_mut(bank).acts += 1;
-        self.note_act(t);
+        self.note_act(lane, t);
         self.record(t, bank, TraceCommand::Activate { wordlines, row });
         self.horizon_ps = self.horizon_ps.max(t);
-        self.now_ps = floor + self.timing.t_ck_ps;
-        self.energy.record_activate(&self.energy_model, wordlines);
+        let model = self.energy_model;
+        let l = self.lane_mut(lane);
+        l.now_ps = floor + timing.t_ck_ps;
+        l.energy.record_activate(&model, wordlines);
         self.stats.activates += 1;
         if let Some(tel) = &mut self.telemetry {
             tel.bank(bank).acts.inc();
@@ -547,7 +656,8 @@ impl CommandTimer {
     /// Returns [`DramError::BankNotActivated`] if the bank has no open row.
     pub fn issue_precharge(&mut self, bank: usize) -> Result<u64> {
         let timing = self.timing;
-        let floor = self.now_ps;
+        let lane = self.lane_of(bank);
+        let floor = self.lane_mut(lane).now_ps;
         let b = self.bank_mut(bank);
         if !b.active {
             return Err(DramError::BankNotActivated);
@@ -558,8 +668,10 @@ impl CommandTimer {
         b.busy_ps += t + timing.t_rp_ps - b.first_act_ps;
         self.record(t, bank, TraceCommand::Precharge);
         self.horizon_ps = self.horizon_ps.max(t + timing.t_rp_ps);
-        self.now_ps = floor + timing.t_ck_ps;
-        self.energy.record_precharge(&self.energy_model);
+        let model = self.energy_model;
+        let l = self.lane_mut(lane);
+        l.now_ps = floor + timing.t_ck_ps;
+        l.energy.record_precharge(&model);
         self.stats.precharges += 1;
         if let Some(tel) = &mut self.telemetry {
             tel.bank(bank).precharges.inc();
@@ -591,31 +703,36 @@ impl CommandTimer {
 
     fn issue_column(&mut self, bank: usize, is_write: bool) -> Result<u64> {
         let timing = self.timing;
-        let floor = self.now_ps;
-        let bus_ready = self.bus_col_ready_ps;
+        let lane = self.lane_of(bank);
+        let (floor, bus_ready) = {
+            let l = self.lane_mut(lane);
+            (l.now_ps, l.bus_col_ready_ps)
+        };
         let b = self.bank_mut(bank);
         if !b.active {
             return Err(DramError::BankNotActivated);
         }
         // tCCD is a shared-bus constraint, not just a per-bank one: bursts
-        // from different banks still serialize on the one data bus.
+        // from different banks of a channel still serialize on its data bus.
         let t = floor.max(b.col_ready_ps).max(bus_ready);
         b.col_ready_ps = t + timing.t_ccd_ps;
         if is_write {
             // Write recovery gates the next precharge.
             b.pre_ready_ps = b.pre_ready_ps.max(t + timing.t_cl_ps + timing.t_wr_ps);
         }
-        self.bus_col_ready_ps = t + timing.t_ccd_ps;
         self.record(
             t,
             bank,
             if is_write { TraceCommand::Write } else { TraceCommand::Read },
         );
         self.horizon_ps = self.horizon_ps.max(t);
-        self.now_ps = floor + timing.t_ck_ps;
         let burst_bytes = 64;
         let done = t + timing.t_cl_ps + timing.transfer_ps(burst_bytes);
-        self.energy.record_transfer(&self.energy_model, burst_bytes);
+        let model = self.energy_model;
+        let l = self.lane_mut(lane);
+        l.bus_col_ready_ps = t + timing.t_ccd_ps;
+        l.now_ps = floor + timing.t_ck_ps;
+        l.energy.record_transfer(&model, burst_bytes);
         if is_write {
             self.stats.writes += 1;
         } else {
@@ -648,8 +765,16 @@ impl CommandTimer {
     /// row.
     pub fn issue_transfer(&mut self, src_bank: usize, dst_bank: usize) -> Result<u64> {
         let timing = self.timing;
-        let floor = self.now_ps;
-        let bus_ready = self.bus_col_ready_ps;
+        let src_lane = self.lane_of(src_bank);
+        let dst_lane = self.lane_of(dst_bank);
+        // A cross-channel transfer occupies both channels' buses for the
+        // burst; same-channel transfers (the common case, and the only case
+        // on single-channel geometries) see exactly the historical timing.
+        let floor = self.lane_mut(src_lane).now_ps.max(self.lane_mut(dst_lane).now_ps);
+        let bus_ready = self
+            .lane_mut(src_lane)
+            .bus_col_ready_ps
+            .max(self.lane_mut(dst_lane).bus_col_ready_ps);
         if !self.bank_mut(src_bank).active || !self.bank_mut(dst_bank).active {
             return Err(DramError::BankNotActivated);
         }
@@ -663,13 +788,23 @@ impl CommandTimer {
             // Write recovery gates the destination bank's next precharge.
             d.pre_ready_ps = d.pre_ready_ps.max(t + timing.t_cl_ps + timing.t_wr_ps);
         }
-        self.bus_col_ready_ps = t + timing.t_ccd_ps;
         self.record(t, src_bank, TraceCommand::Read);
         self.record(t, dst_bank, TraceCommand::Write);
         self.horizon_ps = self.horizon_ps.max(t);
-        self.now_ps = floor + timing.t_ck_ps;
         let burst_bytes = 64;
-        self.energy.record_transfer(&self.energy_model, burst_bytes);
+        let model = self.energy_model;
+        {
+            let l = self.lane_mut(src_lane);
+            l.bus_col_ready_ps = t + timing.t_ccd_ps;
+            l.now_ps = floor + timing.t_ck_ps;
+        }
+        if dst_lane != src_lane {
+            let l = self.lane_mut(dst_lane);
+            l.bus_col_ready_ps = t + timing.t_ccd_ps;
+            l.now_ps = floor + timing.t_ck_ps;
+        }
+        // Energy is attributed to the source channel's account.
+        self.lane_mut(src_lane).energy.record_transfer(&model, burst_bytes);
         self.stats.reads += 1;
         self.stats.writes += 1;
         if let Some(tel) = &mut self.telemetry {
@@ -747,6 +882,140 @@ impl CommandTimer {
             tel.aps.inc();
         }
         Ok((start, end))
+    }
+
+    /// Forks an independent timing shard for one channel lane.
+    ///
+    /// The shard is a snapshot of this timer that records a private delta
+    /// trace; by convention the caller only issues commands for pipelines
+    /// of `lane` on it. Because everything order-dependent on a channel
+    /// (clock, column-bus slot, tRRD/tFAW window, energy accumulator, bank
+    /// slots) lives in per-lane or per-bank state, replaying one channel's
+    /// command sequence on its shard produces bit-identical timestamps,
+    /// receipts, and energy to replaying the interleaved sequence serially
+    /// on this timer. Disjoint lanes may therefore replay on shards in
+    /// parallel and be absorbed back
+    /// ([`absorb_channel_shard`](Self::absorb_channel_shard)) in any order.
+    ///
+    /// Shared telemetry instruments stay attached (they are atomic and
+    /// order-independent); the shard's delta trace is returned at absorb
+    /// time for the caller to merge into serial order.
+    pub fn fork_channel_shard(&self, lane: usize) -> TimerShard {
+        let timer = CommandTimer {
+            timing: self.timing,
+            mode: self.mode,
+            energy_model: self.energy_model,
+            lanes: self.lanes.clone(),
+            lane_stride: self.lane_stride,
+            floor_ps: self.floor_ps,
+            banks: self.banks.clone(),
+            enforce_inter_bank: self.enforce_inter_bank,
+            horizon_ps: self.horizon_ps,
+            stats: self.stats,
+            // Always collect the delta trace (needed for the ordered merge)
+            // and park the ring: merged entries re-enter the ring via
+            // `append_trace_entries` so ring contents and drop counts stay
+            // identical to a serial replay.
+            trace: Some(Vec::new()),
+            ring: VecDeque::new(),
+            ring_cap: 0,
+            ring_dropped: 0,
+            telemetry: self.telemetry.clone(),
+        };
+        TimerShard {
+            timer,
+            lane,
+            stats_base: self.stats,
+        }
+    }
+
+    /// Merges a channel shard's state back: the lane's bus state and energy,
+    /// the bank slots the lane serves, integer stat deltas, and the horizon.
+    /// Returns the shard's delta trace (in the shard's issue order) for the
+    /// caller to interleave into serial order and append via
+    /// [`append_trace_entries`](Self::append_trace_entries).
+    ///
+    /// The caller must not have issued commands on the absorbed lane (or
+    /// its banks) on this timer since the fork — shards own their channel
+    /// exclusively between fork and absorb.
+    pub fn absorb_channel_shard(&mut self, shard: TimerShard) -> Vec<TraceEntry> {
+        let TimerShard {
+            timer: t,
+            lane,
+            stats_base,
+        } = shard;
+        debug_assert_eq!(self.lane_stride, t.lane_stride, "stride changed across fork");
+        let (lo, hi) = if self.lane_stride == usize::MAX {
+            (0, t.banks.len())
+        } else {
+            (
+                lane * self.lane_stride,
+                ((lane + 1) * self.lane_stride).min(t.banks.len()),
+            )
+        };
+        if hi > self.banks.len() {
+            self.banks.resize(hi, BankTiming::default());
+        }
+        if lo < hi {
+            self.banks[lo..hi].copy_from_slice(&t.banks[lo..hi]);
+        }
+        if let Some(l) = t.lanes.get(lane) {
+            *self.lane_mut(lane) = l.clone();
+        }
+        self.stats.activates += t.stats.activates - stats_base.activates;
+        self.stats.precharges += t.stats.precharges - stats_base.precharges;
+        self.stats.reads += t.stats.reads - stats_base.reads;
+        self.stats.writes += t.stats.writes - stats_base.writes;
+        self.stats.aaps += t.stats.aaps - stats_base.aaps;
+        self.stats.aps += t.stats.aps - stats_base.aps;
+        self.horizon_ps = self.horizon_ps.max(t.horizon_ps);
+        t.trace.unwrap_or_default()
+    }
+
+    /// Appends already-timed entries to this timer's trace sinks (the
+    /// opt-in full trace and the always-on ring) in the given order — the
+    /// write half of the shard-merge protocol.
+    pub fn append_trace_entries(&mut self, entries: &[TraceEntry]) {
+        for e in entries {
+            self.record(e.at_ps, e.bank, e.command);
+        }
+    }
+}
+
+/// A per-channel timing shard forked from a [`CommandTimer`] via
+/// [`fork_channel_shard`](CommandTimer::fork_channel_shard): an owned timer
+/// restricted by convention to one channel lane's pipelines, collecting a
+/// private delta trace. Issue commands through
+/// [`timer_mut`](Self::timer_mut), then hand the shard back to
+/// [`absorb_channel_shard`](CommandTimer::absorb_channel_shard).
+#[derive(Debug)]
+pub struct TimerShard {
+    timer: CommandTimer,
+    lane: usize,
+    stats_base: TimerStats,
+}
+
+impl TimerShard {
+    /// The shard's timer (read-only).
+    pub fn timer(&self) -> &CommandTimer {
+        &self.timer
+    }
+
+    /// The shard's timer; issue this lane's commands here.
+    pub fn timer_mut(&mut self) -> &mut CommandTimer {
+        &mut self.timer
+    }
+
+    /// The channel lane this shard owns.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// Delta-trace entries recorded on this shard so far. Workers bracket
+    /// each program with this to attribute trace spans to chunks for the
+    /// ordered merge.
+    pub fn trace_len(&self) -> usize {
+        self.timer.trace.as_ref().map_or(0, Vec::len)
     }
 }
 

@@ -60,6 +60,21 @@ impl DramGeometry {
         }
     }
 
+    /// Two-channel variant of [`tiny`](Self::tiny): the smallest geometry
+    /// with more than one command bus, so it exercises per-channel timing
+    /// lanes and the channel-sharded timing pass. 2 channels × 2 banks ×
+    /// 2 subarrays × 32 rows of 16 bytes.
+    pub fn tiny_dual_channel() -> Self {
+        DramGeometry {
+            channels: 2,
+            ranks: 1,
+            banks: 2,
+            subarrays_per_bank: 2,
+            rows_per_subarray: 32,
+            row_bytes: 16,
+        }
+    }
+
     /// A small geometry for fast unit tests: 2 banks × 2 subarrays ×
     /// 32 rows of 16 bytes.
     pub fn tiny() -> Self {

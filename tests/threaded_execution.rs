@@ -27,6 +27,14 @@ fn tiny() -> AmbitMemory {
     )
 }
 
+fn tiny_dual_channel() -> AmbitMemory {
+    AmbitMemory::new(
+        DramGeometry::tiny_dual_channel(),
+        TimingParams::ddr3_1600(),
+        AapMode::Overlapped,
+    )
+}
+
 const OPS: [BitwiseOp; 7] = [
     BitwiseOp::Not,
     BitwiseOp::And,
@@ -40,9 +48,23 @@ const OPS: [BitwiseOp; 7] = [
 /// Builds two identical memories with a shared handle pool and random
 /// contents; handles are identical because allocation order is.
 fn mirrored_pools(seed: u64, pool: usize) -> (AmbitMemory, AmbitMemory, Vec<BitVectorHandle>) {
-    let mut a = tiny();
-    let mut b = tiny();
-    let bits = 2 * a.row_bits();
+    mirrored_pools_on(seed, pool, tiny, 2)
+}
+
+fn mirrored_pools_on(
+    seed: u64,
+    pool: usize,
+    make: fn() -> AmbitMemory,
+    chunks: usize,
+) -> (AmbitMemory, AmbitMemory, Vec<BitVectorHandle>) {
+    let mut a = make();
+    let mut b = make();
+    // `a` is the threaded-policy memory in every test: force a multi-worker
+    // pool so the threaded path executes (and is exercised) even on a
+    // one-core host, where the default pool would degrade it to
+    // BankParallel.
+    a.set_pool_threads(4);
+    let bits = chunks * a.row_bits();
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed);
     let handles: Vec<BitVectorHandle> = (0..pool)
         .map(|_| {
@@ -130,6 +152,46 @@ proptest! {
             );
         }
     }
+
+    /// The same identity on a two-channel geometry, where allocations span
+    /// both channels (4 row-chunks across 4 flat banks) and the threaded
+    /// timing pass runs one shard per channel: the deterministic shard
+    /// merge must reproduce the serial receipts, the serially-interleaved
+    /// command trace, timer stats, and memory image exactly.
+    #[test]
+    fn threaded_batch_is_byte_identical_across_channels(seed in any::<u64>(), len in 1usize..10) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let (mut threaded, mut reference, h) =
+            mirrored_pools_on(seed, 4, tiny_dual_channel, 4);
+        threaded.controller_mut().timer_mut().set_tracing(true);
+        reference.controller_mut().timer_mut().set_tracing(true);
+        let batch = random_batch(&mut rng, &h, len);
+
+        let rt = threaded.execute_batch(&batch, IssuePolicy::BankParallelThreaded).unwrap();
+        let rr = reference.execute_batch(&batch, IssuePolicy::BankParallel).unwrap();
+
+        prop_assert_eq!(&rt, &rr, "receipts diverge");
+        prop_assert_eq!(
+            threaded.controller().timer().trace().unwrap(),
+            reference.controller().timer().trace().unwrap(),
+            "command traces diverge"
+        );
+        prop_assert_eq!(
+            threaded.controller().timer().stats(),
+            reference.controller().timer().stats()
+        );
+        prop_assert_eq!(
+            threaded.controller().device().stats(),
+            reference.controller().device().stats()
+        );
+        for (i, &handle) in h.iter().enumerate() {
+            prop_assert_eq!(
+                threaded.peek_bits(handle).unwrap(),
+                reference.peek_bits(handle).unwrap(),
+                "vector {} diverged", i
+            );
+        }
+    }
 }
 
 /// Allocates `a AND b -> d` chains in each of `groups`, mirrored across
@@ -183,6 +245,7 @@ fn concurrent_submitters_over_disjoint_handles_match_serial() {
     let per_group = 8;
     let mut threaded = AmbitMemory::ddr3_module();
     let mut serial = AmbitMemory::ddr3_module();
+    threaded.set_pool_threads(4);
     threaded.set_telemetry(Registry::new());
     serial.set_telemetry(Registry::new());
     let (batches, dsts) = mirrored_group_batches(&mut threaded, &mut serial, groups, per_group);
@@ -247,6 +310,85 @@ fn shared_references_read_from_many_threads() {
             assert_eq!(reader.join().unwrap(), data);
         }
     });
+}
+
+/// Pool-lifecycle satellite: 1000 consecutive small batches through one
+/// memory's persistent pool stay byte-for-byte identical to serial
+/// execution on a mirrored module, and the pool's counters show workers
+/// being reused rather than respawned per batch (the entire point of
+/// keeping them alive).
+#[test]
+fn thousand_consecutive_batches_match_serial_and_reuse_workers() {
+    let (mut threaded, mut serial, h) = mirrored_pools(0xbeef, 4);
+    for round in 0..1000u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(round);
+        let batch = random_batch(&mut rng, &h, 2);
+        let rt = threaded
+            .execute_batch(&batch, IssuePolicy::BankParallelThreaded)
+            .unwrap();
+        let rr = serial.execute_batch(&batch, IssuePolicy::BankParallel).unwrap();
+        assert_eq!(rt, rr, "receipts diverged at round {round}");
+    }
+    for (i, &handle) in h.iter().enumerate() {
+        assert_eq!(
+            threaded.peek_bits(handle).unwrap(),
+            serial.peek_bits(handle).unwrap(),
+            "vector {i} diverged after 1000 batches"
+        );
+    }
+    assert_eq!(
+        threaded.controller().timer().stats(),
+        serial.controller().timer().stats(),
+        "timer stats diverged after 1000 batches"
+    );
+    let stats = threaded.pool_stats();
+    if stats.target_workers >= 2 {
+        assert!(
+            stats.jobs_executed + stats.inline_jobs > 0,
+            "threaded batches never reached the pool: {stats:?}"
+        );
+        assert!(
+            stats.cold_spawns <= stats.target_workers as u64,
+            "workers respawned instead of reused: {stats:?}"
+        );
+    }
+}
+
+/// Auto-degrade satellite: a single-worker pool (what a one-core host
+/// gets from `available_parallelism`) silently degrades
+/// `BankParallelThreaded` to plain `BankParallel` — identical results, and
+/// the pool is never touched, so there is no spawn overhead to pay.
+#[test]
+fn single_worker_pool_degrades_threaded_to_bank_parallel() {
+    let (mut degraded, mut reference, h) = mirrored_pools(0x1c0de, 4);
+    degraded.set_pool_threads(1);
+    degraded.controller_mut().timer_mut().set_tracing(true);
+    reference.controller_mut().timer_mut().set_tracing(true);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x1c0de);
+    let batch = random_batch(&mut rng, &h, 6);
+
+    let rt = degraded
+        .execute_batch(&batch, IssuePolicy::BankParallelThreaded)
+        .unwrap();
+    let rr = reference
+        .execute_batch(&batch, IssuePolicy::BankParallel)
+        .unwrap();
+    assert_eq!(rt, rr, "degraded receipts diverge");
+    assert_eq!(
+        degraded.controller().timer().trace().unwrap(),
+        reference.controller().timer().trace().unwrap(),
+        "degraded command traces diverge"
+    );
+    for &handle in &h {
+        assert_eq!(
+            degraded.peek_bits(handle).unwrap(),
+            reference.peek_bits(handle).unwrap()
+        );
+    }
+    let stats = degraded.pool_stats();
+    assert_eq!(stats.jobs_executed, 0, "degraded path must bypass the pool");
+    assert_eq!(stats.inline_jobs, 0, "degraded path must bypass the pool");
+    assert_eq!(stats.workers, 0, "no worker threads on a one-core host");
 }
 
 /// When the device is fault-armed the threaded policy must fall back to
