@@ -60,6 +60,17 @@ impl BitSlicedVector {
         self.width
     }
 
+    /// Bit-slice handles, LSB first (for the synthesized kernels in
+    /// [`synth_arith`](crate::synth_arith)).
+    pub(crate) fn slices(&self) -> &[BitVectorHandle] {
+        &self.slices
+    }
+
+    /// Row-padded length of each slice in bits.
+    pub(crate) fn padded(&self) -> usize {
+        self.padded
+    }
+
     /// Loads lane values (host write; values must fit in `width` bits).
     ///
     /// # Errors
@@ -200,6 +211,115 @@ impl BitSlicedVector {
         constant.write(mem, &vec![k & mask(self.width); self.lanes])?;
         self.add(mem, &constant)
     }
+
+    /// Lane-wise unsigned comparison: returns a mask bitvector whose lane
+    /// `l` is set iff `self[l] < other[l]`, plus the receipt. Classic
+    /// MSB-down ladder: running `eq`/`lt` flags updated per bit position,
+    /// all lanes at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmbitError::SizeMismatch`] on shape mismatch and
+    /// propagates driver errors.
+    pub fn compare_lt(
+        &self,
+        mem: &mut AmbitMemory,
+        other: &BitSlicedVector,
+    ) -> Result<(BitVectorHandle, OpReceipt), AmbitError> {
+        if self.width != other.width || self.lanes != other.lanes {
+            return Err(AmbitError::SizeMismatch {
+                left_bits: self.width * self.lanes,
+                right_bits: other.width * other.lanes,
+            });
+        }
+        let lt = mem.alloc(self.padded)?;
+        let eq = mem.alloc(self.padded)?;
+        let not_a = mem.alloc(self.padded)?;
+        let tmp = mem.alloc(self.padded)?;
+
+        let mut total = mem.bitwise(BitwiseOp::InitZero, lt, None, lt)?;
+        total.absorb(&mem.bitwise(BitwiseOp::InitOne, eq, None, eq)?);
+        for i in (0..self.width).rev() {
+            let a = self.slices[i];
+            let b = other.slices[i];
+            // lt |= eq & !a & b  (the first differing bit decides).
+            total.absorb(&mem.bitwise(BitwiseOp::Not, a, None, not_a)?);
+            total.absorb(&mem.bitwise(BitwiseOp::And, not_a, Some(b), tmp)?);
+            total.absorb(&mem.bitwise(BitwiseOp::And, eq, Some(tmp), tmp)?);
+            total.absorb(&mem.bitwise(BitwiseOp::Or, lt, Some(tmp), lt)?);
+            // eq &= (a == b).
+            total.absorb(&mem.bitwise(BitwiseOp::Xnor, a, Some(b), tmp)?);
+            total.absorb(&mem.bitwise(BitwiseOp::And, eq, Some(tmp), eq)?);
+        }
+        mem.free(eq)?;
+        mem.free(not_a)?;
+        mem.free(tmp)?;
+        Ok((lt, total))
+    }
+
+    /// Lane-wise population count: a vector of `ceil(log2(width + 1))`-bit
+    /// counters holding each lane's number of set bits. Per slice, a
+    /// ripple of bulk half-adders folds the slice into the counter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    pub fn popcount(
+        &self,
+        mem: &mut AmbitMemory,
+    ) -> Result<(BitSlicedVector, OpReceipt), AmbitError> {
+        let cw = popcount_width(self.width);
+        let counter = BitSlicedVector::alloc(mem, self.lanes, cw)?;
+        let carry = mem.alloc(self.padded)?;
+        let tmp = mem.alloc(self.padded)?;
+
+        let mut total = mem.bitwise(BitwiseOp::InitZero, counter.slices[0], None, counter.slices[0])?;
+        for &c in &counter.slices[1..] {
+            total.absorb(&mem.bitwise(BitwiseOp::InitZero, c, None, c)?);
+        }
+        for i in 0..self.width {
+            total.absorb(&mem.bitwise(BitwiseOp::Copy, self.slices[i], None, carry)?);
+            for j in 0..cw {
+                // Half-adder: new carry = counter & carry, counter ^= carry.
+                total.absorb(&mem.bitwise(BitwiseOp::And, counter.slices[j], Some(carry), tmp)?);
+                total.absorb(&mem.bitwise(
+                    BitwiseOp::Xor,
+                    counter.slices[j],
+                    Some(carry),
+                    counter.slices[j],
+                )?);
+                total.absorb(&mem.bitwise(BitwiseOp::Copy, tmp, None, carry)?);
+            }
+        }
+        mem.free(carry)?;
+        mem.free(tmp)?;
+        Ok((counter, total))
+    }
+
+    /// OR-reduction across the slices: a mask bitvector whose lane `l` is
+    /// set iff `self[l] != 0`, via the driver's fused fold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver errors.
+    pub fn nonzero_mask(
+        &self,
+        mem: &mut AmbitMemory,
+    ) -> Result<(BitVectorHandle, OpReceipt), AmbitError> {
+        let dst = mem.alloc(self.padded)?;
+        let receipt = if self.width == 1 {
+            mem.bitwise(BitwiseOp::Copy, self.slices[0], None, dst)?
+        } else {
+            mem.bitwise_fold(BitwiseOp::Or, &self.slices, dst)?
+        };
+        Ok((dst, receipt))
+    }
+}
+
+/// Counter width needed to hold a popcount over `width` bits (the counts
+/// `0..=width`).
+pub(crate) fn popcount_width(width: usize) -> usize {
+    (usize::BITS - width.leading_zeros()) as usize
 }
 
 fn mask(width: usize) -> u32 {

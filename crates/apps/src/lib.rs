@@ -47,6 +47,7 @@ pub mod dna;
 pub mod masked_init;
 mod rbtree;
 pub mod setops;
+pub mod synth_arith;
 pub mod table;
 mod wah;
 pub mod xorcipher;

@@ -60,6 +60,21 @@
 //! * `bench_snapshot --validate-characterization <path>` re-checks a
 //!   previously written characterization snapshot.
 //!
+//! A fifth mode benchmarks the boolean function-synthesis compiler:
+//!
+//! * `bench_snapshot synth` compiles the full 3-input truth-table space
+//!   (256 functions) through `ambit-core::synth`, records the aggregate
+//!   step/AAP/scratch/optimizer statistics, executes a slice of the
+//!   compiled programs on-device and checks each result against its truth
+//!   table, then A/B-measures the compiler-generated arithmetic kernels
+//!   (`synth_arith::{add,compare_lt,popcount}_synth`) against the
+//!   hand-written `arith` baselines on identical data. Writes
+//!   `BENCH_synth.json` (override: `AMBIT_BENCH_SYNTH_SNAPSHOT`) and
+//!   self-validates byte-identical results with every synth/hand AAP
+//!   ratio inside a fixed band.
+//! * `bench_snapshot --validate-synth <path>` re-checks a previously
+//!   written synth snapshot.
+//!
 //! The energy figures are *measured through the metrics pipeline* (the
 //! controller's `ambit_command_energy_nj` histogram), not read back from
 //! the receipts, so this snapshot also exercises the telemetry path end to
@@ -1469,10 +1484,380 @@ fn characterization_main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Band for the synthesized-kernel AAP cost relative to the hand-written
+/// baseline: the compiler may pay for generality, but not more than this
+/// factor, and a ratio below the floor means the A/B measured different
+/// work.
+const SYNTH_RATIO_MIN: f64 = 0.2;
+const SYNTH_RATIO_MAX: f64 = 4.5;
+
+struct SynthKernelResult {
+    name: &'static str,
+    lanes: usize,
+    width: usize,
+    hand_aaps: usize,
+    synth_aaps: usize,
+    ratio: f64,
+    identical: bool,
+}
+
+struct SynthCompileSummary {
+    tables: usize,
+    total_steps: usize,
+    total_aaps: usize,
+    total_aps: usize,
+    max_scratch_rows: usize,
+    cse_removed: usize,
+    dead_removed: usize,
+    maj3_steps: usize,
+    executed: usize,
+    identical: bool,
+}
+
+/// Compiles every 3-input truth table, executes a slice of them on the
+/// device through the batch engine, and checks each result against the
+/// table itself (inputs carry the cycling assignment pattern, so one row
+/// covers the whole truth table).
+fn measure_synth_compile(stride: usize) -> SynthCompileSummary {
+    use ambit_core::{synthesize, BoolFunc, SynthOptions, SynthProgram};
+    let plans: Vec<SynthProgram> = (0..256u64)
+        .map(|t| {
+            let f = BoolFunc::from_table(3, t).expect("3-input table");
+            synthesize(&[f], &SynthOptions::default()).expect("table synthesizes")
+        })
+        .collect();
+    let mut summary = SynthCompileSummary {
+        tables: plans.len(),
+        total_steps: 0,
+        total_aaps: 0,
+        total_aps: 0,
+        max_scratch_rows: 0,
+        cse_removed: 0,
+        dead_removed: 0,
+        maj3_steps: 0,
+        executed: 0,
+        identical: true,
+    };
+    for plan in &plans {
+        let (aaps, aps) = plan.aap_cost();
+        summary.total_steps += plan.steps().len();
+        summary.total_aaps += aaps;
+        summary.total_aps += aps;
+        summary.max_scratch_rows = summary.max_scratch_rows.max(plan.scratch_rows());
+        summary.cse_removed += plan.stats().cse_removed;
+        summary.dead_removed += plan.stats().dead_removed;
+        summary.maj3_steps += plan.stats().maj3_steps;
+    }
+
+    let mut mem =
+        AmbitMemory::new(DramGeometry::tiny(), TimingParams::ddr3_1600(), AapMode::Overlapped);
+    let bits = mem.row_bits();
+    let inputs: Vec<_> = (0..3).map(|_| mem.alloc(bits).expect("input alloc")).collect();
+    for (j, &h) in inputs.iter().enumerate() {
+        let pattern: Vec<bool> = (0..bits).map(|p| p >> j & 1 == 1).collect();
+        mem.write_bits(h, &pattern).expect("input write");
+    }
+    let out = mem.alloc(bits).expect("output alloc");
+    let pool_rows = plans.iter().map(SynthProgram::scratch_rows).max().unwrap_or(0);
+    let pool: Vec<_> = (0..pool_rows).map(|_| mem.alloc(bits).expect("scratch alloc")).collect();
+    for (t, plan) in plans.iter().enumerate().step_by(stride.max(1)) {
+        let mut batch = BatchBuilder::new();
+        plan.emit_into(&mut batch, &inputs, &pool[..plan.scratch_rows()], &[out])
+            .expect("emit");
+        mem.execute_batch(&batch, IssuePolicy::BankParallel).expect("execute");
+        let got = mem.read_bits(out).expect("readback");
+        let want: Vec<bool> = (0..bits).map(|p| (t as u64) >> (p & 7) & 1 == 1).collect();
+        summary.executed += 1;
+        summary.identical &= got == want;
+    }
+    summary
+}
+
+/// A/B-measures one arithmetic kernel: the hand-written `arith` path and
+/// the compiler-generated `synth_arith` path run the same data on one
+/// module, and the receipts' AAP counts are compared (the results must be
+/// byte-identical first).
+fn measure_synth_kernels(lanes: usize, width: usize) -> Vec<SynthKernelResult> {
+    use ambit_apps::arith::BitSlicedVector;
+    use ambit_apps::synth_arith;
+    let mut mem = AmbitMemory::new(
+        DramGeometry {
+            subarrays_per_bank: 4,
+            rows_per_subarray: 128,
+            ..DramGeometry::tiny()
+        },
+        TimingParams::ddr3_1600(),
+        AapMode::Overlapped,
+    );
+    let mask = (1u32 << width) - 1;
+    let va: Vec<u32> = (0..lanes as u32)
+        .map(|i| i.wrapping_mul(0x9e37_79b9) >> 7 & mask)
+        .collect();
+    let vb: Vec<u32> = (0..lanes as u32)
+        .map(|i| i.wrapping_mul(0x85eb_ca6b) >> 5 & mask)
+        .collect();
+    let a = BitSlicedVector::alloc(&mut mem, lanes, width).expect("alloc a");
+    let b = BitSlicedVector::alloc(&mut mem, lanes, width).expect("alloc b");
+    a.write(&mut mem, &va).expect("write a");
+    b.write(&mut mem, &vb).expect("write b");
+    let policy = IssuePolicy::BankParallel;
+
+    let mut results = Vec::new();
+    {
+        let (hand, hand_receipt) = a.add(&mut mem, &b).expect("hand add");
+        let (synth, synth_receipt) =
+            synth_arith::add_synth(&mut mem, &a, &b, policy).expect("synth add");
+        let identical = hand.read(&mem).unwrap() == synth.read(&mem).unwrap();
+        results.push(SynthKernelResult {
+            name: "add",
+            lanes,
+            width,
+            hand_aaps: hand_receipt.aaps,
+            synth_aaps: synth_receipt.total.aaps,
+            ratio: synth_receipt.total.aaps as f64 / hand_receipt.aaps.max(1) as f64,
+            identical,
+        });
+    }
+    {
+        let (hand, hand_receipt) = a.compare_lt(&mut mem, &b).expect("hand compare");
+        let (synth, synth_receipt) =
+            synth_arith::compare_lt_synth(&mut mem, &a, &b, policy).expect("synth compare");
+        let identical = mem.read_bits(hand).unwrap() == mem.read_bits(synth).unwrap();
+        results.push(SynthKernelResult {
+            name: "compare_lt",
+            lanes,
+            width,
+            hand_aaps: hand_receipt.aaps,
+            synth_aaps: synth_receipt.total.aaps,
+            ratio: synth_receipt.total.aaps as f64 / hand_receipt.aaps.max(1) as f64,
+            identical,
+        });
+    }
+    {
+        let (hand, hand_receipt) = a.popcount(&mut mem).expect("hand popcount");
+        let (synth, synth_receipt) =
+            synth_arith::popcount_synth(&mut mem, &a, policy).expect("synth popcount");
+        let identical = hand.read(&mem).unwrap() == synth.read(&mem).unwrap();
+        results.push(SynthKernelResult {
+            name: "popcount",
+            lanes,
+            width,
+            hand_aaps: hand_receipt.aaps,
+            synth_aaps: synth_receipt.total.aaps,
+            ratio: synth_receipt.total.aaps as f64 / hand_receipt.aaps.max(1) as f64,
+            identical,
+        });
+    }
+    results
+}
+
+fn render_synth_snapshot(
+    compile: &SynthCompileSummary,
+    kernels: &[SynthKernelResult],
+) -> String {
+    let scratch_ceiling =
+        SubarrayLayout::new(DramGeometry::tiny().rows_per_subarray).data_rows();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"ambit-bench-synth/v1\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"inputs\": 3, \"tables\": {}, \"scratch_ceiling\": {}, \"quick\": {}}},\n",
+        compile.tables,
+        scratch_ceiling,
+        quick_mode()
+    ));
+    out.push_str(&format!(
+        "  \"compile\": {{\"total_steps\": {}, \"total_aaps\": {}, \"total_aps\": {}, \"mean_aaps\": {}, \"max_scratch_rows\": {}, \"cse_removed\": {}, \"dead_removed\": {}, \"maj3_steps\": {}}},\n",
+        compile.total_steps,
+        compile.total_aaps,
+        compile.total_aps,
+        json::number(compile.total_aaps as f64 / compile.tables.max(1) as f64),
+        compile.max_scratch_rows,
+        compile.cse_removed,
+        compile.dead_removed,
+        compile.maj3_steps
+    ));
+    out.push_str(&format!(
+        "  \"executed\": {{\"tables\": {}, \"identical\": {}}},\n",
+        compile.executed, compile.identical
+    ));
+    out.push_str("  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"lanes\": {}, \"width\": {}, \"hand_aaps\": {}, \"synth_aaps\": {}, \"ratio\": {}, \"identical\": {}}}{}\n",
+            json::escape(k.name),
+            k.lanes,
+            k.width,
+            k.hand_aaps,
+            k.synth_aaps,
+            json::number(k.ratio),
+            k.identical,
+            if i + 1 < kernels.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates a synth snapshot: schema marker, all 256 tables compiled,
+/// a non-empty on-device slice that matched its truth tables, scratch
+/// under the tiny per-subarray ceiling, and every kernel A/B byte-identical
+/// with an AAP ratio inside [[`SYNTH_RATIO_MIN`], [`SYNTH_RATIO_MAX`]].
+fn validate_synth_snapshot(text: &str) -> Result<usize, Vec<String>> {
+    let mut errors = Vec::new();
+    let doc = match Json::parse(text) {
+        Ok(d) => d,
+        Err(e) => return Err(vec![format!("not valid JSON: {e}")]),
+    };
+    if doc.get("schema").and_then(Json::as_str) != Some("ambit-bench-synth/v1") {
+        errors.push("missing or wrong \"schema\" marker".into());
+    }
+    if doc.get("config").and_then(|c| c.get("tables")).and_then(Json::as_u64) != Some(256) {
+        errors.push("config.tables must be 256 (the full 3-input space)".into());
+    }
+    let ceiling = doc
+        .get("config")
+        .and_then(|c| c.get("scratch_ceiling"))
+        .and_then(Json::as_u64);
+    match ceiling {
+        Some(ceiling) => {
+            match doc.get("compile").and_then(|c| c.get("max_scratch_rows")).and_then(Json::as_u64)
+            {
+                // 3 input rows + 1 output row share the subarray.
+                Some(rows) if rows + 4 <= ceiling => {}
+                Some(rows) => errors.push(format!(
+                    "max scratch {rows} rows + 3 inputs + 1 output exceed the {ceiling}-row subarray ceiling"
+                )),
+                None => errors.push("compile.max_scratch_rows missing or not an integer".into()),
+            }
+        }
+        None => errors.push("config.scratch_ceiling missing or not an integer".into()),
+    }
+    for key in ["total_steps", "total_aaps", "cse_removed", "dead_removed"] {
+        if doc.get("compile").and_then(|c| c.get(key)).and_then(Json::as_u64).is_none() {
+            errors.push(format!("compile.{key} missing or not an integer"));
+        }
+    }
+    match doc.get("executed").and_then(|e| e.get("tables")).and_then(Json::as_u64) {
+        Some(n) if n > 0 => {}
+        _ => errors.push("executed.tables missing or zero".into()),
+    }
+    if !matches!(
+        doc.get("executed").and_then(|e| e.get("identical")),
+        Some(Json::Bool(true))
+    ) {
+        errors.push("on-device execution diverged from the truth tables".into());
+    }
+    let Some(kernels) = doc.get("kernels").and_then(Json::as_arr) else {
+        errors.push("\"kernels\" missing or not an array".into());
+        return Err(errors);
+    };
+    if kernels.is_empty() {
+        errors.push("\"kernels\" is empty".into());
+    }
+    for (i, k) in kernels.iter().enumerate() {
+        let name = k.get("name").and_then(Json::as_str).unwrap_or("?");
+        if !matches!(k.get("identical"), Some(Json::Bool(true))) {
+            errors.push(format!(
+                "kernels[{i}] ({name}): synthesized result not byte-identical to the hand-written kernel"
+            ));
+        }
+        match k.get("ratio").and_then(Json::as_f64) {
+            Some(ratio) if (SYNTH_RATIO_MIN..=SYNTH_RATIO_MAX).contains(&ratio) => {}
+            Some(ratio) => errors.push(format!(
+                "kernels[{i}] ({name}): AAP ratio {ratio:.2} outside [{SYNTH_RATIO_MIN}, {SYNTH_RATIO_MAX}]"
+            )),
+            None => errors.push(format!("kernels[{i}] ({name}): ratio missing or not a number")),
+        }
+    }
+    if errors.is_empty() {
+        Ok(kernels.len())
+    } else {
+        Err(errors)
+    }
+}
+
+/// The `bench_snapshot synth` entry point: compile the full 3-input table
+/// space, execute a slice on-device against the truth tables, A/B the
+/// compiler-generated arithmetic kernels against the hand-written ones,
+/// self-validate, write the JSON snapshot.
+fn synth_main() -> ExitCode {
+    let stride = if quick_mode() { 4 } else { 1 };
+    let (lanes, width) = if quick_mode() { (48, 6) } else { (96, 8) };
+    let compile = measure_synth_compile(stride);
+    let kernels = measure_synth_kernels(lanes, width);
+
+    println!(
+        "synth compile: {} tables -> {} steps, {} AAPs + {} APs (mean {:.1} AAPs/function), max scratch {} rows, CSE -{}, DSE -{}",
+        compile.tables,
+        compile.total_steps,
+        compile.total_aaps,
+        compile.total_aps,
+        compile.total_aaps as f64 / compile.tables as f64,
+        compile.max_scratch_rows,
+        compile.cse_removed,
+        compile.dead_removed,
+    );
+    println!(
+        "synth execute: {} tables on-device, identical {}",
+        compile.executed, compile.identical
+    );
+    for k in &kernels {
+        println!(
+            "  {:>10} ({} lanes x {} bits): hand {:5} AAPs  synth {:5} AAPs  ratio {:.2}  identical {}",
+            k.name, k.lanes, k.width, k.hand_aaps, k.synth_aaps, k.ratio, k.identical,
+        );
+    }
+
+    let snapshot = render_synth_snapshot(&compile, &kernels);
+    if let Err(errors) = validate_synth_snapshot(&snapshot) {
+        for e in &errors {
+            eprintln!("self-validation failed: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let path = std::env::var("AMBIT_BENCH_SYNTH_SNAPSHOT")
+        .unwrap_or_else(|_| "BENCH_synth.json".to_string());
+    if let Err(e) = std::fs::write(&path, &snapshot) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {path} (all compiled tables conform, kernel AAP ratios within [{SYNTH_RATIO_MIN}, {SYNTH_RATIO_MAX}])"
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.len() == 2 && args[1] == "batch" {
         return batch_main();
+    }
+    if args.len() == 2 && args[1] == "synth" {
+        return synth_main();
+    }
+    if args.len() == 3 && args[1] == "--validate-synth" {
+        let text = match std::fs::read_to_string(&args[2]) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", args[2]);
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_synth_snapshot(&text) {
+            Ok(n) => {
+                println!(
+                    "{}: valid synth snapshot, {n} kernel A/Bs within the AAP band",
+                    args[2]
+                );
+                ExitCode::SUCCESS
+            }
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("{}: {e}", args[2]);
+                }
+                ExitCode::FAILURE
+            }
+        };
     }
     if args.len() == 2 && args[1] == "characterization" {
         return characterization_main();

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! conformance_replay fuzz [--seed S] [--count N] [--faults] [--profiles] [--multi-channel]
+//!                         [--synth]
 //! conformance_replay replay <repro.json>
 //! ```
 //!
@@ -13,7 +14,9 @@
 //! placement, spare-row pre-remap, per-subarray fault campaign);
 //! `--multi-channel` places a slice of the fault-free programs on the
 //! two-channel geometry so the channel-sharded threaded batch path is
-//! fuzzed against the serial paths. The first
+//! fuzzed against the serial paths; `--synth` lets fault-free programs
+//! carry random synthesized truth-table ops, compiled through the
+//! `ambit-core::synth` pipeline on every execution path. The first
 //! divergence is minimized and written to `CONFORMANCE_repro.json` in the
 //! current directory, and the process exits 1. `AMBIT_QUICK=1` caps the
 //! default count at 200 programs for CI smoke runs.
@@ -25,14 +28,14 @@ use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use ambit_conformance::{generate, run_oracle, GeneratorConfig, Repro};
+use ambit_conformance::{generate, run_oracle, GeneratorConfig, ProgOp, Repro};
 
 const REPRO_FILE: &str = "CONFORMANCE_repro.json";
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: conformance_replay fuzz [--seed S] [--count N] [--faults] [--profiles] \
-         [--multi-channel]\n\
+         [--multi-channel] [--synth]\n\
          \x20      conformance_replay replay <repro.json>"
     );
     ExitCode::from(64)
@@ -56,6 +59,7 @@ fn fuzz(args: &[String]) -> ExitCode {
     let mut faults = false;
     let mut profiles = false;
     let mut multi_channel = false;
+    let mut synth = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -70,6 +74,7 @@ fn fuzz(args: &[String]) -> ExitCode {
             "--faults" => faults = true,
             "--profiles" => profiles = true,
             "--multi-channel" => multi_channel = true,
+            "--synth" => synth = true,
             _ => return usage(),
         }
     }
@@ -84,9 +89,13 @@ fn fuzz(args: &[String]) -> ExitCode {
     if multi_channel {
         cfg.multi_channel_chance = GeneratorConfig::with_multi_channel().multi_channel_chance;
     }
+    if synth {
+        cfg.synth_chance = GeneratorConfig::with_synth().synth_chance;
+    }
     let mut fault_armed = 0usize;
     let mut profile_armed = 0usize;
     let mut dual_channel = 0usize;
+    let mut synth_armed = 0usize;
     for i in 0..count {
         let program_seed = seed.wrapping_add(i as u64);
         let program = generate(program_seed, &cfg);
@@ -98,6 +107,9 @@ fn fuzz(args: &[String]) -> ExitCode {
         }
         if program.geometry.geometry().channels > 1 {
             dual_channel += 1;
+        }
+        if program.ops.iter().any(|op| matches!(op, ProgOp::Synth { .. })) {
+            synth_armed += 1;
         }
         let report = run_oracle(&program, None);
         if report.ok() {
@@ -128,7 +140,8 @@ fn fuzz(args: &[String]) -> ExitCode {
     }
     println!(
         "conformance: {count} programs from seed {seed} ({fault_armed} fault-armed, \
-         {profile_armed} profile-armed, {dual_channel} dual-channel), 0 divergences"
+         {profile_armed} profile-armed, {dual_channel} dual-channel, {synth_armed} with \
+         synthesized ops), 0 divergences"
     );
     ExitCode::SUCCESS
 }

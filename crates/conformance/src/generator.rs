@@ -48,6 +48,15 @@ pub struct GeneratorConfig {
     /// the knob exists to fuzz the channel-sharded threaded batch path,
     /// which armed programs never take.
     pub multi_channel_chance: f64,
+    /// Probability that a fault-free program is synth-armed (0 disables):
+    /// a slice of its ops become random-truth-table [`ProgOp::Synth`] ops,
+    /// compiled to MAJ/NOT microprograms by the oracle at execution time.
+    /// Gated like `multi_channel_chance`, so existing configurations keep
+    /// their exact draw streams. Synth-armed programs get tighter shape
+    /// bounds: each synthesized op needs a scratch-row pool co-located
+    /// with its family, and the tiny geometry only has 14 data rows per
+    /// subarray to hold vectors and scratch together.
+    pub synth_chance: f64,
 }
 
 impl Default for GeneratorConfig {
@@ -60,6 +69,7 @@ impl Default for GeneratorConfig {
             fault_chance: 0.0,
             profile_chance: 0.0,
             multi_channel_chance: 0.0,
+            synth_chance: 0.0,
         }
     }
 }
@@ -81,6 +91,12 @@ impl GeneratorConfig {
     /// four placed on the two-channel geometry.
     pub fn with_multi_channel() -> Self {
         GeneratorConfig { multi_channel_chance: 0.25, ..GeneratorConfig::default() }
+    }
+
+    /// The default configuration with roughly one fault-free program in
+    /// four carrying synthesized-function ops.
+    pub fn with_synth() -> Self {
+        GeneratorConfig { synth_chance: 0.25, ..GeneratorConfig::default() }
     }
 }
 
@@ -121,18 +137,34 @@ pub fn generate(seed: u64, cfg: &GeneratorConfig) -> Program {
     // width, so the choice does not perturb the length draws below.
     let multi_channel =
         !armed && cfg.multi_channel_chance > 0.0 && rng.chance(cfg.multi_channel_chance);
+    // Synth arming uses the same gating pattern, and composes freely with
+    // the multi-channel draw (synthesized batches through the
+    // channel-sharded threaded path are exactly what we want fuzzed).
+    let synth_armed = !armed && cfg.synth_chance > 0.0 && rng.chance(cfg.synth_chance);
     let geometry = if multi_channel { GeometryKind::TinyDual } else { GeometryKind::Tiny };
     let row_bits = geometry.geometry().row_bytes * 8;
     // Fault- and profile-armed programs run through the TMR-replicated
     // resilient executor (3× the footprint plus retry scratch), so keep
-    // them small.
-    let n_families = if armed { 1 } else { range(&mut rng, cfg.families) };
-    let max_rows = if armed { cfg.max_rows_per_vector.min(2) } else { cfg.max_rows_per_vector };
+    // them small. Synth-armed programs carry per-family scratch pools for
+    // their compiled microprograms, so they also get tighter bounds: the
+    // tiny subarray's 14 data rows must hold operands and scratch at once.
+    let n_families = if armed {
+        1
+    } else if synth_armed {
+        range(&mut rng, (cfg.families.0, cfg.families.1.min(2)))
+    } else {
+        range(&mut rng, cfg.families)
+    };
+    let max_rows = if armed || synth_armed {
+        cfg.max_rows_per_vector.min(2)
+    } else {
+        cfg.max_rows_per_vector
+    };
 
     let mut vectors = Vec::new();
     let mut families: Vec<Vec<usize>> = Vec::new();
     for family in 0..n_families {
-        let n_vectors = if armed {
+        let n_vectors = if armed || synth_armed {
             range(&mut rng, (2, cfg.vectors_per_family.1.min(3)))
         } else {
             range(&mut rng, cfg.vectors_per_family)
@@ -153,11 +185,27 @@ pub fn generate(seed: u64, cfg: &GeneratorConfig) -> Program {
         families.push(members);
     }
 
-    let n_ops = if armed { range(&mut rng, (1, 4)) } else { range(&mut rng, cfg.ops) };
+    let n_ops = if armed {
+        range(&mut rng, (1, 4))
+    } else if synth_armed {
+        range(&mut rng, (cfg.ops.0, cfg.ops.1.min(8)))
+    } else {
+        range(&mut rng, cfg.ops)
+    };
     let mut ops = Vec::with_capacity(n_ops);
     for _ in 0..n_ops {
         let family = &families[rng.below(families.len() as u64) as usize];
         let pick = |rng: &mut ReferenceRng| family[rng.below(family.len() as u64) as usize];
+        // Synth-armed programs convert a slice of their ops into random
+        // truth tables; the draw is gated on arming so un-armed programs
+        // keep their exact op streams.
+        if synth_armed && rng.chance(0.35) {
+            let n_inputs = 1 + rng.below(3) as usize;
+            let table = rng.below(1 << (1u64 << n_inputs));
+            let inputs = (0..n_inputs).map(|_| pick(&mut rng)).collect();
+            ops.push(ProgOp::Synth { table, inputs, dst: pick(&mut rng) });
+            continue;
+        }
         let kind = rng.below(100);
         let op = if armed || kind < 70 {
             let op = *rng.pick(&BITWISE_OPS);
@@ -260,6 +308,61 @@ mod tests {
         assert!(dual.iter().all(|p| p.fault_tra_rate.is_none() && p.profile_seed.is_none()));
         // The dual-channel name round-trips through the repro format.
         assert_eq!(GeometryKind::from_name("tiny2ch"), Some(GeometryKind::TinyDual));
+    }
+
+    #[test]
+    fn synth_knob_emits_synth_ops_and_preserves_other_streams() {
+        let cfg = GeneratorConfig::with_synth();
+        let programs: Vec<Program> = (1..300).map(|s| generate(s, &cfg)).collect();
+        for (seed, p) in (1..300u64).zip(&programs) {
+            assert_eq!(p, &generate(seed, &cfg), "seed {seed} not deterministic");
+            p.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+        let synth: Vec<&Program> = programs
+            .iter()
+            .filter(|p| p.ops.iter().any(|o| matches!(o, ProgOp::Synth { .. })))
+            .collect();
+        assert!(!synth.is_empty(), "synth_chance 0.25 emitted nothing in 300 seeds");
+        assert!(synth.len() < programs.len());
+        // Synth ops never land in armed programs (they cannot run the
+        // resilient-only path).
+        for p in &synth {
+            assert!(p.fault_tra_rate.is_none() && p.profile_seed.is_none());
+        }
+        // The input-arity and table spaces both get explored.
+        let arities: std::collections::HashSet<usize> = synth
+            .iter()
+            .flat_map(|p| p.ops.iter())
+            .filter_map(|o| match o {
+                ProgOp::Synth { inputs, .. } => Some(inputs.len()),
+                _ => None,
+            })
+            .collect();
+        assert!(arities.len() >= 2, "only arities {arities:?} drawn");
+        // A zero knob takes no draws at all: the default configuration
+        // emits no synth ops and its programs keep the pre-knob shapes
+        // (the gating idiom shared with multi_channel_chance).
+        let plain: Vec<Program> =
+            (1..100).map(|s| generate(s, &GeneratorConfig::default())).collect();
+        assert!(plain
+            .iter()
+            .all(|p| !p.ops.iter().any(|o| matches!(o, ProgOp::Synth { .. }))));
+    }
+
+    #[test]
+    fn synth_and_multi_channel_knobs_compose() {
+        let cfg = GeneratorConfig {
+            synth_chance: 0.5,
+            multi_channel_chance: 0.5,
+            ..GeneratorConfig::default()
+        };
+        let programs: Vec<Program> = (1..400).map(|s| generate(s, &cfg)).collect();
+        // Some dual-channel programs carry synth ops: the channel-sharded
+        // threaded batch path executes compiled microprograms.
+        assert!(programs.iter().any(|p| {
+            p.geometry == GeometryKind::TinyDual
+                && p.ops.iter().any(|o| matches!(o, ProgOp::Synth { .. }))
+        }));
     }
 
     #[test]

@@ -51,6 +51,22 @@ pub fn run(program: &Program) -> Vec<Vec<bool>> {
                 }
                 (*dst, acc)
             }
+            ProgOp::Synth { table, inputs, dst } => {
+                let bits = state[inputs[0]].len();
+                (
+                    *dst,
+                    (0..bits)
+                        .map(|i| {
+                            let idx: u64 = inputs
+                                .iter()
+                                .enumerate()
+                                .map(|(j, &v)| u64::from(state[v][i]) << j)
+                                .sum();
+                            table >> idx & 1 == 1
+                        })
+                        .collect(),
+                )
+            }
         };
         state[dst] = value;
     }
@@ -116,6 +132,39 @@ mod tests {
             assert_eq!(out[2][i], maj);
             assert_eq!(out[0][i], init[0][i] || init[1][i] || maj);
         }
+    }
+
+    #[test]
+    fn synth_ops_evaluate_their_truth_table() {
+        // table 0xE8 = maj(a, b, c) with input j = bit j.
+        let p = program(vec![ProgOp::Synth {
+            table: 0xE8,
+            inputs: vec![0, 1, 2],
+            dst: 2,
+        }]);
+        let init = p.initial_data();
+        let out = run(&p);
+        for i in 0..8 {
+            let maj = [init[0][i], init[1][i], init[2][i]]
+                .iter()
+                .filter(|&&b| b)
+                .count()
+                >= 2;
+            assert_eq!(out[2][i], maj);
+        }
+    }
+
+    #[test]
+    fn synth_ops_support_repeated_inputs_and_aliasing() {
+        // f(a, a) with table 0b0110 (xor) must clear the destination,
+        // even when the destination aliases the input.
+        let p = program(vec![ProgOp::Synth {
+            table: 0b0110,
+            inputs: vec![0, 0],
+            dst: 0,
+        }]);
+        let out = run(&p);
+        assert!(out[0].iter().all(|&b| !b), "x ^ x must clear the vector");
     }
 
     #[test]

@@ -25,10 +25,13 @@
 //! campaign derived from the map, and the oracle additionally checks that
 //! the recovery report stays consistent with the driver's bad-row map.
 
+use std::collections::BTreeMap;
+
 use ambit_circuit::{CharacterizationConfig, ChipProfile, CircuitParams};
 use ambit_core::{
-    AllocGroup, AmbitError, AmbitMemory, BatchBuilder, BitVectorHandle, IssuePolicy,
-    PlacementProfile, ResilientConfig, ResilientExecutor, SubarrayLayout,
+    synthesize, AllocGroup, AmbitError, AmbitMemory, BatchBuilder, BitVectorHandle, BoolFunc,
+    IssuePolicy, PlacementProfile, ResilientConfig, ResilientExecutor, SlotRef, SubarrayLayout,
+    SynthOptions, SynthProgram, SynthStep,
 };
 use ambit_dram::{BankId, CampaignConfig, FaultCampaign};
 
@@ -189,6 +192,57 @@ enum Issue {
     Batch(IssuePolicy),
 }
 
+/// Scratch pools for synthesized ops, one per vector family
+/// `(bits, group)`: plans in the same family share rows, which the
+/// engine's sequential hazards keep correct.
+type ScratchPools = BTreeMap<(usize, u32), Vec<BitVectorHandle>>;
+
+/// Per-family scratch-row requirement: the max over the family's plans.
+type ScratchNeeds = BTreeMap<(usize, u32), usize>;
+
+/// Pre-compiles every [`ProgOp::Synth`] in `program` through the boolean
+/// synthesis pipeline. Returns plans index-aligned with `program.ops`
+/// (`None` for non-synth ops) and the scratch rows each vector family
+/// needs — the max over that family's plans.
+fn compile_synth_plans(
+    program: &Program,
+) -> Result<(Vec<Option<SynthProgram>>, ScratchNeeds), String> {
+    let mut plans = Vec::with_capacity(program.ops.len());
+    let mut needs: BTreeMap<(usize, u32), usize> = BTreeMap::new();
+    for (i, op) in program.ops.iter().enumerate() {
+        let ProgOp::Synth { table, inputs, dst } = op else {
+            plans.push(None);
+            continue;
+        };
+        let func = BoolFunc::from_table(inputs.len(), *table)
+            .map_err(|e| format!("op {i}: truth table rejected: {e}"))?;
+        let plan = synthesize(&[func], &SynthOptions::default())
+            .map_err(|e| format!("op {i}: synthesis failed: {e}"))?;
+        let spec = &program.vectors[*dst];
+        let need = needs.entry((spec.bits, spec.group)).or_insert(0);
+        *need = (*need).max(plan.scratch_rows());
+        plans.push(Some(plan));
+    }
+    Ok((plans, needs))
+}
+
+/// The handle set one synthesized plan executes over: its program inputs,
+/// the family scratch pool (truncated to what the plan needs), and the
+/// destination vector.
+fn synth_bindings<'a>(
+    plan: &SynthProgram,
+    inputs: &[usize],
+    dst: usize,
+    handles: &[BitVectorHandle],
+    program: &Program,
+    pools: &'a ScratchPools,
+) -> (Vec<BitVectorHandle>, &'a [BitVectorHandle], [BitVectorHandle; 1]) {
+    let ins: Vec<BitVectorHandle> = inputs.iter().map(|&v| handles[v]).collect();
+    let spec = &program.vectors[dst];
+    let pool = &pools[&(spec.bits, spec.group)][..plan.scratch_rows()];
+    (ins, pool, [handles[dst]])
+}
+
 fn run_driver_path(
     program: &Program,
     path: &str,
@@ -213,11 +267,32 @@ fn run_driver_path(
             return None;
         }
     }
+    let (plans, pool_needs) = match compile_synth_plans(program) {
+        Ok(compiled) => compiled,
+        Err(e) => {
+            report.fail(path, e);
+            return None;
+        }
+    };
+    let mut pools: ScratchPools = BTreeMap::new();
+    for (&(bits, group), &need) in &pool_needs {
+        let mut pool = Vec::with_capacity(need);
+        for _ in 0..need {
+            match mem.alloc_in_group(bits, AllocGroup(group)) {
+                Ok(h) => pool.push(h),
+                Err(e) => {
+                    report.fail(path, format!("scratch alloc failed: {e}"));
+                    return None;
+                }
+            }
+        }
+        pools.insert((bits, group), pool);
+    }
 
     let run = |mem: &mut AmbitMemory| -> Result<(), String> {
         match issue {
             Issue::Eager => {
-                for op in &program.ops {
+                for (i, op) in program.ops.iter().enumerate() {
                     match op {
                         ProgOp::Bitwise { op, src1, src2, dst } => {
                             mem.bitwise(*op, handles[*src1], src2.map(|s| handles[s]), handles[*dst])
@@ -232,12 +307,23 @@ fn run_driver_path(
                             mem.bitwise_fold(*op, &srcs, handles[*dst])
                                 .map_err(|e| e.to_string())?;
                         }
+                        ProgOp::Synth { inputs, dst, .. } => {
+                            let plan = plans[i].as_ref().expect("plan precompiled");
+                            let (ins, pool, outs) =
+                                synth_bindings(plan, inputs, *dst, &handles, program, &pools);
+                            plan.run_eager(mem, &ins, pool, &outs)
+                                .map_err(|e| e.to_string())?;
+                        }
                     }
                 }
             }
             Issue::Batch(policy) => {
+                // Built alongside the batch: the handles every emitted
+                // step must report reading and writing. Synth ops expand
+                // to one entry per compiled step.
+                let mut expected: Vec<(Vec<BitVectorHandle>, BitVectorHandle)> = Vec::new();
                 let mut batch = BatchBuilder::new();
-                for op in &program.ops {
+                for (i, op) in program.ops.iter().enumerate() {
                     match op {
                         ProgOp::Bitwise { op, src1, src2, dst } => {
                             batch.bitwise(
@@ -246,45 +332,64 @@ fn run_driver_path(
                                 src2.map(|s| handles[s]),
                                 handles[*dst],
                             );
+                            let mut r = vec![handles[*src1]];
+                            r.extend(src2.map(|s| handles[s]));
+                            expected.push((r, handles[*dst]));
                         }
                         ProgOp::Maj3 { a, b, c, dst } => {
                             batch.maj3(handles[*a], handles[*b], handles[*c], handles[*dst]);
+                            expected.push((
+                                vec![handles[*a], handles[*b], handles[*c]],
+                                handles[*dst],
+                            ));
                         }
                         ProgOp::Fold { op, srcs, dst } => {
                             let srcs: Vec<_> = srcs.iter().map(|&s| handles[s]).collect();
                             batch.fold(*op, &srcs, handles[*dst]);
+                            expected.push((srcs, handles[*dst]));
+                        }
+                        ProgOp::Synth { inputs, dst, .. } => {
+                            let plan = plans[i].as_ref().expect("plan precompiled");
+                            let (ins, pool, outs) =
+                                synth_bindings(plan, inputs, *dst, &handles, program, &pools);
+                            plan.emit_into(&mut batch, &ins, pool, &outs)
+                                .map_err(|e| e.to_string())?;
+                            let resolve = |slot: SlotRef| match slot {
+                                SlotRef::Input(j) => ins[j],
+                                SlotRef::Scratch(r) => pool[r],
+                                SlotRef::Output(k) => outs[k],
+                            };
+                            for step in plan.steps() {
+                                expected.push(match *step {
+                                    SynthStep::Bitwise { src1, src2, dst, .. } => {
+                                        let mut r = vec![resolve(src1)];
+                                        r.extend(src2.map(resolve));
+                                        (r, resolve(dst))
+                                    }
+                                    SynthStep::Maj3 { a, b, c, dst } => (
+                                        vec![resolve(a), resolve(b), resolve(c)],
+                                        resolve(dst),
+                                    ),
+                                });
+                            }
                         }
                     }
                 }
                 // The batch's introspection view must agree with the
-                // program: same op count, same handles read and written.
+                // program: same step count, same handles read and written.
                 let views = batch.op_views();
-                if views.len() != program.ops.len() {
+                if views.len() != expected.len() {
                     return Err(format!(
-                        "batch introspection lists {} ops, program has {}",
+                        "batch introspection lists {} steps, program expands to {}",
                         views.len(),
-                        program.ops.len()
+                        expected.len()
                     ));
                 }
-                for (i, (view, op)) in views.iter().zip(&program.ops).enumerate() {
-                    let want_reads: Vec<BitVectorHandle> = match op {
-                        ProgOp::Bitwise { src1, src2, .. } => {
-                            let mut r = vec![handles[*src1]];
-                            r.extend(src2.map(|s| handles[s]));
-                            r
-                        }
-                        ProgOp::Maj3 { a, b, c, .. } => {
-                            vec![handles[*a], handles[*b], handles[*c]]
-                        }
-                        ProgOp::Fold { srcs, .. } => srcs.iter().map(|&s| handles[s]).collect(),
-                    };
-                    let want_writes = match op {
-                        ProgOp::Bitwise { dst, .. }
-                        | ProgOp::Maj3 { dst, .. }
-                        | ProgOp::Fold { dst, .. } => handles[*dst],
-                    };
-                    if view.reads != want_reads || view.writes != want_writes {
-                        return Err(format!("batch introspection mismatch at op {i}"));
+                for (i, (view, (want_reads, want_writes))) in
+                    views.iter().zip(&expected).enumerate()
+                {
+                    if view.reads != *want_reads || view.writes != *want_writes {
+                        return Err(format!("batch introspection mismatch at step {i}"));
                     }
                 }
                 mem.execute_batch(&batch, *policy).map_err(|e| e.to_string())?;
@@ -567,6 +672,21 @@ mod tests {
             assert!(report.ok(), "seed {seed} diverged:\n{:#?}", report.failures);
         }
         assert!(dual > 0);
+    }
+
+    #[test]
+    fn synth_armed_programs_conform() {
+        let cfg = GeneratorConfig { synth_chance: 1.0, ..GeneratorConfig::default() };
+        let mut with_synth = 0;
+        for seed in 1..14 {
+            let program = generate(seed, &cfg);
+            if program.ops.iter().any(|op| matches!(op, ProgOp::Synth { .. })) {
+                with_synth += 1;
+            }
+            let report = run_oracle(&program, None);
+            assert!(report.ok(), "seed {seed} diverged:\n{:#?}", report.failures);
+        }
+        assert!(with_synth > 0, "no synth-armed program in the sweep");
     }
 
     #[test]

@@ -163,6 +163,19 @@ pub enum ProgOp {
         /// Destination vector index.
         dst: usize,
     },
+    /// `dst = f(inputs…)` for an arbitrary truth table, synthesized to
+    /// MAJ/NOT microprograms by [`ambit_core::synth`] at execution time.
+    /// Input `j` of an assignment contributes bit `j` of the minterm index;
+    /// the result bit is bit `index` of `table`.
+    Synth {
+        /// The truth table over `inputs.len()` variables.
+        table: u64,
+        /// Input vector indices (1 ..= 5; inputs may repeat).
+        inputs: Vec<usize>,
+        /// Destination vector index (may alias an input; the synthesized
+        /// program reads all inputs before its trailing output write).
+        dst: usize,
+    },
 }
 
 impl ProgOp {
@@ -178,6 +191,11 @@ impl ProgOp {
             ProgOp::Maj3 { a, b, c, dst } => vec![*a, *b, *c, *dst],
             ProgOp::Fold { srcs, dst, .. } => {
                 let mut v = srcs.clone();
+                v.push(*dst);
+                v
+            }
+            ProgOp::Synth { inputs, dst, .. } => {
+                let mut v = inputs.clone();
                 v.push(*dst);
                 v
             }
@@ -275,6 +293,20 @@ impl Program {
                     }
                     if srcs.len() < 2 {
                         return Err(format!("op {i}: fold needs ≥ 2 sources"));
+                    }
+                }
+                ProgOp::Synth { table, inputs, .. } => {
+                    if inputs.is_empty() || inputs.len() > 5 {
+                        return Err(format!(
+                            "op {i}: synth takes 1..=5 inputs, got {}",
+                            inputs.len()
+                        ));
+                    }
+                    let minterms = 1u64 << inputs.len();
+                    if table >> minterms != 0 {
+                        return Err(format!(
+                            "op {i}: synth table {table:#x} has bits beyond its {minterms} minterms"
+                        ));
                     }
                 }
             }
@@ -463,6 +495,16 @@ fn op_to_json(op: &ProgOp) -> Json {
             ),
             ("dst", json::num(*dst as u64)),
         ]),
+        ProgOp::Synth { table, inputs, dst } => json::obj(vec![
+            ("kind", Json::Str("synth".into())),
+            // Truth tables can use all 64 bits; serialize like the seeds.
+            ("table", json::big(*table)),
+            (
+                "inputs",
+                Json::Arr(inputs.iter().map(|&s| json::num(s as u64)).collect()),
+            ),
+            ("dst", json::num(*dst as u64)),
+        ]),
     }
 }
 
@@ -508,6 +550,20 @@ fn op_from_json(doc: &Json) -> Result<ProgOp, String> {
                 .collect::<Result<Vec<_>, String>>()?,
             dst: idx("dst")?,
         }),
+        Some("synth") => Ok(ProgOp::Synth {
+            table: doc
+                .get("table")
+                .and_then(Json::as_u64_any)
+                .ok_or("bad synth table")?,
+            inputs: doc
+                .get("inputs")
+                .and_then(Json::as_arr)
+                .ok_or("bad synth inputs")?
+                .iter()
+                .map(|v| v.as_u64().map(|n| n as usize).ok_or("bad synth input".to_string()))
+                .collect::<Result<Vec<_>, String>>()?,
+            dst: idx("dst")?,
+        }),
         _ => Err("bad op kind".into()),
     }
 }
@@ -539,6 +595,7 @@ mod tests {
                 },
                 ProgOp::Maj3 { a: 0, b: 1, c: 2, dst: 2 },
                 ProgOp::Fold { op: BitwiseOp::Or, srcs: vec![0, 1], dst: 2 },
+                ProgOp::Synth { table: 0x96, inputs: vec![0, 1, 2], dst: 2 },
             ],
         }
     }
@@ -590,6 +647,37 @@ mod tests {
         let mut p = sample();
         p.ops[1] = ProgOp::Maj3 { a: 0, b: 1, c: 9, dst: 2 };
         assert!(p.validate().unwrap_err().contains("missing vector"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_synth_ops() {
+        let mut p = sample();
+        p.ops[3] = ProgOp::Synth { table: 0, inputs: vec![], dst: 2 };
+        assert!(p.validate().unwrap_err().contains("synth"));
+
+        let mut p = sample();
+        p.ops[3] = ProgOp::Synth { table: 0, inputs: vec![0, 1, 2, 0, 1, 2], dst: 2 };
+        assert!(p.validate().unwrap_err().contains("1..=5"));
+
+        // Table bits beyond the 2^inputs minterms.
+        let mut p = sample();
+        p.ops[3] = ProgOp::Synth { table: 0x1_0000, inputs: vec![0, 1], dst: 2 };
+        assert!(p.validate().unwrap_err().contains("minterms"));
+    }
+
+    #[test]
+    fn full_width_synth_tables_round_trip() {
+        // A 5-input table uses 32 bits; make sure high bits survive the
+        // JSON path (serialized like the u64 seeds).
+        let mut p = sample();
+        p.ops[3] = ProgOp::Synth {
+            table: 0xdead_beef,
+            inputs: vec![0, 1, 2, 0, 1],
+            dst: 2,
+        };
+        let text = p.to_json().to_string();
+        let back = Program::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
     }
 
     #[test]

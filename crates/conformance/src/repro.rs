@@ -250,6 +250,10 @@ fn remap_indices(op: &mut crate::program::ProgOp, removed: usize) {
             srcs.iter_mut().for_each(fix);
             fix(dst);
         }
+        ProgOp::Synth { inputs, dst, .. } => {
+            inputs.iter_mut().for_each(fix);
+            fix(dst);
+        }
     }
 }
 

@@ -112,6 +112,13 @@ pub enum AmbitError {
         /// The panic payload, stringified.
         message: String,
     },
+    /// The boolean microprogram synthesizer rejected its input or produced
+    /// a program violating a caller-imposed budget (see
+    /// [`synth`](crate::synth)).
+    Synthesis {
+        /// What the synthesizer objected to.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AmbitError {
@@ -174,6 +181,9 @@ impl fmt::Display for AmbitError {
             AmbitError::ExecutorPanicked { message } => {
                 write!(f, "executor pool job panicked: {message}")
             }
+            AmbitError::Synthesis { detail } => {
+                write!(f, "boolean synthesis failed: {detail}")
+            }
         }
     }
 }
@@ -219,6 +229,7 @@ mod tests {
             AmbitError::UnknownOp { id: 7 },
             AmbitError::ProfileRejected { reason: "wrong shape" },
             AmbitError::ExecutorPanicked { message: "boom".into() },
+            AmbitError::Synthesis { detail: "no functions".into() },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

@@ -60,6 +60,7 @@ pub mod ops;
 mod physmap;
 mod pool;
 pub mod resilient;
+pub mod synth;
 mod throughput;
 
 pub use addressing::{RowAddress, SubarrayLayout};
@@ -75,5 +76,9 @@ pub use resilient::{
 pub use isa::{BbopInstruction, BbopOutcome, ExecutionPath};
 pub use ops::{compile_majority, AmbitCmd, BitwiseOp};
 pub use physmap::{DataRowLocation, PhysicalMap};
+pub use synth::{
+    synthesize, synthesize_exprs, BoolFunc, Expr, SlotRef, SynthOptions, SynthProgram, SynthStats,
+    SynthStep,
+};
 pub use pool::{ExecutorPool, PoolStats};
 pub use throughput::AmbitConfig;

@@ -4,7 +4,9 @@
 //! bypass unknown-handle validation, while unrelated plans stay warm), and
 //! the hit/miss statistics must account for every planning call exactly.
 
-use ambit_repro::core::{AmbitMemory, BatchBuilder, BitwiseOp, IssuePolicy};
+use ambit_repro::core::{
+    synthesize, AmbitMemory, BatchBuilder, BitwiseOp, BoolFunc, IssuePolicy, SynthOptions,
+};
 use ambit_repro::dram::{AapMode, DramGeometry, TimingParams};
 
 fn tiny() -> AmbitMemory {
@@ -62,6 +64,52 @@ fn batch_execution_shares_the_same_cache() {
     // The eager path reuses the plan the batch compiled.
     mem.bitwise(BitwiseOp::And, a, Some(b), d).unwrap();
     assert_eq!(mem.plan_cache_stats(), (hits_after_batch + 1, 1));
+}
+
+#[test]
+fn synthesized_plans_hit_the_cache_on_reexecution() {
+    // A compiler-generated program expands to several BatchOps; re-running
+    // the same program over the same handles must be all cache hits — the
+    // synthesis layer adds no new planning on the hot path.
+    let mut mem = tiny();
+    let bits = mem.row_bits();
+    // xor3: a distinctly multi-step function (two Maj-free xors).
+    let func = BoolFunc::from_table(3, 0x96).unwrap();
+    let plan = synthesize(&[func], &SynthOptions::default()).unwrap();
+    assert!(plan.steps().len() > 1, "xor3 must take several steps");
+
+    let inputs: Vec<_> = (0..3).map(|_| mem.alloc(bits).unwrap()).collect();
+    for &h in &inputs {
+        mem.poke_bits(h, &vec![true; bits]).unwrap();
+    }
+    let scratch: Vec<_> = (0..plan.scratch_rows()).map(|_| mem.alloc(bits).unwrap()).collect();
+    let out = mem.alloc(bits).unwrap();
+
+    let mut batch = BatchBuilder::new();
+    plan.emit_into(&mut batch, &inputs, &scratch, &[out]).unwrap();
+    mem.execute_batch(&batch, IssuePolicy::BankParallel).unwrap();
+    let (hits_cold, misses_cold) = mem.plan_cache_stats();
+    assert_eq!(
+        misses_cold as usize,
+        batch.op_views().len(),
+        "a cold synthesized batch compiles every step"
+    );
+
+    // Same program, same handles: every step is a warm hit.
+    mem.execute_batch(&batch, IssuePolicy::BankParallel).unwrap();
+    let (hits_warm, misses_warm) = mem.plan_cache_stats();
+    assert_eq!(misses_warm, misses_cold, "re-execution must not re-plan");
+    assert_eq!(
+        (hits_warm - hits_cold) as usize,
+        batch.op_views().len(),
+        "every synthesized step must hit on re-execution"
+    );
+
+    // The eager path shares the same cache entries.
+    plan.run_eager(&mut mem, &inputs, &scratch, &[out]).unwrap();
+    let (hits_eager, misses_eager) = mem.plan_cache_stats();
+    assert_eq!(misses_eager, misses_cold);
+    assert_eq!((hits_eager - hits_warm) as usize, batch.op_views().len());
 }
 
 #[test]
